@@ -1,0 +1,44 @@
+//! Criterion bench for Fig. 8(b): `DeduceOrder` (unit propagation) vs
+//! `NaiveDeduce` (per-variable SAT probes) on the same encoded specs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cr_core::encode::EncodedSpec;
+use cr_core::{deduce_order, naive_deduce};
+use cr_data::{nba, person};
+
+fn bench_deduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deduce");
+    group.sample_size(15);
+
+    for size in [27usize, 135] {
+        let ds = nba::generate_with_sizes(&[size], 7);
+        let enc = EncodedSpec::encode(&ds.spec(0));
+        group.bench_with_input(BenchmarkId::new("nba/DeduceOrder", size), &enc, |b, enc| {
+            b.iter(|| black_box(deduce_order(black_box(enc))))
+        });
+        group.bench_with_input(BenchmarkId::new("nba/NaiveDeduce", size), &enc, |b, enc| {
+            b.iter(|| black_box(naive_deduce(black_box(enc))))
+        });
+    }
+
+    for size in [200usize, 1000] {
+        let ds = person::generate_with_sizes(&[size], 7);
+        let enc = EncodedSpec::encode(&ds.spec(0));
+        group.bench_with_input(
+            BenchmarkId::new("person/DeduceOrder", size),
+            &enc,
+            |b, enc| b.iter(|| black_box(deduce_order(black_box(enc)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("person/NaiveDeduce", size),
+            &enc,
+            |b, enc| b.iter(|| black_box(naive_deduce(black_box(enc)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_deduction);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench for the overall framework loop (Fig. 8(c)/(d) totals):
+//! validity + deduction + suggestion + simulated user rounds, per entity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cr_core::framework::{GroundTruthOracle, ResolutionConfig, Resolver};
+use cr_data::{career, nba, person, vjday};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resolve");
+    group.sample_size(15);
+    let resolver = Resolver::new(ResolutionConfig { max_rounds: 3, ..Default::default() });
+
+    // Paper running examples.
+    let edith = vjday::edith_spec();
+    let edith_truth = vjday::edith_truth();
+    group.bench_function("vjday/edith", |b| {
+        b.iter(|| {
+            let mut oracle = GroundTruthOracle::with_cap(edith_truth.clone(), 1);
+            black_box(resolver.resolve(black_box(&edith), &mut oracle))
+        })
+    });
+    let george = vjday::george_spec();
+    let george_truth = vjday::george_truth();
+    group.bench_function("vjday/george", |b| {
+        b.iter(|| {
+            let mut oracle = GroundTruthOracle::with_cap(george_truth.clone(), 1);
+            black_box(resolver.resolve(black_box(&george), &mut oracle))
+        })
+    });
+
+    // One representative entity per dataset.
+    let nba_ds = nba::generate_with_sizes(&[27], 7);
+    let career_ds = career::generate(career::CareerConfig {
+        entities: 1,
+        seed: 7,
+        ..Default::default()
+    });
+    let person_ds = person::generate_with_sizes(&[200], 7);
+    for (label, spec, truth) in [
+        ("nba/27", nba_ds.spec(0), nba_ds.truth(0).clone()),
+        ("career/avg", career_ds.spec(0), career_ds.truth(0).clone()),
+        ("person/200", person_ds.spec(0), person_ds.truth(0).clone()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("dataset", label), &spec, |b, spec| {
+            b.iter(|| {
+                let mut oracle = GroundTruthOracle::with_cap(truth.clone(), 1);
+                black_box(resolver.resolve(black_box(spec), &mut oracle))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for the suggestion phase of Fig. 8(c)/(d): `TrueDer` +
+//! compatibility graph + `MaxClique` + MaxSAT repair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cr_core::encode::EncodedSpec;
+use cr_core::{deduce_order, suggest, true_values_from_orders};
+use cr_data::{nba, person, vjday};
+
+fn bench_suggest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suggest");
+    group.sample_size(15);
+
+    // The paper's Example 12: George's suggestion is exactly {status}.
+    let george = vjday::george_spec();
+    let enc = EncodedSpec::encode(&george);
+    let od = deduce_order(&enc).expect("valid");
+    let known = true_values_from_orders(&enc, &od);
+    group.bench_function("vjday/george", |b| {
+        b.iter(|| black_box(suggest(&george, &enc, &od, &known)))
+    });
+
+    for size in [27usize, 135] {
+        let ds = nba::generate_with_sizes(&[size], 7);
+        let spec = ds.spec(0);
+        let enc = EncodedSpec::encode(&spec);
+        let od = deduce_order(&enc).expect("valid");
+        let known = true_values_from_orders(&enc, &od);
+        group.bench_with_input(BenchmarkId::new("nba", size), &size, |b, _| {
+            b.iter(|| black_box(suggest(&spec, &enc, &od, &known)))
+        });
+    }
+
+    for size in [200usize, 600] {
+        let ds = person::generate_with_sizes(&[size], 7);
+        let spec = ds.spec(0);
+        let enc = EncodedSpec::encode(&spec);
+        let od = deduce_order(&enc).expect("valid");
+        let known = true_values_from_orders(&enc, &od);
+        group.bench_with_input(BenchmarkId::new("person", size), &size, |b, _| {
+            b.iter(|| black_box(suggest(&spec, &enc, &od, &known)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_suggest);
+criterion_main!(benches);

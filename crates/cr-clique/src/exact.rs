@@ -1,0 +1,174 @@
+//! Exact maximum clique: branch-and-bound with a greedy-colouring bound
+//! (Tomita's MCQ family).
+
+use crate::graph::{Graph, VertexSet};
+
+/// Computes a maximum clique of `g` exactly.
+///
+/// Classic scheme: expand cliques vertex by vertex; at each node greedily
+/// colour the candidate set — the colour count bounds how many more vertices
+/// any clique through this node can gain, pruning branches that cannot beat
+/// the incumbent.
+pub fn max_clique(g: &Graph) -> Vec<usize> {
+    if g.is_empty() {
+        return Vec::new();
+    }
+    let mut best: Vec<usize> = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    let candidates = VertexSet::full(g.len());
+    expand(g, &mut current, &candidates, &mut best);
+    best
+}
+
+fn expand(g: &Graph, current: &mut Vec<usize>, candidates: &VertexSet, best: &mut Vec<usize>) {
+    if candidates.is_empty() {
+        if current.len() > best.len() {
+            *best = current.clone();
+        }
+        return;
+    }
+    // Greedy colouring of the candidate set; process vertices in decreasing
+    // colour order so the bound tightens fastest.
+    let ordered = colour_order(g, candidates);
+    let mut remaining = candidates.clone();
+    for (v, colour) in ordered.into_iter().rev() {
+        if current.len() + colour <= best.len() {
+            return; // bound: even taking every colour class cannot win
+        }
+        current.push(v);
+        let next = remaining.intersect_row(g.row(v));
+        expand(g, current, &next, best);
+        current.pop();
+        remaining.remove(v);
+    }
+}
+
+/// Greedily colours `candidates`, returning `(vertex, colour)` pairs in
+/// non-decreasing colour order. `colour` is 1-based; vertices in the same
+/// class are pairwise non-adjacent.
+fn colour_order(g: &Graph, candidates: &VertexSet) -> Vec<(usize, usize)> {
+    let mut uncoloured = candidates.clone();
+    let mut ordered = Vec::with_capacity(candidates.count());
+    let mut colour = 0;
+    while !uncoloured.is_empty() {
+        colour += 1;
+        let mut class_candidates = uncoloured.clone();
+        while let Some(v) = class_candidates.first() {
+            ordered.push((v, colour));
+            uncoloured.remove(v);
+            class_candidates.remove(v);
+            // Remove v's neighbours from this colour class.
+            for w in 0..class_candidates.words.len() {
+                class_candidates.words[w] &= !g.row(v)[w];
+            }
+        }
+    }
+    ordered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_with_edges(n: usize, edges: &[(usize, usize)]) -> Graph {
+        let mut g = Graph::new(n);
+        for &(a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    #[test]
+    fn empty_graph_has_empty_clique() {
+        assert!(max_clique(&Graph::new(0)).is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_give_singleton() {
+        let c = max_clique(&Graph::new(5));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn complete_graph_is_its_own_clique() {
+        let n = 8;
+        let mut g = Graph::new(n);
+        for a in 0..n {
+            for b in a + 1..n {
+                g.add_edge(a, b);
+            }
+        }
+        assert_eq!(max_clique(&g).len(), n);
+    }
+
+    #[test]
+    fn two_cliques_picks_larger() {
+        // K4 on {0..3} and K3 on {4..6}.
+        let mut edges = Vec::new();
+        for a in 0..4 {
+            for b in a + 1..4 {
+                edges.push((a, b));
+            }
+        }
+        for a in 4..7 {
+            for b in a + 1..7 {
+                edges.push((a, b));
+            }
+        }
+        let g = graph_with_edges(7, &edges);
+        let mut c = max_clique(&g);
+        c.sort_unstable();
+        assert_eq!(c, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cycle_of_five_has_clique_two() {
+        let g = graph_with_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(max_clique(&g).len(), 2);
+    }
+
+    #[test]
+    fn petersen_graph_clique_is_two() {
+        // Petersen graph: outer 5-cycle, inner pentagram, spokes.
+        let mut edges = vec![];
+        for i in 0..5 {
+            edges.push((i, (i + 1) % 5)); // outer cycle
+            edges.push((5 + i, 5 + (i + 2) % 5)); // pentagram
+            edges.push((i, 5 + i)); // spokes
+        }
+        let g = graph_with_edges(10, &edges);
+        assert_eq!(max_clique(&g).len(), 2);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_dense_random_graph() {
+        // Deterministic pseudo-random graph via a multiplicative hash.
+        let n = 14usize;
+        let mut g = Graph::new(n);
+        let mut brute_edges = vec![vec![false; n]; n];
+        for a in 0..n {
+            for b in a + 1..n {
+                let h = (a * 2654435761 + b * 40503).wrapping_mul(2246822519) % 100;
+                if h < 55 {
+                    g.add_edge(a, b);
+                    brute_edges[a][b] = true;
+                    brute_edges[b][a] = true;
+                }
+            }
+        }
+        // Brute force over all subsets.
+        let mut best = 0;
+        for mask in 0u32..(1 << n) {
+            let members: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+            if members.len() > best
+                && members
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &a)| members[i + 1..].iter().all(|&b| brute_edges[a][b]))
+            {
+                best = members.len();
+            }
+        }
+        assert_eq!(max_clique(&g).len(), best);
+    }
+}

@@ -1,0 +1,23 @@
+//! Shared display helpers.
+
+use std::fmt;
+
+use cr_types::Value;
+
+/// Writes a constant in parser-compatible form: strings are quoted with
+/// `"` and `\\` escapes so `Display → parse` round trips.
+pub(crate) fn write_constant(f: &mut fmt::Formatter<'_>, v: &Value) -> fmt::Result {
+    match v {
+        Value::Str(s) => {
+            write!(f, "\"")?;
+            for c in s.chars() {
+                if c == '"' || c == '\\' {
+                    write!(f, "\\")?;
+                }
+                write!(f, "{c}")?;
+            }
+            write!(f, "\"")
+        }
+        other => write!(f, "{other}"),
+    }
+}

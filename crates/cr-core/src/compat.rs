@@ -1,0 +1,95 @@
+//! Compatibility graphs of derivation rules (Section V-C.1).
+
+use cr_clique::Graph;
+
+use crate::rules::DerivationRule;
+
+/// Builds the compatibility graph `G(N, E)` of a rule set: nodes are rules;
+/// an edge joins `x` and `y` iff they conclude *different* attributes
+/// (`Bx ≠ By`) and agree on the values of their common attributes
+/// (`Px[Xxy] = Py[Xxy]` where `Xxy = (Xx ∪ Bx) ∩ (Xy ∪ By)`).
+///
+/// Each clique is a set of rules that can fire simultaneously.
+pub fn compatibility_graph(rules: &[DerivationRule]) -> Graph {
+    let mut g = Graph::new(rules.len());
+    for i in 0..rules.len() {
+        for j in i + 1..rules.len() {
+            if compatible(&rules[i], &rules[j]) {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    g
+}
+
+/// The edge predicate described above.
+pub fn compatible(x: &DerivationRule, y: &DerivationRule) -> bool {
+    if x.rhs.0 == y.rhs.0 {
+        return false;
+    }
+    // Compare asserted values on all attributes both rules mention.
+    let attrs = x
+        .lhs
+        .iter()
+        .map(|(a, _)| *a)
+        .chain(std::iter::once(x.rhs.0));
+    for a in attrs {
+        if let (Some(vx), Some(vy)) = (x.asserted(a), y.asserted(a)) {
+            if vx != vy {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_types::{AttrId, ValueId};
+
+    fn rule(lhs: &[(u16, u32)], rhs: (u16, u32)) -> DerivationRule {
+        DerivationRule {
+            lhs: lhs.iter().map(|&(a, v)| (AttrId(a), ValueId(v))).collect(),
+            rhs: (AttrId(rhs.0), ValueId(rhs.1)),
+        }
+    }
+
+    /// Recreates the shape of Fig. 6: n1..n5 form a clique via the shared
+    /// `status=retired` / `AC=212` values; n5 and n7 conflict on AC.
+    #[test]
+    fn example_11_edges() {
+        // attrs: 0=status 1=job 2=AC 3=zip 4=city 5=county
+        // status values: 0=retired 1=unemployed; AC: 0=212 1=312 ...
+        let n1 = rule(&[(0, 0)], (1, 0)); // status=retired → job=veteran
+        let n2 = rule(&[(0, 0)], (2, 0)); // status=retired → AC=212
+        let n5 = rule(&[(2, 0)], (4, 0)); // AC=212 → city=NY
+        let n7 = rule(&[(0, 1)], (2, 1)); // status=unemployed → AC=312
+        let rules = vec![n1, n2, n5, n7];
+        let g = compatibility_graph(&rules);
+        assert!(g.has_edge(0, 1)); // n1-n2 share status=retired
+        assert!(g.has_edge(1, 2)); // n2-n5 share AC=212
+        assert!(g.has_edge(0, 2)); // n1-n5 no common attrs
+        assert!(!g.has_edge(2, 3)); // n5-n7 conflict on AC (212 vs 312)
+        assert!(!g.has_edge(0, 3)); // n1-n7 conflict on status
+        assert!(!g.has_edge(1, 3)); // n2-n7 same RHS attr (AC)
+    }
+
+    #[test]
+    fn same_rhs_attribute_never_connects() {
+        let a = rule(&[], (1, 0));
+        let b = rule(&[], (1, 0));
+        assert!(!compatible(&a, &b));
+    }
+
+    #[test]
+    fn lhs_rhs_cross_agreement_counts() {
+        // x concludes (2, 7); y assumes (2, 7): compatible.
+        let x = rule(&[(0, 1)], (2, 7));
+        let y = rule(&[(2, 7)], (3, 0));
+        assert!(compatible(&x, &y));
+        // y' assumes (2, 8): incompatible.
+        let y2 = rule(&[(2, 8)], (3, 0));
+        assert!(!compatible(&x, &y2));
+    }
+}

@@ -1,0 +1,359 @@
+//! `ConvertToCNF`: from instance constraints to the CNF Φ(Se).
+
+use std::collections::HashMap;
+
+use cr_sat::{Cnf, Lit, Var};
+use cr_types::{AttrId, AttrValueSpace, Value, ValueId};
+
+use super::omega::{instantiate, Conclusion, InstanceConstraint, OrderAtom};
+use super::EncodeOptions;
+use crate::spec::Specification;
+
+/// The encoded form of a specification: the CNF `Φ(Se)`, the value spaces,
+/// the variable table for order atoms and the instance constraints Ω(Se)
+/// they came from. All downstream algorithms (`IsValid`, `DeduceOrder`,
+/// `Suggest`, the exact true-value queries) run off this struct.
+pub struct EncodedSpec {
+    space: AttrValueSpace,
+    vars: HashMap<OrderAtom, Var>,
+    atoms: Vec<OrderAtom>,
+    cnf: Cnf,
+    omega: Vec<InstanceConstraint>,
+}
+
+impl EncodedSpec {
+    /// Encodes `spec` with default options.
+    pub fn encode(spec: &Specification) -> Self {
+        Self::encode_with(spec, EncodeOptions::default())
+    }
+
+    /// Encodes `spec` with explicit [`EncodeOptions`].
+    pub fn encode_with(spec: &Specification, options: EncodeOptions) -> Self {
+        let inst = instantiate(spec);
+        let mut enc = EncodedSpec {
+            space: inst.space,
+            vars: HashMap::new(),
+            atoms: Vec::new(),
+            cnf: Cnf::new(),
+            omega: inst.omega,
+        };
+
+        // Variables for every ordered pair of distinct values — either over
+        // the whole space (paper encoding) or lazily over the values that
+        // occur in Ω(Se).
+        if options.full_transitivity {
+            for attr in (0..enc.space.arity() as u16).map(AttrId) {
+                let n = enc.space.attr(attr).len() as u32;
+                for a in 0..n {
+                    for b in 0..n {
+                        if a != b {
+                            enc.var(OrderAtom { attr, lo: ValueId(a), hi: ValueId(b) });
+                        }
+                    }
+                }
+            }
+        } else {
+            let omega = std::mem::take(&mut enc.omega);
+            for c in &omega {
+                for atom in &c.premise {
+                    enc.var(*atom);
+                    enc.var(OrderAtom { attr: atom.attr, lo: atom.hi, hi: atom.lo });
+                }
+                if let Conclusion::Atom(atom) = c.conclusion {
+                    enc.var(atom);
+                    enc.var(OrderAtom { attr: atom.attr, lo: atom.hi, hi: atom.lo });
+                }
+            }
+            enc.omega = omega;
+        }
+
+        // Ω(Se) clauses.
+        let omega = std::mem::take(&mut enc.omega);
+        for c in &omega {
+            let premise: Vec<Lit> = c.premise.iter().map(|a| enc.var(*a).positive()).collect();
+            match c.conclusion {
+                Conclusion::Atom(atom) => {
+                    let concl = enc.var(atom).positive();
+                    enc.cnf.add_implication(&premise, concl);
+                }
+                Conclusion::False => enc.cnf.add_negated_conjunction(&premise),
+            }
+        }
+        enc.omega = omega;
+
+        // Transitivity and asymmetry per attribute, over the realised
+        // variable set.
+        let mut per_attr: Vec<Vec<ValueId>> = vec![Vec::new(); enc.space.arity()];
+        for atom in &enc.atoms {
+            per_attr[atom.attr.index()].push(atom.lo);
+            per_attr[atom.attr.index()].push(atom.hi);
+        }
+        for (ai, vals) in per_attr.iter_mut().enumerate() {
+            vals.sort_unstable();
+            vals.dedup();
+            let attr = AttrId(ai as u16);
+            // Asymmetry: ¬x_ab ∨ ¬x_ba for unordered pairs; optionally
+            // totality: x_ab ∨ x_ba (see EncodeOptions::totality).
+            for (i, &a) in vals.iter().enumerate() {
+                for &b in &vals[i + 1..] {
+                    if let (Some(&xab), Some(&xba)) = (
+                        enc.vars.get(&OrderAtom { attr, lo: a, hi: b }),
+                        enc.vars.get(&OrderAtom { attr, lo: b, hi: a }),
+                    ) {
+                        enc.cnf.add_clause([xab.negative(), xba.negative()]);
+                        if options.totality {
+                            enc.cnf.add_clause([xab.positive(), xba.positive()]);
+                        }
+                    }
+                }
+            }
+            // Transitivity over realised triples.
+            for &a in vals.iter() {
+                for &b in vals.iter() {
+                    if a == b {
+                        continue;
+                    }
+                    let Some(&xab) = enc.vars.get(&OrderAtom { attr, lo: a, hi: b }) else {
+                        continue;
+                    };
+                    for &c in vals.iter() {
+                        if c == a || c == b {
+                            continue;
+                        }
+                        let (Some(&xbc), Some(&xac)) = (
+                            enc.vars.get(&OrderAtom { attr, lo: b, hi: c }),
+                            enc.vars.get(&OrderAtom { attr, lo: a, hi: c }),
+                        ) else {
+                            continue;
+                        };
+                        enc.cnf
+                            .add_clause([xab.negative(), xbc.negative(), xac.positive()]);
+                    }
+                }
+            }
+        }
+        enc
+    }
+
+    /// Allocates (or returns) the variable for an order atom.
+    fn var(&mut self, atom: OrderAtom) -> Var {
+        if let Some(&v) = self.vars.get(&atom) {
+            return v;
+        }
+        let v = self.cnf.new_var();
+        debug_assert_eq!(v.index(), self.atoms.len());
+        self.vars.insert(atom, v);
+        self.atoms.push(atom);
+        v
+    }
+
+    /// The CNF `Φ(Se)`.
+    pub fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+
+    /// The instance constraints Ω(Se).
+    pub fn omega(&self) -> &[InstanceConstraint] {
+        &self.omega
+    }
+
+    /// The per-attribute value spaces (active domain + null).
+    pub fn space(&self) -> &AttrValueSpace {
+        &self.space
+    }
+
+    /// The variable encoding `lo ≺v_attr hi`, if allocated.
+    pub fn var_of(&self, attr: AttrId, lo: ValueId, hi: ValueId) -> Option<Var> {
+        self.vars.get(&OrderAtom { attr, lo, hi }).copied()
+    }
+
+    /// The order atom behind a variable.
+    pub fn atom_of(&self, var: Var) -> OrderAtom {
+        self.atoms[var.index()]
+    }
+
+    /// Number of order variables.
+    pub fn num_order_vars(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Interned id of `value` in `attr`'s space.
+    pub fn value_id(&self, attr: AttrId, value: &Value) -> Option<ValueId> {
+        self.space.get(attr, value)
+    }
+
+    /// The value behind `(attr, id)`.
+    pub fn value(&self, attr: AttrId, id: ValueId) -> &Value {
+        self.space.value(attr, id)
+    }
+
+    /// Assumption literals asserting "`v` is the most current value of
+    /// `attr`": every other value of the space sits strictly below `v`.
+    /// Returns `None` if some required variable was not allocated (lazy
+    /// encoding) — callers should fall back to the full encoding.
+    pub fn top_assumptions(&self, attr: AttrId, v: ValueId) -> Option<Vec<Lit>> {
+        let n = self.space.attr(attr).len() as u32;
+        let mut lits = Vec::with_capacity(n as usize - 1);
+        for o in 0..n {
+            let o = ValueId(o);
+            if o == v {
+                continue;
+            }
+            lits.push(self.var_of(attr, o, v)?.positive());
+        }
+        Some(lits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_constraints::parser::{parse_cfds, parse_currency_constraint};
+    use cr_sat::{SolveResult, Solver};
+    use cr_types::{EntityInstance, Schema, Tuple};
+
+    fn tiny_spec() -> Specification {
+        let s = Schema::new("p", ["status", "job"]).unwrap();
+        let e = EntityInstance::new(
+            s.clone(),
+            vec![
+                Tuple::of([Value::str("working"), Value::str("nurse")]),
+                Tuple::of([Value::str("retired"), Value::str("n/a")]),
+            ],
+        )
+        .unwrap();
+        let sigma = vec![
+            parse_currency_constraint(
+                &s,
+                r#"t1[status] = "working" && t2[status] = "retired" -> t1 <[status] t2"#,
+            )
+            .unwrap(),
+            parse_currency_constraint(&s, "t1 <[status] t2 -> t1 <[job] t2").unwrap(),
+        ];
+        Specification::without_orders(e, sigma, vec![])
+    }
+
+    #[test]
+    fn full_encoding_allocates_all_pairs() {
+        let spec = tiny_spec();
+        let enc = EncodedSpec::encode(&spec);
+        // Two attributes, two values each → 2·2·1 = 4 order vars.
+        assert_eq!(enc.num_order_vars(), 4);
+        // Sat: the chain working≺retired, nurse≺n/a is consistent.
+        let mut solver = Solver::from_cnf(enc.cnf());
+        assert_eq!(solver.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unit_propagation_derives_the_chain() {
+        let spec = tiny_spec();
+        let enc = EncodedSpec::encode(&spec);
+        let mut up = cr_sat::UnitPropagator::new(enc.cnf());
+        let implied = match up.run() {
+            cr_sat::UpOutcome::Fixpoint { implied } => implied,
+            cr_sat::UpOutcome::Conflict => panic!("valid spec"),
+        };
+        let status = spec.schema().attr_id("status").unwrap();
+        let job = spec.schema().attr_id("job").unwrap();
+        let sid = |v: &str| enc.value_id(status, &Value::str(v)).unwrap();
+        let jid = |v: &str| enc.value_id(job, &Value::str(v)).unwrap();
+        let x_status = enc.var_of(status, sid("working"), sid("retired")).unwrap();
+        let x_job = enc.var_of(job, jid("nurse"), jid("n/a")).unwrap();
+        assert!(implied.contains(&x_status.positive()));
+        assert!(implied.contains(&x_job.positive()));
+    }
+
+    #[test]
+    fn contradictory_base_orders_are_unsat() {
+        let s = Schema::new("p", ["a"]).unwrap();
+        let e = EntityInstance::new(
+            s,
+            vec![Tuple::of([Value::int(1)]), Tuple::of([Value::int(2)])],
+        )
+        .unwrap();
+        let mut orders = crate::orders::PartialOrders::empty(1);
+        orders.add(AttrId(0), cr_types::TupleId(0), cr_types::TupleId(1));
+        orders.add(AttrId(0), cr_types::TupleId(1), cr_types::TupleId(0));
+        let spec = Specification::new(e, orders, vec![], vec![]);
+        let enc = EncodedSpec::encode(&spec);
+        let mut solver = Solver::from_cnf(enc.cnf());
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn transitivity_closes_chains() {
+        // a<b, b<c base orders; check a<c is implied (Φ ∧ ¬x_ac unsat).
+        let s = Schema::new("p", ["a"]).unwrap();
+        let e = EntityInstance::new(
+            s,
+            vec![
+                Tuple::of([Value::int(1)]),
+                Tuple::of([Value::int(2)]),
+                Tuple::of([Value::int(3)]),
+            ],
+        )
+        .unwrap();
+        let mut orders = crate::orders::PartialOrders::empty(1);
+        orders.add(AttrId(0), cr_types::TupleId(0), cr_types::TupleId(1));
+        orders.add(AttrId(0), cr_types::TupleId(1), cr_types::TupleId(2));
+        let spec = Specification::new(e, orders, vec![], vec![]);
+        let enc = EncodedSpec::encode(&spec);
+        let a = AttrId(0);
+        let id = |v: i64| enc.value_id(a, &Value::int(v)).unwrap();
+        let x_ac = enc.var_of(a, id(1), id(3)).unwrap();
+        let mut solver = Solver::from_cnf(enc.cnf());
+        assert_eq!(
+            solver.solve_with_assumptions(&[x_ac.negative()]),
+            SolveResult::Unsat
+        );
+        assert_eq!(solver.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn lazy_encoding_matches_full_on_validity() {
+        let spec = tiny_spec();
+        let full = EncodedSpec::encode(&spec);
+        let lazy = EncodedSpec::encode_with(&spec, EncodeOptions { full_transitivity: false, ..Default::default() });
+        assert!(lazy.cnf().num_clauses() <= full.cnf().num_clauses());
+        let mut s1 = Solver::from_cnf(full.cnf());
+        let mut s2 = Solver::from_cnf(lazy.cnf());
+        assert_eq!(s1.solve(), s2.solve());
+    }
+
+    #[test]
+    fn cfd_plus_currency_derives_cross_attribute_values() {
+        // Miniature of Example 2 steps (c)-(d): status chain forces the AC,
+        // then the CFD forces the city.
+        let s = Schema::new("p", ["status", "AC", "city"]).unwrap();
+        let e = EntityInstance::new(
+            s.clone(),
+            vec![
+                Tuple::of([Value::str("working"), Value::int(212), Value::str("NY")]),
+                Tuple::of([Value::str("retired"), Value::int(213), Value::str("LA")]),
+            ],
+        )
+        .unwrap();
+        let sigma = vec![
+            parse_currency_constraint(
+                &s,
+                r#"t1[status] = "working" && t2[status] = "retired" -> t1 <[status] t2"#,
+            )
+            .unwrap(),
+            parse_currency_constraint(&s, "t1 <[status] t2 -> t1 <[AC] t2").unwrap(),
+        ];
+        let gamma = parse_cfds(&s, "AC = 213 -> city = \"LA\"").unwrap();
+        let spec = Specification::without_orders(e, sigma, gamma);
+        let enc = EncodedSpec::encode(&spec);
+        let city = spec.schema().attr_id("city").unwrap();
+        let ny = enc.value_id(city, &Value::str("NY")).unwrap();
+        let la = enc.value_id(city, &Value::str("LA")).unwrap();
+        let x = enc.var_of(city, ny, la).unwrap();
+        // NY ≺ LA must be implied.
+        let mut solver = Solver::from_cnf(enc.cnf());
+        assert_eq!(
+            solver.solve_with_assumptions(&[x.negative()]),
+            SolveResult::Unsat
+        );
+        assert_eq!(solver.solve(), SolveResult::Sat);
+    }
+}

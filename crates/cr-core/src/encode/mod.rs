@@ -1,0 +1,79 @@
+//! Reduction of a specification to CNF (Section V-A).
+//!
+//! `Instantiation(Se)` expresses the currency orders, currency constraints
+//! and constant CFDs of a specification as *instance constraints* over the
+//! strict value orders `≺v_Ai`; `ConvertToCNF` then maps each value-order
+//! atom `a1 ≺v_Ai a2` to a Boolean variable `x^Ai_{a1,a2}` and each
+//! implication to a clause, adding transitivity and asymmetry axioms so that
+//! satisfying assignments correspond to valid completions (Lemma 5).
+//!
+//! ## Semantics notes (see DESIGN.md §4)
+//!
+//! * The value space of attribute `Ai` is its active domain plus `null` when
+//!   null occurs; nulls are *strict bottoms* (unit clauses `null ≺v a`),
+//!   reflecting "an attribute with value missing is ranked the lowest".
+//! * A premise order atom instantiated on equal values is `false` (a value
+//!   is never strictly more current than itself) — the instance is dropped.
+//! * A conclusion atom on equal values is vacuously satisfied — the instance
+//!   is skipped (required for Example 2 of the paper to type-check: ϕ5 fires
+//!   on Edith's (r2, r3) whose jobs are both `n/a`).
+//! * A CFD whose LHS pattern constant is outside the active domain can never
+//!   fire and is skipped; one whose RHS constant is outside the active
+//!   domain forces `¬ωX` (the current tuple draws its values from `Ie`).
+
+mod cnf;
+mod omega;
+
+pub use cnf::EncodedSpec;
+pub use omega::{Conclusion, InstanceConstraint, OrderAtom, Origin};
+
+use cr_types::{AttrId, ValueId};
+
+/// Options controlling CNF generation.
+#[derive(Clone, Copy, Debug)]
+pub struct EncodeOptions {
+    /// Generate transitivity clauses for *all* value triples of every
+    /// attribute (the paper's `O(|It|³)` encoding). When `false`, triples
+    /// are restricted to values that occur in at least one instance
+    /// constraint — an ablation that preserves unit-propagation behaviour on
+    /// sparse instances while shrinking the CNF.
+    pub full_transitivity: bool,
+    /// Add totality clauses `x^A_{a,b} ∨ x^A_{b,a}` for every value pair.
+    ///
+    /// **Reproduction finding.** The paper's encoding has transitivity and
+    /// asymmetry but *not* totality, so satisfying assignments of `Φ(Se)`
+    /// are partial orders that may not extend to a valid completion, and
+    /// literals can hold in every valid completion without being implied by
+    /// `Φ(Se)` (Lemmas 5/6 break on corner cases — see
+    /// `encoding_gaps::paper_encoding_misses_disjunctive_facts` and
+    /// DESIGN.md §4). With totality the models of `Φ(Se)` are exactly the
+    /// value-level completions. Default `true`; set `false` for the
+    /// paper-faithful ablation.
+    pub totality: bool,
+}
+
+impl Default for EncodeOptions {
+    fn default() -> Self {
+        EncodeOptions { full_transitivity: true, totality: true }
+    }
+}
+
+impl EncodeOptions {
+    /// The encoding exactly as described in Section V-A of the paper
+    /// (no totality clauses).
+    pub fn paper_faithful() -> Self {
+        EncodeOptions { full_transitivity: true, totality: false }
+    }
+}
+
+/// A value-order literal `(attr, lo, hi)` read as `lo ≺v_attr hi`, plus a
+/// sign for deduced results.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ValuePair {
+    /// The attribute whose order is constrained.
+    pub attr: AttrId,
+    /// The less-current value.
+    pub lo: ValueId,
+    /// The more-current value.
+    pub hi: ValueId,
+}

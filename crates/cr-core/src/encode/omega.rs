@@ -1,0 +1,463 @@
+//! `Instantiation(Se)`: from a specification to instance constraints Ω(Se).
+
+use std::collections::HashMap;
+
+use cr_constraints::Predicate;
+use cr_types::{AttrValueSpace, TupleId, Value, ValueId};
+
+use crate::spec::Specification;
+
+/// A strict value-order atom `lo ≺v_attr hi` (distinct interned values of
+/// one attribute).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct OrderAtom {
+    /// Attribute whose order is referenced.
+    pub attr: cr_types::AttrId,
+    /// Less-current value.
+    pub lo: ValueId,
+    /// More-current value.
+    pub hi: ValueId,
+}
+
+/// Right-hand side of an instance constraint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Conclusion {
+    /// The premise implies this order atom.
+    Atom(OrderAtom),
+    /// The premise is contradictory (e.g. a CFD forcing a value outside the
+    /// active domain): at least one premise atom must be false.
+    False,
+}
+
+/// Where an instance constraint came from — used by `TrueDer` to derive
+/// rules only from currency orders and constraints (plus CFDs, handled
+/// separately).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Origin {
+    /// A pair of the base partial currency order of `It`.
+    BaseOrder,
+    /// Null-bottom axiom (`null ≺v a`).
+    NullBottom,
+    /// Instantiated from `sigma[i]` on a tuple-projection pair.
+    Currency(usize),
+    /// Instantiated from `gamma[i]`.
+    Cfd(usize),
+}
+
+/// One instance constraint `premise → conclusion` of Ω(Se). An empty premise
+/// denotes `true →` (a unit).
+#[derive(Clone, PartialEq, Debug)]
+pub struct InstanceConstraint {
+    /// Conjunction of value-order atoms.
+    pub premise: Vec<OrderAtom>,
+    /// Implied atom or `False`.
+    pub conclusion: Conclusion,
+    /// Provenance.
+    pub origin: Origin,
+}
+
+/// Output of instantiation: the interned value spaces plus Ω(Se).
+pub(crate) struct Instantiated {
+    pub space: AttrValueSpace,
+    pub omega: Vec<InstanceConstraint>,
+}
+
+/// Runs `Instantiation(Se)` (Section V-A).
+pub(crate) fn instantiate(spec: &Specification) -> Instantiated {
+    let schema = spec.schema();
+    let entity = spec.entity();
+    let mut space = AttrValueSpace::new(schema.arity());
+
+    // 1. Value spaces: active domain (canonical order) plus null if present.
+    for attr in schema.attr_ids() {
+        for v in entity.active_domain(attr) {
+            space.intern(attr, &v);
+        }
+        if entity.tuples().iter().any(|t| t.get(attr).is_null()) {
+            space.intern(attr, &Value::Null);
+        }
+    }
+
+    let mut omega: Vec<InstanceConstraint> = Vec::new();
+
+    // 2. Null-bottom axioms: null ≺v a for every non-null a.
+    for attr in schema.attr_ids() {
+        if let Some(null_id) = space.get(attr, &Value::Null) {
+            for (vid, v) in space.attr(attr).iter() {
+                if !v.is_null() {
+                    omega.push(InstanceConstraint {
+                        premise: Vec::new(),
+                        conclusion: Conclusion::Atom(OrderAtom { attr, lo: null_id, hi: vid }),
+                        origin: Origin::NullBottom,
+                    });
+                }
+            }
+        }
+    }
+
+    // 3. Base currency orders: (true → t1[Ai] ≺v t2[Ai]) for t1 ≺_Ai t2 with
+    //    differing values.
+    for attr in schema.attr_ids() {
+        for (t1, t2) in spec.orders().pairs(attr) {
+            let v1 = entity.tuple(t1).get(attr);
+            let v2 = entity.tuple(t2).get(attr);
+            if v1 == v2 || v1.is_null() || v2.is_null() {
+                // Equal values are the reflexive part of ⪯; null-side pairs
+                // carry no strict information (missing is ranked lowest).
+                continue;
+            }
+            let lo = space.get(attr, v1).expect("base-order value interned");
+            let hi = space.get(attr, v2).expect("base-order value interned");
+            omega.push(InstanceConstraint {
+                premise: Vec::new(),
+                conclusion: Conclusion::Atom(OrderAtom { attr, lo, hi }),
+                origin: Origin::BaseOrder,
+            });
+        }
+    }
+
+    // 4. Currency constraints, instantiated over distinct *projections*.
+    //
+    // Every predicate of ω references only the values of t1/t2 on the
+    // constraint's attributes, so tuples sharing a projection on those
+    // attributes produce identical instance constraints. Grouping tuples by
+    // projection turns the paper's O(|Σ||It|²) instantiation into
+    // O(Σ_ϕ #proj²) — the worst case is unchanged, but real entity
+    // instances have few distinct projections (many near-duplicate tuples).
+    for (ci, constraint) in spec.sigma().iter().enumerate() {
+        // Referenced attributes: premise attrs + conclusion.
+        let mut attrs: Vec<cr_types::AttrId> = constraint
+            .premises()
+            .iter()
+            .map(|p| p.attr())
+            .chain(std::iter::once(constraint.conclusion_attr()))
+            .collect();
+        attrs.sort_unstable();
+        attrs.dedup();
+
+        // Distinct projections with a representative tuple. Sorted so Ω(Se)
+        // is deterministic (rule derivation is order sensitive).
+        let mut reps: Vec<TupleId> = {
+            let mut map: HashMap<Vec<Value>, TupleId> = HashMap::new();
+            for (tid, tuple) in entity.iter() {
+                let key: Vec<Value> = attrs.iter().map(|&a| tuple.get(a).clone()).collect();
+                map.entry(key).or_insert(tid);
+            }
+            map.into_values().collect()
+        };
+        reps.sort_unstable();
+
+        for &r1 in &reps {
+            'pair: for &r2 in &reps {
+                if r1 == r2 {
+                    continue;
+                }
+                let t1 = entity.tuple(r1);
+                let t2 = entity.tuple(r2);
+                // Data half of ins(ω, s1, s2): comparison conjuncts.
+                let mut premise: Vec<OrderAtom> = Vec::new();
+                for p in constraint.premises() {
+                    match p {
+                        Predicate::Order { attr } => {
+                            let v1 = t1.get(*attr);
+                            let v2 = t2.get(*attr);
+                            if v1 == v2 || v1.is_null() || v2.is_null() {
+                                // Equal values satisfy only ⪯, and a premise
+                                // instantiated on *missing* data is vacuous:
+                                // were "null ≺ a" premises counted true, the
+                                // user-input tuple `to` (null everywhere but
+                                // the answered attributes) would fire rules
+                                // like ϕ8 and claim the user's answers are
+                                // stale. See DESIGN.md §4.
+                                continue 'pair;
+                            }
+                            let lo = space.get(*attr, v1).expect("interned");
+                            let hi = space.get(*attr, v2).expect("interned");
+                            premise.push(OrderAtom { attr: *attr, lo, hi });
+                        }
+                        other => {
+                            if !other.eval_comparison(t1, t2).expect("comparison predicate") {
+                                continue 'pair;
+                            }
+                        }
+                    }
+                }
+                // Conclusion t1 ≺_Ar t2 on values. Equal values satisfy it
+                // vacuously; a null on either side carries no strict
+                // obligation (the user-input tuple `to` of Section III has
+                // nulls on every unanswered attribute, and must not force
+                // "value ≺ null").
+                let ar = constraint.conclusion_attr();
+                let w1 = t1.get(ar);
+                let w2 = t2.get(ar);
+                if w1 == w2 || w1.is_null() || w2.is_null() {
+                    continue;
+                }
+                let lo = space.get(ar, w1).expect("interned");
+                let hi = space.get(ar, w2).expect("interned");
+                premise.sort_unstable_by_key(|a| (a.attr, a.lo, a.hi));
+                premise.dedup();
+                omega.push(InstanceConstraint {
+                    premise,
+                    conclusion: Conclusion::Atom(OrderAtom { attr: ar, lo, hi }),
+                    origin: Origin::Currency(ci),
+                });
+            }
+        }
+    }
+
+    // 5. Constant CFDs.
+    'cfd: for (gi, cfd) in spec.gamma().iter().enumerate() {
+        // ωX: every other value of each LHS attribute sits below the pattern
+        // constant. If a pattern constant is not in the active domain the
+        // CFD can never fire.
+        let mut premise: Vec<OrderAtom> = Vec::new();
+        for (attr, c) in cfd.lhs() {
+            let Some(cid) = space.get(*attr, c) else {
+                continue 'cfd;
+            };
+            for (vid, v) in space.attr(*attr).iter() {
+                if vid != cid && !v.is_null() {
+                    premise.push(OrderAtom { attr: *attr, lo: vid, hi: cid });
+                }
+            }
+        }
+        let (battr, bval) = cfd.rhs();
+        match space.get(*battr, bval) {
+            Some(bid) => {
+                for (vid, v) in space.attr(*battr).iter() {
+                    if vid != bid && !v.is_null() {
+                        omega.push(InstanceConstraint {
+                            premise: premise.clone(),
+                            conclusion: Conclusion::Atom(OrderAtom {
+                                attr: *battr,
+                                lo: vid,
+                                hi: bid,
+                            }),
+                            origin: Origin::Cfd(gi),
+                        });
+                    }
+                }
+            }
+            None => {
+                // The pattern's B-value cannot be the current one: premise
+                // must fail. (With an empty premise the spec is invalid.)
+                omega.push(InstanceConstraint {
+                    premise: premise.clone(),
+                    conclusion: Conclusion::False,
+                    origin: Origin::Cfd(gi),
+                });
+            }
+        }
+    }
+
+    Instantiated { space, omega }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orders::PartialOrders;
+    use cr_constraints::parser::{parse_cfds, parse_currency_constraint};
+    use cr_types::{EntityInstance, Schema, Tuple, TupleId};
+
+    fn edith_like() -> Specification {
+        let s = Schema::new("p", ["status", "job", "kids"]).unwrap();
+        let e = EntityInstance::new(
+            s.clone(),
+            vec![
+                Tuple::of([Value::str("working"), Value::str("nurse"), Value::int(0)]),
+                Tuple::of([Value::str("retired"), Value::str("n/a"), Value::int(3)]),
+                Tuple::of([Value::str("deceased"), Value::str("n/a"), Value::Null]),
+            ],
+        )
+        .unwrap();
+        let sigma = vec![
+            parse_currency_constraint(
+                &s,
+                r#"t1[status] = "working" && t2[status] = "retired" -> t1 <[status] t2"#,
+            )
+            .unwrap(),
+            parse_currency_constraint(&s, "t1 <[status] t2 -> t1 <[job] t2").unwrap(),
+            parse_currency_constraint(&s, "t1[kids] < t2[kids] -> t1 <[kids] t2").unwrap(),
+        ];
+        Specification::without_orders(e, sigma, vec![])
+    }
+
+    #[test]
+    fn null_becomes_strict_bottom() {
+        let spec = edith_like();
+        let inst = instantiate(&spec);
+        let kids = spec.schema().attr_id("kids").unwrap();
+        let nulls: Vec<_> = inst
+            .omega
+            .iter()
+            .filter(|c| c.origin == Origin::NullBottom)
+            .collect();
+        // kids has null + {0, 3}: two bottom units.
+        assert_eq!(nulls.len(), 2);
+        assert!(nulls.iter().all(|c| c.premise.is_empty()));
+        assert!(nulls.iter().all(|c| match c.conclusion {
+            Conclusion::Atom(a) => a.attr == kids,
+            Conclusion::False => false,
+        }));
+    }
+
+    #[test]
+    fn comparison_premises_prefilter_pairs() {
+        let spec = edith_like();
+        let inst = instantiate(&spec);
+        // phi1 applies only to the (working, retired) ordered pair: exactly
+        // one instance with empty premise concluding working ≺ retired.
+        let status = spec.schema().attr_id("status").unwrap();
+        let phi1: Vec<_> = inst
+            .omega
+            .iter()
+            .filter(|c| c.origin == Origin::Currency(0))
+            .collect();
+        assert_eq!(phi1.len(), 1);
+        assert!(phi1[0].premise.is_empty());
+        match phi1[0].conclusion {
+            Conclusion::Atom(a) => {
+                assert_eq!(a.attr, status);
+                assert_eq!(inst.space.value(status, a.lo), &Value::str("working"));
+                assert_eq!(inst.space.value(status, a.hi), &Value::str("retired"));
+            }
+            Conclusion::False => panic!(),
+        }
+    }
+
+    #[test]
+    fn equal_value_conclusions_are_skipped() {
+        let spec = edith_like();
+        let inst = instantiate(&spec);
+        // phi5 = order premise on status, conclusion job. The pair
+        // (retired, deceased) has equal jobs (n/a) → skipped; pairs touching
+        // "working" (job nurse) survive.
+        let phi5: Vec<_> = inst
+            .omega
+            .iter()
+            .filter(|c| c.origin == Origin::Currency(1))
+            .collect();
+        // Projections on (status, job): 3 distinct; ordered pairs 6; the two
+        // (r2, r3)-style pairs with equal jobs are dropped → 4.
+        assert_eq!(phi5.len(), 4);
+        assert!(phi5.iter().all(|c| c.premise.len() == 1));
+    }
+
+    #[test]
+    fn null_comparison_fires_phi4() {
+        let spec = edith_like();
+        let inst = instantiate(&spec);
+        let kids = spec.schema().attr_id("kids").unwrap();
+        // phi4 with null < k semantics: the pairs (null,0) and (null,3) fire
+        // but their conclusions `null ≺ k` are already the null-bottom
+        // axioms (skipped); only (0,3) yields an instance constraint.
+        let phi4: Vec<_> = inst
+            .omega
+            .iter()
+            .filter(|c| c.origin == Origin::Currency(2))
+            .collect();
+        assert_eq!(phi4.len(), 1);
+        match phi4[0].conclusion {
+            Conclusion::Atom(a) => {
+                assert_eq!(a.attr, kids);
+                assert_eq!(inst.space.value(kids, a.lo), &Value::int(0));
+                assert_eq!(inst.space.value(kids, a.hi), &Value::int(3));
+            }
+            Conclusion::False => panic!(),
+        }
+        // The null-bottom axioms cover the null pairs.
+        let bottoms = inst
+            .omega
+            .iter()
+            .filter(|c| c.origin == Origin::NullBottom)
+            .filter(|c| matches!(c.conclusion, Conclusion::Atom(a) if a.attr == kids))
+            .count();
+        assert_eq!(bottoms, 2);
+    }
+
+    #[test]
+    fn base_orders_become_units() {
+        let s = Schema::new("p", ["a"]).unwrap();
+        let e = EntityInstance::new(
+            s,
+            vec![Tuple::of([Value::int(1)]), Tuple::of([Value::int(2)])],
+        )
+        .unwrap();
+        let mut orders = PartialOrders::empty(1);
+        orders.add(cr_types::AttrId(0), TupleId(0), TupleId(1));
+        let spec = Specification::new(e, orders, vec![], vec![]);
+        let inst = instantiate(&spec);
+        let base: Vec<_> = inst
+            .omega
+            .iter()
+            .filter(|c| c.origin == Origin::BaseOrder)
+            .collect();
+        assert_eq!(base.len(), 1);
+        assert!(base[0].premise.is_empty());
+    }
+
+    #[test]
+    fn cfd_with_missing_lhs_constant_is_vacuous() {
+        let s = Schema::new("p", ["AC", "city"]).unwrap();
+        let e = EntityInstance::new(
+            s.clone(),
+            vec![Tuple::of([Value::int(212), Value::str("NY")])],
+        )
+        .unwrap();
+        let gamma = parse_cfds(&s, "AC = 999 -> city = \"LA\"").unwrap();
+        let spec = Specification::without_orders(e, vec![], gamma);
+        let inst = instantiate(&spec);
+        assert!(inst.omega.iter().all(|c| c.origin != Origin::Cfd(0)));
+    }
+
+    #[test]
+    fn cfd_with_missing_rhs_constant_forces_negated_premise() {
+        let s = Schema::new("p", ["AC", "city"]).unwrap();
+        let e = EntityInstance::new(
+            s.clone(),
+            vec![
+                Tuple::of([Value::int(212), Value::str("NY")]),
+                Tuple::of([Value::int(213), Value::str("NY")]),
+            ],
+        )
+        .unwrap();
+        let gamma = parse_cfds(&s, "AC = 213 -> city = \"LA\"").unwrap();
+        let spec = Specification::without_orders(e, vec![], gamma);
+        let inst = instantiate(&spec);
+        let cfd: Vec<_> = inst
+            .omega
+            .iter()
+            .filter(|c| c.origin == Origin::Cfd(0))
+            .collect();
+        assert_eq!(cfd.len(), 1);
+        assert_eq!(cfd[0].conclusion, Conclusion::False);
+        assert_eq!(cfd[0].premise.len(), 1); // 212 ≺ 213
+    }
+
+    #[test]
+    fn cfd_in_domain_emits_domination_clauses() {
+        let s = Schema::new("p", ["AC", "city"]).unwrap();
+        let e = EntityInstance::new(
+            s.clone(),
+            vec![
+                Tuple::of([Value::int(212), Value::str("NY")]),
+                Tuple::of([Value::int(213), Value::str("LA")]),
+                Tuple::of([Value::int(415), Value::str("SFC")]),
+            ],
+        )
+        .unwrap();
+        let gamma = parse_cfds(&s, "AC = 213 -> city = \"LA\"").unwrap();
+        let spec = Specification::without_orders(e, vec![], gamma);
+        let inst = instantiate(&spec);
+        let cfd: Vec<_> = inst
+            .omega
+            .iter()
+            .filter(|c| c.origin == Origin::Cfd(0))
+            .collect();
+        // Two non-LA cities, each must sit below LA when AC=213 tops.
+        assert_eq!(cfd.len(), 2);
+        assert!(cfd.iter().all(|c| c.premise.len() == 2)); // 212≺213, 415≺213
+    }
+}

@@ -1,0 +1,485 @@
+//! The interactive conflict-resolution framework (Fig. 4).
+//!
+//! Each round: (1) validity checking, (2) true-value deducing, (3) check
+//! whether `T(Se ⊕ Ot)` exists, (4) otherwise generate a suggestion, obtain
+//! user input and extend the specification. The user is abstracted behind
+//! [`UserOracle`]; experiments plug in [`GroundTruthOracle`] (the paper
+//! "simulated user interactions by providing true values for suggested
+//! attributes, some with new values").
+
+use std::time::{Duration, Instant};
+
+use cr_types::{Schema, Tuple};
+
+use crate::deduce::{deduce_order, naive_deduce, DeducedOrders};
+use crate::encode::{EncodeOptions, EncodedSpec};
+use crate::spec::{Specification, UserInput};
+use crate::suggest::{suggest, Suggestion};
+use crate::truevalue::{true_values_from_orders, TrueValues};
+
+/// How implied orders are deduced in step (2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DeductionMethod {
+    /// `DeduceOrder` — unit propagation (fast, sound, incomplete).
+    #[default]
+    UnitPropagation,
+    /// `NaiveDeduce` — complete via per-variable SAT probes.
+    NaiveSat,
+}
+
+/// Configuration of the resolution loop.
+#[derive(Clone, Copy, Debug)]
+pub struct ResolutionConfig {
+    /// Maximum user-interaction rounds before settling with partial values.
+    pub max_rounds: usize,
+    /// Deduction algorithm.
+    pub deduction: DeductionMethod,
+    /// CNF generation options.
+    pub encode: EncodeOptions,
+}
+
+impl Default for ResolutionConfig {
+    fn default() -> Self {
+        ResolutionConfig {
+            max_rounds: 10,
+            deduction: DeductionMethod::UnitPropagation,
+            encode: EncodeOptions::default(),
+        }
+    }
+}
+
+/// Per-round measurements (the breakdown plotted in Fig. 8(c)/(d)).
+#[derive(Clone, Debug)]
+pub struct RoundReport {
+    /// Round number (0 = before any interaction).
+    pub round: usize,
+    /// Time spent in validity checking (encode + SAT).
+    pub validity: Duration,
+    /// Time spent deducing orders and true values.
+    pub deduce: Duration,
+    /// Time spent generating the suggestion (zero on the final round).
+    pub suggest: Duration,
+    /// Attributes with known true values after this round's deduction.
+    pub known_after_deduce: usize,
+    /// Size `|A|` of the suggestion shown to the user (0 if none needed).
+    pub suggestion_size: usize,
+    /// Attributes the user answered.
+    pub user_answers: usize,
+}
+
+/// Outcome of a resolution run.
+#[derive(Clone, Debug)]
+pub struct ResolutionOutcome {
+    /// Final per-attribute true values (possibly partial).
+    pub resolved: TrueValues,
+    /// True iff the initial specification (and every extension) was valid.
+    pub valid: bool,
+    /// True iff `T(Se ⊕ Ot)` was found for all attributes.
+    pub complete: bool,
+    /// Number of interaction rounds that involved the user.
+    pub interactions: usize,
+    /// Total attributes answered by the user across rounds.
+    pub user_values: usize,
+    /// Total size of the order extension `|Ot|` accumulated from input.
+    pub ot_size: usize,
+    /// Per-round timing/progress reports.
+    pub rounds: Vec<RoundReport>,
+}
+
+/// A source of true values for suggested attributes.
+pub trait UserOracle {
+    /// Answers (a subset of) the suggestion. Returning an empty input makes
+    /// the framework settle with the true values derived so far.
+    fn provide(&mut self, schema: &Schema, suggestion: &Suggestion) -> UserInput;
+}
+
+/// An oracle that never answers — resolution is purely automatic (the
+/// "0-interaction" configuration of the experiments).
+pub struct SilentOracle;
+
+impl UserOracle for SilentOracle {
+    fn provide(&mut self, _schema: &Schema, _suggestion: &Suggestion) -> UserInput {
+        UserInput::empty()
+    }
+}
+
+/// Answers from a ground-truth tuple, like the paper's simulated users. Can
+/// be capped to `max_attrs_per_round` to exercise multi-round interaction.
+pub struct GroundTruthOracle {
+    truth: Tuple,
+    /// Maximum attributes answered per round (`usize::MAX` = all asked).
+    pub max_attrs_per_round: usize,
+}
+
+impl GroundTruthOracle {
+    /// An oracle answering every asked attribute from `truth`.
+    pub fn new(truth: Tuple) -> Self {
+        GroundTruthOracle { truth, max_attrs_per_round: usize::MAX }
+    }
+
+    /// An oracle answering at most `cap` attributes per round.
+    pub fn with_cap(truth: Tuple, cap: usize) -> Self {
+        GroundTruthOracle { truth, max_attrs_per_round: cap }
+    }
+}
+
+impl UserOracle for GroundTruthOracle {
+    fn provide(&mut self, _schema: &Schema, suggestion: &Suggestion) -> UserInput {
+        // Answer the most *influential* attributes first: users naturally
+        // validate the values other facts hinge on (George's `status` in
+        // Example 12). Influence = number of selected derivation rules
+        // mentioning the attribute on their left-hand side.
+        let mut ranked: Vec<cr_types::AttrId> = suggestion.ask.keys().copied().collect();
+        let influence = |attr: cr_types::AttrId| {
+            suggestion
+                .rules
+                .iter()
+                .filter(|r| r.lhs.iter().any(|(a, _)| *a == attr))
+                .count()
+        };
+        ranked.sort_by_key(|&a| (std::cmp::Reverse(influence(a)), a));
+        let mut input = UserInput::empty();
+        for attr in ranked.into_iter().take(self.max_attrs_per_round) {
+            let v = self.truth.get(attr).clone();
+            if !v.is_null() {
+                input.values.insert(attr, v);
+            }
+        }
+        input
+    }
+}
+
+/// The framework driver.
+pub struct Resolver {
+    config: ResolutionConfig,
+}
+
+impl Resolver {
+    /// A resolver with the given configuration.
+    pub fn new(config: ResolutionConfig) -> Self {
+        Resolver { config }
+    }
+
+    /// A resolver with default configuration.
+    pub fn default_config() -> Self {
+        Resolver::new(ResolutionConfig::default())
+    }
+
+    /// Runs the loop of Fig. 4 on `spec` with `oracle` as the user.
+    pub fn resolve(&self, spec: &Specification, oracle: &mut dyn UserOracle) -> ResolutionOutcome {
+        let mut current = spec.clone();
+        let mut rounds = Vec::new();
+        let mut interactions = 0;
+        let mut user_values = 0;
+        let mut ot_size = 0;
+        let arity = spec.schema().arity();
+        let mut last_values = TrueValues::new(vec![None; arity]);
+
+        for round in 0..=self.config.max_rounds {
+            // (1) Validity checking.
+            let t0 = Instant::now();
+            let enc = EncodedSpec::encode_with(&current, self.config.encode);
+            let mut solver = cr_sat::Solver::from_cnf(enc.cnf());
+            let valid = solver.solve() == cr_sat::SolveResult::Sat;
+            let validity = t0.elapsed();
+            if !valid {
+                // With a trusted oracle this means the *initial* Se has
+                // conflicts; report invalid.
+                rounds.push(RoundReport {
+                    round,
+                    validity,
+                    deduce: Duration::ZERO,
+                    suggest: Duration::ZERO,
+                    known_after_deduce: 0,
+                    suggestion_size: 0,
+                    user_answers: 0,
+                });
+                return ResolutionOutcome {
+                    resolved: last_values,
+                    valid: false,
+                    complete: false,
+                    interactions,
+                    user_values,
+                    ot_size,
+                    rounds,
+                };
+            }
+
+            // (2) True value deducing.
+            let t1 = Instant::now();
+            let od: DeducedOrders = match self.config.deduction {
+                DeductionMethod::UnitPropagation => deduce_order(&enc),
+                DeductionMethod::NaiveSat => naive_deduce(&enc),
+            }
+            .expect("deduction cannot conflict on a valid specification");
+            let values = true_values_from_orders(&enc, &od);
+            let deduce = t1.elapsed();
+            last_values = values.clone();
+
+            // (3) T(Se ⊕ Ot) exists?
+            if values.complete() {
+                rounds.push(RoundReport {
+                    round,
+                    validity,
+                    deduce,
+                    suggest: Duration::ZERO,
+                    known_after_deduce: values.known_count(),
+                    suggestion_size: 0,
+                    user_answers: 0,
+                });
+                return ResolutionOutcome {
+                    resolved: values,
+                    valid: true,
+                    complete: true,
+                    interactions,
+                    user_values,
+                    ot_size,
+                    rounds,
+                };
+            }
+            if round == self.config.max_rounds {
+                rounds.push(RoundReport {
+                    round,
+                    validity,
+                    deduce,
+                    suggest: Duration::ZERO,
+                    known_after_deduce: values.known_count(),
+                    suggestion_size: 0,
+                    user_answers: 0,
+                });
+                break;
+            }
+
+            // (4) Generate a suggestion and ask the user.
+            let t2 = Instant::now();
+            let sug: Suggestion = suggest(&current, &enc, &od, &values);
+            let suggest_time = t2.elapsed();
+            let input = oracle.provide(spec.schema(), &sug);
+            rounds.push(RoundReport {
+                round,
+                validity,
+                deduce,
+                suggest: suggest_time,
+                known_after_deduce: values.known_count(),
+                suggestion_size: sug.len(),
+                user_answers: input.values.len(),
+            });
+            if input.is_empty() {
+                break; // user settles with partial true values
+            }
+            interactions += 1;
+            user_values += input.values.len();
+            let (extended, _to, added) = current.apply_user_input(&input);
+            ot_size += added;
+            current = extended;
+        }
+
+        ResolutionOutcome {
+            complete: last_values.complete(),
+            resolved: last_values,
+            valid: true,
+            interactions,
+            user_values,
+            ot_size,
+            rounds,
+        }
+    }
+}
+
+/// Convenience: resolve with the default configuration and a ground-truth
+/// oracle, returning the outcome.
+pub fn resolve_with_truth(spec: &Specification, truth: &Tuple) -> ResolutionOutcome {
+    let mut oracle = GroundTruthOracle::new(truth.clone());
+    Resolver::default_config().resolve(spec, &mut oracle)
+}
+
+/// Fraction of attributes resolved, used by the Fig. 8(e)/(i)/(m) plots.
+pub fn resolved_fraction(outcome: &ResolutionOutcome, schema: &Schema) -> f64 {
+    outcome.resolved.known_count() as f64 / schema.arity() as f64
+}
+
+/// Pretty-prints a resolved tuple (`?` for unresolved attributes).
+pub fn render_resolved(schema: &Schema, values: &TrueValues) -> String {
+    let parts: Vec<String> = schema
+        .iter()
+        .map(|(id, a)| {
+            format!(
+                "{}: {}",
+                a.name(),
+                values
+                    .get(id)
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "?".to_string())
+            )
+        })
+        .collect();
+    format!("({})", parts.join(", "))
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_constraints::parser::{parse_cfd_file, parse_currency_file};
+    use cr_types::{EntityInstance, Schema, Value};
+
+    fn edith_spec_and_truth() -> (Specification, Tuple) {
+        let s = Schema::new(
+            "person",
+            ["name", "status", "job", "kids", "city", "AC", "zip", "county"],
+        )
+        .unwrap();
+        let e = EntityInstance::new(
+            s.clone(),
+            vec![
+                Tuple::of([
+                    Value::str("Edith"),
+                    Value::str("working"),
+                    Value::str("nurse"),
+                    Value::int(0),
+                    Value::str("NY"),
+                    Value::int(212),
+                    Value::str("10036"),
+                    Value::str("Manhattan"),
+                ]),
+                Tuple::of([
+                    Value::str("Edith"),
+                    Value::str("retired"),
+                    Value::str("n/a"),
+                    Value::int(3),
+                    Value::str("SFC"),
+                    Value::int(415),
+                    Value::str("94924"),
+                    Value::str("Dogtown"),
+                ]),
+                Tuple::of([
+                    Value::str("Edith"),
+                    Value::str("deceased"),
+                    Value::str("n/a"),
+                    Value::Null,
+                    Value::str("LA"),
+                    Value::int(213),
+                    Value::str("90058"),
+                    Value::str("Vermont"),
+                ]),
+            ],
+        )
+        .unwrap();
+        let sigma = parse_currency_file(
+            &s,
+            r#"
+            phi1: t1[status] = "working" && t2[status] = "retired" -> t1 <[status] t2
+            phi2: t1[status] = "retired" && t2[status] = "deceased" -> t1 <[status] t2
+            phi3: t1[job] = "sailor" && t2[job] = "veteran" -> t1 <[job] t2
+            phi4: t1[kids] < t2[kids] -> t1 <[kids] t2
+            phi5: t1 <[status] t2 -> t1 <[job] t2
+            phi6: t1 <[status] t2 -> t1 <[AC] t2
+            phi7: t1 <[status] t2 -> t1 <[zip] t2
+            phi8: t1 <[city] t2 && t1 <[zip] t2 -> t1 <[county] t2
+            "#,
+        )
+        .unwrap();
+        let gamma = parse_cfd_file(
+            &s,
+            r#"
+            psi1: AC = 213 -> city = "LA"
+            psi2: AC = 212 -> city = "NY"
+            "#,
+        )
+        .unwrap();
+        let truth = Tuple::of([
+            Value::str("Edith"),
+            Value::str("deceased"),
+            Value::str("n/a"),
+            Value::int(3),
+            Value::str("LA"),
+            Value::int(213),
+            Value::str("90058"),
+            Value::str("Vermont"),
+        ]);
+        (Specification::without_orders(e, sigma, gamma), truth)
+    }
+
+    /// Example 2: Edith's true tuple is derived fully automatically —
+    /// no user interaction at all.
+    #[test]
+    fn edith_resolves_with_zero_interactions() {
+        let (spec, truth) = edith_spec_and_truth();
+        let mut oracle = SilentOracle;
+        let outcome = Resolver::default_config().resolve(&spec, &mut oracle);
+        assert!(outcome.valid);
+        assert!(outcome.complete, "Edith must resolve automatically");
+        assert_eq!(outcome.interactions, 0);
+        let resolved = outcome.resolved.to_tuple().unwrap();
+        assert_eq!(resolved.values(), truth.values());
+    }
+
+    #[test]
+    fn invalid_spec_is_reported_not_panicked() {
+        let s = Schema::new("p", ["a"]).unwrap();
+        let e = EntityInstance::new(
+            s.clone(),
+            vec![Tuple::of([Value::int(1)]), Tuple::of([Value::int(2)])],
+        )
+        .unwrap();
+        let sigma = parse_currency_file(
+            &s,
+            "t1[a] = 1 && t2[a] = 2 -> t1 <[a] t2\nt1[a] = 2 && t2[a] = 1 -> t1 <[a] t2\n",
+        )
+        .unwrap();
+        let spec = Specification::without_orders(e, sigma, vec![]);
+        let outcome = Resolver::default_config().resolve(&spec, &mut SilentOracle);
+        assert!(!outcome.valid);
+        assert!(!outcome.complete);
+    }
+
+    #[test]
+    fn silent_oracle_settles_with_partial_values() {
+        let s = Schema::new("p", ["name", "city"]).unwrap();
+        let e = EntityInstance::new(
+            s,
+            vec![
+                Tuple::of([Value::str("X"), Value::str("NY")]),
+                Tuple::of([Value::str("X"), Value::str("LA")]),
+            ],
+        )
+        .unwrap();
+        let spec = Specification::without_orders(e, vec![], vec![]);
+        let outcome = Resolver::default_config().resolve(&spec, &mut SilentOracle);
+        assert!(outcome.valid);
+        assert!(!outcome.complete);
+        assert_eq!(outcome.resolved.known_count(), 1); // name only
+        assert_eq!(outcome.interactions, 0);
+        assert_eq!(outcome.rounds.len(), 1);
+    }
+
+    #[test]
+    fn ground_truth_oracle_completes_ambiguous_specs() {
+        let s = Schema::new("p", ["name", "city"]).unwrap();
+        let e = EntityInstance::new(
+            s,
+            vec![
+                Tuple::of([Value::str("X"), Value::str("NY")]),
+                Tuple::of([Value::str("X"), Value::str("LA")]),
+            ],
+        )
+        .unwrap();
+        let spec = Specification::without_orders(e, vec![], vec![]);
+        let truth = Tuple::of([Value::str("X"), Value::str("LA")]);
+        let outcome = resolve_with_truth(&spec, &truth);
+        assert!(outcome.complete);
+        assert_eq!(outcome.interactions, 1);
+        assert_eq!(
+            outcome.resolved.to_tuple().unwrap().values(),
+            truth.values()
+        );
+        assert!(outcome.ot_size > 0);
+    }
+
+    #[test]
+    fn render_resolved_marks_unknowns() {
+        let s = Schema::new("p", ["a", "b"]).unwrap();
+        let values = TrueValues::new(vec![Some(Value::int(1)), None]);
+        assert_eq!(render_resolved(&s, &values), "(a: 1, b: ?)");
+    }
+}

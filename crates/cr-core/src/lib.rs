@@ -1,0 +1,56 @@
+//! Conflict resolution by inferring data currency and consistency.
+//!
+//! This crate implements the model, algorithms and framework of
+//! *"Inferring Data Currency and Consistency for Conflict Resolution"*
+//! (Fan, Geerts, Tang, Yu — ICDE 2013):
+//!
+//! * [`spec`] — specifications `Se = (It, Σ, Γ)`: an entity instance with
+//!   partial currency orders, currency constraints and constant CFDs
+//!   (Section II);
+//! * [`encode`] — the `Instantiation`/`ConvertToCNF` reduction of a
+//!   specification to a CNF `Φ(Se)` over value-order variables `x^A_{a1,a2}`
+//!   (Section V-A);
+//! * [`isvalid`] — `IsValid`, validity checking via the CDCL solver;
+//! * [`deduce`] — `DeduceOrder` (unit-propagation heuristic, Fig. 5) and
+//!   `NaiveDeduce` (complete, repeated SAT probes) for deriving implied
+//!   currency orders (Section V-B);
+//! * [`truevalue`] — true-value extraction from deduced orders, plus the
+//!   exact SAT-based possible-current-value analysis;
+//! * [`rules`], [`compat`], [`suggest`](mod@suggest) — `TrueDer`, compatibility graphs,
+//!   `MaxClique` + `MaxSat`-repair and suggestion generation (Section V-C);
+//! * [`framework`] — the interactive loop of Fig. 4 with pluggable user
+//!   oracles;
+//! * [`implication`] — the `Se |= Ot` decision procedure (Section IV) and
+//!   minimal-core explanations for invalid specifications;
+//! * [`pick`] — the traditional `Pick` baseline used in the evaluation;
+//! * [`metrics`] — precision / recall / F-measure accounting (Section VI);
+//! * [`bruteforce`] — a reference implementation that enumerates all
+//!   value-level completions of small specifications, used to validate the
+//!   encoder and the deduction algorithms.
+
+pub mod bruteforce;
+pub mod compat;
+pub mod deduce;
+pub mod encode;
+pub mod framework;
+pub mod implication;
+pub mod isvalid;
+pub mod metrics;
+pub mod orders;
+pub mod pick;
+pub mod rules;
+pub mod spec;
+pub mod suggest;
+pub mod truevalue;
+
+pub use deduce::{deduce_order, naive_deduce, naive_deduce_fresh, DeducedOrders};
+pub use encode::{EncodeOptions, EncodedSpec};
+pub use framework::{ResolutionConfig, ResolutionOutcome, Resolver, RoundReport};
+pub use implication::{explain_invalidity, implies, ConflictPart};
+pub use isvalid::{is_valid, Validity};
+pub use metrics::{Accuracy, FMeasure};
+pub use orders::PartialOrders;
+pub use pick::pick_baseline;
+pub use spec::{Specification, UserInput};
+pub use suggest::{suggest, Suggestion};
+pub use truevalue::{possible_current_values, true_values_from_orders, TrueValues};

@@ -1,0 +1,258 @@
+//! Specifications `Se = (It, Σ, Γ)` and their extension with user input.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use cr_constraints::{ConstantCfd, CurrencyConstraint};
+use cr_types::{AttrId, EntityInstance, Schema, Tuple, TupleId, Value};
+
+use crate::orders::PartialOrders;
+
+/// A specification of an entity (Section II-C): the temporal instance
+/// `It = (Ie, ⪯_A1, …, ⪯_An)` plus the currency constraints `Σ` and constant
+/// CFDs `Γ`.
+#[derive(Clone, Debug)]
+pub struct Specification {
+    entity: EntityInstance,
+    orders: PartialOrders,
+    sigma: Vec<CurrencyConstraint>,
+    gamma: Vec<ConstantCfd>,
+}
+
+impl Specification {
+    /// Builds a specification. The orders' arity must match the schema.
+    pub fn new(
+        entity: EntityInstance,
+        orders: PartialOrders,
+        sigma: Vec<CurrencyConstraint>,
+        gamma: Vec<ConstantCfd>,
+    ) -> Self {
+        assert_eq!(
+            orders.arity(),
+            entity.schema().arity(),
+            "order arity must match schema arity"
+        );
+        Specification { entity, orders, sigma, gamma }
+    }
+
+    /// A specification with empty currency orders (the setting of all the
+    /// paper's experiments: "we assumed empty currency orders in all the
+    /// experiments even when partial timestamps were given").
+    pub fn without_orders(
+        entity: EntityInstance,
+        sigma: Vec<CurrencyConstraint>,
+        gamma: Vec<ConstantCfd>,
+    ) -> Self {
+        let arity = entity.schema().arity();
+        Specification::new(entity, PartialOrders::empty(arity), sigma, gamma)
+    }
+
+    /// The entity instance `Ie`.
+    pub fn entity(&self) -> &EntityInstance {
+        &self.entity
+    }
+
+    /// The shared schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        self.entity.schema()
+    }
+
+    /// The partial currency orders of `It`.
+    pub fn orders(&self) -> &PartialOrders {
+        &self.orders
+    }
+
+    /// The currency constraints `Σ`.
+    pub fn sigma(&self) -> &[CurrencyConstraint] {
+        &self.sigma
+    }
+
+    /// The constant CFDs `Γ`.
+    pub fn gamma(&self) -> &[ConstantCfd] {
+        &self.gamma
+    }
+
+    /// Extends the specification with a partial temporal order `Ot`
+    /// (`Se ⊕ Ot` over the existing tuples; for user-supplied *values* see
+    /// [`Specification::apply_user_input`]).
+    #[must_use]
+    pub fn extend_with_orders(&self, ot: &PartialOrders) -> Specification {
+        let mut out = self.clone();
+        out.orders.merge(ot);
+        out
+    }
+
+    /// Applies user input per Section III Remark (1): a fresh tuple `to`
+    /// carrying the answered values (null elsewhere) is appended, ranked
+    /// strictly above every existing tuple on each non-null attribute.
+    /// Returns the extended specification, the new tuple's id and the size
+    /// `|Ot|` of the induced order extension.
+    #[must_use]
+    pub fn apply_user_input(&self, input: &UserInput) -> (Specification, TupleId, usize) {
+        let mut out = self.clone();
+        let arity = out.entity.schema().arity();
+        let mut values = vec![Value::Null; arity];
+        for (attr, v) in &input.values {
+            values[attr.index()] = v.clone();
+        }
+        let existing: Vec<TupleId> = out.entity.tuple_ids().collect();
+        let to = out
+            .entity
+            .push(Tuple::from_values(values))
+            .expect("arity checked above");
+        let mut added = 0;
+        for (attr, v) in &input.values {
+            if v.is_null() {
+                continue;
+            }
+            for t in &existing {
+                out.orders.add(*attr, *t, to);
+                added += 1;
+            }
+        }
+        (out, to, added)
+    }
+
+    /// Per-attribute sizes useful for reporting: `(|Ie|, |Σ|, |Γ|)`.
+    pub fn sizes(&self) -> (usize, usize, usize) {
+        (self.entity.len(), self.sigma.len(), self.gamma.len())
+    }
+
+    /// Returns a copy keeping only the first `frac·|Σ|` currency constraints
+    /// and `frac·|Γ|` CFDs after a seeded shuffle — the constraint
+    /// subsampling used when varying `|Σ|` and `|Γ|` in Fig. 8(f)–(p).
+    #[must_use]
+    pub fn with_constraint_fraction(
+        &self,
+        sigma_frac: f64,
+        gamma_frac: f64,
+        seed: u64,
+    ) -> Specification {
+        let mut out = self.clone();
+        out.sigma = sample(&self.sigma, sigma_frac, seed);
+        out.gamma = sample(&self.gamma, gamma_frac, seed.wrapping_add(1));
+        out
+    }
+}
+
+/// Deterministic subsample of `frac·len` items using a SplitMix64 shuffle.
+fn sample<T: Clone>(items: &[T], frac: f64, seed: u64) -> Vec<T> {
+    let keep = ((items.len() as f64) * frac.clamp(0.0, 1.0)).round() as usize;
+    if keep >= items.len() {
+        return items.to_vec();
+    }
+    let mut idx: Vec<usize> = (0..items.len()).collect();
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    // Fisher–Yates.
+    for i in (1..idx.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        idx.swap(i, j);
+    }
+    idx.truncate(keep);
+    idx.sort_unstable();
+    idx.into_iter().map(|i| items[i].clone()).collect()
+}
+
+/// True values supplied by a user for a subset of attributes (the `V` of
+/// Section III). Values may be outside the active domain ("new values").
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct UserInput {
+    /// Attribute → asserted most-current value.
+    pub values: BTreeMap<AttrId, Value>,
+}
+
+impl UserInput {
+    /// Empty input (the user declined to answer).
+    pub fn empty() -> Self {
+        UserInput::default()
+    }
+
+    /// Input with one answered attribute.
+    pub fn single(attr: AttrId, value: Value) -> Self {
+        let mut values = BTreeMap::new();
+        values.insert(attr, value);
+        UserInput { values }
+    }
+
+    /// True iff the user answered nothing.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_types::{Schema, Tuple};
+
+    fn spec() -> Specification {
+        let s = Schema::new("r", ["a", "b"]).unwrap();
+        let e = EntityInstance::new(
+            s,
+            vec![
+                Tuple::of([Value::int(1), Value::str("x")]),
+                Tuple::of([Value::int(2), Value::str("y")]),
+            ],
+        )
+        .unwrap();
+        Specification::without_orders(e, vec![], vec![])
+    }
+
+    #[test]
+    fn user_input_appends_ranked_tuple() {
+        let sp = spec();
+        let input = UserInput::single(AttrId(1), Value::str("z"));
+        let (ext, to, added) = sp.apply_user_input(&input);
+        assert_eq!(ext.entity().len(), 3);
+        assert_eq!(to, TupleId(2));
+        assert_eq!(added, 2); // above both existing tuples on attr b
+        assert!(ext.entity().tuple(to).get(AttrId(0)).is_null());
+        assert_eq!(ext.entity().tuple(to).get(AttrId(1)), &Value::str("z"));
+        assert_eq!(ext.orders().size(), 2);
+        // Original untouched.
+        assert_eq!(sp.entity().len(), 2);
+    }
+
+    #[test]
+    fn extend_with_orders_merges() {
+        let sp = spec();
+        let mut ot = PartialOrders::empty(2);
+        ot.add(AttrId(0), TupleId(0), TupleId(1));
+        let ext = sp.extend_with_orders(&ot);
+        assert_eq!(ext.orders().size(), 1);
+        assert_eq!(sp.orders().size(), 0);
+    }
+
+    #[test]
+    fn constraint_sampling_is_deterministic_and_sized() {
+        let s = Schema::new("r", ["a", "b"]).unwrap();
+        let e = EntityInstance::new(s.clone(), vec![Tuple::of([Value::int(1), Value::int(2)])])
+            .unwrap();
+        let sigma: Vec<_> = (0..10)
+            .map(|i| {
+                cr_constraints::CurrencyConstraintBuilder::new(&s, "a")
+                    .unwrap()
+                    .t1_cmp_const("a", cr_constraints::CompOp::Eq, i as i64)
+                    .unwrap()
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let sp = Specification::without_orders(e, sigma, vec![]);
+        let half = sp.with_constraint_fraction(0.5, 1.0, 7);
+        assert_eq!(half.sigma().len(), 5);
+        let again = sp.with_constraint_fraction(0.5, 1.0, 7);
+        let names: Vec<_> = half.sigma().iter().map(|c| c.to_string()).collect();
+        let names2: Vec<_> = again.sigma().iter().map(|c| c.to_string()).collect();
+        assert_eq!(names, names2);
+        let full = sp.with_constraint_fraction(1.0, 1.0, 7);
+        assert_eq!(full.sigma().len(), 10);
+    }
+}

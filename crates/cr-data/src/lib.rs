@@ -1,0 +1,122 @@
+//! Dataset substrate for the experimental study (Section VI).
+//!
+//! Provides the paper's running example as an exact fixture ([`vjday`]) and
+//! three generators emulating the evaluation datasets:
+//!
+//! * [`person`] — the synthetic Person data, implemented as the paper
+//!   describes (generate a true tuple, then a conflicting-but-consistent
+//!   history; the entity instance is `E \ {tc}`);
+//! * [`nba`] — a simulated NBA player-statistics dataset matching the
+//!   published shape statistics (760 entities, 2–136 tuples each, 54
+//!   currency constraints, 58 constant CFDs of the documented forms);
+//! * [`career`] — a simulated CAREER/citeseer dataset (65 entities, 2–175
+//!   tuples, citation-derived currency constraints, an
+//!   `affiliation → city, country` CFD with ~347 patterns).
+//!
+//! The real NBA and CAREER scrapes are not redistributable/available
+//! offline; DESIGN.md §3 documents why these generators preserve the
+//! behaviour the experiments measure.
+
+pub mod career;
+pub mod gen_util;
+pub mod nba;
+pub mod person;
+pub mod vjday;
+
+use std::sync::Arc;
+
+use cr_constraints::{ConstantCfd, CurrencyConstraint};
+use cr_core::Specification;
+use cr_types::{EntityInstance, Schema, Tuple};
+
+/// A dataset: shared schema and constraints plus per-entity instances with
+/// their ground-truth current tuples.
+pub struct Dataset {
+    /// Dataset name (for reports).
+    pub name: String,
+    /// The relation schema.
+    pub schema: Arc<Schema>,
+    /// Currency constraints `Σ` shared by all entities.
+    pub sigma: Vec<CurrencyConstraint>,
+    /// Constant CFDs `Γ` shared by all entities.
+    pub gamma: Vec<ConstantCfd>,
+    /// `(entity instance, ground-truth tuple)` pairs.
+    pub entities: Vec<(EntityInstance, Tuple)>,
+}
+
+impl Dataset {
+    /// Builds the specification (with empty currency orders, as in all the
+    /// paper's experiments) for entity `i`.
+    pub fn spec(&self, i: usize) -> Specification {
+        Specification::without_orders(
+            self.entities[i].0.clone(),
+            self.sigma.clone(),
+            self.gamma.clone(),
+        )
+    }
+
+    /// The ground truth of entity `i`.
+    pub fn truth(&self, i: usize) -> &Tuple {
+        &self.entities[i].1
+    }
+
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// True iff the dataset has no entities.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Summary statistics: `(entities, min/avg/max instance size, |Σ|, |Γ|)`.
+    pub fn stats(&self) -> DatasetStats {
+        let sizes: Vec<usize> = self.entities.iter().map(|(e, _)| e.len()).collect();
+        let total: usize = sizes.iter().sum();
+        DatasetStats {
+            entities: self.entities.len(),
+            min_tuples: sizes.iter().copied().min().unwrap_or(0),
+            avg_tuples: if sizes.is_empty() { 0.0 } else { total as f64 / sizes.len() as f64 },
+            max_tuples: sizes.iter().copied().max().unwrap_or(0),
+            total_tuples: total,
+            sigma: self.sigma.len(),
+            gamma: self.gamma.len(),
+        }
+    }
+}
+
+/// Shape statistics of a dataset (compared against the paper's in tests).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// Number of entities.
+    pub entities: usize,
+    /// Smallest entity instance.
+    pub min_tuples: usize,
+    /// Mean entity instance size.
+    pub avg_tuples: f64,
+    /// Largest entity instance.
+    pub max_tuples: usize,
+    /// Total tuples across entities.
+    pub total_tuples: usize,
+    /// Currency constraint count.
+    pub sigma: usize,
+    /// Constant CFD count.
+    pub gamma: usize,
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} entities, {} tuples ({}..{} per entity, avg {:.1}), |Sigma|={}, |Gamma|={}",
+            self.entities,
+            self.total_tuples,
+            self.min_tuples,
+            self.max_tuples,
+            self.avg_tuples,
+            self.sigma,
+            self.gamma
+        )
+    }
+}

@@ -1,0 +1,118 @@
+//! Partial MaxSAT: maximise the weight of satisfied *soft* clauses subject
+//! to all *hard* clauses holding.
+//!
+//! The paper's `GetSug` procedure (Section V-C) uses a MaxSAT solver \[24\]
+//! (WalkSAT) to find a maximum subset of clique-selected derivation rules
+//! that has no conflicts with the specification `Se`. This crate supplies:
+//!
+//! * [`walksat`] — a WalkSAT/SKC-style stochastic local search that treats
+//!   hard clauses as infinitely heavy and tracks the best *feasible*
+//!   assignment seen, and
+//! * [`exact`] — a complete solver for unit-weight instances that wraps the
+//!   CDCL solver from `cr-sat` with a sequential-counter cardinality
+//!   encoding, searching downward on the number of satisfied soft clauses.
+//!
+//! [`solve`] picks exact for small instances and local search otherwise.
+
+pub mod exact;
+pub mod instance;
+pub mod walksat;
+
+pub use instance::{MaxSatInstance, MaxSatResult};
+
+/// Strategy selection for [`solve`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaxSatStrategy {
+    /// Complete search (unit weights only).
+    Exact,
+    /// WalkSAT local search with the given flip budget.
+    LocalSearch {
+        /// Maximum variable flips.
+        max_flips: u64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Exact when `soft count ≤ exact_threshold` and weights are unit,
+    /// local search otherwise (default).
+    Auto {
+        /// Largest soft-clause count still solved exactly.
+        exact_threshold: usize,
+    },
+}
+
+impl Default for MaxSatStrategy {
+    fn default() -> Self {
+        MaxSatStrategy::Auto { exact_threshold: 96 }
+    }
+}
+
+/// Solves a partial MaxSAT instance. Returns `None` when the hard clauses
+/// alone are unsatisfiable.
+pub fn solve(instance: &MaxSatInstance, strategy: MaxSatStrategy) -> Option<MaxSatResult> {
+    match strategy {
+        MaxSatStrategy::Exact => exact::solve_exact(instance),
+        MaxSatStrategy::LocalSearch { max_flips, seed } => {
+            walksat::solve_walksat(instance, max_flips, seed)
+        }
+        MaxSatStrategy::Auto { exact_threshold } => {
+            if instance.soft_len() <= exact_threshold && instance.has_unit_weights() {
+                exact::solve_exact(instance)
+            } else {
+                walksat::solve_walksat(instance, 200_000, 0x5EED)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_sat::Var;
+
+    /// Hard: x0 ⊕ x1 (as CNF); soft: x0, x1, ¬x0. Optimum satisfies 2 of 3.
+    fn small_instance() -> MaxSatInstance {
+        let mut inst = MaxSatInstance::new(2);
+        inst.add_hard([Var(0).positive(), Var(1).positive()]);
+        inst.add_hard([Var(0).negative(), Var(1).negative()]);
+        inst.add_soft([Var(0).positive()], 1);
+        inst.add_soft([Var(1).positive()], 1);
+        inst.add_soft([Var(0).negative()], 1);
+        inst
+    }
+
+    #[test]
+    fn auto_exact_and_walksat_agree_on_optimum() {
+        let inst = small_instance();
+        for strat in [
+            MaxSatStrategy::Exact,
+            MaxSatStrategy::LocalSearch { max_flips: 10_000, seed: 1 },
+            MaxSatStrategy::default(),
+        ] {
+            let res = solve(&inst, strat).expect("hard clauses satisfiable");
+            assert_eq!(res.total_weight, 2, "{strat:?}");
+            assert!(inst.hard_satisfied(&res.assignment));
+        }
+    }
+
+    #[test]
+    fn infeasible_hard_clauses_return_none() {
+        let mut inst = MaxSatInstance::new(1);
+        inst.add_hard([Var(0).positive()]);
+        inst.add_hard([Var(0).negative()]);
+        inst.add_soft([Var(0).positive()], 1);
+        assert!(solve(&inst, MaxSatStrategy::default()).is_none());
+        assert!(solve(&inst, MaxSatStrategy::Exact).is_none());
+        assert!(
+            solve(&inst, MaxSatStrategy::LocalSearch { max_flips: 1000, seed: 3 }).is_none()
+        );
+    }
+
+    #[test]
+    fn no_soft_clauses_is_plain_sat() {
+        let mut inst = MaxSatInstance::new(1);
+        inst.add_hard([Var(0).positive()]);
+        let res = solve(&inst, MaxSatStrategy::default()).unwrap();
+        assert_eq!(res.total_weight, 0);
+        assert!(res.assignment[0]);
+    }
+}

@@ -1,0 +1,147 @@
+//! CNF formula builder.
+
+use crate::lit::{Lit, Var};
+
+/// A CNF formula under construction: a variable counter plus a clause list.
+///
+/// `Cnf` is the interchange format between the encoder (`cr-core`), the CDCL
+/// [`crate::Solver`], the root-level [`crate::UnitPropagator`] and the MaxSAT
+/// solvers. Clauses are stored exactly as added; normalisation (duplicate and
+/// tautology removal) happens when a solver ingests the formula.
+#[derive(Clone, Default, Debug)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// An empty formula.
+    pub fn new() -> Self {
+        Cnf::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Ensures at least `n` variables exist.
+    pub fn ensure_vars(&mut self, n: u32) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Total number of literal occurrences (the `|Φ(Se)|` size measure used
+    /// in the paper's complexity analysis).
+    pub fn num_literals(&self) -> usize {
+        self.clauses.iter().map(Vec::len).sum()
+    }
+
+    /// Adds a clause (a disjunction of literals). An empty clause makes the
+    /// formula trivially unsatisfiable.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        let clause: Vec<Lit> = lits.into_iter().collect();
+        for l in &clause {
+            self.ensure_vars(l.var().0 + 1);
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Adds the implication `premises → conclusion` as the clause
+    /// `¬p1 ∨ … ∨ ¬pk ∨ conclusion`. This is exactly the `ConvertToCNF`
+    /// rewrite of Section V-A.
+    pub fn add_implication(&mut self, premises: &[Lit], conclusion: Lit) {
+        let mut clause: Vec<Lit> = premises.iter().map(|p| p.negate()).collect();
+        clause.push(conclusion);
+        self.add_clause(clause);
+    }
+
+    /// Adds `premises → false`, i.e. the clause `¬p1 ∨ … ∨ ¬pk`.
+    pub fn add_negated_conjunction(&mut self, premises: &[Lit]) {
+        self.add_clause(premises.iter().map(|p| p.negate()).collect::<Vec<_>>());
+    }
+
+    /// The clause list.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Evaluates the formula under a total assignment (indexed by variable).
+    /// Used by tests and by the MaxSAT local search.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| {
+            c.iter()
+                .any(|l| assignment[l.var().index()] == l.is_positive())
+        })
+    }
+
+    /// Counts clauses satisfied under a total assignment.
+    pub fn count_satisfied(&self, assignment: &[bool]) -> usize {
+        self.clauses
+            .iter()
+            .filter(|c| {
+                c.iter()
+                    .any(|l| assignment[l.var().index()] == l.is_positive())
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_allocation_and_counts() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([a.positive(), b.negative()]);
+        cnf.add_clause([b.positive()]);
+        assert_eq!(cnf.num_vars(), 2);
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(cnf.num_literals(), 3);
+    }
+
+    #[test]
+    fn add_clause_grows_vars() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([Var(9).positive()]);
+        assert_eq!(cnf.num_vars(), 10);
+    }
+
+    #[test]
+    fn implication_encoding() {
+        let mut cnf = Cnf::new();
+        let (a, b, c) = (cnf.new_var(), cnf.new_var(), cnf.new_var());
+        cnf.add_implication(&[a.positive(), b.positive()], c.positive());
+        assert_eq!(
+            cnf.clauses()[0],
+            vec![a.negative(), b.negative(), c.positive()]
+        );
+        cnf.add_negated_conjunction(&[a.positive()]);
+        assert_eq!(cnf.clauses()[1], vec![a.negative()]);
+    }
+
+    #[test]
+    fn eval_and_count() {
+        let mut cnf = Cnf::new();
+        let (a, b) = (cnf.new_var(), cnf.new_var());
+        cnf.add_clause([a.positive(), b.positive()]);
+        cnf.add_clause([a.negative()]);
+        assert!(cnf.eval(&[false, true]));
+        assert!(!cnf.eval(&[true, false]));
+        assert_eq!(cnf.count_satisfied(&[true, false]), 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! VSIDS decision heuristic: activity bookkeeping and the order heap.
+
+use super::Solver;
+use crate::lit::{LBool, Lit, Var};
+
+const RESCALE_LIMIT: f64 = 1e100;
+const RESCALE_FACTOR: f64 = 1e-100;
+
+impl Solver {
+    /// Picks the unassigned variable with the highest activity and returns
+    /// its phase-saved literal; `None` when all variables are assigned.
+    pub(crate) fn pick_branch_lit(&mut self) -> Option<Lit> {
+        loop {
+            let v = self.order.pop_max(&self.activity)?;
+            if self.assigns[v.index()] == LBool::Undef {
+                return Some(v.lit(self.polarity[v.index()]));
+            }
+        }
+    }
+
+    /// Bumps a variable's activity (it appeared in a conflict).
+    pub(crate) fn bump_var_activity(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= RESCALE_FACTOR;
+            }
+            self.var_inc *= RESCALE_FACTOR;
+        }
+        self.order.update(v, &self.activity);
+    }
+
+    /// Geometric decay of all variable activities (by inflating `var_inc`).
+    pub(crate) fn decay_var_activity(&mut self) {
+        self.var_inc /= self.var_decay;
+    }
+}
+
+/// A max-heap of variables keyed by activity, with a position index so
+/// membership tests and sift-ups after activity bumps are O(1)/O(log n).
+#[derive(Default)]
+pub(crate) struct VarOrder {
+    heap: Vec<Var>,
+    /// `pos[v] == -1` means "not in heap"; otherwise the heap slot.
+    pos: Vec<i32>,
+}
+
+impl VarOrder {
+    pub(crate) fn new() -> Self {
+        VarOrder::default()
+    }
+
+    fn ensure(&mut self, v: Var) {
+        if self.pos.len() <= v.index() {
+            self.pos.resize(v.index() + 1, -1);
+        }
+    }
+
+    pub(crate) fn contains(&self, v: Var) -> bool {
+        self.pos.get(v.index()).is_some_and(|&p| p >= 0)
+    }
+
+    /// Inserts `v` if absent.
+    pub(crate) fn insert(&mut self, v: Var, activity: &[f64]) {
+        self.ensure(v);
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.index()] = self.heap.len() as i32;
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Restores heap order after `v`'s activity increased.
+    pub(crate) fn update(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            let i = self.pos[v.index()] as usize;
+            self.sift_up(i, activity);
+        }
+    }
+
+    /// Removes and returns the most active variable.
+    pub(crate) fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top.index()] = -1;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i].index()] <= activity[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l].index()] > activity[self.heap[best].index()]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r].index()] > activity[self.heap[best].index()]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i].index()] = i as i32;
+        self.pos[self.heap[j].index()] = j as i32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_orders_by_activity() {
+        let mut order = VarOrder::new();
+        let activity = vec![1.0, 5.0, 3.0, 4.0];
+        for i in 0..4 {
+            order.insert(Var(i), &activity);
+        }
+        assert_eq!(order.pop_max(&activity), Some(Var(1)));
+        assert_eq!(order.pop_max(&activity), Some(Var(3)));
+        assert_eq!(order.pop_max(&activity), Some(Var(2)));
+        assert_eq!(order.pop_max(&activity), Some(Var(0)));
+        assert_eq!(order.pop_max(&activity), None);
+    }
+
+    #[test]
+    fn reinsert_is_idempotent() {
+        let mut order = VarOrder::new();
+        let activity = vec![1.0, 2.0];
+        order.insert(Var(0), &activity);
+        order.insert(Var(0), &activity);
+        order.insert(Var(1), &activity);
+        assert_eq!(order.len(), 2);
+        assert!(order.contains(Var(0)));
+    }
+
+    #[test]
+    fn update_after_bump_floats_to_top() {
+        let mut order = VarOrder::new();
+        let mut activity = vec![1.0, 2.0, 3.0];
+        for i in 0..3 {
+            order.insert(Var(i), &activity);
+        }
+        activity[0] = 10.0;
+        order.update(Var(0), &activity);
+        assert_eq!(order.pop_max(&activity), Some(Var(0)));
+    }
+}

@@ -1,0 +1,37 @@
+//! Solver search statistics.
+
+/// Counters accumulated across all `solve` calls of one [`crate::Solver`].
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Decisions made.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses added.
+    pub learnt_clauses: u64,
+    /// Learnt clauses deleted by DB reduction.
+    pub deleted_clauses: u64,
+    /// DB reduction rounds.
+    pub db_reductions: u64,
+    /// Literals removed by learnt-clause minimisation.
+    pub minimised_literals: u64,
+}
+
+impl std::fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "conflicts={} decisions={} propagations={} restarts={} learnt={} deleted={}",
+            self.conflicts,
+            self.decisions,
+            self.propagations,
+            self.restarts,
+            self.learnt_clauses,
+            self.deleted_clauses
+        )
+    }
+}

@@ -1,0 +1,283 @@
+//! Root-level unit propagation over a [`Cnf`].
+//!
+//! This is the engine behind the paper's `DeduceOrder` (Fig. 5): repeatedly
+//! find a one-literal clause `C`, record it, and reduce the formula by `C`
+//! and `¬C` — clauses containing `C` are removed, occurrences of `¬C` are
+//! deleted from their clauses. Every literal found this way is implied by the
+//! formula, which is what makes `DeduceOrder` sound (Lemma 6).
+//!
+//! The implementation uses occurrence lists and false-literal counters
+//! instead of physically rewriting clauses, giving the same
+//! `O(|Φ(Se)|)` total reduction cost the paper reports.
+
+use crate::cnf::Cnf;
+use crate::lit::{LBool, Lit};
+
+/// Result of running unit propagation to fixpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UpOutcome {
+    /// Fixpoint reached; `implied` lists every literal fixed by propagation,
+    /// in derivation order.
+    Fixpoint {
+        /// Implied literals in the order they were derived.
+        implied: Vec<Lit>,
+    },
+    /// Propagation derived a contradiction: the formula is unsatisfiable.
+    Conflict,
+}
+
+/// Reusable root-level unit propagation engine.
+pub struct UnitPropagator {
+    /// Deduplicated clauses; tautologies marked satisfied at ingestion.
+    clauses: Vec<Vec<Lit>>,
+    satisfied: Vec<bool>,
+    false_count: Vec<u32>,
+    /// For each literal index, the clauses containing it.
+    occurs: Vec<Vec<u32>>,
+    assign: Vec<LBool>,
+    queue: Vec<Lit>,
+    implied: Vec<Lit>,
+    conflict: bool,
+}
+
+impl UnitPropagator {
+    /// Builds a propagator over the clauses of `cnf`.
+    pub fn new(cnf: &Cnf) -> Self {
+        let num_vars = cnf.num_vars() as usize;
+        let mut up = UnitPropagator {
+            clauses: Vec::with_capacity(cnf.num_clauses()),
+            satisfied: Vec::with_capacity(cnf.num_clauses()),
+            false_count: Vec::with_capacity(cnf.num_clauses()),
+            occurs: vec![Vec::new(); num_vars * 2],
+            assign: vec![LBool::Undef; num_vars],
+            queue: Vec::new(),
+            implied: Vec::new(),
+            conflict: false,
+        };
+        for clause in cnf.clauses() {
+            up.add_clause(clause);
+        }
+        up
+    }
+
+    /// Adds one clause (used for incremental extension with user input).
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        let mut clause: Vec<Lit> = lits.to_vec();
+        clause.sort_unstable();
+        clause.dedup();
+        let tautology = clause.windows(2).any(|w| w[0] == w[1].negate());
+        let idx = self.clauses.len() as u32;
+        // Account for already-assigned literals.
+        let mut sat = tautology;
+        let mut n_false = 0;
+        for &l in &clause {
+            match self.value(l) {
+                LBool::True => sat = true,
+                LBool::False => n_false += 1,
+                LBool::Undef => {}
+            }
+        }
+        for &l in &clause {
+            self.occurs[l.index()].push(idx);
+        }
+        if clause.is_empty() {
+            self.conflict = true;
+        } else if !sat {
+            if n_false == clause.len() as u32 {
+                self.conflict = true;
+            } else if n_false == clause.len() as u32 - 1 {
+                if let Some(unit) = clause.iter().find(|&&l| self.value(l) == LBool::Undef) {
+                    self.queue.push(*unit);
+                }
+            }
+        }
+        self.clauses.push(clause);
+        self.satisfied.push(sat);
+        self.false_count.push(n_false);
+    }
+
+    fn value(&self, l: Lit) -> LBool {
+        let v = self.assign[l.var().index()];
+        if l.is_positive() {
+            v
+        } else {
+            v.negate()
+        }
+    }
+
+    /// Runs propagation to fixpoint and reports the implied literals.
+    pub fn run(&mut self) -> UpOutcome {
+        if self.conflict {
+            return UpOutcome::Conflict;
+        }
+        // Seed with pre-existing unit clauses.
+        for i in 0..self.clauses.len() {
+            if !self.satisfied[i] && self.clauses[i].len() == 1 {
+                self.queue.push(self.clauses[i][0]);
+            }
+        }
+        while let Some(lit) = self.queue.pop() {
+            match self.value(lit) {
+                LBool::True => continue,
+                LBool::False => {
+                    self.conflict = true;
+                    return UpOutcome::Conflict;
+                }
+                LBool::Undef => {}
+            }
+            self.assign[lit.var().index()] = LBool::from_bool(lit.is_positive());
+            self.implied.push(lit);
+
+            // Clauses containing `lit` become satisfied (removed).
+            let sat_list = std::mem::take(&mut self.occurs[lit.index()]);
+            for &ci in &sat_list {
+                self.satisfied[ci as usize] = true;
+            }
+            self.occurs[lit.index()] = sat_list;
+
+            // Clauses containing `¬lit` shrink by one literal.
+            let neg = lit.negate();
+            let shrink_list = std::mem::take(&mut self.occurs[neg.index()]);
+            for &ci in &shrink_list {
+                let ci = ci as usize;
+                if self.satisfied[ci] {
+                    continue;
+                }
+                self.false_count[ci] += 1;
+                let remaining = self.clauses[ci].len() as u32 - self.false_count[ci];
+                if remaining == 0 {
+                    self.conflict = true;
+                    return UpOutcome::Conflict;
+                }
+                if remaining == 1 {
+                    // Locate the lone non-false literal.
+                    let unit = self.clauses[ci]
+                        .iter()
+                        .copied()
+                        .find(|&l| self.value(l) != LBool::False)
+                        .expect("remaining == 1 guarantees a non-false literal");
+                    match self.value(unit) {
+                        LBool::True => self.satisfied[ci] = true,
+                        _ => self.queue.push(unit),
+                    }
+                }
+            }
+            self.occurs[neg.index()] = shrink_list;
+        }
+        UpOutcome::Fixpoint { implied: self.implied.clone() }
+    }
+
+    /// The current truth value of a literal after [`UnitPropagator::run`].
+    pub fn literal_value(&self, l: Lit) -> Option<bool> {
+        self.value(l).to_option()
+    }
+}
+
+/// Convenience: one-shot unit propagation over `cnf`.
+pub fn propagate_units(cnf: &Cnf) -> UpOutcome {
+    UnitPropagator::new(cnf).run_owned()
+}
+
+impl UnitPropagator {
+    fn run_owned(mut self) -> UpOutcome {
+        self.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    #[test]
+    fn derives_chain() {
+        let mut cnf = Cnf::new();
+        let v: Vec<Var> = (0..4).map(|_| cnf.new_var()).collect();
+        cnf.add_clause([v[0].positive()]);
+        cnf.add_clause([v[0].negative(), v[1].positive()]);
+        cnf.add_clause([v[1].negative(), v[2].positive()]);
+        cnf.add_clause([v[2].negative(), v[3].negative()]);
+        match propagate_units(&cnf) {
+            UpOutcome::Fixpoint { implied } => {
+                assert_eq!(
+                    implied,
+                    vec![v[0].positive(), v[1].positive(), v[2].positive(), v[3].negative()]
+                );
+            }
+            UpOutcome::Conflict => panic!("unexpected conflict"),
+        }
+    }
+
+    #[test]
+    fn no_units_no_implications() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([a.positive(), b.positive()]);
+        cnf.add_clause([a.negative(), b.negative()]);
+        match propagate_units(&cnf) {
+            UpOutcome::Fixpoint { implied } => assert!(implied.is_empty()),
+            UpOutcome::Conflict => panic!(),
+        }
+    }
+
+    #[test]
+    fn detects_conflict() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([a.positive()]);
+        cnf.add_clause([a.negative(), b.positive()]);
+        cnf.add_clause([b.negative()]);
+        assert_eq!(propagate_units(&cnf), UpOutcome::Conflict);
+    }
+
+    #[test]
+    fn duplicate_literals_counted_once() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([a.positive(), a.positive(), b.positive()]);
+        cnf.add_clause([a.negative()]);
+        match propagate_units(&cnf) {
+            UpOutcome::Fixpoint { implied } => {
+                assert_eq!(implied, vec![a.negative(), b.positive()]);
+            }
+            UpOutcome::Conflict => panic!(),
+        }
+    }
+
+    #[test]
+    fn tautology_never_produces_units() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([a.positive(), a.negative()]);
+        cnf.add_clause([b.negative(), b.positive()]);
+        match propagate_units(&cnf) {
+            UpOutcome::Fixpoint { implied } => assert!(implied.is_empty()),
+            UpOutcome::Conflict => panic!(),
+        }
+    }
+
+    #[test]
+    fn incremental_addition_reuses_state() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([a.negative(), b.positive()]);
+        let mut up = UnitPropagator::new(&cnf);
+        match up.run() {
+            UpOutcome::Fixpoint { implied } => assert!(implied.is_empty()),
+            UpOutcome::Conflict => panic!(),
+        }
+        up.add_clause(&[a.positive()]);
+        match up.run() {
+            UpOutcome::Fixpoint { implied } => {
+                assert_eq!(implied, vec![a.positive(), b.positive()])
+            }
+            UpOutcome::Conflict => panic!(),
+        }
+        assert_eq!(up.literal_value(b.positive()), Some(true));
+    }
+}

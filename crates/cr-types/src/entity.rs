@@ -1,0 +1,225 @@
+//! Entity instances: sets of tuples pertaining to one real-world entity.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::TypesError;
+use crate::schema::{AttrId, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Index of a tuple within an [`EntityInstance`] (dense, zero based).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TupleId(pub u32);
+
+impl TupleId {
+    /// The tuple position as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An entity instance `Ie`: tuples of one schema, all describing the same
+/// real-world entity (typically produced upstream by record linkage).
+///
+/// Entity instances are small relative to a database — the NBA dataset in the
+/// paper averages 27 tuples per entity — so the representation favours simple
+/// dense storage and cheap iteration.
+#[derive(Clone)]
+pub struct EntityInstance {
+    schema: Arc<Schema>,
+    tuples: Vec<Tuple>,
+}
+
+impl EntityInstance {
+    /// Builds an entity instance, checking every tuple's arity.
+    pub fn new(schema: Arc<Schema>, tuples: Vec<Tuple>) -> Result<Self, TypesError> {
+        for t in &tuples {
+            if t.arity() != schema.arity() {
+                return Err(TypesError::ArityMismatch {
+                    expected: schema.arity(),
+                    got: t.arity(),
+                });
+            }
+        }
+        Ok(EntityInstance { schema, tuples })
+    }
+
+    /// An empty instance over `schema`.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        EntityInstance { schema, tuples: Vec::new() }
+    }
+
+    /// The shared schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of tuples, `|Ie|`.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff the instance has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuple with the given id.
+    pub fn tuple(&self, id: TupleId) -> &Tuple {
+        &self.tuples[id.index()]
+    }
+
+    /// All tuples in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Iterates over `(TupleId, &Tuple)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
+        self.tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TupleId(i as u32), t))
+    }
+
+    /// All tuple ids.
+    pub fn tuple_ids(&self) -> impl Iterator<Item = TupleId> + 'static {
+        (0..self.tuples.len() as u32).map(TupleId)
+    }
+
+    /// Appends a tuple, returning its id. Used when extending a specification
+    /// with user input (`Se ⊕ Ot`, Section III Remark (1)).
+    pub fn push(&mut self, tuple: Tuple) -> Result<TupleId, TypesError> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(TypesError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: tuple.arity(),
+            });
+        }
+        let id = TupleId(self.tuples.len() as u32);
+        self.tuples.push(tuple);
+        Ok(id)
+    }
+
+    /// The *active domain* `adom(Ie.Ai)`: distinct non-null values of
+    /// attribute `attr` occurring in the instance, in canonical order.
+    ///
+    /// Nulls are excluded: a null never becomes a "most current" value (it is
+    /// ranked lowest in every currency order), and the paper's encoder builds
+    /// `≺v` over actual data values.
+    pub fn active_domain(&self, attr: AttrId) -> Vec<Value> {
+        let mut vals: Vec<Value> = self
+            .tuples
+            .iter()
+            .map(|t| t.get(attr))
+            .filter(|v| !v.is_null())
+            .cloned()
+            .collect();
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+
+    /// True iff `value` occurs (non-null) in attribute `attr`.
+    pub fn adom_contains(&self, attr: AttrId, value: &Value) -> bool {
+        !value.is_null() && self.tuples.iter().any(|t| t.get(attr) == value)
+    }
+
+    /// Tuples whose `attr` value equals `value`.
+    pub fn tuples_with_value(&self, attr: AttrId, value: &Value) -> Vec<TupleId> {
+        self.iter()
+            .filter(|(_, t)| t.get(attr) == value)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Attributes on which the tuples disagree (carry ≥ 2 distinct values,
+    /// counting null as a value). These are the *conflicting* attributes
+    /// conflict resolution must settle.
+    pub fn conflicting_attrs(&self) -> Vec<AttrId> {
+        self.schema
+            .attr_ids()
+            .filter(|&a| {
+                let mut it = self.tuples.iter().map(|t| t.get(a));
+                match it.next() {
+                    None => false,
+                    Some(first) => it.any(|v| v != first),
+                }
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for EntityInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "EntityInstance over {} ({} tuples):", self.schema, self.tuples.len())?;
+        for (id, t) in self.iter() {
+            writeln!(f, "  r{}: {}", id.0, t.display(&self.schema))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance() -> EntityInstance {
+        let schema = Schema::new("person", ["name", "status", "kids"]).unwrap();
+        let tuples = vec![
+            Tuple::of([Value::str("Edith"), Value::str("working"), Value::int(0)]),
+            Tuple::of([Value::str("Edith"), Value::str("retired"), Value::int(3)]),
+            Tuple::of([Value::str("Edith"), Value::str("deceased"), Value::Null]),
+        ];
+        EntityInstance::new(schema, tuples).unwrap()
+    }
+
+    #[test]
+    fn active_domain_excludes_null_and_dedups() {
+        let e = instance();
+        let kids = e.schema().attr_id("kids").unwrap();
+        assert_eq!(e.active_domain(kids), vec![Value::int(0), Value::int(3)]);
+        let name = e.schema().attr_id("name").unwrap();
+        assert_eq!(e.active_domain(name), vec![Value::str("Edith")]);
+    }
+
+    #[test]
+    fn conflicting_attrs_detects_disagreement() {
+        let e = instance();
+        let names: Vec<&str> = e
+            .conflicting_attrs()
+            .iter()
+            .map(|&a| e.schema().attr_name(a))
+            .collect();
+        assert_eq!(names, vec!["status", "kids"]);
+    }
+
+    #[test]
+    fn push_appends_with_fresh_id() {
+        let mut e = instance();
+        let id = e
+            .push(Tuple::of([Value::str("Edith"), Value::str("deceased"), Value::int(3)]))
+            .unwrap();
+        assert_eq!(id, TupleId(3));
+        assert_eq!(e.len(), 4);
+        assert!(e.push(Tuple::of([Value::Null])).is_err());
+    }
+
+    #[test]
+    fn tuples_with_value_finds_matches() {
+        let e = instance();
+        let status = e.schema().attr_id("status").unwrap();
+        assert_eq!(
+            e.tuples_with_value(status, &Value::str("retired")),
+            vec![TupleId(1)]
+        );
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let schema = Schema::new("r", ["a", "b"]).unwrap();
+        let bad = vec![Tuple::of([Value::int(1)])];
+        assert!(EntityInstance::new(schema, bad).is_err());
+    }
+}
