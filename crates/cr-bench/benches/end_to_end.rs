@@ -1,5 +1,7 @@
 //! Criterion bench for the overall framework loop (Fig. 8(c)/(d) totals):
-//! validity + deduction + suggestion + simulated user rounds, per entity.
+//! validity + deduction + suggestion + simulated user rounds, per entity —
+//! for both the incremental engine (default) and the from-scratch loop
+//! (`bench_incremental` writes the same comparison to `BENCH_*.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -10,27 +12,8 @@ use cr_data::{career, nba, person, vjday};
 fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("resolve");
     group.sample_size(15);
-    let resolver = Resolver::new(ResolutionConfig { max_rounds: 3, ..Default::default() });
 
-    // Paper running examples.
-    let edith = vjday::edith_spec();
-    let edith_truth = vjday::edith_truth();
-    group.bench_function("vjday/edith", |b| {
-        b.iter(|| {
-            let mut oracle = GroundTruthOracle::with_cap(edith_truth.clone(), 1);
-            black_box(resolver.resolve(black_box(&edith), &mut oracle))
-        })
-    });
-    let george = vjday::george_spec();
-    let george_truth = vjday::george_truth();
-    group.bench_function("vjday/george", |b| {
-        b.iter(|| {
-            let mut oracle = GroundTruthOracle::with_cap(george_truth.clone(), 1);
-            black_box(resolver.resolve(black_box(&george), &mut oracle))
-        })
-    });
-
-    // One representative entity per dataset.
+    // Paper running examples plus one representative entity per dataset.
     let nba_ds = nba::generate_with_sizes(&[27], 7);
     let career_ds = career::generate(career::CareerConfig {
         entities: 1,
@@ -38,17 +21,28 @@ fn bench_end_to_end(c: &mut Criterion) {
         ..Default::default()
     });
     let person_ds = person::generate_with_sizes(&[200], 7);
-    for (label, spec, truth) in [
+    let cases = [
+        ("vjday/edith", vjday::edith_spec(), vjday::edith_truth()),
+        ("vjday/george", vjday::george_spec(), vjday::george_truth()),
         ("nba/27", nba_ds.spec(0), nba_ds.truth(0).clone()),
         ("career/avg", career_ds.spec(0), career_ds.truth(0).clone()),
         ("person/200", person_ds.spec(0), person_ds.truth(0).clone()),
-    ] {
-        group.bench_with_input(BenchmarkId::new("dataset", label), &spec, |b, spec| {
-            b.iter(|| {
-                let mut oracle = GroundTruthOracle::with_cap(truth.clone(), 1);
-                black_box(resolver.resolve(black_box(spec), &mut oracle))
-            })
+    ];
+
+    for (mode, incremental) in [("incremental", true), ("scratch", false)] {
+        let resolver = Resolver::new(ResolutionConfig {
+            max_rounds: 3,
+            incremental,
+            ..Default::default()
         });
+        for (label, spec, truth) in &cases {
+            group.bench_with_input(BenchmarkId::new(*label, mode), spec, |b, spec| {
+                b.iter(|| {
+                    let mut oracle = GroundTruthOracle::with_cap(truth.clone(), 1);
+                    black_box(resolver.resolve(black_box(spec), &mut oracle))
+                })
+            });
+        }
     }
     group.finish();
 }

@@ -1,0 +1,167 @@
+//! Benchmarks the incremental resolution engine against the from-scratch
+//! Fig. 4 loop on the multi-round end-to-end scenario and writes a
+//! machine-readable `BENCH_<n>.json` report.
+//!
+//! The workload reproduces the interactive setting of the paper's Fig. 8:
+//! entities at the seed bin sizes, a simulated user answering one attribute
+//! per round, and a 0.6 constraint fraction (the paper's |Σ|,|Γ| sweeps) so
+//! that entities genuinely need several interaction rounds — the regime the
+//! incremental engine targets.
+//!
+//! Flags: `--entities N` (per generated dataset, default 10), `--seed S`,
+//! `--rounds R` (max user rounds, default 10), `--reps K` (timing
+//! repetitions, default 3), `--frac F` (constraint fraction, default 0.6),
+//! `--out PATH` (default `BENCH_1.json`).
+
+use std::time::Instant;
+
+use cr_bench::{arg_entities, arg_seed, arg_value, json::BenchReport, quick};
+use cr_core::framework::{GroundTruthOracle, ResolutionConfig, Resolver};
+use cr_core::Specification;
+use cr_data::{nba, person, vjday};
+use cr_types::Tuple;
+
+struct Workload {
+    label: &'static str,
+    specs: Vec<Specification>,
+    truths: Vec<Tuple>,
+}
+
+fn resolver(incremental: bool, max_rounds: usize) -> Resolver {
+    Resolver::new(ResolutionConfig { max_rounds, incremental, ..Default::default() })
+}
+
+/// Serial wall-clock seconds for one pass over the workload (best of `reps`).
+fn time_serial(w: &Workload, incremental: bool, rounds: usize, reps: usize) -> f64 {
+    let r = resolver(incremental, rounds);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        for (spec, truth) in w.specs.iter().zip(&w.truths) {
+            let mut oracle = GroundTruthOracle::with_cap(truth.clone(), 1);
+            std::hint::black_box(r.resolve(spec, &mut oracle));
+        }
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Parallel fan-out wall-clock seconds (best of `reps`).
+fn time_parallel(w: &Workload, incremental: bool, rounds: usize, reps: usize) -> f64 {
+    let r = resolver(incremental, rounds);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(r.resolve_all_parallel(&w.specs, |i| {
+            GroundTruthOracle::with_cap(w.truths[i].clone(), 1)
+        }));
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Both paths must produce identical resolution outcomes.
+fn check_agreement(w: &Workload, rounds: usize) {
+    let inc = resolver(true, rounds);
+    let scr = resolver(false, rounds);
+    for (spec, truth) in w.specs.iter().zip(&w.truths) {
+        let a = inc.resolve(spec, &mut GroundTruthOracle::with_cap(truth.clone(), 1));
+        let b = scr.resolve(spec, &mut GroundTruthOracle::with_cap(truth.clone(), 1));
+        assert_eq!(a.resolved, b.resolved, "{}: resolved tuples diverged", w.label);
+        assert_eq!(a.interactions, b.interactions, "{}: interaction counts diverged", w.label);
+        assert_eq!(a.user_values, b.user_values, "{}: answer counts diverged", w.label);
+    }
+}
+
+fn main() {
+    let entities = arg_entities(10);
+    let seed = arg_seed(7);
+    let rounds: usize = arg_value("rounds").and_then(|v| v.parse().ok()).unwrap_or(10);
+    let reps: usize = arg_value("reps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let frac: f64 = arg_value("frac").and_then(|v| v.parse().ok()).unwrap_or(0.6);
+    let out = arg_value("out").unwrap_or_else(|| "BENCH_1.json".to_string());
+
+    // Entity sizes follow the seed's Fig. 8(a) bins: NBA up to 135 tuples,
+    // Person at 1/10 paper scale up to 200.
+    let nba_sizes: Vec<usize> = (0..entities).map(|i| 27 + (i * 108) / entities.max(1)).collect();
+    let person_sizes: Vec<usize> =
+        (0..entities).map(|i| 100 + (i * 150) / entities.max(1)).collect();
+
+    let subsample =
+        |spec: &Specification| spec.with_constraint_fraction(frac, frac, seed.wrapping_add(11));
+    let workloads = [
+        Workload {
+            label: "vjday",
+            specs: vec![vjday::edith_spec(), vjday::george_spec()],
+            truths: vec![vjday::edith_truth(), vjday::george_truth()],
+        },
+        {
+            let ds = nba::generate_with_sizes(&nba_sizes, seed);
+            Workload {
+                label: "nba",
+                truths: (0..ds.len()).map(|i| ds.truth(i).clone()).collect(),
+                specs: (0..ds.len()).map(|i| subsample(&ds.spec(i))).collect(),
+            }
+        },
+        {
+            let ds = person::generate_with_sizes(&person_sizes, seed);
+            Workload {
+                label: "person",
+                truths: (0..ds.len()).map(|i| ds.truth(i).clone()).collect(),
+                specs: (0..ds.len()).map(|i| subsample(&ds.spec(i))).collect(),
+            }
+        },
+        {
+            let ds = quick::career(entities.min(65), seed);
+            Workload {
+                label: "career",
+                truths: (0..ds.len()).map(|i| ds.truth(i).clone()).collect(),
+                specs: (0..ds.len()).map(|i| ds.spec(i)).collect(),
+            }
+        },
+    ];
+
+    let mut report = BenchReport::new("incremental-resolution-engine");
+    report.context("entities_per_dataset", entities);
+    report.context("seed", seed);
+    report.context("max_rounds", rounds);
+    report.context("reps", reps);
+    report.context(
+        "threads",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+
+    let mut total_scratch = 0.0;
+    let mut total_incremental = 0.0;
+    for w in &workloads {
+        check_agreement(w, rounds);
+        let scratch = time_serial(w, false, rounds, reps);
+        let incremental = time_serial(w, true, rounds, reps);
+        let parallel = time_parallel(w, true, rounds, reps);
+        total_scratch += scratch;
+        total_incremental += incremental;
+        report.measure(format!("end_to_end/{}/scratch", w.label), scratch);
+        report.measure(format!("end_to_end/{}/incremental", w.label), incremental);
+        report.measure(format!("end_to_end/{}/incremental_parallel", w.label), parallel);
+        println!(
+            "{:>8}: scratch {:>8.4}s  incremental {:>8.4}s  ({:.2}x)  parallel {:>8.4}s  ({:.2}x)",
+            w.label,
+            scratch,
+            incremental,
+            scratch / incremental,
+            parallel,
+            scratch / parallel,
+        );
+    }
+    let speedup = total_scratch / total_incremental;
+    report.measure("end_to_end/total/scratch", total_scratch);
+    report.measure("end_to_end/total/incremental", total_incremental);
+    report.context("speedup_incremental_vs_scratch", format!("{speedup:.2}"));
+    println!("overall incremental speedup: {speedup:.2}x");
+
+    report.write(&out).expect("write bench report");
+    println!("wrote {out}");
+}

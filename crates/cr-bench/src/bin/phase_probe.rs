@@ -1,0 +1,46 @@
+//! Ad-hoc phase breakdown of the end-to-end loop (validity / deduce /
+//! suggest / other) for the incremental and scratch paths. Not part of the
+//! published figures; handy when hunting hot spots.
+
+use std::time::{Duration, Instant};
+
+use cr_bench::{arg_entities, arg_seed, quick};
+use cr_core::framework::{GroundTruthOracle, ResolutionConfig, Resolver};
+
+fn main() {
+    let entities = arg_entities(12);
+    let seed = arg_seed(7);
+    for label in ["nba", "person", "career"] {
+        let ds = match label {
+            "nba" => quick::nba(entities, seed),
+            "person" => quick::person(entities, seed),
+            _ => quick::career(entities.min(65), seed),
+        };
+        for incremental in [false, true] {
+            let r = Resolver::new(ResolutionConfig {
+                max_rounds: 3,
+                incremental,
+                ..Default::default()
+            });
+            let (mut v, mut d, mut s) = (Duration::ZERO, Duration::ZERO, Duration::ZERO);
+            let mut nrounds = 0usize;
+            let t = Instant::now();
+            for i in 0..ds.len() {
+                let spec = ds.spec(i);
+                let mut oracle = GroundTruthOracle::with_cap(ds.truth(i).clone(), 1);
+                let out = r.resolve(&spec, &mut oracle);
+                for round in &out.rounds {
+                    v += round.validity;
+                    d += round.deduce;
+                    s += round.suggest;
+                    nrounds += 1;
+                }
+            }
+            let total = t.elapsed();
+            println!(
+                "{label:>8} incremental={incremental}: total {total:>9.4?} validity {v:>9.4?} deduce {d:>9.4?} suggest {s:>9.4?} other {:>9.4?} rounds {nrounds}",
+                total.saturating_sub(v + d + s)
+            );
+        }
+    }
+}

@@ -6,9 +6,7 @@
 
 use std::time::{Duration, Instant};
 
-use cr_core::framework::{
-    DeductionMethod, GroundTruthOracle, ResolutionConfig, Resolver, SilentOracle,
-};
+use cr_core::framework::{DeductionMethod, GroundTruthOracle, ResolutionConfig, Resolver};
 use cr_core::{
     deduce_order, naive_deduce, pick_baseline, true_values_from_orders, Accuracy, EncodedSpec,
     Specification,
@@ -161,6 +159,10 @@ impl ConstraintMode {
 /// Runs conflict resolution over every entity of `dataset` with at most
 /// `max_rounds` user interactions, returning the accuracy accumulator and
 /// the largest number of rounds any entity used.
+///
+/// Entities are independent, so they are fanned out across all cores via
+/// [`Resolver::resolve_all_parallel`]; accuracy is accumulated from the
+/// in-order results, keeping the output deterministic.
 pub fn run_dataset(
     dataset: &Dataset,
     mode: ConstraintMode,
@@ -168,30 +170,30 @@ pub fn run_dataset(
     max_rounds: usize,
     seed: u64,
 ) -> (Accuracy, usize) {
-    let mut acc = Accuracy::new();
-    let mut max_used = 0;
     let config = ResolutionConfig {
         max_rounds,
         deduction: DeductionMethod::UnitPropagation,
-        encode: Default::default(),
+        ..Default::default()
     };
     let resolver = Resolver::new(config);
-    for i in 0..dataset.len() {
-        let spec = mode.apply(&dataset.spec(i), frac, seed);
-        let truth = dataset.truth(i);
-        let outcome = if max_rounds == 0 {
-            resolver.resolve(&spec, &mut SilentOracle)
-        } else {
-            // Like the paper's simulated users, answer sparingly (one
-            // attribute per round) — k rounds therefore cost k answers.
-            let mut oracle = GroundTruthOracle::with_cap(truth.clone(), 1);
-            resolver.resolve(&spec, &mut oracle)
-        };
-        acc.add_entity(&dataset.entities[i].0, truth, &outcome.resolved);
+    let specs: Vec<Specification> = (0..dataset.len())
+        .map(|i| mode.apply(&dataset.spec(i), frac, seed))
+        .collect();
+    // Like the paper's simulated users, answer sparingly (one attribute
+    // per round) — k rounds therefore cost k answers. With max_rounds == 0
+    // the oracle is never consulted, matching the old SilentOracle branch.
+    let outcomes = resolver.resolve_all_parallel(&specs, |i| {
+        GroundTruthOracle::with_cap(dataset.truth(i).clone(), 1)
+    });
+    let mut acc = Accuracy::new();
+    let mut max_used = 0;
+    for (i, outcome) in outcomes.iter().enumerate() {
+        acc.add_entity(&dataset.entities[i].0, dataset.truth(i), &outcome.resolved);
         max_used = max_used.max(outcome.interactions);
     }
     (acc, max_used)
 }
+
 
 /// Runs the `Pick` baseline over every entity.
 pub fn run_pick(dataset: &Dataset, seed: u64) -> Accuracy {
@@ -231,6 +233,98 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
     for row in rows {
         println!("{}", fmt_row(row));
+    }
+}
+
+/// Machine-readable benchmark reports (`BENCH_*.json`).
+///
+/// Future PRs diff these files to track the perf trajectory; keep the
+/// format append-friendly: a flat `measurements` list of named wall-clock
+/// timings plus free-form string context.
+pub mod json {
+    use std::io;
+    use std::path::Path;
+
+    /// One named wall-clock measurement.
+    pub struct Measurement {
+        /// Measurement identifier, e.g. `end_to_end/nba/incremental`.
+        pub name: String,
+        /// Wall-clock seconds.
+        pub seconds: f64,
+    }
+
+    /// A benchmark report serialised as `BENCH_<n>.json`.
+    #[derive(Default)]
+    pub struct BenchReport {
+        /// Report name, e.g. `incremental-engine`.
+        pub name: String,
+        /// Free-form context: dataset sizes, seeds, hardware notes.
+        pub context: Vec<(String, String)>,
+        /// Recorded measurements in insertion order.
+        pub measurements: Vec<Measurement>,
+    }
+
+    impl BenchReport {
+        /// An empty report.
+        pub fn new(name: impl Into<String>) -> Self {
+            BenchReport { name: name.into(), ..Default::default() }
+        }
+
+        /// Adds a context entry.
+        pub fn context(&mut self, key: impl Into<String>, value: impl std::fmt::Display) {
+            self.context.push((key.into(), value.to_string()));
+        }
+
+        /// Records a measurement.
+        pub fn measure(&mut self, name: impl Into<String>, seconds: f64) {
+            self.measurements.push(Measurement { name: name.into(), seconds });
+        }
+
+        /// The report as a JSON document.
+        pub fn to_json(&self) -> String {
+            let mut out = String::from("{\n");
+            out.push_str(&format!("  \"name\": \"{}\",\n", escape(&self.name)));
+            out.push_str("  \"context\": {\n");
+            for (i, (k, v)) in self.context.iter().enumerate() {
+                let comma = if i + 1 < self.context.len() { "," } else { "" };
+                out.push_str(&format!("    \"{}\": \"{}\"{comma}\n", escape(k), escape(v)));
+            }
+            out.push_str("  },\n  \"measurements\": [\n");
+            for (i, m) in self.measurements.iter().enumerate() {
+                let comma = if i + 1 < self.measurements.len() { "," } else { "" };
+                out.push_str(&format!(
+                    "    {{\"name\": \"{}\", \"seconds\": {:.6}}}{comma}\n",
+                    escape(&m.name),
+                    m.seconds
+                ));
+            }
+            out.push_str("  ]\n}\n");
+            out
+        }
+
+        /// Writes the report to `path`.
+        pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+            std::fs::write(path, self.to_json())
+        }
+    }
+
+    fn escape(s: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out
     }
 }
 

@@ -141,6 +141,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn agrees_with_brute_force_on_dense_random_graph() {
         // Deterministic pseudo-random graph via a multiplicative hash.
         let n = 14usize;

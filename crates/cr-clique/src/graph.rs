@@ -90,7 +90,7 @@ pub(crate) struct VertexSet {
 impl VertexSet {
     pub(crate) fn full(n: usize) -> Self {
         let mut words = vec![u64::MAX; n.div_ceil(64)];
-        if n % 64 != 0 {
+        if !n.is_multiple_of(64) {
             if let Some(last) = words.last_mut() {
                 *last = (1u64 << (n % 64)) - 1;
             }

@@ -15,7 +15,7 @@ pub fn greedy_clique(g: &Graph) -> Vec<usize> {
     }
     let mut best: Vec<usize> = Vec::new();
     for seed in 0..n {
-        if g.degree(seed) + 1 <= best.len() {
+        if g.degree(seed) < best.len() {
             continue; // cannot possibly beat the incumbent
         }
         let mut clique = vec![seed];

@@ -88,7 +88,7 @@ fn heap_permute(k: usize, work: &mut Vec<Value>, out: &mut Vec<Vec<Value>>) {
     }
     for i in 0..k {
         heap_permute(k - 1, work, out);
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             work.swap(i, k - 1);
         } else {
             work.swap(0, k - 1);

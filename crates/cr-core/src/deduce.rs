@@ -3,7 +3,7 @@
 
 use std::collections::HashSet;
 
-use cr_sat::{SolveResult, Solver, UnitPropagator, UpOutcome};
+use cr_sat::{SolveResult, Solver, UnitPropagator};
 use cr_types::{AttrId, ValueId};
 
 use crate::encode::{EncodedSpec, OrderAtom};
@@ -42,15 +42,19 @@ impl DeducedOrders {
 
     /// Values of `attr` not dominated by any other value — the candidate
     /// true values `V(attr)` of `DeriveVR` (Section V-C.2).
+    ///
+    /// Single pass over the deduced pairs marking dominated values in a
+    /// bitvec; the previous formulation probed the hash set `O(n²)` times
+    /// per attribute.
     pub fn candidates(&self, enc: &EncodedSpec, attr: AttrId) -> Vec<ValueId> {
-        let n = enc.space().attr(attr).len() as u32;
-        (0..n)
+        let n = enc.space().attr(attr).len();
+        let mut dominated = vec![false; n];
+        for (lo, _) in self.pairs(attr) {
+            dominated[lo.index()] = true;
+        }
+        (0..n as u32)
             .map(ValueId)
-            .filter(|&v| {
-                !(0..n)
-                    .map(ValueId)
-                    .any(|o| o != v && self.contains(attr, v, o))
-            })
+            .filter(|v| !dominated[v.index()])
             .collect()
     }
 }
@@ -64,12 +68,18 @@ impl DeducedOrders {
 /// invalid — callers should have checked `IsValid` first).
 pub fn deduce_order(enc: &EncodedSpec) -> Option<DeducedOrders> {
     let mut up = UnitPropagator::new(enc.cnf());
-    let implied = match up.run() {
-        UpOutcome::Conflict => return None,
-        UpOutcome::Fixpoint { implied } => implied,
-    };
+    deduce_order_from(&mut up, enc)
+}
+
+/// `DeduceOrder` over a caller-owned [`UnitPropagator`] — the incremental
+/// engine keeps one propagator alive across all rounds of a `resolve()`
+/// call, feeding it the per-round clause deltas, so each round only
+/// propagates the consequences of the new clauses. The propagator's
+/// accumulated implied set covers all rounds so far.
+pub fn deduce_order_from(up: &mut UnitPropagator, enc: &EncodedSpec) -> Option<DeducedOrders> {
+    let implied = up.propagate_to_fixpoint()?;
     let mut od = DeducedOrders::empty(enc.space().arity());
-    for lit in implied {
+    for &lit in implied {
         if lit.var().index() >= enc.num_order_vars() {
             continue; // auxiliary variable (not an order atom)
         }
@@ -90,16 +100,54 @@ pub fn deduce_order(enc: &EncodedSpec) -> Option<DeducedOrders> {
 /// Returns `None` if `Φ(Se)` itself is unsatisfiable.
 pub fn naive_deduce(enc: &EncodedSpec) -> Option<DeducedOrders> {
     let mut solver = Solver::from_cnf(enc.cnf());
+    naive_deduce_with(&mut solver, enc)
+}
+
+/// `NaiveDeduce` over a caller-owned incremental [`Solver`] (the engine
+/// reuses the validity-check solver, so learnt clauses carry across both
+/// phases and across rounds).
+///
+/// Variables are probed in descending order of CNF occurrence count — a
+/// static VSIDS-style score. Heavily constrained variables are the most
+/// likely to be UNSAT probes, and answering those first seeds the solver
+/// with learnt clauses (and root-level units) that let later probes be
+/// skipped outright: any variable already fixed by root-level propagation
+/// is implied and recorded without touching the solver.
+pub fn naive_deduce_with(solver: &mut Solver, enc: &EncodedSpec) -> Option<DeducedOrders> {
     if solver.solve() == SolveResult::Unsat {
         return None;
     }
+    let mut occurrences = vec![0u32; enc.num_order_vars()];
+    for clause in enc.cnf().clauses() {
+        for lit in clause {
+            if let Some(count) = occurrences.get_mut(lit.var().index()) {
+                *count += 1;
+            }
+        }
+    }
+    let mut probe_order: Vec<u32> = (0..enc.num_order_vars() as u32).collect();
+    probe_order.sort_by_key(|&v| std::cmp::Reverse(occurrences[v as usize]));
+
     let mut od = DeducedOrders::empty(enc.space().arity());
-    for vi in 0..enc.num_order_vars() {
-        let var = cr_sat::Var(vi as u32);
+    for vi in probe_order {
+        let var = cr_sat::Var(vi);
         let OrderAtom { attr, lo, hi } = enc.atom_of(var);
         // The symmetric variable's probes already decided this pair.
         if od.contains(attr, lo, hi) || od.contains(attr, hi, lo) {
             continue;
+        }
+        // Fixed at the root by propagation (original clauses or units
+        // learnt from earlier probes): implied, no SAT call needed.
+        match solver.root_value(var) {
+            Some(true) => {
+                od.insert(attr, lo, hi);
+                continue;
+            }
+            Some(false) => {
+                od.insert(attr, hi, lo);
+                continue;
+            }
+            None => {}
         }
         if solver.solve_with_assumptions(&[var.negative()]) == SolveResult::Unsat {
             od.insert(attr, lo, hi);

@@ -1,24 +1,83 @@
 //! `ConvertToCNF`: from instance constraints to the CNF Φ(Se).
 
-use std::collections::HashMap;
-
+use cr_constraints::{Predicate, TupleRef};
 use cr_sat::{Cnf, Lit, Var};
 use cr_types::{AttrId, AttrValueSpace, Value, ValueId};
 
-use super::omega::{instantiate, Conclusion, InstanceConstraint, OrderAtom};
+use super::omega::{instantiate, instantiate_pair, Conclusion, InstanceConstraint, OrderAtom};
 use super::EncodeOptions;
-use crate::spec::Specification;
+use crate::spec::{Specification, UserInput};
+
+/// Sentinel for an unallocated slot in [`VarTable`].
+const NO_VAR: u32 = u32::MAX;
+
+/// Dense `attr × lo × hi → Var` index. Order-variable lookup sits on the
+/// hot path of clause generation, deduction and suggestion; a flat
+/// row-major table per attribute answers it with two bounds checks and one
+/// load instead of hashing a 10-byte key.
+#[derive(Clone, Debug, Default)]
+struct VarTable {
+    /// One `n × n` slot table per attribute (`lo.index() * n + hi.index()`).
+    per_attr: Vec<Vec<u32>>,
+    /// `n` (number of interned values) per attribute.
+    width: Vec<usize>,
+}
+
+impl VarTable {
+    /// A table sized for the given per-attribute value-space widths.
+    fn new(widths: Vec<usize>) -> Self {
+        VarTable {
+            per_attr: widths.iter().map(|&n| vec![NO_VAR; n * n]).collect(),
+            width: widths,
+        }
+    }
+
+    #[inline]
+    fn get(&self, attr: AttrId, lo: ValueId, hi: ValueId) -> Option<Var> {
+        let n = self.width[attr.index()];
+        if lo.index() >= n || hi.index() >= n {
+            return None;
+        }
+        let raw = self.per_attr[attr.index()][lo.index() * n + hi.index()];
+        (raw != NO_VAR).then_some(Var(raw))
+    }
+
+    #[inline]
+    fn set(&mut self, attr: AttrId, lo: ValueId, hi: ValueId, var: Var) {
+        let n = self.width[attr.index()];
+        self.per_attr[attr.index()][lo.index() * n + hi.index()] = var.0;
+    }
+}
+
+/// Outcome of [`EncodedSpec::extend_with_input`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExtendOutcome {
+    /// The encoding was extended in place; new clauses were appended to the
+    /// CNF (sync solvers with the clause tail).
+    Extended,
+    /// The input cannot be expressed as a pure extension (it introduces
+    /// values outside the interned space, or the encoding was built with
+    /// lazy transitivity). The caller must re-encode from scratch.
+    NeedsRebuild,
+}
 
 /// The encoded form of a specification: the CNF `Φ(Se)`, the value spaces,
 /// the variable table for order atoms and the instance constraints Ω(Se)
 /// they came from. All downstream algorithms (`IsValid`, `DeduceOrder`,
 /// `Suggest`, the exact true-value queries) run off this struct.
+///
+/// The encoding supports **delta extension** with user input
+/// ([`EncodedSpec::extend_with_input`]): value spaces and the Ω(Se)
+/// instantiation of the original tuples are unchanged by user answers, so a
+/// round of the Fig. 4 loop only appends the clauses induced by the fresh
+/// user-input tuple instead of re-deriving the whole CNF.
 pub struct EncodedSpec {
     space: AttrValueSpace,
-    vars: HashMap<OrderAtom, Var>,
+    vars: VarTable,
     atoms: Vec<OrderAtom>,
     cnf: Cnf,
     omega: Vec<InstanceConstraint>,
+    options: EncodeOptions,
 }
 
 impl EncodedSpec {
@@ -30,12 +89,16 @@ impl EncodedSpec {
     /// Encodes `spec` with explicit [`EncodeOptions`].
     pub fn encode_with(spec: &Specification, options: EncodeOptions) -> Self {
         let inst = instantiate(spec);
+        let widths: Vec<usize> = (0..inst.space.arity())
+            .map(|i| inst.space.attr(AttrId(i as u16)).len())
+            .collect();
         let mut enc = EncodedSpec {
+            vars: VarTable::new(widths),
             space: inst.space,
-            vars: HashMap::new(),
             atoms: Vec::new(),
             cnf: Cnf::new(),
-            omega: inst.omega,
+            omega: Vec::new(),
+            options,
         };
 
         // Variables for every ordered pair of distinct values — either over
@@ -53,8 +116,7 @@ impl EncodedSpec {
                 }
             }
         } else {
-            let omega = std::mem::take(&mut enc.omega);
-            for c in &omega {
+            for c in &inst.omega {
                 for atom in &c.premise {
                     enc.var(*atom);
                     enc.var(OrderAtom { attr: atom.attr, lo: atom.hi, hi: atom.lo });
@@ -64,22 +126,12 @@ impl EncodedSpec {
                     enc.var(OrderAtom { attr: atom.attr, lo: atom.hi, hi: atom.lo });
                 }
             }
-            enc.omega = omega;
         }
 
         // Ω(Se) clauses.
-        let omega = std::mem::take(&mut enc.omega);
-        for c in &omega {
-            let premise: Vec<Lit> = c.premise.iter().map(|a| enc.var(*a).positive()).collect();
-            match c.conclusion {
-                Conclusion::Atom(atom) => {
-                    let concl = enc.var(atom).positive();
-                    enc.cnf.add_implication(&premise, concl);
-                }
-                Conclusion::False => enc.cnf.add_negated_conjunction(&premise),
-            }
+        for c in inst.omega {
+            enc.add_omega_constraint(c);
         }
-        enc.omega = omega;
 
         // Transitivity and asymmetry per attribute, over the realised
         // variable set.
@@ -96,10 +148,9 @@ impl EncodedSpec {
             // totality: x_ab ∨ x_ba (see EncodeOptions::totality).
             for (i, &a) in vals.iter().enumerate() {
                 for &b in &vals[i + 1..] {
-                    if let (Some(&xab), Some(&xba)) = (
-                        enc.vars.get(&OrderAtom { attr, lo: a, hi: b }),
-                        enc.vars.get(&OrderAtom { attr, lo: b, hi: a }),
-                    ) {
+                    if let (Some(xab), Some(xba)) =
+                        (enc.vars.get(attr, a, b), enc.vars.get(attr, b, a))
+                    {
                         enc.cnf.add_clause([xab.negative(), xba.negative()]);
                         if options.totality {
                             enc.cnf.add_clause([xab.positive(), xba.positive()]);
@@ -113,17 +164,16 @@ impl EncodedSpec {
                     if a == b {
                         continue;
                     }
-                    let Some(&xab) = enc.vars.get(&OrderAtom { attr, lo: a, hi: b }) else {
+                    let Some(xab) = enc.vars.get(attr, a, b) else {
                         continue;
                     };
                     for &c in vals.iter() {
                         if c == a || c == b {
                             continue;
                         }
-                        let (Some(&xbc), Some(&xac)) = (
-                            enc.vars.get(&OrderAtom { attr, lo: b, hi: c }),
-                            enc.vars.get(&OrderAtom { attr, lo: a, hi: c }),
-                        ) else {
+                        let (Some(xbc), Some(xac)) =
+                            (enc.vars.get(attr, b, c), enc.vars.get(attr, a, c))
+                        else {
                             continue;
                         };
                         enc.cnf
@@ -135,14 +185,164 @@ impl EncodedSpec {
         enc
     }
 
+    /// Extends the encoding in place with the effect of
+    /// [`Specification::apply_user_input`]: the fresh tuple `to` carrying
+    /// the answered values is ranked strictly above every existing tuple on
+    /// each answered attribute, which translates to
+    ///
+    /// 1. unit clauses `w ≺v_A v` for every other interned value `w` of each
+    ///    answered attribute `A` (the base-order extension `Ot`), and
+    /// 2. the instance constraints of Σ on the tuple pairs involving `to`
+    ///    (pairs among the original tuples are already instantiated, and
+    ///    user input changes neither the value spaces nor the Γ
+    ///    instantiation when the answers are in-domain).
+    ///
+    /// `spec` must be the specification this encoding currently represents
+    /// (i.e. *before* the input is applied). Returns
+    /// [`ExtendOutcome::NeedsRebuild`] — with `self` untouched — when an
+    /// answer lies outside the interned value space (new values change the
+    /// space, the CFD instantiation and the axiom set, so the caller must
+    /// re-encode) or when the encoding was built with lazy transitivity.
+    pub fn extend_with_input(
+        &mut self,
+        spec: &Specification,
+        input: &UserInput,
+    ) -> ExtendOutcome {
+        if !self.options.full_transitivity {
+            return ExtendOutcome::NeedsRebuild;
+        }
+        let mut answered: Vec<(AttrId, ValueId)> = Vec::new();
+        for (attr, v) in &input.values {
+            if v.is_null() {
+                continue;
+            }
+            match self.space.get(*attr, v) {
+                Some(id) => answered.push((*attr, id)),
+                None => return ExtendOutcome::NeedsRebuild,
+            }
+        }
+
+        // (1) Base-order units: the answered value tops its attribute.
+        for &(attr, vid) in &answered {
+            let below: Vec<ValueId> = self
+                .space
+                .attr(attr)
+                .iter()
+                .filter(|(id, v)| *id != vid && !v.is_null())
+                .map(|(id, _)| id)
+                .collect();
+            for lo in below {
+                self.add_omega_constraint(InstanceConstraint {
+                    premise: Vec::new(),
+                    conclusion: Conclusion::Atom(OrderAtom { attr, lo, hi: vid }),
+                    origin: super::Origin::BaseOrder,
+                });
+            }
+        }
+
+        // (2) Σ instances on pairs involving the user-input tuple. Tuples
+        // sharing a projection on a constraint's referenced attributes
+        // produce identical instances (same grouping as `instantiate`), so
+        // only one representative per projection is paired with `to`.
+        let arity = spec.schema().arity();
+        let mut values = vec![Value::Null; arity];
+        for (attr, v) in &input.values {
+            values[attr.index()] = v.clone();
+        }
+        let to = cr_types::Tuple::from_values(values);
+        let answered_attr = |attr: AttrId| answered.iter().any(|&(a, _)| a == attr);
+        for (ci, constraint) in spec.sigma().iter().enumerate() {
+            // A pair involving `to` instantiates only if the conclusion is
+            // non-null on `to`'s side, and order / tuple-comparison
+            // premises need both sides non-null — so those attributes must
+            // all be among the answered ones. Σ can be large (hundreds of
+            // constraints on generated workloads); these O(|ω|) checks skip
+            // the per-tuple work for the vast majority.
+            if !answered_attr(constraint.conclusion_attr()) {
+                continue;
+            }
+            if constraint.premises().iter().any(|p| match p {
+                Predicate::Order { attr } | Predicate::TupleCmp { attr, .. } => {
+                    !answered_attr(*attr)
+                }
+                Predicate::ConstCmp { .. } => false,
+            }) {
+                continue;
+            }
+            // Constant comparisons against `to`'s side have one fixed
+            // operand: evaluate them once per direction instead of per
+            // tuple ((to, to) is safe — a ConstCmp only reads the tuple
+            // its `TupleRef` picks).
+            let direction_open = |to_ref: TupleRef| {
+                constraint.premises().iter().all(|p| match p {
+                    Predicate::ConstCmp { tuple, .. } if *tuple == to_ref => {
+                        p.eval_comparison(&to, &to) == Some(true)
+                    }
+                    _ => true,
+                })
+            };
+            let to_second = direction_open(TupleRef::T2); // pairs (t, to)
+            let to_first = direction_open(TupleRef::T1); // pairs (to, t)
+            if !to_first && !to_second {
+                continue;
+            }
+            let mut attrs: Vec<AttrId> = constraint
+                .premises()
+                .iter()
+                .map(|p| p.attr())
+                .chain(std::iter::once(constraint.conclusion_attr()))
+                .collect();
+            attrs.sort_unstable();
+            attrs.dedup();
+            let mut seen: std::collections::HashSet<Vec<&Value>> = std::collections::HashSet::new();
+            for (_, t) in spec.entity().iter() {
+                let projection: Vec<&Value> = attrs.iter().map(|&a| t.get(a)).collect();
+                if !seen.insert(projection) {
+                    continue;
+                }
+                if to_second {
+                    if let Some(c) = instantiate_pair(&self.space, constraint, ci, t, &to) {
+                        self.add_omega_constraint(c);
+                    }
+                }
+                if to_first {
+                    if let Some(c) = instantiate_pair(&self.space, constraint, ci, &to, t) {
+                        self.add_omega_constraint(c);
+                    }
+                }
+            }
+        }
+        ExtendOutcome::Extended
+    }
+
+    /// Records an instance constraint and adds its clause to the CNF.
+    ///
+    /// Delta constraints from [`EncodedSpec::extend_with_input`] may
+    /// duplicate already-instantiated projections — harmless: duplicate
+    /// clauses are absorbed by the solvers, and rule derivation
+    /// canonicalises its premise pools (`true_der` sorts and dedups them),
+    /// so deriving rules from Ω(Se) is insensitive to duplicates and
+    /// ordering.
+    fn add_omega_constraint(&mut self, c: InstanceConstraint) {
+        let premise: Vec<Lit> = c.premise.iter().map(|a| self.var(*a).positive()).collect();
+        match c.conclusion {
+            Conclusion::Atom(atom) => {
+                let concl = self.var(atom).positive();
+                self.cnf.add_implication(&premise, concl);
+            }
+            Conclusion::False => self.cnf.add_negated_conjunction(&premise),
+        }
+        self.omega.push(c);
+    }
+
     /// Allocates (or returns) the variable for an order atom.
     fn var(&mut self, atom: OrderAtom) -> Var {
-        if let Some(&v) = self.vars.get(&atom) {
+        if let Some(v) = self.vars.get(atom.attr, atom.lo, atom.hi) {
             return v;
         }
         let v = self.cnf.new_var();
         debug_assert_eq!(v.index(), self.atoms.len());
-        self.vars.insert(atom, v);
+        self.vars.set(atom.attr, atom.lo, atom.hi, v);
         self.atoms.push(atom);
         v
     }
@@ -150,6 +350,11 @@ impl EncodedSpec {
     /// The CNF `Φ(Se)`.
     pub fn cnf(&self) -> &Cnf {
         &self.cnf
+    }
+
+    /// The options this specification was encoded with.
+    pub fn options(&self) -> EncodeOptions {
+        self.options
     }
 
     /// The instance constraints Ω(Se).
@@ -164,7 +369,7 @@ impl EncodedSpec {
 
     /// The variable encoding `lo ≺v_attr hi`, if allocated.
     pub fn var_of(&self, attr: AttrId, lo: ValueId, hi: ValueId) -> Option<Var> {
-        self.vars.get(&OrderAtom { attr, lo, hi }).copied()
+        self.vars.get(attr, lo, hi)
     }
 
     /// The order atom behind a variable.
@@ -355,5 +560,82 @@ mod tests {
             SolveResult::Unsat
         );
         assert_eq!(solver.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn extension_with_in_domain_answer_matches_scratch_deduction() {
+        // Answering city=LA must make LA the deduced top of `city` exactly
+        // as a from-scratch re-encode of the extended spec would.
+        let s = Schema::new("p", ["name", "city"]).unwrap();
+        let e = EntityInstance::new(
+            s,
+            vec![
+                Tuple::of([Value::str("X"), Value::str("NY")]),
+                Tuple::of([Value::str("X"), Value::str("LA")]),
+            ],
+        )
+        .unwrap();
+        let spec = Specification::without_orders(e, vec![], vec![]);
+        let mut enc = EncodedSpec::encode(&spec);
+        let city = spec.schema().attr_id("city").unwrap();
+        let input = UserInput::single(city, Value::str("LA"));
+
+        let before = enc.cnf().num_clauses();
+        assert_eq!(enc.extend_with_input(&spec, &input), ExtendOutcome::Extended);
+        assert!(enc.cnf().num_clauses() > before, "unit clauses appended");
+
+        let (extended, _, _) = spec.apply_user_input(&input);
+        let scratch = EncodedSpec::encode(&extended);
+        let od_inc = crate::deduce::deduce_order(&enc).unwrap();
+        let od_scr = crate::deduce::deduce_order(&scratch).unwrap();
+        let ny = enc.value_id(city, &Value::str("NY")).unwrap();
+        let la = enc.value_id(city, &Value::str("LA")).unwrap();
+        assert!(od_inc.contains(city, ny, la));
+        assert!(od_scr.contains(city, ny, la));
+    }
+
+    #[test]
+    fn extension_instantiates_sigma_on_the_new_tuple() {
+        // σ: t1 <[status] t2 → t1 <[job] t2. Answering status=retired
+        // creates the pair (t_working, to) whose instance forces the job
+        // order too.
+        let spec = tiny_spec();
+        let mut enc = EncodedSpec::encode(&spec);
+        let status = spec.schema().attr_id("status").unwrap();
+        let job = spec.schema().attr_id("job").unwrap();
+        let input = UserInput::single(status, Value::str("retired"));
+        assert_eq!(enc.extend_with_input(&spec, &input), ExtendOutcome::Extended);
+        let od = crate::deduce::deduce_order(&enc).unwrap();
+        let jid = |v: &str| enc.value_id(job, &Value::str(v)).unwrap();
+        assert!(od.contains(job, jid("nurse"), jid("n/a")));
+    }
+
+    #[test]
+    fn extension_rejects_out_of_domain_values() {
+        let spec = tiny_spec();
+        let mut enc = EncodedSpec::encode(&spec);
+        let clauses = enc.cnf().num_clauses();
+        let status = spec.schema().attr_id("status").unwrap();
+        let input = UserInput::single(status, Value::str("deceased"));
+        assert_eq!(
+            enc.extend_with_input(&spec, &input),
+            ExtendOutcome::NeedsRebuild
+        );
+        assert_eq!(enc.cnf().num_clauses(), clauses, "encoding untouched");
+    }
+
+    #[test]
+    fn extension_rejects_lazy_encodings() {
+        let spec = tiny_spec();
+        let mut enc = EncodedSpec::encode_with(
+            &spec,
+            EncodeOptions { full_transitivity: false, ..Default::default() },
+        );
+        let status = spec.schema().attr_id("status").unwrap();
+        let input = UserInput::single(status, Value::str("retired"));
+        assert_eq!(
+            enc.extend_with_input(&spec, &input),
+            ExtendOutcome::NeedsRebuild
+        );
     }
 }

@@ -24,7 +24,7 @@
 mod cnf;
 mod omega;
 
-pub use cnf::EncodedSpec;
+pub use cnf::{EncodedSpec, ExtendOutcome};
 pub use omega::{Conclusion, InstanceConstraint, OrderAtom, Origin};
 
 use cr_types::{AttrId, ValueId};

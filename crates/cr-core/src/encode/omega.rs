@@ -20,7 +20,7 @@ pub struct OrderAtom {
 }
 
 /// Right-hand side of an instance constraint.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Conclusion {
     /// The premise implies this order atom.
     Atom(OrderAtom),
@@ -32,7 +32,7 @@ pub enum Conclusion {
 /// Where an instance constraint came from — used by `TrueDer` to derive
 /// rules only from currency orders and constraints (plus CFDs, handled
 /// separately).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Origin {
     /// A pair of the base partial currency order of `It`.
     BaseOrder,
@@ -46,7 +46,7 @@ pub enum Origin {
 
 /// One instance constraint `premise → conclusion` of Ω(Se). An empty premise
 /// denotes `true →` (a unit).
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct InstanceConstraint {
     /// Conjunction of value-order atoms.
     pub premise: Vec<OrderAtom>,
@@ -60,6 +60,71 @@ pub struct InstanceConstraint {
 pub(crate) struct Instantiated {
     pub space: AttrValueSpace,
     pub omega: Vec<InstanceConstraint>,
+}
+
+/// Instantiates currency constraint `sigma[ci]` on the ordered tuple pair
+/// `(t1, t2)` — the `ins(ω, s1, s2)` of Section V-A. Returns `None` when a
+/// comparison predicate fails, a premise order atom is instantiated on
+/// equal or missing values (vacuous — see the notes in the module docs of
+/// `encode`), or the conclusion is vacuously satisfied.
+///
+/// Shared by the full instantiation below and by
+/// [`EncodedSpec::extend_with_input`](super::EncodedSpec::extend_with_input),
+/// which instantiates only the pairs involving a freshly appended
+/// user-input tuple.
+pub(crate) fn instantiate_pair(
+    space: &AttrValueSpace,
+    constraint: &cr_constraints::CurrencyConstraint,
+    ci: usize,
+    t1: &cr_types::Tuple,
+    t2: &cr_types::Tuple,
+) -> Option<InstanceConstraint> {
+    // Data half of ins(ω, s1, s2): comparison conjuncts.
+    let mut premise: Vec<OrderAtom> = Vec::new();
+    for p in constraint.premises() {
+        match p {
+            Predicate::Order { attr } => {
+                let v1 = t1.get(*attr);
+                let v2 = t2.get(*attr);
+                if v1 == v2 || v1.is_null() || v2.is_null() {
+                    // Equal values satisfy only ⪯, and a premise
+                    // instantiated on *missing* data is vacuous: were
+                    // "null ≺ a" premises counted true, the user-input
+                    // tuple `to` (null everywhere but the answered
+                    // attributes) would fire rules like ϕ8 and claim the
+                    // user's answers are stale. See DESIGN.md §4.
+                    return None;
+                }
+                let lo = space.get(*attr, v1).expect("interned");
+                let hi = space.get(*attr, v2).expect("interned");
+                premise.push(OrderAtom { attr: *attr, lo, hi });
+            }
+            other => {
+                if !other.eval_comparison(t1, t2).expect("comparison predicate") {
+                    return None;
+                }
+            }
+        }
+    }
+    // Conclusion t1 ≺_Ar t2 on values. Equal values satisfy it vacuously; a
+    // null on either side carries no strict obligation (the user-input
+    // tuple `to` of Section III has nulls on every unanswered attribute,
+    // and must not force "value ≺ null").
+    let ar = constraint.conclusion_attr();
+    let w1 = t1.get(ar);
+    let w2 = t2.get(ar);
+    if w1 == w2 || w1.is_null() || w2.is_null() {
+        return None;
+    }
+    let lo = space.get(ar, w1).expect("interned");
+    let hi = space.get(ar, w2).expect("interned");
+    premise.sort_unstable_by_key(|a| (a.attr, a.lo, a.hi));
+    premise.dedup();
+    Some(InstanceConstraint {
+        premise,
+        conclusion: Conclusion::Atom(OrderAtom { attr: ar, lo, hi }),
+        origin: Origin::Currency(ci),
+    })
 }
 
 /// Runs `Instantiation(Se)` (Section V-A).
@@ -148,60 +213,19 @@ pub(crate) fn instantiate(spec: &Specification) -> Instantiated {
         reps.sort_unstable();
 
         for &r1 in &reps {
-            'pair: for &r2 in &reps {
+            for &r2 in &reps {
                 if r1 == r2 {
                     continue;
                 }
-                let t1 = entity.tuple(r1);
-                let t2 = entity.tuple(r2);
-                // Data half of ins(ω, s1, s2): comparison conjuncts.
-                let mut premise: Vec<OrderAtom> = Vec::new();
-                for p in constraint.premises() {
-                    match p {
-                        Predicate::Order { attr } => {
-                            let v1 = t1.get(*attr);
-                            let v2 = t2.get(*attr);
-                            if v1 == v2 || v1.is_null() || v2.is_null() {
-                                // Equal values satisfy only ⪯, and a premise
-                                // instantiated on *missing* data is vacuous:
-                                // were "null ≺ a" premises counted true, the
-                                // user-input tuple `to` (null everywhere but
-                                // the answered attributes) would fire rules
-                                // like ϕ8 and claim the user's answers are
-                                // stale. See DESIGN.md §4.
-                                continue 'pair;
-                            }
-                            let lo = space.get(*attr, v1).expect("interned");
-                            let hi = space.get(*attr, v2).expect("interned");
-                            premise.push(OrderAtom { attr: *attr, lo, hi });
-                        }
-                        other => {
-                            if !other.eval_comparison(t1, t2).expect("comparison predicate") {
-                                continue 'pair;
-                            }
-                        }
-                    }
+                if let Some(c) = instantiate_pair(
+                    &space,
+                    constraint,
+                    ci,
+                    entity.tuple(r1),
+                    entity.tuple(r2),
+                ) {
+                    omega.push(c);
                 }
-                // Conclusion t1 ≺_Ar t2 on values. Equal values satisfy it
-                // vacuously; a null on either side carries no strict
-                // obligation (the user-input tuple `to` of Section III has
-                // nulls on every unanswered attribute, and must not force
-                // "value ≺ null").
-                let ar = constraint.conclusion_attr();
-                let w1 = t1.get(ar);
-                let w2 = t2.get(ar);
-                if w1 == w2 || w1.is_null() || w2.is_null() {
-                    continue;
-                }
-                let lo = space.get(ar, w1).expect("interned");
-                let hi = space.get(ar, w2).expect("interned");
-                premise.sort_unstable_by_key(|a| (a.attr, a.lo, a.hi));
-                premise.dedup();
-                omega.push(InstanceConstraint {
-                    premise,
-                    conclusion: Conclusion::Atom(OrderAtom { attr: ar, lo, hi }),
-                    origin: Origin::Currency(ci),
-                });
             }
         }
     }

@@ -6,15 +6,48 @@
 //! [`UserOracle`]; experiments plug in [`GroundTruthOracle`] (the paper
 //! "simulated user interactions by providing true values for suggested
 //! attributes, some with new values").
+//!
+//! # Incremental resolution engine
+//!
+//! The Fig. 4 loop is the system's hot path: every user interaction
+//! re-enters validity checking and deduction on a specification that grew
+//! by one tuple. With [`ResolutionConfig::incremental`] (the default) the
+//! loop runs on an engine that keeps three pieces of state alive across
+//! rounds instead of rebuilding them:
+//!
+//! * the [`EncodedSpec`] — user answers drawn from the interned value
+//!   space are absorbed by [`EncodedSpec::extend_with_input`], which
+//!   appends the unit clauses and Σ instances induced by the fresh
+//!   user-input tuple (value spaces and the Ω(Se) instantiation of the
+//!   original tuples are invariant under such input);
+//! * one CDCL [`cr_sat::Solver`] shared by the validity check and (for
+//!   [`DeductionMethod::NaiveSat`]) the deduction probes — clauses learnt
+//!   in any phase of any round prune the search in all later ones;
+//! * one root-level [`cr_sat::UnitPropagator`] that resumes from its
+//!   previous fixpoint when the per-round clause delta arrives, so
+//!   `DeduceOrder` does work proportional to the delta's consequences.
+//!
+//! Answers outside the interned space ("new values" in the paper's
+//! terminology) change the value spaces and the Γ instantiation; the
+//! engine then falls back to a full rebuild for that round and resumes
+//! incrementally afterwards. The from-scratch path is kept (set
+//! `incremental: false`) for differential testing — see
+//! `tests/incremental_differential.rs` — and as the paper-faithful
+//! baseline for benchmarks.
+//!
+//! Independent entities share nothing; [`Resolver::resolve_all_parallel`]
+//! fans a batch of resolutions across OS threads with a shared work queue.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use cr_types::{Schema, Tuple};
 
-use crate::deduce::{deduce_order, naive_deduce, DeducedOrders};
-use crate::encode::{EncodeOptions, EncodedSpec};
+use crate::deduce::{deduce_order, deduce_order_from, naive_deduce, naive_deduce_with, DeducedOrders};
+use crate::encode::{EncodeOptions, EncodedSpec, ExtendOutcome};
 use crate::spec::{Specification, UserInput};
-use crate::suggest::{suggest, Suggestion};
+use crate::suggest::{suggest_with_solver, Suggestion};
 use crate::truevalue::{true_values_from_orders, TrueValues};
 
 /// How implied orders are deduced in step (2).
@@ -36,6 +69,10 @@ pub struct ResolutionConfig {
     pub deduction: DeductionMethod,
     /// CNF generation options.
     pub encode: EncodeOptions,
+    /// Reuse the encoding, solver and unit propagator across rounds (see
+    /// the module docs). `false` re-derives everything from scratch every
+    /// round, exactly as the paper describes the loop.
+    pub incremental: bool,
 }
 
 impl Default for ResolutionConfig {
@@ -44,6 +81,60 @@ impl Default for ResolutionConfig {
             max_rounds: 10,
             deduction: DeductionMethod::UnitPropagation,
             encode: EncodeOptions::default(),
+            incremental: true,
+        }
+    }
+}
+
+/// Round-persistent state of the incremental path: the extended encoding
+/// plus the solver and propagator kept in sync with its CNF.
+struct IncrementalEngine {
+    enc: EncodedSpec,
+    solver: cr_sat::Solver,
+    up: cr_sat::UnitPropagator,
+    /// Clauses of `enc.cnf()` already fed to `solver` and `up`.
+    synced: usize,
+}
+
+impl IncrementalEngine {
+    fn new(spec: &Specification, options: EncodeOptions) -> Self {
+        let enc = EncodedSpec::encode_with(spec, options);
+        let solver = cr_sat::Solver::from_cnf(enc.cnf());
+        let up = cr_sat::UnitPropagator::new(enc.cnf());
+        let synced = enc.cnf().num_clauses();
+        IncrementalEngine { enc, solver, up, synced }
+    }
+
+    /// Absorbs one round of user input. `before` is the specification the
+    /// engine currently represents, `extended` the result of
+    /// [`Specification::apply_user_input`] on it.
+    fn absorb_input(
+        &mut self,
+        before: &Specification,
+        extended: &Specification,
+        input: &UserInput,
+        options: EncodeOptions,
+    ) {
+        match self.enc.extend_with_input(before, input) {
+            ExtendOutcome::Extended => {
+                self.solver.extend_from_cnf(self.enc.cnf(), self.synced);
+                self.up.extend_from_cnf(self.enc.cnf(), self.synced);
+                self.synced = self.enc.cnf().num_clauses();
+            }
+            // Out-of-domain answers change the value spaces: rebuild once,
+            // then continue incrementally from the new state.
+            ExtendOutcome::NeedsRebuild => *self = IncrementalEngine::new(extended, options),
+        }
+    }
+
+    fn is_valid(&mut self) -> bool {
+        self.solver.solve() == cr_sat::SolveResult::Sat
+    }
+
+    fn deduce(&mut self, method: DeductionMethod) -> Option<DeducedOrders> {
+        match method {
+            DeductionMethod::UnitPropagation => deduce_order_from(&mut self.up, &self.enc),
+            DeductionMethod::NaiveSat => naive_deduce_with(&mut self.solver, &self.enc),
         }
     }
 }
@@ -65,6 +156,22 @@ pub struct RoundReport {
     pub suggestion_size: usize,
     /// Attributes the user answered.
     pub user_answers: usize,
+}
+
+impl RoundReport {
+    /// A report for a round that ended without a suggestion: invalid
+    /// specification, complete true values, or the final allowed round.
+    fn settled(round: usize, validity: Duration, deduce: Duration, known: usize) -> Self {
+        RoundReport {
+            round,
+            validity,
+            deduce,
+            suggest: Duration::ZERO,
+            known_after_deduce: known,
+            suggestion_size: 0,
+            user_answers: 0,
+        }
+    }
 }
 
 /// Outcome of a resolution run.
@@ -165,8 +272,123 @@ impl Resolver {
         Resolver::new(ResolutionConfig::default())
     }
 
-    /// Runs the loop of Fig. 4 on `spec` with `oracle` as the user.
+    /// Runs the loop of Fig. 4 on `spec` with `oracle` as the user,
+    /// dispatching to the incremental engine or the from-scratch loop per
+    /// [`ResolutionConfig::incremental`].
     pub fn resolve(&self, spec: &Specification, oracle: &mut dyn UserOracle) -> ResolutionOutcome {
+        if self.config.incremental {
+            self.resolve_incremental(spec, oracle)
+        } else {
+            self.resolve_scratch(spec, oracle)
+        }
+    }
+
+    /// The Fig. 4 loop on the round-persistent [`IncrementalEngine`].
+    fn resolve_incremental(
+        &self,
+        spec: &Specification,
+        oracle: &mut dyn UserOracle,
+    ) -> ResolutionOutcome {
+        let mut current = spec.clone();
+        let mut rounds = Vec::new();
+        let mut interactions = 0;
+        let mut user_values = 0;
+        let mut ot_size = 0;
+        let arity = spec.schema().arity();
+        let mut last_values = TrueValues::new(vec![None; arity]);
+        let mut engine: Option<IncrementalEngine> = None;
+
+        for round in 0..=self.config.max_rounds {
+            // (1) Validity checking. Round 0 pays the encode + solver
+            // construction; later rounds only re-solve after the delta.
+            let t0 = Instant::now();
+            let eng = match engine.as_mut() {
+                Some(e) => e,
+                None => engine.insert(IncrementalEngine::new(&current, self.config.encode)),
+            };
+            let valid = eng.is_valid();
+            let validity = t0.elapsed();
+            if !valid {
+                rounds.push(RoundReport::settled(round, validity, Duration::ZERO, 0));
+                return ResolutionOutcome {
+                    resolved: last_values,
+                    valid: false,
+                    complete: false,
+                    interactions,
+                    user_values,
+                    ot_size,
+                    rounds,
+                };
+            }
+
+            // (2) True value deducing.
+            let t1 = Instant::now();
+            let od: DeducedOrders = eng
+                .deduce(self.config.deduction)
+                .expect("deduction cannot conflict on a valid specification");
+            let values = true_values_from_orders(&eng.enc, &od);
+            let deduce = t1.elapsed();
+            last_values = values.clone();
+
+            // (3) T(Se ⊕ Ot) exists?
+            if values.complete() {
+                rounds.push(RoundReport::settled(round, validity, deduce, values.known_count()));
+                return ResolutionOutcome {
+                    resolved: values,
+                    valid: true,
+                    complete: true,
+                    interactions,
+                    user_values,
+                    ot_size,
+                    rounds,
+                };
+            }
+            if round == self.config.max_rounds {
+                rounds.push(RoundReport::settled(round, validity, deduce, values.known_count()));
+                break;
+            }
+
+            // (4) Generate a suggestion and ask the user.
+            let t2 = Instant::now();
+            let sug: Suggestion =
+                suggest_with_solver(&current, &eng.enc, &od, &values, &mut eng.solver);
+            let suggest_time = t2.elapsed();
+            let input = oracle.provide(spec.schema(), &sug);
+            rounds.push(RoundReport {
+                round,
+                validity,
+                deduce,
+                suggest: suggest_time,
+                known_after_deduce: values.known_count(),
+                suggestion_size: sug.len(),
+                user_answers: input.values.len(),
+            });
+            if input.is_empty() {
+                break; // user settles with partial true values
+            }
+            interactions += 1;
+            user_values += input.values.len();
+            let (extended, _to, added) = current.apply_user_input(&input);
+            ot_size += added;
+            eng.absorb_input(&current, &extended, &input, self.config.encode);
+            current = extended;
+        }
+
+        ResolutionOutcome {
+            complete: last_values.complete(),
+            resolved: last_values,
+            valid: true,
+            interactions,
+            user_values,
+            ot_size,
+            rounds,
+        }
+    }
+
+    /// The Fig. 4 loop exactly as the paper describes it: every round
+    /// re-encodes the extended specification and constructs fresh solvers.
+    /// Kept as the differential-testing baseline for the incremental path.
+    fn resolve_scratch(&self, spec: &Specification, oracle: &mut dyn UserOracle) -> ResolutionOutcome {
         let mut current = spec.clone();
         let mut rounds = Vec::new();
         let mut interactions = 0;
@@ -185,15 +407,7 @@ impl Resolver {
             if !valid {
                 // With a trusted oracle this means the *initial* Se has
                 // conflicts; report invalid.
-                rounds.push(RoundReport {
-                    round,
-                    validity,
-                    deduce: Duration::ZERO,
-                    suggest: Duration::ZERO,
-                    known_after_deduce: 0,
-                    suggestion_size: 0,
-                    user_answers: 0,
-                });
+                rounds.push(RoundReport::settled(round, validity, Duration::ZERO, 0));
                 return ResolutionOutcome {
                     resolved: last_values,
                     valid: false,
@@ -218,15 +432,7 @@ impl Resolver {
 
             // (3) T(Se ⊕ Ot) exists?
             if values.complete() {
-                rounds.push(RoundReport {
-                    round,
-                    validity,
-                    deduce,
-                    suggest: Duration::ZERO,
-                    known_after_deduce: values.known_count(),
-                    suggestion_size: 0,
-                    user_answers: 0,
-                });
+                rounds.push(RoundReport::settled(round, validity, deduce, values.known_count()));
                 return ResolutionOutcome {
                     resolved: values,
                     valid: true,
@@ -238,21 +444,13 @@ impl Resolver {
                 };
             }
             if round == self.config.max_rounds {
-                rounds.push(RoundReport {
-                    round,
-                    validity,
-                    deduce,
-                    suggest: Duration::ZERO,
-                    known_after_deduce: values.known_count(),
-                    suggestion_size: 0,
-                    user_answers: 0,
-                });
+                rounds.push(RoundReport::settled(round, validity, deduce, values.known_count()));
                 break;
             }
 
             // (4) Generate a suggestion and ask the user.
             let t2 = Instant::now();
-            let sug: Suggestion = suggest(&current, &enc, &od, &values);
+            let sug: Suggestion = suggest_with_solver(&current, &enc, &od, &values, &mut solver);
             let suggest_time = t2.elapsed();
             let input = oracle.provide(spec.schema(), &sug);
             rounds.push(RoundReport {
@@ -283,6 +481,77 @@ impl Resolver {
             ot_size,
             rounds,
         }
+    }
+}
+
+impl Resolver {
+    /// Resolves a batch of independent entities in parallel, fanning them
+    /// across `threads` OS threads with a shared work queue (entity costs
+    /// vary wildly, so static chunking would leave cores idle).
+    /// `make_oracle` builds the per-entity user oracle from the entity's
+    /// index. Results are returned in input order.
+    ///
+    /// Entity resolutions share no state, which makes this embarrassingly
+    /// parallel; it is the entry point `cr-bench` and the fig8 binaries use
+    /// for dataset-wide sweeps. (Implemented with `std::thread::scope` — a
+    /// work-stealing runtime like rayon is unavailable offline and overkill
+    /// for a flat fan-out.)
+    pub fn resolve_all_parallel_with_threads<O, F>(
+        &self,
+        specs: &[Specification],
+        make_oracle: F,
+        threads: usize,
+    ) -> Vec<ResolutionOutcome>
+    where
+        O: UserOracle,
+        F: Fn(usize) -> O + Sync,
+    {
+        if specs.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.clamp(1, specs.len());
+        if threads == 1 {
+            return specs
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| self.resolve(spec, &mut make_oracle(i)))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<ResolutionOutcome>> =
+            specs.iter().map(|_| OnceLock::new()).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= specs.len() {
+                        break;
+                    }
+                    let mut oracle = make_oracle(i);
+                    let outcome = self.resolve(&specs[i], &mut oracle);
+                    slots[i].set(outcome).expect("each index claimed once");
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every entity resolved"))
+            .collect()
+    }
+
+    /// [`Resolver::resolve_all_parallel_with_threads`] with one thread per
+    /// available core.
+    pub fn resolve_all_parallel<O, F>(
+        &self,
+        specs: &[Specification],
+        make_oracle: F,
+    ) -> Vec<ResolutionOutcome>
+    where
+        O: UserOracle,
+        F: Fn(usize) -> O + Sync,
+    {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.resolve_all_parallel_with_threads(specs, make_oracle, threads)
     }
 }
 

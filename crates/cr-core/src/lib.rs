@@ -43,8 +43,11 @@ pub mod spec;
 pub mod suggest;
 pub mod truevalue;
 
-pub use deduce::{deduce_order, naive_deduce, naive_deduce_fresh, DeducedOrders};
-pub use encode::{EncodeOptions, EncodedSpec};
+pub use deduce::{
+    deduce_order, deduce_order_from, naive_deduce, naive_deduce_fresh, naive_deduce_with,
+    DeducedOrders,
+};
+pub use encode::{EncodeOptions, EncodedSpec, ExtendOutcome};
 pub use framework::{ResolutionConfig, ResolutionOutcome, Resolver, RoundReport};
 pub use implication::{explain_invalidity, implies, ConflictPart};
 pub use isvalid::{is_valid, Validity};
@@ -52,5 +55,5 @@ pub use metrics::{Accuracy, FMeasure};
 pub use orders::PartialOrders;
 pub use pick::pick_baseline;
 pub use spec::{Specification, UserInput};
-pub use suggest::{suggest, Suggestion};
+pub use suggest::{suggest, suggest_with_solver, Suggestion};
 pub use truevalue::{possible_current_values, true_values_from_orders, TrueValues};

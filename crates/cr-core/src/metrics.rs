@@ -91,14 +91,11 @@ impl Accuracy {
             self.fully_resolved += 1;
         }
         for &attr in &relevant {
-            match resolved.get(attr) {
-                Some(v) => {
-                    self.deduced += 1;
-                    if v == truth.get(attr) {
-                        self.correct += 1;
-                    }
+            if let Some(v) = resolved.get(attr) {
+                self.deduced += 1;
+                if v == truth.get(attr) {
+                    self.correct += 1;
                 }
-                None => {}
             }
         }
     }

@@ -186,6 +186,19 @@ pub fn true_der(
         }
     }
 
+    // Canonicalise the premise pools: shortest (weakest-assumption)
+    // premises first, ties broken lexicographically, duplicates removed.
+    // This makes the greedy cover below insensitive to the order in which
+    // Ω(Se) was produced — in particular, the incremental engine appends
+    // delta instances in a different order (and with different duplicates)
+    // than a from-scratch instantiation of the extended specification.
+    for pools in by_conclusion.values_mut() {
+        for premises in pools.values_mut() {
+            premises.sort_unstable_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+            premises.dedup();
+        }
+    }
+
     for (battr, cands) in candidates.iter().enumerate() {
         let battr = AttrId(battr as u16);
         if cands.len() < 2 {

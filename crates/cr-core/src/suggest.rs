@@ -53,13 +53,29 @@ pub fn suggest(
     od: &DeducedOrders,
     known: &TrueValues,
 ) -> Suggestion {
+    let mut solver = cr_sat::Solver::from_cnf(enc.cnf());
+    suggest_with_solver(spec, enc, od, known, &mut solver)
+}
+
+/// [`suggest`] against a caller-owned solver already loaded with `Φ(Se)`
+/// (plus any learnt clauses). The resolution engine passes its warm
+/// incremental solver here, so the common case of `GetSug` — the whole
+/// clique is consistent — costs one assumption probe instead of copying
+/// `Φ(Se)` into a fresh MaxSAT instance.
+pub fn suggest_with_solver(
+    spec: &Specification,
+    enc: &EncodedSpec,
+    od: &DeducedOrders,
+    known: &TrueValues,
+    solver: &mut cr_sat::Solver,
+) -> Suggestion {
     // DeriveVR + TrueDer + CompGraph + MaxClique.
     let rules = true_der(spec, enc, od, known);
     let graph = compatibility_graph(&rules);
     let clique = find_max_clique(&graph, CliqueStrategy::default());
 
     // GetSug: retain a maximum subset of the clique consistent with Φ(Se).
-    let selected = max_consistent_subset(enc, &rules, &clique);
+    let selected = max_consistent_subset(enc, &rules, &clique, solver);
 
     // A' = attributes reachable from the known/asked set by chaining the
     // selected rules (a rule fires once all of its LHS attributes are
@@ -122,23 +138,45 @@ pub fn suggest(
 /// implying "all its asserted values are tops of their attributes"; soft
 /// unit clauses maximise the number of selected rules. Returns the indices
 /// (into `rules`) of the retained clique members.
+///
+/// Fast path: when the clique's combined assertions are jointly satisfiable
+/// with `Φ(Se)` — one incremental probe on `solver` — the MaxSAT optimum
+/// keeps every clique member, so the instance is never built. Real
+/// suggestions overwhelmingly hit this case; the repair only runs when the
+/// clique genuinely over-asserts.
 fn max_consistent_subset(
     enc: &EncodedSpec,
     rules: &[DerivationRule],
     clique: &[usize],
+    solver: &mut cr_sat::Solver,
 ) -> Vec<usize> {
     if clique.is_empty() {
         return Vec::new();
+    }
+    let mut assumptions: Vec<cr_sat::Lit> = clique
+        .iter()
+        .flat_map(|&ri| {
+            let rule = &rules[ri];
+            rule.lhs
+                .iter()
+                .copied()
+                .chain(std::iter::once(rule.rhs))
+                .flat_map(|(attr, v)| top_literals(enc, attr, v))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    assumptions.sort_unstable();
+    assumptions.dedup();
+    if solver.solve_with_assumptions(&assumptions) == cr_sat::SolveResult::Sat {
+        return clique.to_vec();
     }
     let mut inst = MaxSatInstance::new(enc.cnf().num_vars());
     for clause in enc.cnf().clauses() {
         inst.add_hard(clause.iter().copied());
     }
     let mut selectors = Vec::with_capacity(clique.len());
-    let mut next_var = enc.cnf().num_vars();
-    for &ri in clique {
-        let sel = cr_sat::Var(next_var);
-        next_var += 1;
+    for (offset, &ri) in clique.iter().enumerate() {
+        let sel = cr_sat::Var(enc.cnf().num_vars() + offset as u32);
         selectors.push(sel);
         let rule = &rules[ri];
         let assertions = rule

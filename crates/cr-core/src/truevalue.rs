@@ -81,18 +81,23 @@ pub fn true_values_from_orders(enc: &EncodedSpec, od: &DeducedOrders) -> TrueVal
     let arity = enc.space().arity();
     let mut out = Vec::with_capacity(arity);
     for attr in (0..arity as u16).map(AttrId) {
-        let n = enc.space().attr(attr).len() as u32;
+        let n = enc.space().attr(attr).len();
         if n == 0 {
             // Attribute entirely absent from the instance (no tuples at
             // all): nothing to resolve.
             out.push(Some(Value::Null));
             continue;
         }
-        let top = (0..n).map(ValueId).find(|&a| {
-            (0..n)
-                .map(ValueId)
-                .all(|b| b == a || od.contains(attr, b, a))
-        });
+        // `a` is the top iff every other value is deduced below it: count
+        // distinct dominated values per candidate in one pass over the
+        // deduced pairs instead of probing the set O(n²) times.
+        let mut below = vec![0u32; n];
+        for (_, hi) in od.pairs(attr) {
+            below[hi.index()] += 1;
+        }
+        let top = (0..n as u32)
+            .map(ValueId)
+            .find(|a| below[a.index()] as usize == n - 1);
         out.push(top.map(|t| enc.value(attr, t).clone()));
     }
     TrueValues::new(out)

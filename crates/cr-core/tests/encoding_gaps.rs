@@ -1,6 +1,6 @@
-//! Documents the gap between the paper's encoding (Section V-A: transitivity
-//! + asymmetry, **no totality**) and the completion semantics, and shows the
-//! totality clauses close it. See DESIGN.md §4 and
+//! Documents the gap between the paper's encoding (Section V-A:
+//! transitivity and asymmetry, **no totality**) and the completion
+//! semantics, and shows the totality clauses close it. See DESIGN.md §4 and
 //! `EncodeOptions::paper_faithful`.
 
 use proptest::prelude::*;

@@ -286,9 +286,9 @@ fn generate_player(
         let team = teams[stint];
         let tnames = &league.team_tnames[team];
         let arenas = &league.team_arenas[team];
-        let points = r.gen_range(200..2500) * 10 + s_idx as i64; // distinct per season
-        let poss = r.gen_range(500..4000) * 10 + s_idx as i64;
-        let minutes = r.gen_range(500..3000) * 10 + s_idx as i64;
+        let points = r.gen_range(200..2500i64) * 10 + s_idx as i64; // distinct per season
+        let poss = r.gen_range(500..4000i64) * 10 + s_idx as i64;
+        let minutes = r.gen_range(500..3000i64) * 10 + s_idx as i64;
         allpoints += points;
         // Season position within the stint drives renames and arena moves.
         let stint_start = (stint * seasons).div_ceil(stints);
@@ -341,12 +341,12 @@ fn generate_player(
             for slot in [7usize, 9] {
                 if r.gen_bool(0.08) {
                     if let Value::Int(v) = vals[slot] {
-                        vals[slot] = Value::int(v + [-2i64, 2, 4][r.gen_range(0..3)]);
+                        vals[slot] = Value::int(v + [-2i64, 2, 4][r.gen_range(0..3usize)]);
                     }
                 }
             }
             if allow_null && r.gen_bool(0.3) {
-                let slot = [7usize, 9, 11, 12][r.gen_range(0..4)];
+                let slot = [7usize, 9, 11, 12][r.gen_range(0..4usize)];
                 vals[slot] = Value::Null;
             }
         }

@@ -88,13 +88,13 @@ pub fn encode_at_most_k(cnf: &mut Cnf, lits: &[Lit], k: usize) {
         .collect();
     // First literal seeds the counter.
     cnf.add_clause([lits[0].negate(), regs[0][0].positive()]);
-    for j in 1..k {
-        cnf.add_clause([regs[0][j].negative()]);
+    for reg in &regs[0][1..] {
+        cnf.add_clause([reg.negative()]);
     }
     for i in 1..n - 1 {
         // Carry: r[i][j] ← r[i-1][j].
-        for j in 0..k {
-            cnf.add_clause([regs[i - 1][j].negative(), regs[i][j].positive()]);
+        for (prev, cur) in regs[i - 1].iter().zip(&regs[i]) {
+            cnf.add_clause([prev.negative(), cur.positive()]);
         }
         // Increment: r[i][0] ← lits[i]; r[i][j] ← lits[i] ∧ r[i-1][j-1].
         cnf.add_clause([lits[i].negate(), regs[i][0].positive()]);

@@ -25,7 +25,7 @@ fn to_instance(inst: &Inst) -> MaxSatInstance {
 }
 
 fn lit(code: i32, num_vars: u32) -> cr_sat::Lit {
-    let var = Var((code.unsigned_abs() as u32 - 1) % num_vars);
+    let var = Var((code.unsigned_abs() - 1) % num_vars);
     var.lit(code > 0)
 }
 

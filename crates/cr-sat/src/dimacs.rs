@@ -61,7 +61,7 @@ pub fn parse(text: &str) -> Result<Cnf, DimacsError> {
             match Lit::from_dimacs(code) {
                 Some(lit) => current.push(lit),
                 None => {
-                    cnf.add_clause(current.drain(..).collect::<Vec<_>>());
+                    cnf.add_clause(std::mem::take(&mut current));
                 }
             }
         }

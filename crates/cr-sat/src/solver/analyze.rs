@@ -157,6 +157,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn minimisation_counter_moves() {
         // A modest pigeonhole instance exercises minimisation.
         let mut s = Solver::new();

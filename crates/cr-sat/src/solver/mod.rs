@@ -121,13 +121,34 @@ impl Solver {
     /// Builds a solver preloaded with every clause of `cnf`.
     pub fn from_cnf(cnf: &Cnf) -> Self {
         let mut s = Solver::new();
-        while s.num_vars() < cnf.num_vars() {
-            s.new_var();
-        }
-        for clause in cnf.clauses() {
-            s.add_clause(clause.iter().copied());
-        }
+        s.extend_from_cnf(cnf, 0);
         s
+    }
+
+    /// Appends the clauses of `cnf` starting at clause index `from`,
+    /// allocating any missing variables. May be called between solves; all
+    /// learnt clauses and variable activities are retained, which is what
+    /// makes the resolution framework's per-round extension cheap.
+    ///
+    /// Returns `false` if the formula became trivially unsatisfiable.
+    pub fn extend_from_cnf(&mut self, cnf: &Cnf, from: usize) -> bool {
+        while self.num_vars() < cnf.num_vars() {
+            self.new_var();
+        }
+        for clause in &cnf.clauses()[from..] {
+            self.add_clause(clause.iter().copied());
+        }
+        self.ok
+    }
+
+    /// Root-level value of `v`: `Some(b)` iff the variable is already fixed
+    /// by top-level propagation (original clauses, learnt units and their
+    /// consequences). Such variables are implied by the formula, so callers
+    /// like `NaiveDeduce` can skip SAT probes on them. Only meaningful
+    /// between solves (at decision level zero).
+    pub fn root_value(&self, v: Var) -> Option<bool> {
+        debug_assert_eq!(self.decision_level(), 0);
+        self.assigns[v.index()].to_option()
     }
 
     /// Number of variables.
@@ -517,6 +538,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn pigeonhole_3_into_2_is_unsat() {
         // p_{i,j}: pigeon i in hole j; i in 0..3, j in 0..2.
         let mut s = Solver::new();
@@ -533,6 +555,52 @@ mod tests {
         }
         assert_eq!(s.solve(), SolveResult::Unsat);
         assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn extend_from_cnf_between_solves_keeps_state() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([a.positive(), b.positive()]);
+        let mut s = Solver::from_cnf(&cnf);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Extend the same Cnf and sync only the tail.
+        let synced = cnf.num_clauses();
+        cnf.add_clause([a.negative()]);
+        cnf.add_clause([b.negative()]);
+        assert!(!s.extend_from_cnf(&cnf, synced));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn extend_from_cnf_grows_variables() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        cnf.add_clause([a.positive()]);
+        let mut s = Solver::from_cnf(&cnf);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let synced = cnf.num_clauses();
+        let b = cnf.new_var();
+        cnf.add_clause([a.negative(), b.positive()]);
+        assert!(s.extend_from_cnf(&cnf, synced));
+        assert_eq!(s.num_vars(), 2);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(b), Some(true));
+    }
+
+    #[test]
+    fn root_value_reflects_top_level_propagation() {
+        let mut s = Solver::new();
+        let v = nvars(&mut s, 3);
+        s.add_clause(lits(&v, &[1]));
+        s.add_clause(lits(&v, &[-1, 2]));
+        assert_eq!(s.root_value(v[0]), Some(true));
+        assert_eq!(s.root_value(v[1]), Some(true));
+        assert_eq!(s.root_value(v[2]), None);
+        // Still None for free variables after a solve (model is separate).
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.root_value(v[2]), None);
     }
 
     #[test]

@@ -72,6 +72,7 @@ mod tests {
     /// Push the solver through enough conflicts that at least one DB
     /// reduction happens, then check it still answers correctly.
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn reduction_does_not_break_correctness() {
         let mut s = Solver::new();
         // A satisfiable but conflict-rich instance: overlapping pigeonhole

@@ -27,6 +27,14 @@ pub enum UpOutcome {
 }
 
 /// Reusable root-level unit propagation engine.
+///
+/// The propagator is **incremental**: [`UnitPropagator::add_clause`] (or
+/// [`UnitPropagator::extend_from_cnf`]) may be called after a
+/// [`UnitPropagator::run`] has reached a fixpoint, and the next `run`
+/// resumes from that fixpoint — only the consequences of the new clauses
+/// are propagated, and `implied` keeps accumulating across runs. This is
+/// what lets the resolution framework keep one propagator alive across all
+/// user-interaction rounds instead of re-reducing `Φ(Se)` from scratch.
 pub struct UnitPropagator {
     /// Deduplicated clauses; tautologies marked satisfied at ingestion.
     clauses: Vec<Vec<Lit>>,
@@ -60,12 +68,33 @@ impl UnitPropagator {
         up
     }
 
+    /// Grows the variable tables to hold at least `n` variables.
+    pub fn ensure_vars(&mut self, n: usize) {
+        if self.assign.len() < n {
+            self.assign.resize(n, LBool::Undef);
+            self.occurs.resize(n * 2, Vec::new());
+        }
+    }
+
+    /// Appends the clauses of `cnf` starting at clause index `from`,
+    /// growing the variable tables as needed. Used to sync the propagator
+    /// with a [`Cnf`] that was extended since the last call.
+    pub fn extend_from_cnf(&mut self, cnf: &Cnf, from: usize) {
+        self.ensure_vars(cnf.num_vars() as usize);
+        for clause in &cnf.clauses()[from..] {
+            self.add_clause(clause);
+        }
+    }
+
     /// Adds one clause (used for incremental extension with user input).
     pub fn add_clause(&mut self, lits: &[Lit]) {
         let mut clause: Vec<Lit> = lits.to_vec();
         clause.sort_unstable();
         clause.dedup();
         let tautology = clause.windows(2).any(|w| w[0] == w[1].negate());
+        if let Some(max_var) = clause.iter().map(|l| l.var().index()).max() {
+            self.ensure_vars(max_var + 1);
+        }
         let idx = self.clauses.len() as u32;
         // Account for already-assigned literals.
         let mut sat = tautology;
@@ -105,23 +134,34 @@ impl UnitPropagator {
         }
     }
 
-    /// Runs propagation to fixpoint and reports the implied literals.
+    /// Runs propagation to fixpoint and reports **all** implied literals
+    /// accumulated so far (including those of earlier runs).
+    ///
+    /// Clones the accumulated set; resumed callers on a hot path should
+    /// prefer [`UnitPropagator::propagate_to_fixpoint`], which borrows it.
     pub fn run(&mut self) -> UpOutcome {
-        if self.conflict {
-            return UpOutcome::Conflict;
+        match self.propagate_to_fixpoint() {
+            None => UpOutcome::Conflict,
+            Some(implied) => UpOutcome::Fixpoint { implied: implied.to_vec() },
         }
-        // Seed with pre-existing unit clauses.
-        for i in 0..self.clauses.len() {
-            if !self.satisfied[i] && self.clauses[i].len() == 1 {
-                self.queue.push(self.clauses[i][0]);
-            }
+    }
+
+    /// Runs propagation to fixpoint, borrowing the accumulated implied set
+    /// (all runs so far, in derivation order); `None` on contradiction.
+    ///
+    /// Unit clauses are queued at [`UnitPropagator::add_clause`] time, so a
+    /// resumed run only performs work proportional to the consequences of
+    /// the clauses added since the previous fixpoint.
+    pub fn propagate_to_fixpoint(&mut self) -> Option<&[Lit]> {
+        if self.conflict {
+            return None;
         }
         while let Some(lit) = self.queue.pop() {
             match self.value(lit) {
                 LBool::True => continue,
                 LBool::False => {
                     self.conflict = true;
-                    return UpOutcome::Conflict;
+                    return None;
                 }
                 LBool::Undef => {}
             }
@@ -147,7 +187,7 @@ impl UnitPropagator {
                 let remaining = self.clauses[ci].len() as u32 - self.false_count[ci];
                 if remaining == 0 {
                     self.conflict = true;
-                    return UpOutcome::Conflict;
+                    return None;
                 }
                 if remaining == 1 {
                     // Locate the lone non-false literal.
@@ -164,7 +204,7 @@ impl UnitPropagator {
             }
             self.occurs[neg.index()] = shrink_list;
         }
-        UpOutcome::Fixpoint { implied: self.implied.clone() }
+        Some(&self.implied)
     }
 
     /// The current truth value of a literal after [`UnitPropagator::run`].

@@ -1,0 +1,132 @@
+//! Minimal offline stand-in for the `criterion` crate (see
+//! `shims/README.md`): wall-clock timing with median-of-samples reporting,
+//! no statistics engine, no plotting.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Default number of timed samples per benchmark.
+    pub sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup { name, sample_size: self.sample_size }
+    }
+}
+
+/// Identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` identifier.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        run_one(&self.name, &id.to_string(), self.sample_size, &mut f);
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(&self.name, &id.label, self.sample_size, &mut |b| f(b, input));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; times the iteration body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample per call.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up: one untimed run.
+        black_box(f());
+        let start = Instant::now();
+        black_box(f());
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_one(group: &str, id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { samples: Vec::with_capacity(sample_size) };
+    for _ in 0..sample_size.max(1) {
+        f(&mut bencher);
+    }
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples recorded");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    println!(
+        "{group}/{id}: median {:>10.3?}  mean {:>10.3?}  ({} samples)",
+        median,
+        mean,
+        samples.len()
+    );
+}
+
+/// Declares a benchmark group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
