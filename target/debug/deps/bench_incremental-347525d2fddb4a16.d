@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_incremental-347525d2fddb4a16.d: crates/cr-bench/src/bin/bench_incremental.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_incremental-347525d2fddb4a16.rmeta: crates/cr-bench/src/bin/bench_incremental.rs Cargo.toml
+
+crates/cr-bench/src/bin/bench_incremental.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

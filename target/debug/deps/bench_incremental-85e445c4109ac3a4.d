@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_incremental-85e445c4109ac3a4.d: crates/cr-bench/src/bin/bench_incremental.rs
+
+/root/repo/target/debug/deps/libbench_incremental-85e445c4109ac3a4.rmeta: crates/cr-bench/src/bin/bench_incremental.rs
+
+crates/cr-bench/src/bin/bench_incremental.rs:

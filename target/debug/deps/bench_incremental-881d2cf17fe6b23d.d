@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_incremental-881d2cf17fe6b23d.d: crates/cr-bench/src/bin/bench_incremental.rs
+
+/root/repo/target/debug/deps/bench_incremental-881d2cf17fe6b23d: crates/cr-bench/src/bin/bench_incremental.rs
+
+crates/cr-bench/src/bin/bench_incremental.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_incremental-8ff6252af261df7d.d: crates/cr-bench/src/bin/bench_incremental.rs
+
+/root/repo/target/debug/deps/bench_incremental-8ff6252af261df7d: crates/cr-bench/src/bin/bench_incremental.rs
+
+crates/cr-bench/src/bin/bench_incremental.rs:

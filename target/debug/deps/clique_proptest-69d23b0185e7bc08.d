@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clique_proptest-69d23b0185e7bc08.d: crates/cr-clique/tests/clique_proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclique_proptest-69d23b0185e7bc08.rmeta: crates/cr-clique/tests/clique_proptest.rs Cargo.toml
+
+crates/cr-clique/tests/clique_proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clique_proptest-c7cb7aea313177a9.d: crates/cr-clique/tests/clique_proptest.rs
+
+/root/repo/target/debug/deps/clique_proptest-c7cb7aea313177a9: crates/cr-clique/tests/clique_proptest.rs
+
+crates/cr-clique/tests/clique_proptest.rs:

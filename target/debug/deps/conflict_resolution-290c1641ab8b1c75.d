@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/conflict_resolution-290c1641ab8b1c75.d: src/lib.rs
+
+/root/repo/target/debug/deps/libconflict_resolution-290c1641ab8b1c75.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libconflict_resolution-290c1641ab8b1c75.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conflict_resolution-5516b836022d8778.d: src/lib.rs
+
+/root/repo/target/debug/deps/conflict_resolution-5516b836022d8778: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conflict_resolution-870394a4f525241c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libconflict_resolution-870394a4f525241c.rmeta: src/lib.rs
+
+src/lib.rs:

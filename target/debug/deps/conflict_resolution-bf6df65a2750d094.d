@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conflict_resolution-bf6df65a2750d094.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconflict_resolution-bf6df65a2750d094.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conflict_resolution-e0367cd9625fb6bc.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconflict_resolution-e0367cd9625fb6bc.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

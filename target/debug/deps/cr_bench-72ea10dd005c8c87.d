@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cr_bench-72ea10dd005c8c87.d: crates/cr-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcr_bench-72ea10dd005c8c87.rlib: crates/cr-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcr_bench-72ea10dd005c8c87.rmeta: crates/cr-bench/src/lib.rs
+
+crates/cr-bench/src/lib.rs:

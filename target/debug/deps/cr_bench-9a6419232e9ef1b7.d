@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cr_bench-9a6419232e9ef1b7.d: crates/cr-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcr_bench-9a6419232e9ef1b7.rmeta: crates/cr-bench/src/lib.rs Cargo.toml
+
+crates/cr-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

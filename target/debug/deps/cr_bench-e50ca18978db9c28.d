@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cr_bench-e50ca18978db9c28.d: crates/cr-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcr_bench-e50ca18978db9c28.rmeta: crates/cr-bench/src/lib.rs
+
+crates/cr-bench/src/lib.rs:

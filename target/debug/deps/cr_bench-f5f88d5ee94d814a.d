@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cr_bench-f5f88d5ee94d814a.d: crates/cr-bench/src/lib.rs
+
+/root/repo/target/debug/deps/cr_bench-f5f88d5ee94d814a: crates/cr-bench/src/lib.rs
+
+crates/cr-bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cr_clique-5826d3ff1f7a10f9.d: crates/cr-clique/src/lib.rs crates/cr-clique/src/exact.rs crates/cr-clique/src/graph.rs crates/cr-clique/src/greedy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcr_clique-5826d3ff1f7a10f9.rmeta: crates/cr-clique/src/lib.rs crates/cr-clique/src/exact.rs crates/cr-clique/src/graph.rs crates/cr-clique/src/greedy.rs Cargo.toml
+
+crates/cr-clique/src/lib.rs:
+crates/cr-clique/src/exact.rs:
+crates/cr-clique/src/graph.rs:
+crates/cr-clique/src/greedy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cr_clique-9045bbda8f2273b9.d: crates/cr-clique/src/lib.rs crates/cr-clique/src/exact.rs crates/cr-clique/src/graph.rs crates/cr-clique/src/greedy.rs
+
+/root/repo/target/debug/deps/libcr_clique-9045bbda8f2273b9.rlib: crates/cr-clique/src/lib.rs crates/cr-clique/src/exact.rs crates/cr-clique/src/graph.rs crates/cr-clique/src/greedy.rs
+
+/root/repo/target/debug/deps/libcr_clique-9045bbda8f2273b9.rmeta: crates/cr-clique/src/lib.rs crates/cr-clique/src/exact.rs crates/cr-clique/src/graph.rs crates/cr-clique/src/greedy.rs
+
+crates/cr-clique/src/lib.rs:
+crates/cr-clique/src/exact.rs:
+crates/cr-clique/src/graph.rs:
+crates/cr-clique/src/greedy.rs:

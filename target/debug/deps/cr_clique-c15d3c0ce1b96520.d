@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cr_clique-c15d3c0ce1b96520.d: crates/cr-clique/src/lib.rs crates/cr-clique/src/exact.rs crates/cr-clique/src/graph.rs crates/cr-clique/src/greedy.rs
+
+/root/repo/target/debug/deps/libcr_clique-c15d3c0ce1b96520.rmeta: crates/cr-clique/src/lib.rs crates/cr-clique/src/exact.rs crates/cr-clique/src/graph.rs crates/cr-clique/src/greedy.rs
+
+crates/cr-clique/src/lib.rs:
+crates/cr-clique/src/exact.rs:
+crates/cr-clique/src/graph.rs:
+crates/cr-clique/src/greedy.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cr_clique-dee05f1d47ba124d.d: crates/cr-clique/src/lib.rs crates/cr-clique/src/exact.rs crates/cr-clique/src/graph.rs crates/cr-clique/src/greedy.rs
+
+/root/repo/target/debug/deps/cr_clique-dee05f1d47ba124d: crates/cr-clique/src/lib.rs crates/cr-clique/src/exact.rs crates/cr-clique/src/graph.rs crates/cr-clique/src/greedy.rs
+
+crates/cr-clique/src/lib.rs:
+crates/cr-clique/src/exact.rs:
+crates/cr-clique/src/graph.rs:
+crates/cr-clique/src/greedy.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cr_constraints-91ae31f70e980a3d.d: crates/cr-constraints/src/lib.rs crates/cr-constraints/src/builder.rs crates/cr-constraints/src/cfd.rs crates/cr-constraints/src/fmt_util.rs crates/cr-constraints/src/currency.rs crates/cr-constraints/src/error.rs crates/cr-constraints/src/op.rs crates/cr-constraints/src/parser.rs crates/cr-constraints/src/predicate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcr_constraints-91ae31f70e980a3d.rmeta: crates/cr-constraints/src/lib.rs crates/cr-constraints/src/builder.rs crates/cr-constraints/src/cfd.rs crates/cr-constraints/src/fmt_util.rs crates/cr-constraints/src/currency.rs crates/cr-constraints/src/error.rs crates/cr-constraints/src/op.rs crates/cr-constraints/src/parser.rs crates/cr-constraints/src/predicate.rs Cargo.toml
+
+crates/cr-constraints/src/lib.rs:
+crates/cr-constraints/src/builder.rs:
+crates/cr-constraints/src/cfd.rs:
+crates/cr-constraints/src/fmt_util.rs:
+crates/cr-constraints/src/currency.rs:
+crates/cr-constraints/src/error.rs:
+crates/cr-constraints/src/op.rs:
+crates/cr-constraints/src/parser.rs:
+crates/cr-constraints/src/predicate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

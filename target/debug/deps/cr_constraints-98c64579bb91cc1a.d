@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cr_constraints-98c64579bb91cc1a.d: crates/cr-constraints/src/lib.rs crates/cr-constraints/src/builder.rs crates/cr-constraints/src/cfd.rs crates/cr-constraints/src/fmt_util.rs crates/cr-constraints/src/currency.rs crates/cr-constraints/src/error.rs crates/cr-constraints/src/op.rs crates/cr-constraints/src/parser.rs crates/cr-constraints/src/predicate.rs
+
+/root/repo/target/debug/deps/cr_constraints-98c64579bb91cc1a: crates/cr-constraints/src/lib.rs crates/cr-constraints/src/builder.rs crates/cr-constraints/src/cfd.rs crates/cr-constraints/src/fmt_util.rs crates/cr-constraints/src/currency.rs crates/cr-constraints/src/error.rs crates/cr-constraints/src/op.rs crates/cr-constraints/src/parser.rs crates/cr-constraints/src/predicate.rs
+
+crates/cr-constraints/src/lib.rs:
+crates/cr-constraints/src/builder.rs:
+crates/cr-constraints/src/cfd.rs:
+crates/cr-constraints/src/fmt_util.rs:
+crates/cr-constraints/src/currency.rs:
+crates/cr-constraints/src/error.rs:
+crates/cr-constraints/src/op.rs:
+crates/cr-constraints/src/parser.rs:
+crates/cr-constraints/src/predicate.rs:

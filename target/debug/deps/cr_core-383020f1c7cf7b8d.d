@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/cr_core-383020f1c7cf7b8d.d: crates/cr-core/src/lib.rs crates/cr-core/src/bruteforce.rs crates/cr-core/src/compat.rs crates/cr-core/src/deduce.rs crates/cr-core/src/encode/mod.rs crates/cr-core/src/encode/cnf.rs crates/cr-core/src/encode/omega.rs crates/cr-core/src/framework.rs crates/cr-core/src/implication.rs crates/cr-core/src/isvalid.rs crates/cr-core/src/metrics.rs crates/cr-core/src/orders.rs crates/cr-core/src/pick.rs crates/cr-core/src/rules.rs crates/cr-core/src/spec.rs crates/cr-core/src/suggest.rs crates/cr-core/src/truevalue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcr_core-383020f1c7cf7b8d.rmeta: crates/cr-core/src/lib.rs crates/cr-core/src/bruteforce.rs crates/cr-core/src/compat.rs crates/cr-core/src/deduce.rs crates/cr-core/src/encode/mod.rs crates/cr-core/src/encode/cnf.rs crates/cr-core/src/encode/omega.rs crates/cr-core/src/framework.rs crates/cr-core/src/implication.rs crates/cr-core/src/isvalid.rs crates/cr-core/src/metrics.rs crates/cr-core/src/orders.rs crates/cr-core/src/pick.rs crates/cr-core/src/rules.rs crates/cr-core/src/spec.rs crates/cr-core/src/suggest.rs crates/cr-core/src/truevalue.rs Cargo.toml
+
+crates/cr-core/src/lib.rs:
+crates/cr-core/src/bruteforce.rs:
+crates/cr-core/src/compat.rs:
+crates/cr-core/src/deduce.rs:
+crates/cr-core/src/encode/mod.rs:
+crates/cr-core/src/encode/cnf.rs:
+crates/cr-core/src/encode/omega.rs:
+crates/cr-core/src/framework.rs:
+crates/cr-core/src/implication.rs:
+crates/cr-core/src/isvalid.rs:
+crates/cr-core/src/metrics.rs:
+crates/cr-core/src/orders.rs:
+crates/cr-core/src/pick.rs:
+crates/cr-core/src/rules.rs:
+crates/cr-core/src/spec.rs:
+crates/cr-core/src/suggest.rs:
+crates/cr-core/src/truevalue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/cr_core-d34b96278a81767e.d: crates/cr-core/src/lib.rs crates/cr-core/src/bruteforce.rs crates/cr-core/src/compat.rs crates/cr-core/src/deduce.rs crates/cr-core/src/encode/mod.rs crates/cr-core/src/encode/cnf.rs crates/cr-core/src/encode/omega.rs crates/cr-core/src/framework.rs crates/cr-core/src/implication.rs crates/cr-core/src/isvalid.rs crates/cr-core/src/metrics.rs crates/cr-core/src/orders.rs crates/cr-core/src/pick.rs crates/cr-core/src/rules.rs crates/cr-core/src/spec.rs crates/cr-core/src/suggest.rs crates/cr-core/src/truevalue.rs
+
+/root/repo/target/debug/deps/libcr_core-d34b96278a81767e.rlib: crates/cr-core/src/lib.rs crates/cr-core/src/bruteforce.rs crates/cr-core/src/compat.rs crates/cr-core/src/deduce.rs crates/cr-core/src/encode/mod.rs crates/cr-core/src/encode/cnf.rs crates/cr-core/src/encode/omega.rs crates/cr-core/src/framework.rs crates/cr-core/src/implication.rs crates/cr-core/src/isvalid.rs crates/cr-core/src/metrics.rs crates/cr-core/src/orders.rs crates/cr-core/src/pick.rs crates/cr-core/src/rules.rs crates/cr-core/src/spec.rs crates/cr-core/src/suggest.rs crates/cr-core/src/truevalue.rs
+
+/root/repo/target/debug/deps/libcr_core-d34b96278a81767e.rmeta: crates/cr-core/src/lib.rs crates/cr-core/src/bruteforce.rs crates/cr-core/src/compat.rs crates/cr-core/src/deduce.rs crates/cr-core/src/encode/mod.rs crates/cr-core/src/encode/cnf.rs crates/cr-core/src/encode/omega.rs crates/cr-core/src/framework.rs crates/cr-core/src/implication.rs crates/cr-core/src/isvalid.rs crates/cr-core/src/metrics.rs crates/cr-core/src/orders.rs crates/cr-core/src/pick.rs crates/cr-core/src/rules.rs crates/cr-core/src/spec.rs crates/cr-core/src/suggest.rs crates/cr-core/src/truevalue.rs
+
+crates/cr-core/src/lib.rs:
+crates/cr-core/src/bruteforce.rs:
+crates/cr-core/src/compat.rs:
+crates/cr-core/src/deduce.rs:
+crates/cr-core/src/encode/mod.rs:
+crates/cr-core/src/encode/cnf.rs:
+crates/cr-core/src/encode/omega.rs:
+crates/cr-core/src/framework.rs:
+crates/cr-core/src/implication.rs:
+crates/cr-core/src/isvalid.rs:
+crates/cr-core/src/metrics.rs:
+crates/cr-core/src/orders.rs:
+crates/cr-core/src/pick.rs:
+crates/cr-core/src/rules.rs:
+crates/cr-core/src/spec.rs:
+crates/cr-core/src/suggest.rs:
+crates/cr-core/src/truevalue.rs:

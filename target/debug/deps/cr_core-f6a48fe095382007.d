@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/cr_core-f6a48fe095382007.d: crates/cr-core/src/lib.rs crates/cr-core/src/bruteforce.rs crates/cr-core/src/compat.rs crates/cr-core/src/deduce.rs crates/cr-core/src/encode/mod.rs crates/cr-core/src/encode/cnf.rs crates/cr-core/src/encode/omega.rs crates/cr-core/src/framework.rs crates/cr-core/src/implication.rs crates/cr-core/src/isvalid.rs crates/cr-core/src/metrics.rs crates/cr-core/src/orders.rs crates/cr-core/src/pick.rs crates/cr-core/src/rules.rs crates/cr-core/src/spec.rs crates/cr-core/src/suggest.rs crates/cr-core/src/truevalue.rs
+
+/root/repo/target/debug/deps/cr_core-f6a48fe095382007: crates/cr-core/src/lib.rs crates/cr-core/src/bruteforce.rs crates/cr-core/src/compat.rs crates/cr-core/src/deduce.rs crates/cr-core/src/encode/mod.rs crates/cr-core/src/encode/cnf.rs crates/cr-core/src/encode/omega.rs crates/cr-core/src/framework.rs crates/cr-core/src/implication.rs crates/cr-core/src/isvalid.rs crates/cr-core/src/metrics.rs crates/cr-core/src/orders.rs crates/cr-core/src/pick.rs crates/cr-core/src/rules.rs crates/cr-core/src/spec.rs crates/cr-core/src/suggest.rs crates/cr-core/src/truevalue.rs
+
+crates/cr-core/src/lib.rs:
+crates/cr-core/src/bruteforce.rs:
+crates/cr-core/src/compat.rs:
+crates/cr-core/src/deduce.rs:
+crates/cr-core/src/encode/mod.rs:
+crates/cr-core/src/encode/cnf.rs:
+crates/cr-core/src/encode/omega.rs:
+crates/cr-core/src/framework.rs:
+crates/cr-core/src/implication.rs:
+crates/cr-core/src/isvalid.rs:
+crates/cr-core/src/metrics.rs:
+crates/cr-core/src/orders.rs:
+crates/cr-core/src/pick.rs:
+crates/cr-core/src/rules.rs:
+crates/cr-core/src/spec.rs:
+crates/cr-core/src/suggest.rs:
+crates/cr-core/src/truevalue.rs:

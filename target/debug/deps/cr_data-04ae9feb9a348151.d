@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cr_data-04ae9feb9a348151.d: crates/cr-data/src/lib.rs crates/cr-data/src/career.rs crates/cr-data/src/gen_util.rs crates/cr-data/src/nba.rs crates/cr-data/src/person.rs crates/cr-data/src/vjday.rs
+
+/root/repo/target/debug/deps/libcr_data-04ae9feb9a348151.rmeta: crates/cr-data/src/lib.rs crates/cr-data/src/career.rs crates/cr-data/src/gen_util.rs crates/cr-data/src/nba.rs crates/cr-data/src/person.rs crates/cr-data/src/vjday.rs
+
+crates/cr-data/src/lib.rs:
+crates/cr-data/src/career.rs:
+crates/cr-data/src/gen_util.rs:
+crates/cr-data/src/nba.rs:
+crates/cr-data/src/person.rs:
+crates/cr-data/src/vjday.rs:

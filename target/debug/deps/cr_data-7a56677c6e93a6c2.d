@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cr_data-7a56677c6e93a6c2.d: crates/cr-data/src/lib.rs crates/cr-data/src/career.rs crates/cr-data/src/gen_util.rs crates/cr-data/src/nba.rs crates/cr-data/src/person.rs crates/cr-data/src/vjday.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcr_data-7a56677c6e93a6c2.rmeta: crates/cr-data/src/lib.rs crates/cr-data/src/career.rs crates/cr-data/src/gen_util.rs crates/cr-data/src/nba.rs crates/cr-data/src/person.rs crates/cr-data/src/vjday.rs Cargo.toml
+
+crates/cr-data/src/lib.rs:
+crates/cr-data/src/career.rs:
+crates/cr-data/src/gen_util.rs:
+crates/cr-data/src/nba.rs:
+crates/cr-data/src/person.rs:
+crates/cr-data/src/vjday.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

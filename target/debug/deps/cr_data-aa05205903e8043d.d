@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cr_data-aa05205903e8043d.d: crates/cr-data/src/lib.rs crates/cr-data/src/career.rs crates/cr-data/src/gen_util.rs crates/cr-data/src/nba.rs crates/cr-data/src/person.rs crates/cr-data/src/vjday.rs
+
+/root/repo/target/debug/deps/libcr_data-aa05205903e8043d.rlib: crates/cr-data/src/lib.rs crates/cr-data/src/career.rs crates/cr-data/src/gen_util.rs crates/cr-data/src/nba.rs crates/cr-data/src/person.rs crates/cr-data/src/vjday.rs
+
+/root/repo/target/debug/deps/libcr_data-aa05205903e8043d.rmeta: crates/cr-data/src/lib.rs crates/cr-data/src/career.rs crates/cr-data/src/gen_util.rs crates/cr-data/src/nba.rs crates/cr-data/src/person.rs crates/cr-data/src/vjday.rs
+
+crates/cr-data/src/lib.rs:
+crates/cr-data/src/career.rs:
+crates/cr-data/src/gen_util.rs:
+crates/cr-data/src/nba.rs:
+crates/cr-data/src/person.rs:
+crates/cr-data/src/vjday.rs:

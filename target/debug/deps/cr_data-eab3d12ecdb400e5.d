@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cr_data-eab3d12ecdb400e5.d: crates/cr-data/src/lib.rs crates/cr-data/src/career.rs crates/cr-data/src/gen_util.rs crates/cr-data/src/nba.rs crates/cr-data/src/person.rs crates/cr-data/src/vjday.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcr_data-eab3d12ecdb400e5.rmeta: crates/cr-data/src/lib.rs crates/cr-data/src/career.rs crates/cr-data/src/gen_util.rs crates/cr-data/src/nba.rs crates/cr-data/src/person.rs crates/cr-data/src/vjday.rs Cargo.toml
+
+crates/cr-data/src/lib.rs:
+crates/cr-data/src/career.rs:
+crates/cr-data/src/gen_util.rs:
+crates/cr-data/src/nba.rs:
+crates/cr-data/src/person.rs:
+crates/cr-data/src/vjday.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cr_maxsat-75a26f90dc764a07.d: crates/cr-maxsat/src/lib.rs crates/cr-maxsat/src/exact.rs crates/cr-maxsat/src/instance.rs crates/cr-maxsat/src/walksat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcr_maxsat-75a26f90dc764a07.rmeta: crates/cr-maxsat/src/lib.rs crates/cr-maxsat/src/exact.rs crates/cr-maxsat/src/instance.rs crates/cr-maxsat/src/walksat.rs Cargo.toml
+
+crates/cr-maxsat/src/lib.rs:
+crates/cr-maxsat/src/exact.rs:
+crates/cr-maxsat/src/instance.rs:
+crates/cr-maxsat/src/walksat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cr_maxsat-86d6881e43b4d3b6.d: crates/cr-maxsat/src/lib.rs crates/cr-maxsat/src/exact.rs crates/cr-maxsat/src/instance.rs crates/cr-maxsat/src/walksat.rs
+
+/root/repo/target/debug/deps/cr_maxsat-86d6881e43b4d3b6: crates/cr-maxsat/src/lib.rs crates/cr-maxsat/src/exact.rs crates/cr-maxsat/src/instance.rs crates/cr-maxsat/src/walksat.rs
+
+crates/cr-maxsat/src/lib.rs:
+crates/cr-maxsat/src/exact.rs:
+crates/cr-maxsat/src/instance.rs:
+crates/cr-maxsat/src/walksat.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cr_maxsat-8897de1d39af174d.d: crates/cr-maxsat/src/lib.rs crates/cr-maxsat/src/exact.rs crates/cr-maxsat/src/instance.rs crates/cr-maxsat/src/walksat.rs
+
+/root/repo/target/debug/deps/libcr_maxsat-8897de1d39af174d.rmeta: crates/cr-maxsat/src/lib.rs crates/cr-maxsat/src/exact.rs crates/cr-maxsat/src/instance.rs crates/cr-maxsat/src/walksat.rs
+
+crates/cr-maxsat/src/lib.rs:
+crates/cr-maxsat/src/exact.rs:
+crates/cr-maxsat/src/instance.rs:
+crates/cr-maxsat/src/walksat.rs:

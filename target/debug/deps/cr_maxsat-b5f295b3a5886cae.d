@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cr_maxsat-b5f295b3a5886cae.d: crates/cr-maxsat/src/lib.rs crates/cr-maxsat/src/exact.rs crates/cr-maxsat/src/instance.rs crates/cr-maxsat/src/walksat.rs
+
+/root/repo/target/debug/deps/libcr_maxsat-b5f295b3a5886cae.rlib: crates/cr-maxsat/src/lib.rs crates/cr-maxsat/src/exact.rs crates/cr-maxsat/src/instance.rs crates/cr-maxsat/src/walksat.rs
+
+/root/repo/target/debug/deps/libcr_maxsat-b5f295b3a5886cae.rmeta: crates/cr-maxsat/src/lib.rs crates/cr-maxsat/src/exact.rs crates/cr-maxsat/src/instance.rs crates/cr-maxsat/src/walksat.rs
+
+crates/cr-maxsat/src/lib.rs:
+crates/cr-maxsat/src/exact.rs:
+crates/cr-maxsat/src/instance.rs:
+crates/cr-maxsat/src/walksat.rs:

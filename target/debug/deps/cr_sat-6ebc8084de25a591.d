@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/cr_sat-6ebc8084de25a591.d: crates/cr-sat/src/lib.rs crates/cr-sat/src/cnf.rs crates/cr-sat/src/dimacs.rs crates/cr-sat/src/lit.rs crates/cr-sat/src/solver/mod.rs crates/cr-sat/src/solver/analyze.rs crates/cr-sat/src/solver/decide.rs crates/cr-sat/src/solver/propagate.rs crates/cr-sat/src/solver/reduce.rs crates/cr-sat/src/solver/restart.rs crates/cr-sat/src/stats.rs crates/cr-sat/src/unit_propagation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcr_sat-6ebc8084de25a591.rmeta: crates/cr-sat/src/lib.rs crates/cr-sat/src/cnf.rs crates/cr-sat/src/dimacs.rs crates/cr-sat/src/lit.rs crates/cr-sat/src/solver/mod.rs crates/cr-sat/src/solver/analyze.rs crates/cr-sat/src/solver/decide.rs crates/cr-sat/src/solver/propagate.rs crates/cr-sat/src/solver/reduce.rs crates/cr-sat/src/solver/restart.rs crates/cr-sat/src/stats.rs crates/cr-sat/src/unit_propagation.rs Cargo.toml
+
+crates/cr-sat/src/lib.rs:
+crates/cr-sat/src/cnf.rs:
+crates/cr-sat/src/dimacs.rs:
+crates/cr-sat/src/lit.rs:
+crates/cr-sat/src/solver/mod.rs:
+crates/cr-sat/src/solver/analyze.rs:
+crates/cr-sat/src/solver/decide.rs:
+crates/cr-sat/src/solver/propagate.rs:
+crates/cr-sat/src/solver/reduce.rs:
+crates/cr-sat/src/solver/restart.rs:
+crates/cr-sat/src/stats.rs:
+crates/cr-sat/src/unit_propagation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

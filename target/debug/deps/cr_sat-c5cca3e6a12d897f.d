@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cr_sat-c5cca3e6a12d897f.d: crates/cr-sat/src/lib.rs crates/cr-sat/src/cnf.rs crates/cr-sat/src/dimacs.rs crates/cr-sat/src/lit.rs crates/cr-sat/src/solver/mod.rs crates/cr-sat/src/solver/analyze.rs crates/cr-sat/src/solver/decide.rs crates/cr-sat/src/solver/propagate.rs crates/cr-sat/src/solver/reduce.rs crates/cr-sat/src/solver/restart.rs crates/cr-sat/src/stats.rs crates/cr-sat/src/unit_propagation.rs
+
+/root/repo/target/debug/deps/libcr_sat-c5cca3e6a12d897f.rmeta: crates/cr-sat/src/lib.rs crates/cr-sat/src/cnf.rs crates/cr-sat/src/dimacs.rs crates/cr-sat/src/lit.rs crates/cr-sat/src/solver/mod.rs crates/cr-sat/src/solver/analyze.rs crates/cr-sat/src/solver/decide.rs crates/cr-sat/src/solver/propagate.rs crates/cr-sat/src/solver/reduce.rs crates/cr-sat/src/solver/restart.rs crates/cr-sat/src/stats.rs crates/cr-sat/src/unit_propagation.rs
+
+crates/cr-sat/src/lib.rs:
+crates/cr-sat/src/cnf.rs:
+crates/cr-sat/src/dimacs.rs:
+crates/cr-sat/src/lit.rs:
+crates/cr-sat/src/solver/mod.rs:
+crates/cr-sat/src/solver/analyze.rs:
+crates/cr-sat/src/solver/decide.rs:
+crates/cr-sat/src/solver/propagate.rs:
+crates/cr-sat/src/solver/reduce.rs:
+crates/cr-sat/src/solver/restart.rs:
+crates/cr-sat/src/stats.rs:
+crates/cr-sat/src/unit_propagation.rs:

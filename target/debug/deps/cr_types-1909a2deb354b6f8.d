@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cr_types-1909a2deb354b6f8.d: crates/cr-types/src/lib.rs crates/cr-types/src/csv.rs crates/cr-types/src/entity.rs crates/cr-types/src/error.rs crates/cr-types/src/interner.rs crates/cr-types/src/schema.rs crates/cr-types/src/tuple.rs crates/cr-types/src/value.rs
+
+/root/repo/target/debug/deps/libcr_types-1909a2deb354b6f8.rlib: crates/cr-types/src/lib.rs crates/cr-types/src/csv.rs crates/cr-types/src/entity.rs crates/cr-types/src/error.rs crates/cr-types/src/interner.rs crates/cr-types/src/schema.rs crates/cr-types/src/tuple.rs crates/cr-types/src/value.rs
+
+/root/repo/target/debug/deps/libcr_types-1909a2deb354b6f8.rmeta: crates/cr-types/src/lib.rs crates/cr-types/src/csv.rs crates/cr-types/src/entity.rs crates/cr-types/src/error.rs crates/cr-types/src/interner.rs crates/cr-types/src/schema.rs crates/cr-types/src/tuple.rs crates/cr-types/src/value.rs
+
+crates/cr-types/src/lib.rs:
+crates/cr-types/src/csv.rs:
+crates/cr-types/src/entity.rs:
+crates/cr-types/src/error.rs:
+crates/cr-types/src/interner.rs:
+crates/cr-types/src/schema.rs:
+crates/cr-types/src/tuple.rs:
+crates/cr-types/src/value.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cr_types-6f3016ea1512c4ad.d: crates/cr-types/src/lib.rs crates/cr-types/src/csv.rs crates/cr-types/src/entity.rs crates/cr-types/src/error.rs crates/cr-types/src/interner.rs crates/cr-types/src/schema.rs crates/cr-types/src/tuple.rs crates/cr-types/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcr_types-6f3016ea1512c4ad.rmeta: crates/cr-types/src/lib.rs crates/cr-types/src/csv.rs crates/cr-types/src/entity.rs crates/cr-types/src/error.rs crates/cr-types/src/interner.rs crates/cr-types/src/schema.rs crates/cr-types/src/tuple.rs crates/cr-types/src/value.rs Cargo.toml
+
+crates/cr-types/src/lib.rs:
+crates/cr-types/src/csv.rs:
+crates/cr-types/src/entity.rs:
+crates/cr-types/src/error.rs:
+crates/cr-types/src/interner.rs:
+crates/cr-types/src/schema.rs:
+crates/cr-types/src/tuple.rs:
+crates/cr-types/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cr_types-70a0c7069c8ff854.d: crates/cr-types/src/lib.rs crates/cr-types/src/csv.rs crates/cr-types/src/entity.rs crates/cr-types/src/error.rs crates/cr-types/src/interner.rs crates/cr-types/src/schema.rs crates/cr-types/src/tuple.rs crates/cr-types/src/value.rs
+
+/root/repo/target/debug/deps/cr_types-70a0c7069c8ff854: crates/cr-types/src/lib.rs crates/cr-types/src/csv.rs crates/cr-types/src/entity.rs crates/cr-types/src/error.rs crates/cr-types/src/interner.rs crates/cr-types/src/schema.rs crates/cr-types/src/tuple.rs crates/cr-types/src/value.rs
+
+crates/cr-types/src/lib.rs:
+crates/cr-types/src/csv.rs:
+crates/cr-types/src/entity.rs:
+crates/cr-types/src/error.rs:
+crates/cr-types/src/interner.rs:
+crates/cr-types/src/schema.rs:
+crates/cr-types/src/tuple.rs:
+crates/cr-types/src/value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datasets-7955b93c81272a64.d: tests/datasets.rs
+
+/root/repo/target/debug/deps/datasets-7955b93c81272a64: tests/datasets.rs
+
+tests/datasets.rs:

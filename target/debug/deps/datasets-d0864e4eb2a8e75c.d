@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/datasets-d0864e4eb2a8e75c.d: tests/datasets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatasets-d0864e4eb2a8e75c.rmeta: tests/datasets.rs Cargo.toml
+
+tests/datasets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

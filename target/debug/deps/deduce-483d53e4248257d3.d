@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deduce-483d53e4248257d3.d: crates/cr-bench/benches/deduce.rs
+
+/root/repo/target/debug/deps/deduce-483d53e4248257d3: crates/cr-bench/benches/deduce.rs
+
+crates/cr-bench/benches/deduce.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deduce-7f49f23436caeb15.d: crates/cr-bench/benches/deduce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeduce-7f49f23436caeb15.rmeta: crates/cr-bench/benches/deduce.rs Cargo.toml
+
+crates/cr-bench/benches/deduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

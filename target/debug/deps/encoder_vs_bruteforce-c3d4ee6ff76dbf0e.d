@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/encoder_vs_bruteforce-c3d4ee6ff76dbf0e.d: crates/cr-core/tests/encoder_vs_bruteforce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libencoder_vs_bruteforce-c3d4ee6ff76dbf0e.rmeta: crates/cr-core/tests/encoder_vs_bruteforce.rs Cargo.toml
+
+crates/cr-core/tests/encoder_vs_bruteforce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

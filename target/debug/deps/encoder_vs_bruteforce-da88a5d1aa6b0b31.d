@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/encoder_vs_bruteforce-da88a5d1aa6b0b31.d: crates/cr-core/tests/encoder_vs_bruteforce.rs
+
+/root/repo/target/debug/deps/encoder_vs_bruteforce-da88a5d1aa6b0b31: crates/cr-core/tests/encoder_vs_bruteforce.rs
+
+crates/cr-core/tests/encoder_vs_bruteforce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/encoding_gaps-85551885c6cbd426.d: crates/cr-core/tests/encoding_gaps.rs
+
+/root/repo/target/debug/deps/encoding_gaps-85551885c6cbd426: crates/cr-core/tests/encoding_gaps.rs
+
+crates/cr-core/tests/encoding_gaps.rs:

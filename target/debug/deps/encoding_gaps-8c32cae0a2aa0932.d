@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/encoding_gaps-8c32cae0a2aa0932.d: crates/cr-core/tests/encoding_gaps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libencoding_gaps-8c32cae0a2aa0932.rmeta: crates/cr-core/tests/encoding_gaps.rs Cargo.toml
+
+crates/cr-core/tests/encoding_gaps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

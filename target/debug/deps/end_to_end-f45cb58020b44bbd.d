@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-f45cb58020b44bbd.d: crates/cr-bench/benches/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-f45cb58020b44bbd: crates/cr-bench/benches/end_to_end.rs
+
+crates/cr-bench/benches/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_accuracy-4d45593344c2ed53.d: crates/cr-bench/src/bin/fig8_accuracy.rs
+
+/root/repo/target/debug/deps/fig8_accuracy-4d45593344c2ed53: crates/cr-bench/src/bin/fig8_accuracy.rs
+
+crates/cr-bench/src/bin/fig8_accuracy.rs:

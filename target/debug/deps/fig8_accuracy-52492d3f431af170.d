@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_accuracy-52492d3f431af170.d: crates/cr-bench/src/bin/fig8_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_accuracy-52492d3f431af170.rmeta: crates/cr-bench/src/bin/fig8_accuracy.rs Cargo.toml
+
+crates/cr-bench/src/bin/fig8_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_accuracy-982a024a85beb6a6.d: crates/cr-bench/src/bin/fig8_accuracy.rs
+
+/root/repo/target/debug/deps/libfig8_accuracy-982a024a85beb6a6.rmeta: crates/cr-bench/src/bin/fig8_accuracy.rs
+
+crates/cr-bench/src/bin/fig8_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_accuracy-e5f7e32a65aedd3b.d: crates/cr-bench/src/bin/fig8_accuracy.rs
+
+/root/repo/target/debug/deps/fig8_accuracy-e5f7e32a65aedd3b: crates/cr-bench/src/bin/fig8_accuracy.rs
+
+crates/cr-bench/src/bin/fig8_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_interactions-52bed10db01066ae.d: crates/cr-bench/src/bin/fig8_interactions.rs
+
+/root/repo/target/debug/deps/fig8_interactions-52bed10db01066ae: crates/cr-bench/src/bin/fig8_interactions.rs
+
+crates/cr-bench/src/bin/fig8_interactions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_interactions-57b60e61219a86a6.d: crates/cr-bench/src/bin/fig8_interactions.rs
+
+/root/repo/target/debug/deps/fig8_interactions-57b60e61219a86a6: crates/cr-bench/src/bin/fig8_interactions.rs
+
+crates/cr-bench/src/bin/fig8_interactions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_interactions-8f2d9e756f551965.d: crates/cr-bench/src/bin/fig8_interactions.rs
+
+/root/repo/target/debug/deps/libfig8_interactions-8f2d9e756f551965.rmeta: crates/cr-bench/src/bin/fig8_interactions.rs
+
+crates/cr-bench/src/bin/fig8_interactions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_interactions-a213167a962ba0fd.d: crates/cr-bench/src/bin/fig8_interactions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_interactions-a213167a962ba0fd.rmeta: crates/cr-bench/src/bin/fig8_interactions.rs Cargo.toml
+
+crates/cr-bench/src/bin/fig8_interactions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

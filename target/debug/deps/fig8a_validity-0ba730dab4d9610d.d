@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8a_validity-0ba730dab4d9610d.d: crates/cr-bench/src/bin/fig8a_validity.rs
+
+/root/repo/target/debug/deps/libfig8a_validity-0ba730dab4d9610d.rmeta: crates/cr-bench/src/bin/fig8a_validity.rs
+
+crates/cr-bench/src/bin/fig8a_validity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8a_validity-388d3820e68c439b.d: crates/cr-bench/src/bin/fig8a_validity.rs
+
+/root/repo/target/debug/deps/fig8a_validity-388d3820e68c439b: crates/cr-bench/src/bin/fig8a_validity.rs
+
+crates/cr-bench/src/bin/fig8a_validity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8a_validity-8c7b54b944a4e4b0.d: crates/cr-bench/src/bin/fig8a_validity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8a_validity-8c7b54b944a4e4b0.rmeta: crates/cr-bench/src/bin/fig8a_validity.rs Cargo.toml
+
+crates/cr-bench/src/bin/fig8a_validity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8a_validity-905f7dd845d482f3.d: crates/cr-bench/src/bin/fig8a_validity.rs
+
+/root/repo/target/debug/deps/fig8a_validity-905f7dd845d482f3: crates/cr-bench/src/bin/fig8a_validity.rs
+
+crates/cr-bench/src/bin/fig8a_validity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8b_deduce-4d6af13f6ee85ea0.d: crates/cr-bench/src/bin/fig8b_deduce.rs
+
+/root/repo/target/debug/deps/fig8b_deduce-4d6af13f6ee85ea0: crates/cr-bench/src/bin/fig8b_deduce.rs
+
+crates/cr-bench/src/bin/fig8b_deduce.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8b_deduce-606d998abe8aa1f0.d: crates/cr-bench/src/bin/fig8b_deduce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8b_deduce-606d998abe8aa1f0.rmeta: crates/cr-bench/src/bin/fig8b_deduce.rs Cargo.toml
+
+crates/cr-bench/src/bin/fig8b_deduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

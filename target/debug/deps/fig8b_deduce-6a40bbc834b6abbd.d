@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8b_deduce-6a40bbc834b6abbd.d: crates/cr-bench/src/bin/fig8b_deduce.rs
+
+/root/repo/target/debug/deps/fig8b_deduce-6a40bbc834b6abbd: crates/cr-bench/src/bin/fig8b_deduce.rs
+
+crates/cr-bench/src/bin/fig8b_deduce.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8b_deduce-995e33497f6ec6a6.d: crates/cr-bench/src/bin/fig8b_deduce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8b_deduce-995e33497f6ec6a6.rmeta: crates/cr-bench/src/bin/fig8b_deduce.rs Cargo.toml
+
+crates/cr-bench/src/bin/fig8b_deduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8b_deduce-f176f4965096511f.d: crates/cr-bench/src/bin/fig8b_deduce.rs
+
+/root/repo/target/debug/deps/libfig8b_deduce-f176f4965096511f.rmeta: crates/cr-bench/src/bin/fig8b_deduce.rs
+
+crates/cr-bench/src/bin/fig8b_deduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8cd_overall-871bce9fe33b0555.d: crates/cr-bench/src/bin/fig8cd_overall.rs
+
+/root/repo/target/debug/deps/libfig8cd_overall-871bce9fe33b0555.rmeta: crates/cr-bench/src/bin/fig8cd_overall.rs
+
+crates/cr-bench/src/bin/fig8cd_overall.rs:

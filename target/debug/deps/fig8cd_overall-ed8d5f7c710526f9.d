@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8cd_overall-ed8d5f7c710526f9.d: crates/cr-bench/src/bin/fig8cd_overall.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8cd_overall-ed8d5f7c710526f9.rmeta: crates/cr-bench/src/bin/fig8cd_overall.rs Cargo.toml
+
+crates/cr-bench/src/bin/fig8cd_overall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

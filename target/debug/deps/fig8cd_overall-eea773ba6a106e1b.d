@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8cd_overall-eea773ba6a106e1b.d: crates/cr-bench/src/bin/fig8cd_overall.rs
+
+/root/repo/target/debug/deps/fig8cd_overall-eea773ba6a106e1b: crates/cr-bench/src/bin/fig8cd_overall.rs
+
+crates/cr-bench/src/bin/fig8cd_overall.rs:

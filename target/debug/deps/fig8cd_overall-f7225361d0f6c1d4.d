@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8cd_overall-f7225361d0f6c1d4.d: crates/cr-bench/src/bin/fig8cd_overall.rs
+
+/root/repo/target/debug/deps/fig8cd_overall-f7225361d0f6c1d4: crates/cr-bench/src/bin/fig8cd_overall.rs
+
+crates/cr-bench/src/bin/fig8cd_overall.rs:

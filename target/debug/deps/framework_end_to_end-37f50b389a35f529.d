@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/framework_end_to_end-37f50b389a35f529.d: tests/framework_end_to_end.rs
+
+/root/repo/target/debug/deps/framework_end_to_end-37f50b389a35f529: tests/framework_end_to_end.rs
+
+tests/framework_end_to_end.rs:

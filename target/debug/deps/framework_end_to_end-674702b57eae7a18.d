@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/framework_end_to_end-674702b57eae7a18.d: tests/framework_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libframework_end_to_end-674702b57eae7a18.rmeta: tests/framework_end_to_end.rs Cargo.toml
+
+tests/framework_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

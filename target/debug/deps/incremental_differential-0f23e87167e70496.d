@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/incremental_differential-0f23e87167e70496.d: crates/cr-core/tests/incremental_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libincremental_differential-0f23e87167e70496.rmeta: crates/cr-core/tests/incremental_differential.rs Cargo.toml
+
+crates/cr-core/tests/incremental_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

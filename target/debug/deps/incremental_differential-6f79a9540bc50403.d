@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/incremental_differential-6f79a9540bc50403.d: crates/cr-core/tests/incremental_differential.rs
+
+/root/repo/target/debug/deps/incremental_differential-6f79a9540bc50403: crates/cr-core/tests/incremental_differential.rs
+
+crates/cr-core/tests/incremental_differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maxsat_proptest-072b8b537456b5c9.d: crates/cr-maxsat/tests/maxsat_proptest.rs
+
+/root/repo/target/debug/deps/maxsat_proptest-072b8b537456b5c9: crates/cr-maxsat/tests/maxsat_proptest.rs
+
+crates/cr-maxsat/tests/maxsat_proptest.rs:

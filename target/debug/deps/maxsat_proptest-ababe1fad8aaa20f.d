@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maxsat_proptest-ababe1fad8aaa20f.d: crates/cr-maxsat/tests/maxsat_proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaxsat_proptest-ababe1fad8aaa20f.rmeta: crates/cr-maxsat/tests/maxsat_proptest.rs Cargo.toml
+
+crates/cr-maxsat/tests/maxsat_proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-260d6365f683a171.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-260d6365f683a171: tests/paper_examples.rs
+
+tests/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_proptest-906ed54ae48a397c.d: crates/cr-constraints/tests/parser_proptest.rs
+
+/root/repo/target/debug/deps/parser_proptest-906ed54ae48a397c: crates/cr-constraints/tests/parser_proptest.rs
+
+crates/cr-constraints/tests/parser_proptest.rs:

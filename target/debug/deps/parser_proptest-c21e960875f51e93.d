@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parser_proptest-c21e960875f51e93.d: crates/cr-constraints/tests/parser_proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparser_proptest-c21e960875f51e93.rmeta: crates/cr-constraints/tests/parser_proptest.rs Cargo.toml
+
+crates/cr-constraints/tests/parser_proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

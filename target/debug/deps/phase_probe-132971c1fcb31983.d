@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phase_probe-132971c1fcb31983.d: crates/cr-bench/src/bin/phase_probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphase_probe-132971c1fcb31983.rmeta: crates/cr-bench/src/bin/phase_probe.rs Cargo.toml
+
+crates/cr-bench/src/bin/phase_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

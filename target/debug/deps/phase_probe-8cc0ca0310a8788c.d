@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phase_probe-8cc0ca0310a8788c.d: crates/cr-bench/src/bin/phase_probe.rs
+
+/root/repo/target/debug/deps/phase_probe-8cc0ca0310a8788c: crates/cr-bench/src/bin/phase_probe.rs
+
+crates/cr-bench/src/bin/phase_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phase_probe-df99af921d48446a.d: crates/cr-bench/src/bin/phase_probe.rs
+
+/root/repo/target/debug/deps/phase_probe-df99af921d48446a: crates/cr-bench/src/bin/phase_probe.rs
+
+crates/cr-bench/src/bin/phase_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phase_probe-f7d7da6f67e2a729.d: crates/cr-bench/src/bin/phase_probe.rs
+
+/root/repo/target/debug/deps/libphase_probe-f7d7da6f67e2a729.rmeta: crates/cr-bench/src/bin/phase_probe.rs
+
+crates/cr-bench/src/bin/phase_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-a6a022102bca8d1e.d: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-a6a022102bca8d1e.rmeta: shims/rand_chacha/src/lib.rs
+
+shims/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_cross_check-907c45d5f15e8c90.d: crates/cr-sat/tests/random_cross_check.rs
+
+/root/repo/target/debug/deps/random_cross_check-907c45d5f15e8c90: crates/cr-sat/tests/random_cross_check.rs
+
+crates/cr-sat/tests/random_cross_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sat_integration-4d6c55d93b670f8f.d: tests/sat_integration.rs
+
+/root/repo/target/debug/deps/sat_integration-4d6c55d93b670f8f: tests/sat_integration.rs
+
+tests/sat_integration.rs:

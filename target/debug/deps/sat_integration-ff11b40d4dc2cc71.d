@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sat_integration-ff11b40d4dc2cc71.d: tests/sat_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsat_integration-ff11b40d4dc2cc71.rmeta: tests/sat_integration.rs Cargo.toml
+
+tests/sat_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

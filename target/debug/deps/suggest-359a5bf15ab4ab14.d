@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/suggest-359a5bf15ab4ab14.d: crates/cr-bench/benches/suggest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuggest-359a5bf15ab4ab14.rmeta: crates/cr-bench/benches/suggest.rs Cargo.toml
+
+crates/cr-bench/benches/suggest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suggest-4e68277b04b0fd8c.d: crates/cr-bench/benches/suggest.rs
+
+/root/repo/target/debug/deps/suggest-4e68277b04b0fd8c: crates/cr-bench/benches/suggest.rs
+
+crates/cr-bench/benches/suggest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary-39a14bac7497d9f3.d: crates/cr-bench/src/bin/summary.rs
+
+/root/repo/target/debug/deps/libsummary-39a14bac7497d9f3.rmeta: crates/cr-bench/src/bin/summary.rs
+
+crates/cr-bench/src/bin/summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary-733a3a0f8677dd82.d: crates/cr-bench/src/bin/summary.rs
+
+/root/repo/target/debug/deps/summary-733a3a0f8677dd82: crates/cr-bench/src/bin/summary.rs
+
+crates/cr-bench/src/bin/summary.rs:

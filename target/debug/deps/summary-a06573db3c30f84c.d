@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary-a06573db3c30f84c.d: crates/cr-bench/src/bin/summary.rs
+
+/root/repo/target/debug/deps/summary-a06573db3c30f84c: crates/cr-bench/src/bin/summary.rs
+
+crates/cr-bench/src/bin/summary.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/summary-bd6ddce45bc35994.d: crates/cr-bench/src/bin/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsummary-bd6ddce45bc35994.rmeta: crates/cr-bench/src/bin/summary.rs Cargo.toml
+
+crates/cr-bench/src/bin/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validity-c8fb9578dade666b.d: crates/cr-bench/benches/validity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidity-c8fb9578dade666b.rmeta: crates/cr-bench/benches/validity.rs Cargo.toml
+
+crates/cr-bench/benches/validity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validity-d08e269fd14a2f30.d: crates/cr-bench/benches/validity.rs
+
+/root/repo/target/debug/deps/validity-d08e269fd14a2f30: crates/cr-bench/benches/validity.rs
+
+crates/cr-bench/benches/validity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/career_profiles-2964d12719d7025d.d: examples/career_profiles.rs
+
+/root/repo/target/debug/examples/career_profiles-2964d12719d7025d: examples/career_profiles.rs
+
+examples/career_profiles.rs:

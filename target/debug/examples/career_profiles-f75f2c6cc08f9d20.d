@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/career_profiles-f75f2c6cc08f9d20.d: examples/career_profiles.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcareer_profiles-f75f2c6cc08f9d20.rmeta: examples/career_profiles.rs Cargo.toml
+
+examples/career_profiles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_constraints-7f592e3098c26868.d: examples/custom_constraints.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_constraints-7f592e3098c26868.rmeta: examples/custom_constraints.rs Cargo.toml
+
+examples/custom_constraints.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

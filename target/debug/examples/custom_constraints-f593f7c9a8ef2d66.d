@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_constraints-f593f7c9a8ef2d66.d: examples/custom_constraints.rs
+
+/root/repo/target/debug/examples/custom_constraints-f593f7c9a8ef2d66: examples/custom_constraints.rs
+
+examples/custom_constraints.rs:

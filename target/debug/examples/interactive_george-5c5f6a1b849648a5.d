@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interactive_george-5c5f6a1b849648a5.d: examples/interactive_george.rs
+
+/root/repo/target/debug/examples/interactive_george-5c5f6a1b849648a5: examples/interactive_george.rs
+
+examples/interactive_george.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interactive_george-7b6c6893058402bd.d: examples/interactive_george.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinteractive_george-7b6c6893058402bd.rmeta: examples/interactive_george.rs Cargo.toml
+
+examples/interactive_george.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nba_roster-18a00aea4c8d443f.d: examples/nba_roster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnba_roster-18a00aea4c8d443f.rmeta: examples/nba_roster.rs Cargo.toml
+
+examples/nba_roster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nba_roster-851ae788cda4dc8a.d: examples/nba_roster.rs
+
+/root/repo/target/debug/examples/nba_roster-851ae788cda4dc8a: examples/nba_roster.rs
+
+examples/nba_roster.rs:

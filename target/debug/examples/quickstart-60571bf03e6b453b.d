@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-60571bf03e6b453b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-60571bf03e6b453b: examples/quickstart.rs
+
+examples/quickstart.rs:

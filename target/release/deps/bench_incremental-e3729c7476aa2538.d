@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_incremental-e3729c7476aa2538.d: crates/cr-bench/src/bin/bench_incremental.rs
+
+/root/repo/target/release/deps/bench_incremental-e3729c7476aa2538: crates/cr-bench/src/bin/bench_incremental.rs
+
+crates/cr-bench/src/bin/bench_incremental.rs:

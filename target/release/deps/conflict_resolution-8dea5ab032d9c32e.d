@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/conflict_resolution-8dea5ab032d9c32e.d: src/lib.rs
+
+/root/repo/target/release/deps/libconflict_resolution-8dea5ab032d9c32e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libconflict_resolution-8dea5ab032d9c32e.rmeta: src/lib.rs
+
+src/lib.rs:

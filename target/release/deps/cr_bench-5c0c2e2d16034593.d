@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cr_bench-5c0c2e2d16034593.d: crates/cr-bench/src/lib.rs
+
+/root/repo/target/release/deps/libcr_bench-5c0c2e2d16034593.rlib: crates/cr-bench/src/lib.rs
+
+/root/repo/target/release/deps/libcr_bench-5c0c2e2d16034593.rmeta: crates/cr-bench/src/lib.rs
+
+crates/cr-bench/src/lib.rs:

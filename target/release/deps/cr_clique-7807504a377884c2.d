@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cr_clique-7807504a377884c2.d: crates/cr-clique/src/lib.rs crates/cr-clique/src/exact.rs crates/cr-clique/src/graph.rs crates/cr-clique/src/greedy.rs
+
+/root/repo/target/release/deps/libcr_clique-7807504a377884c2.rlib: crates/cr-clique/src/lib.rs crates/cr-clique/src/exact.rs crates/cr-clique/src/graph.rs crates/cr-clique/src/greedy.rs
+
+/root/repo/target/release/deps/libcr_clique-7807504a377884c2.rmeta: crates/cr-clique/src/lib.rs crates/cr-clique/src/exact.rs crates/cr-clique/src/graph.rs crates/cr-clique/src/greedy.rs
+
+crates/cr-clique/src/lib.rs:
+crates/cr-clique/src/exact.rs:
+crates/cr-clique/src/graph.rs:
+crates/cr-clique/src/greedy.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cr_constraints-8abc458fa8f9cc0d.d: crates/cr-constraints/src/lib.rs crates/cr-constraints/src/builder.rs crates/cr-constraints/src/cfd.rs crates/cr-constraints/src/fmt_util.rs crates/cr-constraints/src/currency.rs crates/cr-constraints/src/error.rs crates/cr-constraints/src/op.rs crates/cr-constraints/src/parser.rs crates/cr-constraints/src/predicate.rs
+
+/root/repo/target/release/deps/libcr_constraints-8abc458fa8f9cc0d.rlib: crates/cr-constraints/src/lib.rs crates/cr-constraints/src/builder.rs crates/cr-constraints/src/cfd.rs crates/cr-constraints/src/fmt_util.rs crates/cr-constraints/src/currency.rs crates/cr-constraints/src/error.rs crates/cr-constraints/src/op.rs crates/cr-constraints/src/parser.rs crates/cr-constraints/src/predicate.rs
+
+/root/repo/target/release/deps/libcr_constraints-8abc458fa8f9cc0d.rmeta: crates/cr-constraints/src/lib.rs crates/cr-constraints/src/builder.rs crates/cr-constraints/src/cfd.rs crates/cr-constraints/src/fmt_util.rs crates/cr-constraints/src/currency.rs crates/cr-constraints/src/error.rs crates/cr-constraints/src/op.rs crates/cr-constraints/src/parser.rs crates/cr-constraints/src/predicate.rs
+
+crates/cr-constraints/src/lib.rs:
+crates/cr-constraints/src/builder.rs:
+crates/cr-constraints/src/cfd.rs:
+crates/cr-constraints/src/fmt_util.rs:
+crates/cr-constraints/src/currency.rs:
+crates/cr-constraints/src/error.rs:
+crates/cr-constraints/src/op.rs:
+crates/cr-constraints/src/parser.rs:
+crates/cr-constraints/src/predicate.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/cr_core-0362edf913c50569.d: crates/cr-core/src/lib.rs crates/cr-core/src/bruteforce.rs crates/cr-core/src/compat.rs crates/cr-core/src/deduce.rs crates/cr-core/src/encode/mod.rs crates/cr-core/src/encode/cnf.rs crates/cr-core/src/encode/omega.rs crates/cr-core/src/framework.rs crates/cr-core/src/implication.rs crates/cr-core/src/isvalid.rs crates/cr-core/src/metrics.rs crates/cr-core/src/orders.rs crates/cr-core/src/pick.rs crates/cr-core/src/rules.rs crates/cr-core/src/spec.rs crates/cr-core/src/suggest.rs crates/cr-core/src/truevalue.rs
+
+/root/repo/target/release/deps/libcr_core-0362edf913c50569.rlib: crates/cr-core/src/lib.rs crates/cr-core/src/bruteforce.rs crates/cr-core/src/compat.rs crates/cr-core/src/deduce.rs crates/cr-core/src/encode/mod.rs crates/cr-core/src/encode/cnf.rs crates/cr-core/src/encode/omega.rs crates/cr-core/src/framework.rs crates/cr-core/src/implication.rs crates/cr-core/src/isvalid.rs crates/cr-core/src/metrics.rs crates/cr-core/src/orders.rs crates/cr-core/src/pick.rs crates/cr-core/src/rules.rs crates/cr-core/src/spec.rs crates/cr-core/src/suggest.rs crates/cr-core/src/truevalue.rs
+
+/root/repo/target/release/deps/libcr_core-0362edf913c50569.rmeta: crates/cr-core/src/lib.rs crates/cr-core/src/bruteforce.rs crates/cr-core/src/compat.rs crates/cr-core/src/deduce.rs crates/cr-core/src/encode/mod.rs crates/cr-core/src/encode/cnf.rs crates/cr-core/src/encode/omega.rs crates/cr-core/src/framework.rs crates/cr-core/src/implication.rs crates/cr-core/src/isvalid.rs crates/cr-core/src/metrics.rs crates/cr-core/src/orders.rs crates/cr-core/src/pick.rs crates/cr-core/src/rules.rs crates/cr-core/src/spec.rs crates/cr-core/src/suggest.rs crates/cr-core/src/truevalue.rs
+
+crates/cr-core/src/lib.rs:
+crates/cr-core/src/bruteforce.rs:
+crates/cr-core/src/compat.rs:
+crates/cr-core/src/deduce.rs:
+crates/cr-core/src/encode/mod.rs:
+crates/cr-core/src/encode/cnf.rs:
+crates/cr-core/src/encode/omega.rs:
+crates/cr-core/src/framework.rs:
+crates/cr-core/src/implication.rs:
+crates/cr-core/src/isvalid.rs:
+crates/cr-core/src/metrics.rs:
+crates/cr-core/src/orders.rs:
+crates/cr-core/src/pick.rs:
+crates/cr-core/src/rules.rs:
+crates/cr-core/src/spec.rs:
+crates/cr-core/src/suggest.rs:
+crates/cr-core/src/truevalue.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cr_data-80b0f41474b792b8.d: crates/cr-data/src/lib.rs crates/cr-data/src/career.rs crates/cr-data/src/gen_util.rs crates/cr-data/src/nba.rs crates/cr-data/src/person.rs crates/cr-data/src/vjday.rs
+
+/root/repo/target/release/deps/libcr_data-80b0f41474b792b8.rlib: crates/cr-data/src/lib.rs crates/cr-data/src/career.rs crates/cr-data/src/gen_util.rs crates/cr-data/src/nba.rs crates/cr-data/src/person.rs crates/cr-data/src/vjday.rs
+
+/root/repo/target/release/deps/libcr_data-80b0f41474b792b8.rmeta: crates/cr-data/src/lib.rs crates/cr-data/src/career.rs crates/cr-data/src/gen_util.rs crates/cr-data/src/nba.rs crates/cr-data/src/person.rs crates/cr-data/src/vjday.rs
+
+crates/cr-data/src/lib.rs:
+crates/cr-data/src/career.rs:
+crates/cr-data/src/gen_util.rs:
+crates/cr-data/src/nba.rs:
+crates/cr-data/src/person.rs:
+crates/cr-data/src/vjday.rs:

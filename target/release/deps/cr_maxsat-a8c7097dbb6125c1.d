@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cr_maxsat-a8c7097dbb6125c1.d: crates/cr-maxsat/src/lib.rs crates/cr-maxsat/src/exact.rs crates/cr-maxsat/src/instance.rs crates/cr-maxsat/src/walksat.rs
+
+/root/repo/target/release/deps/libcr_maxsat-a8c7097dbb6125c1.rlib: crates/cr-maxsat/src/lib.rs crates/cr-maxsat/src/exact.rs crates/cr-maxsat/src/instance.rs crates/cr-maxsat/src/walksat.rs
+
+/root/repo/target/release/deps/libcr_maxsat-a8c7097dbb6125c1.rmeta: crates/cr-maxsat/src/lib.rs crates/cr-maxsat/src/exact.rs crates/cr-maxsat/src/instance.rs crates/cr-maxsat/src/walksat.rs
+
+crates/cr-maxsat/src/lib.rs:
+crates/cr-maxsat/src/exact.rs:
+crates/cr-maxsat/src/instance.rs:
+crates/cr-maxsat/src/walksat.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/cr_sat-01fb4cb0d54a882d.d: crates/cr-sat/src/lib.rs crates/cr-sat/src/cnf.rs crates/cr-sat/src/dimacs.rs crates/cr-sat/src/lit.rs crates/cr-sat/src/solver/mod.rs crates/cr-sat/src/solver/analyze.rs crates/cr-sat/src/solver/decide.rs crates/cr-sat/src/solver/propagate.rs crates/cr-sat/src/solver/reduce.rs crates/cr-sat/src/solver/restart.rs crates/cr-sat/src/stats.rs crates/cr-sat/src/unit_propagation.rs
+
+/root/repo/target/release/deps/libcr_sat-01fb4cb0d54a882d.rlib: crates/cr-sat/src/lib.rs crates/cr-sat/src/cnf.rs crates/cr-sat/src/dimacs.rs crates/cr-sat/src/lit.rs crates/cr-sat/src/solver/mod.rs crates/cr-sat/src/solver/analyze.rs crates/cr-sat/src/solver/decide.rs crates/cr-sat/src/solver/propagate.rs crates/cr-sat/src/solver/reduce.rs crates/cr-sat/src/solver/restart.rs crates/cr-sat/src/stats.rs crates/cr-sat/src/unit_propagation.rs
+
+/root/repo/target/release/deps/libcr_sat-01fb4cb0d54a882d.rmeta: crates/cr-sat/src/lib.rs crates/cr-sat/src/cnf.rs crates/cr-sat/src/dimacs.rs crates/cr-sat/src/lit.rs crates/cr-sat/src/solver/mod.rs crates/cr-sat/src/solver/analyze.rs crates/cr-sat/src/solver/decide.rs crates/cr-sat/src/solver/propagate.rs crates/cr-sat/src/solver/reduce.rs crates/cr-sat/src/solver/restart.rs crates/cr-sat/src/stats.rs crates/cr-sat/src/unit_propagation.rs
+
+crates/cr-sat/src/lib.rs:
+crates/cr-sat/src/cnf.rs:
+crates/cr-sat/src/dimacs.rs:
+crates/cr-sat/src/lit.rs:
+crates/cr-sat/src/solver/mod.rs:
+crates/cr-sat/src/solver/analyze.rs:
+crates/cr-sat/src/solver/decide.rs:
+crates/cr-sat/src/solver/propagate.rs:
+crates/cr-sat/src/solver/reduce.rs:
+crates/cr-sat/src/solver/restart.rs:
+crates/cr-sat/src/stats.rs:
+crates/cr-sat/src/unit_propagation.rs:

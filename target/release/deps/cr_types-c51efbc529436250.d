@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cr_types-c51efbc529436250.d: crates/cr-types/src/lib.rs crates/cr-types/src/csv.rs crates/cr-types/src/entity.rs crates/cr-types/src/error.rs crates/cr-types/src/interner.rs crates/cr-types/src/schema.rs crates/cr-types/src/tuple.rs crates/cr-types/src/value.rs
+
+/root/repo/target/release/deps/libcr_types-c51efbc529436250.rlib: crates/cr-types/src/lib.rs crates/cr-types/src/csv.rs crates/cr-types/src/entity.rs crates/cr-types/src/error.rs crates/cr-types/src/interner.rs crates/cr-types/src/schema.rs crates/cr-types/src/tuple.rs crates/cr-types/src/value.rs
+
+/root/repo/target/release/deps/libcr_types-c51efbc529436250.rmeta: crates/cr-types/src/lib.rs crates/cr-types/src/csv.rs crates/cr-types/src/entity.rs crates/cr-types/src/error.rs crates/cr-types/src/interner.rs crates/cr-types/src/schema.rs crates/cr-types/src/tuple.rs crates/cr-types/src/value.rs
+
+crates/cr-types/src/lib.rs:
+crates/cr-types/src/csv.rs:
+crates/cr-types/src/entity.rs:
+crates/cr-types/src/error.rs:
+crates/cr-types/src/interner.rs:
+crates/cr-types/src/schema.rs:
+crates/cr-types/src/tuple.rs:
+crates/cr-types/src/value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_accuracy-c831c0beb04ec570.d: crates/cr-bench/src/bin/fig8_accuracy.rs
+
+/root/repo/target/release/deps/fig8_accuracy-c831c0beb04ec570: crates/cr-bench/src/bin/fig8_accuracy.rs
+
+crates/cr-bench/src/bin/fig8_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_interactions-b9166c2d99d64ff8.d: crates/cr-bench/src/bin/fig8_interactions.rs
+
+/root/repo/target/release/deps/fig8_interactions-b9166c2d99d64ff8: crates/cr-bench/src/bin/fig8_interactions.rs
+
+crates/cr-bench/src/bin/fig8_interactions.rs:

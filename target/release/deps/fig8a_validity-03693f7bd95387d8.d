@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8a_validity-03693f7bd95387d8.d: crates/cr-bench/src/bin/fig8a_validity.rs
+
+/root/repo/target/release/deps/fig8a_validity-03693f7bd95387d8: crates/cr-bench/src/bin/fig8a_validity.rs
+
+crates/cr-bench/src/bin/fig8a_validity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8b_deduce-cbd12a27e4ffe48a.d: crates/cr-bench/src/bin/fig8b_deduce.rs
+
+/root/repo/target/release/deps/fig8b_deduce-cbd12a27e4ffe48a: crates/cr-bench/src/bin/fig8b_deduce.rs
+
+crates/cr-bench/src/bin/fig8b_deduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8cd_overall-98553e46b80c37c6.d: crates/cr-bench/src/bin/fig8cd_overall.rs
+
+/root/repo/target/release/deps/fig8cd_overall-98553e46b80c37c6: crates/cr-bench/src/bin/fig8cd_overall.rs
+
+crates/cr-bench/src/bin/fig8cd_overall.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/phase_probe-87e7473552953b53.d: crates/cr-bench/src/bin/phase_probe.rs
+
+/root/repo/target/release/deps/phase_probe-87e7473552953b53: crates/cr-bench/src/bin/phase_probe.rs
+
+crates/cr-bench/src/bin/phase_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe2-72305b28c548e979.d: crates/cr-bench/src/bin/probe2.rs
+
+/root/repo/target/release/deps/probe2-72305b28c548e979: crates/cr-bench/src/bin/probe2.rs
+
+crates/cr-bench/src/bin/probe2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe3-03a34e3b08779629.d: crates/cr-bench/src/bin/probe3.rs
+
+/root/repo/target/release/deps/probe3-03a34e3b08779629: crates/cr-bench/src/bin/probe3.rs
+
+crates/cr-bench/src/bin/probe3.rs:

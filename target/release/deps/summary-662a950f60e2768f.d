@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/summary-662a950f60e2768f.d: crates/cr-bench/src/bin/summary.rs
+
+/root/repo/target/release/deps/summary-662a950f60e2768f: crates/cr-bench/src/bin/summary.rs
+
+crates/cr-bench/src/bin/summary.rs:

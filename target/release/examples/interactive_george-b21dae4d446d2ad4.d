@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/interactive_george-b21dae4d446d2ad4.d: examples/interactive_george.rs
+
+/root/repo/target/release/examples/interactive_george-b21dae4d446d2ad4: examples/interactive_george.rs
+
+examples/interactive_george.rs:

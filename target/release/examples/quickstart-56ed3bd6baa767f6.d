@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-56ed3bd6baa767f6.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-56ed3bd6baa767f6: examples/quickstart.rs
+
+examples/quickstart.rs:
