@@ -8,14 +8,19 @@
 //! that entities genuinely need several interaction rounds — the regime the
 //! incremental engine targets.
 //!
+//! Every incremental resolution also reports its **engine rebuild count**:
+//! with the guard-group zero-rebuild engine this must be 0 on every
+//! dataset, and the run fails loudly if it is not.
+//!
 //! Flags: `--entities N` (per generated dataset, default 10), `--seed S`,
 //! `--rounds R` (max user rounds, default 10), `--reps K` (timing
 //! repetitions, default 3), `--frac F` (constraint fraction, default 0.6),
-//! `--out PATH` (default `BENCH_1.json`).
+//! `--out PATH` (default `BENCH_2.json`), `--smoke` (tiny CI mode: check
+//! agreement and the zero-rebuild invariant, skip the timing sweep).
 
 use std::time::Instant;
 
-use cr_bench::{arg_entities, arg_seed, arg_value, json::BenchReport, quick};
+use cr_bench::{arg_entities, arg_flag, arg_seed, arg_value, json::BenchReport, quick};
 use cr_core::framework::{GroundTruthOracle, ResolutionConfig, Resolver};
 use cr_core::Specification;
 use cr_data::{nba, person, vjday};
@@ -60,17 +65,22 @@ fn time_parallel(w: &Workload, incremental: bool, rounds: usize, reps: usize) ->
     best
 }
 
-/// Both paths must produce identical resolution outcomes.
-fn check_agreement(w: &Workload, rounds: usize) {
+/// Both paths must produce identical resolution outcomes. Returns the total
+/// engine rebuild count of the incremental path (must be 0 with the
+/// guard-group engine).
+fn check_agreement(w: &Workload, rounds: usize) -> usize {
     let inc = resolver(true, rounds);
     let scr = resolver(false, rounds);
+    let mut rebuilds = 0;
     for (spec, truth) in w.specs.iter().zip(&w.truths) {
         let a = inc.resolve(spec, &mut GroundTruthOracle::with_cap(truth.clone(), 1));
         let b = scr.resolve(spec, &mut GroundTruthOracle::with_cap(truth.clone(), 1));
         assert_eq!(a.resolved, b.resolved, "{}: resolved tuples diverged", w.label);
         assert_eq!(a.interactions, b.interactions, "{}: interaction counts diverged", w.label);
         assert_eq!(a.user_values, b.user_values, "{}: answer counts diverged", w.label);
+        rebuilds += a.rebuilds;
     }
+    rebuilds
 }
 
 fn main() {
@@ -82,7 +92,8 @@ fn main() {
         .unwrap_or(3)
         .max(1);
     let frac: f64 = arg_value("frac").and_then(|v| v.parse().ok()).unwrap_or(0.6);
-    let out = arg_value("out").unwrap_or_else(|| "BENCH_1.json".to_string());
+    let smoke = arg_flag("smoke");
+    let out = arg_value("out").unwrap_or_else(|| "BENCH_2.json".to_string());
 
     // Entity sizes follow the seed's Fig. 8(a) bins: NBA up to 135 tuples,
     // Person at 1/10 paper scale up to 200.
@@ -124,7 +135,7 @@ fn main() {
         },
     ];
 
-    let mut report = BenchReport::new("incremental-resolution-engine");
+    let mut report = BenchReport::new("zero-rebuild-interaction-loop");
     report.context("entities_per_dataset", entities);
     report.context("seed", seed);
     report.context("max_rounds", rounds);
@@ -136,8 +147,19 @@ fn main() {
 
     let mut total_scratch = 0.0;
     let mut total_incremental = 0.0;
+    let mut total_rebuilds = 0;
     for w in &workloads {
-        check_agreement(w, rounds);
+        let rebuilds = check_agreement(w, rounds);
+        total_rebuilds += rebuilds;
+        report.context(format!("rebuilds/{}", w.label), rebuilds);
+        if rebuilds != 0 {
+            eprintln!("{:>8}: ZERO-REBUILD VIOLATION: {rebuilds} engine rebuilds", w.label);
+        } else {
+            println!("{:>8}: rebuilds 0", w.label);
+        }
+        if smoke {
+            continue;
+        }
         let scratch = time_serial(w, false, rounds, reps);
         let incremental = time_serial(w, true, rounds, reps);
         let parallel = time_parallel(w, true, rounds, reps);
@@ -156,12 +178,18 @@ fn main() {
             scratch / parallel,
         );
     }
-    let speedup = total_scratch / total_incremental;
-    report.measure("end_to_end/total/scratch", total_scratch);
-    report.measure("end_to_end/total/incremental", total_incremental);
-    report.context("speedup_incremental_vs_scratch", format!("{speedup:.2}"));
-    println!("overall incremental speedup: {speedup:.2}x");
-
-    report.write(&out).expect("write bench report");
-    println!("wrote {out}");
+    report.context("rebuilds_total", total_rebuilds);
+    if !smoke {
+        let speedup = total_scratch / total_incremental;
+        report.measure("end_to_end/total/scratch", total_scratch);
+        report.measure("end_to_end/total/incremental", total_incremental);
+        report.context("speedup_incremental_vs_scratch", format!("{speedup:.2}"));
+        println!("overall incremental speedup: {speedup:.2}x");
+        report.write(&out).expect("write bench report");
+        println!("wrote {out}");
+    }
+    if total_rebuilds != 0 {
+        eprintln!("FAIL: incremental engine rebuilt {total_rebuilds} times (expected 0)");
+        std::process::exit(1);
+    }
 }

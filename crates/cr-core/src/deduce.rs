@@ -67,7 +67,7 @@ impl DeducedOrders {
 /// Returns `None` if propagation derives a conflict (the specification is
 /// invalid — callers should have checked `IsValid` first).
 pub fn deduce_order(enc: &EncodedSpec) -> Option<DeducedOrders> {
-    let mut up = UnitPropagator::new(enc.cnf());
+    let mut up = enc.fresh_propagator();
     deduce_order_from(&mut up, enc)
 }
 
@@ -80,10 +80,9 @@ pub fn deduce_order_from(up: &mut UnitPropagator, enc: &EncodedSpec) -> Option<D
     let implied = up.propagate_to_fixpoint()?;
     let mut od = DeducedOrders::empty(enc.space().arity());
     for &lit in implied {
-        if lit.var().index() >= enc.num_order_vars() {
-            continue; // auxiliary variable (not an order atom)
-        }
-        let OrderAtom { attr, lo, hi } = enc.atom_of(lit.var());
+        let Some(OrderAtom { attr, lo, hi }) = enc.order_atom(lit.var()) else {
+            continue; // auxiliary variable (guard, not an order atom)
+        };
         if lit.is_positive() {
             od.insert(attr, lo, hi);
         } else {
@@ -99,7 +98,7 @@ pub fn deduce_order_from(up: &mut UnitPropagator, enc: &EncodedSpec) -> Option<D
 ///
 /// Returns `None` if `Φ(Se)` itself is unsatisfiable.
 pub fn naive_deduce(enc: &EncodedSpec) -> Option<DeducedOrders> {
-    let mut solver = Solver::from_cnf(enc.cnf());
+    let mut solver = enc.fresh_solver();
     naive_deduce_with(&mut solver, enc)
 }
 
@@ -117,21 +116,18 @@ pub fn naive_deduce_with(solver: &mut Solver, enc: &EncodedSpec) -> Option<Deduc
     if solver.solve() == SolveResult::Unsat {
         return None;
     }
-    let mut occurrences = vec![0u32; enc.num_order_vars()];
+    let mut occurrences = vec![0u32; enc.cnf().num_vars() as usize];
     for clause in enc.cnf().clauses() {
         for lit in clause {
-            if let Some(count) = occurrences.get_mut(lit.var().index()) {
-                *count += 1;
-            }
+            occurrences[lit.var().index()] += 1;
         }
     }
-    let mut probe_order: Vec<u32> = (0..enc.num_order_vars() as u32).collect();
-    probe_order.sort_by_key(|&v| std::cmp::Reverse(occurrences[v as usize]));
+    let mut probe_order: Vec<cr_sat::Var> = enc.order_vars().map(|(v, _)| v).collect();
+    probe_order.sort_by_key(|v| std::cmp::Reverse(occurrences[v.index()]));
 
     let mut od = DeducedOrders::empty(enc.space().arity());
-    for vi in probe_order {
-        let var = cr_sat::Var(vi);
-        let OrderAtom { attr, lo, hi } = enc.atom_of(var);
+    for var in probe_order {
+        let OrderAtom { attr, lo, hi } = enc.order_atom(var).expect("order variable");
         // The symmetric variable's probes already decided this pair.
         if od.contains(attr, lo, hi) || od.contains(attr, hi, lo) {
             continue;
@@ -165,25 +161,23 @@ pub fn naive_deduce_with(solver: &mut Solver, enc: &EncodedSpec) -> Option<Deduc
 /// ablation quantifying that difference.
 pub fn naive_deduce_fresh(enc: &EncodedSpec) -> Option<DeducedOrders> {
     {
-        let mut solver = Solver::from_cnf(enc.cnf());
+        let mut solver = enc.fresh_solver();
         if solver.solve() == SolveResult::Unsat {
             return None;
         }
     }
     let mut od = DeducedOrders::empty(enc.space().arity());
-    for vi in 0..enc.num_order_vars() {
-        let var = cr_sat::Var(vi as u32);
-        let OrderAtom { attr, lo, hi } = enc.atom_of(var);
+    for (var, OrderAtom { attr, lo, hi }) in enc.order_vars() {
         if od.contains(attr, lo, hi) || od.contains(attr, hi, lo) {
             continue;
         }
-        let mut s1 = Solver::from_cnf(enc.cnf());
+        let mut s1 = enc.fresh_solver();
         s1.add_clause([var.negative()]);
         if s1.solve() == SolveResult::Unsat {
             od.insert(attr, lo, hi);
             continue;
         }
-        let mut s2 = Solver::from_cnf(enc.cnf());
+        let mut s2 = enc.fresh_solver();
         s2.add_clause([var.positive()]);
         if s2.solve() == SolveResult::Unsat {
             od.insert(attr, hi, lo);

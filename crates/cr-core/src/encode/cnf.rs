@@ -1,15 +1,58 @@
 //! `ConvertToCNF`: from instance constraints to the CNF Φ(Se).
+//!
+//! # Guard-literal clause groups
+//!
+//! With [`EncodeOptions::guarded_cfds`] the CFD instance constraints are
+//! emitted as **retractable clause groups**, one group per CFD. The
+//! lifecycle:
+//!
+//! 1. *Emission* — a group allocates a fresh guard variable `g`; every
+//!    clause of the group carries the extra literal `¬g`, so the clauses
+//!    are vacuous until `g` is asserted.
+//! 2. *Activation* — consumers assert `g`: fresh solvers/propagators add
+//!    the unit clauses [`EncodedSpec::active_guards`]
+//!    (see [`EncodedSpec::fresh_solver`]); the incremental engine's warm
+//!    solver instead carries the guards as persistent *assumptions*
+//!    (`cr_sat::Solver::set_persistent_assumptions`), which keeps them
+//!    retractable.
+//! 3. *Retraction* — when a user answer introduces a new value on an
+//!    attribute referenced by a CFD, that CFD's ωX premise (and possibly
+//!    its domination conclusions) are stale: the group is retracted by
+//!    appending the root unit `¬g` to the CNF, which permanently satisfies
+//!    the group's clauses *and* every clause the warm solver learnt from
+//!    them (learnt clauses depending on the group contain `¬g` by
+//!    construction of conflict analysis). The CFD is then re-emitted over
+//!    the grown value space under a fresh guard.
+//!
+//! The CNF therefore remains the single append-only source of truth:
+//! solvers sync by ingesting the clause tail, and the retraction unit
+//! travels through the same channel. Only CFD instances need groups — Σ
+//! instances, base orders, null-bottom axioms and the order axioms are
+//! never invalidated by user input; new values only *add* to them.
 
 use cr_constraints::{Predicate, TupleRef};
 use cr_sat::{Cnf, Lit, Var};
 use cr_types::{AttrId, AttrValueSpace, Value, ValueId};
 
-use super::omega::{instantiate, instantiate_pair, Conclusion, InstanceConstraint, OrderAtom};
+use super::omega::{
+    cfd_instances, instantiate, instantiate_pair, Conclusion, InstanceConstraint, OrderAtom,
+};
 use super::EncodeOptions;
 use crate::spec::{Specification, UserInput};
 
 /// Sentinel for an unallocated slot in [`VarTable`].
 const NO_VAR: u32 = u32::MAX;
+
+/// Sentinel for a variable that is not an order atom (guard variables).
+const NO_ATOM: u32 = u32::MAX;
+
+/// Identifier of a retractable clause group (index into the encoding's
+/// group table). Also used as the group tag handed to
+/// `cr_sat::UnitPropagator::add_clause_grouped`.
+pub type GroupId = u32;
+
+/// Group tag of permanent clauses.
+const NO_GROUP: GroupId = cr_sat::NO_GROUP;
 
 /// Dense `attr × lo × hi → Var` index. Order-variable lookup sits on the
 /// hot path of clause generation, deduction and suggestion; a flat
@@ -47,17 +90,47 @@ impl VarTable {
         let n = self.width[attr.index()];
         self.per_attr[attr.index()][lo.index() * n + hi.index()] = var.0;
     }
+
+    /// Regrows `attr`'s table to `new_n` values, preserving the existing
+    /// slots (row-major relayout). Used when a user answer appends a new
+    /// value to an attribute's space.
+    fn grow(&mut self, attr: AttrId, new_n: usize) {
+        let old_n = self.width[attr.index()];
+        if new_n <= old_n {
+            return;
+        }
+        let old = std::mem::replace(&mut self.per_attr[attr.index()], vec![NO_VAR; new_n * new_n]);
+        for lo in 0..old_n {
+            self.per_attr[attr.index()][lo * new_n..lo * new_n + old_n]
+                .copy_from_slice(&old[lo * old_n..(lo + 1) * old_n]);
+        }
+        self.width[attr.index()] = new_n;
+    }
+}
+
+/// A retractable clause group: its guard variable and liveness.
+#[derive(Clone, Copy, Debug)]
+struct GroupState {
+    guard: Var,
+    active: bool,
 }
 
 /// Outcome of [`EncodedSpec::extend_with_input`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ExtendOutcome {
     /// The encoding was extended in place; new clauses were appended to the
-    /// CNF (sync solvers with the clause tail).
-    Extended,
-    /// The input cannot be expressed as a pure extension (it introduces
-    /// values outside the interned space, or the encoding was built with
-    /// lazy transitivity). The caller must re-encode from scratch.
+    /// CNF (sync solvers with the clause tail). `retracted_groups` lists
+    /// the clause groups withdrawn in the process (stale CFD emissions) —
+    /// callers holding a live `UnitPropagator` must forward them to
+    /// `retract_group` before syncing the tail.
+    Extended {
+        /// Groups retracted by this extension, in retraction order.
+        retracted_groups: Vec<GroupId>,
+    },
+    /// The input cannot be expressed as a pure extension: the encoding was
+    /// built with lazy transitivity, or an answer introduces a new value
+    /// while CFDs are unguarded (`EncodeOptions::guarded_cfds` off). The
+    /// caller must re-encode from scratch.
     NeedsRebuild,
 }
 
@@ -67,15 +140,27 @@ pub enum ExtendOutcome {
 /// `Suggest`, the exact true-value queries) run off this struct.
 ///
 /// The encoding supports **delta extension** with user input
-/// ([`EncodedSpec::extend_with_input`]): value spaces and the Ω(Se)
-/// instantiation of the original tuples are unchanged by user answers, so a
-/// round of the Fig. 4 loop only appends the clauses induced by the fresh
-/// user-input tuple instead of re-deriving the whole CNF.
+/// ([`EncodedSpec::extend_with_input`]): a round of the Fig. 4 loop only
+/// appends the clauses induced by the fresh user-input tuple instead of
+/// re-deriving the whole CNF. With guarded CFDs (see the module docs) this
+/// covers *every* input, including answers outside the interned value
+/// space: the new value's order variables and axioms are appended, and the
+/// affected CFDs are retracted and re-emitted under fresh guards.
 pub struct EncodedSpec {
     space: AttrValueSpace,
     vars: VarTable,
+    /// Order atoms in allocation order, with their variables.
     atoms: Vec<OrderAtom>,
+    atom_vars: Vec<Var>,
+    /// Var index → index into `atoms` (`NO_ATOM` for guard variables).
+    var_atom: Vec<u32>,
     cnf: Cnf,
+    /// Group tag per CNF clause (`NO_GROUP` = permanent), parallel to
+    /// `cnf.clauses()`.
+    clause_groups: Vec<GroupId>,
+    groups: Vec<GroupState>,
+    /// Per CFD index: its currently active group, if emitted.
+    cfd_groups: Vec<Option<GroupId>>,
     omega: Vec<InstanceConstraint>,
     options: EncodeOptions,
 }
@@ -96,7 +181,12 @@ impl EncodedSpec {
             vars: VarTable::new(widths),
             space: inst.space,
             atoms: Vec::new(),
+            atom_vars: Vec::new(),
+            var_atom: Vec::new(),
             cnf: Cnf::new(),
+            clause_groups: Vec::new(),
+            groups: Vec::new(),
+            cfd_groups: vec![None; spec.gamma().len()],
             omega: Vec::new(),
             options,
         };
@@ -128,9 +218,23 @@ impl EncodedSpec {
             }
         }
 
-        // Ω(Se) clauses.
+        // Ω(Se) clauses. CFD instances optionally go into one retractable
+        // group per CFD; everything else is permanent.
         for c in inst.omega {
-            enc.add_omega_constraint(c);
+            match c.origin {
+                super::Origin::Cfd(gi) if options.guarded_cfds => {
+                    let group = match enc.cfd_groups[gi] {
+                        Some(g) => g,
+                        None => {
+                            let g = enc.new_group();
+                            enc.cfd_groups[gi] = Some(g);
+                            g
+                        }
+                    };
+                    enc.add_omega_constraint_in(c, group);
+                }
+                _ => enc.add_omega_constraint(c),
+            }
         }
 
         // Transitivity and asymmetry per attribute, over the realised
@@ -151,9 +255,9 @@ impl EncodedSpec {
                     if let (Some(xab), Some(xba)) =
                         (enc.vars.get(attr, a, b), enc.vars.get(attr, b, a))
                     {
-                        enc.cnf.add_clause([xab.negative(), xba.negative()]);
+                        enc.push_clause([xab.negative(), xba.negative()], NO_GROUP);
                         if options.totality {
-                            enc.cnf.add_clause([xab.positive(), xba.positive()]);
+                            enc.push_clause([xab.positive(), xba.positive()], NO_GROUP);
                         }
                     }
                 }
@@ -176,8 +280,10 @@ impl EncodedSpec {
                         else {
                             continue;
                         };
-                        enc.cnf
-                            .add_clause([xab.negative(), xbc.negative(), xac.positive()]);
+                        enc.push_clause(
+                            [xab.negative(), xbc.negative(), xac.positive()],
+                            NO_GROUP,
+                        );
                     }
                 }
             }
@@ -193,16 +299,21 @@ impl EncodedSpec {
     /// 1. unit clauses `w ≺v_A v` for every other interned value `w` of each
     ///    answered attribute `A` (the base-order extension `Ot`), and
     /// 2. the instance constraints of Σ on the tuple pairs involving `to`
-    ///    (pairs among the original tuples are already instantiated, and
-    ///    user input changes neither the value spaces nor the Γ
-    ///    instantiation when the answers are in-domain).
+    ///    (pairs among the original tuples are already instantiated).
+    ///
+    /// Answers **outside** the interned value space are handled additively
+    /// when the encoding was built with guarded CFDs: the new value id
+    /// appends a row to the dense attr×lo×hi variable table, its order
+    /// axioms (asymmetry, totality, transitivity triples, null-bottom) are
+    /// appended, and every CFD referencing the grown attribute is retracted
+    /// and re-emitted over the new space under a fresh guard group (see the
+    /// module docs for the lifecycle).
     ///
     /// `spec` must be the specification this encoding currently represents
     /// (i.e. *before* the input is applied). Returns
-    /// [`ExtendOutcome::NeedsRebuild`] — with `self` untouched — when an
-    /// answer lies outside the interned value space (new values change the
-    /// space, the CFD instantiation and the axiom set, so the caller must
-    /// re-encode) or when the encoding was built with lazy transitivity.
+    /// [`ExtendOutcome::NeedsRebuild`] — with `self` untouched — when the
+    /// encoding was built with lazy transitivity, or when an answer lies
+    /// outside the interned space and CFDs are unguarded.
     pub fn extend_with_input(
         &mut self,
         spec: &Specification,
@@ -212,13 +323,52 @@ impl EncodedSpec {
             return ExtendOutcome::NeedsRebuild;
         }
         let mut answered: Vec<(AttrId, ValueId)> = Vec::new();
+        let mut grown: Vec<AttrId> = Vec::new();
         for (attr, v) in &input.values {
             if v.is_null() {
                 continue;
             }
             match self.space.get(*attr, v) {
                 Some(id) => answered.push((*attr, id)),
+                None if self.options.guarded_cfds => grown.push(*attr),
                 None => return ExtendOutcome::NeedsRebuild,
+            }
+        }
+
+        // Out-of-domain answers: append the new values and their axioms,
+        // then retract + re-emit every CFD whose premise or conclusion
+        // ranges over a grown attribute.
+        let mut retracted_groups: Vec<GroupId> = Vec::new();
+        if !grown.is_empty() {
+            for &attr in &grown {
+                let v = &input.values[&attr];
+                let vid = self.append_value(attr, v);
+                answered.push((attr, vid));
+            }
+            grown.sort_unstable();
+            grown.dedup();
+            for (gi, cfd) in spec.gamma().iter().enumerate() {
+                let touched = cfd
+                    .lhs()
+                    .iter()
+                    .any(|(a, _)| grown.binary_search(a).is_ok())
+                    || grown.binary_search(&cfd.rhs().0).is_ok();
+                if !touched {
+                    continue;
+                }
+                if let Some(group) = self.cfd_groups[gi].take() {
+                    self.retract_group(group);
+                    retracted_groups.push(group);
+                    self.omega.retain(|c| c.origin != super::Origin::Cfd(gi));
+                }
+                let instances = cfd_instances(&self.space, gi, cfd);
+                if !instances.is_empty() {
+                    let group = self.new_group();
+                    self.cfd_groups[gi] = Some(group);
+                    for c in instances {
+                        self.add_omega_constraint_in(c, group);
+                    }
+                }
             }
         }
 
@@ -244,6 +394,7 @@ impl EncodedSpec {
         // sharing a projection on a constraint's referenced attributes
         // produce identical instances (same grouping as `instantiate`), so
         // only one representative per projection is paired with `to`.
+        let entity = spec.entity();
         let arity = spec.schema().arity();
         let mut values = vec![Value::Null; arity];
         for (attr, v) in &input.values {
@@ -294,12 +445,17 @@ impl EncodedSpec {
                 .collect();
             attrs.sort_unstable();
             attrs.dedup();
-            let mut seen: std::collections::HashSet<Vec<&Value>> = std::collections::HashSet::new();
-            for (_, t) in spec.entity().iter() {
-                let projection: Vec<&Value> = attrs.iter().map(|&a| t.get(a)).collect();
+            // Distinct projections over the dense id rows — integer keys,
+            // no Value hashing.
+            let mut seen: std::collections::HashSet<Vec<u32>> =
+                std::collections::HashSet::new();
+            for tid in entity.tuple_ids() {
+                let projection: Vec<u32> =
+                    attrs.iter().map(|&a| entity.dense_id(tid, a)).collect();
                 if !seen.insert(projection) {
                     continue;
                 }
+                let t = entity.tuple(tid);
                 if to_second {
                     if let Some(c) = instantiate_pair(&self.space, constraint, ci, t, &to) {
                         self.add_omega_constraint(c);
@@ -312,7 +468,64 @@ impl EncodedSpec {
                 }
             }
         }
-        ExtendOutcome::Extended
+        ExtendOutcome::Extended { retracted_groups }
+    }
+
+    /// Appends a brand-new value to `attr`'s space: interns it, regrows the
+    /// variable table, allocates the order variables of every pair
+    /// involving it and emits the asymmetry/totality/transitivity axioms
+    /// for those pairs plus the null-bottom unit. Exactly the delta a
+    /// from-scratch re-encode of the grown space would produce for the
+    /// order-axiom part of Φ(Se).
+    fn append_value(&mut self, attr: AttrId, v: &Value) -> ValueId {
+        debug_assert!(self.space.get(attr, v).is_none());
+        let vid = self.space.intern(attr, v);
+        let n = self.space.attr(attr).len();
+        debug_assert_eq!(vid.index(), n - 1);
+        self.vars.grow(attr, n);
+        let olds: Vec<ValueId> = (0..(n - 1) as u32).map(ValueId).collect();
+        for &w in &olds {
+            self.var(OrderAtom { attr, lo: w, hi: vid });
+            self.var(OrderAtom { attr, lo: vid, hi: w });
+        }
+        // Asymmetry and (optional) totality for the new pairs.
+        for &w in &olds {
+            let xwv = self.vars.get(attr, w, vid).expect("just allocated");
+            let xvw = self.vars.get(attr, vid, w).expect("just allocated");
+            self.push_clause([xwv.negative(), xvw.negative()], NO_GROUP);
+            if self.options.totality {
+                self.push_clause([xwv.positive(), xvw.positive()], NO_GROUP);
+            }
+        }
+        // Transitivity: all triples containing the new value, i.e. the
+        // three placements of `vid` over each ordered pair of old values.
+        for &a in &olds {
+            for &b in &olds {
+                if a == b {
+                    continue;
+                }
+                let xab = self.vars.get(attr, a, b).expect("full encoding");
+                let xav = self.vars.get(attr, a, vid).expect("just allocated");
+                let xvb = self.vars.get(attr, vid, b).expect("just allocated");
+                let xbv = self.vars.get(attr, b, vid).expect("just allocated");
+                let xva = self.vars.get(attr, vid, a).expect("just allocated");
+                // (vid, a, b): x_va ∧ x_ab → x_vb
+                self.push_clause([xva.negative(), xab.negative(), xvb.positive()], NO_GROUP);
+                // (a, vid, b): x_av ∧ x_vb → x_ab
+                self.push_clause([xav.negative(), xvb.negative(), xab.positive()], NO_GROUP);
+                // (a, b, vid): x_ab ∧ x_bv → x_av
+                self.push_clause([xab.negative(), xbv.negative(), xav.positive()], NO_GROUP);
+            }
+        }
+        // Null stays a strict bottom below the new value.
+        if let Some(null_id) = self.space.get(attr, &Value::Null) {
+            self.add_omega_constraint(InstanceConstraint {
+                premise: Vec::new(),
+                conclusion: Conclusion::Atom(OrderAtom { attr, lo: null_id, hi: vid }),
+                origin: super::Origin::NullBottom,
+            });
+        }
+        vid
     }
 
     /// Records an instance constraint and adds its clause to the CNF.
@@ -324,15 +537,56 @@ impl EncodedSpec {
     /// so deriving rules from Ω(Se) is insensitive to duplicates and
     /// ordering.
     fn add_omega_constraint(&mut self, c: InstanceConstraint) {
-        let premise: Vec<Lit> = c.premise.iter().map(|a| self.var(*a).positive()).collect();
-        match c.conclusion {
-            Conclusion::Atom(atom) => {
-                let concl = self.var(atom).positive();
-                self.cnf.add_implication(&premise, concl);
-            }
-            Conclusion::False => self.cnf.add_negated_conjunction(&premise),
+        self.add_omega_constraint_in(c, NO_GROUP);
+    }
+
+    /// [`EncodedSpec::add_omega_constraint`] into a clause group: the
+    /// group's guard literal `¬g` is appended to the clause.
+    fn add_omega_constraint_in(&mut self, c: InstanceConstraint, group: GroupId) {
+        let mut clause: Vec<Lit> = c.premise.iter().map(|a| self.var(*a).negative()).collect();
+        if let Conclusion::Atom(atom) = c.conclusion {
+            let concl = self.var(atom).positive();
+            clause.push(concl);
         }
+        self.push_clause(clause, group);
         self.omega.push(c);
+    }
+
+    /// Appends one clause to the CNF, tagging it with its group (the
+    /// group's guard literal is appended automatically). Every clause of
+    /// the encoding goes through here so `clause_groups` stays parallel to
+    /// the clause list.
+    fn push_clause(&mut self, lits: impl IntoIterator<Item = Lit>, group: GroupId) {
+        if group == NO_GROUP {
+            self.cnf.add_clause(lits);
+        } else {
+            let guard = self.groups[group as usize].guard;
+            let mut clause: Vec<Lit> = lits.into_iter().collect();
+            clause.push(guard.negative());
+            self.cnf.add_clause(clause);
+        }
+        self.clause_groups.push(group);
+    }
+
+    /// Allocates a fresh, active clause group with its guard variable.
+    fn new_group(&mut self) -> GroupId {
+        let guard = self.cnf.new_var();
+        debug_assert_eq!(guard.index(), self.var_atom.len());
+        self.var_atom.push(NO_ATOM);
+        let id = self.groups.len() as GroupId;
+        self.groups.push(GroupState { guard, active: true });
+        id
+    }
+
+    /// Retracts a clause group: marks it inactive and appends the root unit
+    /// `¬g` to the CNF, which permanently satisfies the group's clauses
+    /// (and any clauses a solver learnt from them) once synced.
+    fn retract_group(&mut self, group: GroupId) {
+        let state = &mut self.groups[group as usize];
+        debug_assert!(state.active, "group retracted twice");
+        state.active = false;
+        let guard = state.guard;
+        self.push_clause([guard.negative()], NO_GROUP);
     }
 
     /// Allocates (or returns) the variable for an order atom.
@@ -341,9 +595,11 @@ impl EncodedSpec {
             return v;
         }
         let v = self.cnf.new_var();
-        debug_assert_eq!(v.index(), self.atoms.len());
+        debug_assert_eq!(v.index(), self.var_atom.len());
         self.vars.set(atom.attr, atom.lo, atom.hi, v);
+        self.var_atom.push(self.atoms.len() as u32);
         self.atoms.push(atom);
+        self.atom_vars.push(v);
         v
     }
 
@@ -357,7 +613,9 @@ impl EncodedSpec {
         self.options
     }
 
-    /// The instance constraints Ω(Se).
+    /// The instance constraints Ω(Se). Instances of retracted CFD groups
+    /// are removed on re-emission, so this always reflects the live
+    /// constraint set.
     pub fn omega(&self) -> &[InstanceConstraint] {
         &self.omega
     }
@@ -372,14 +630,63 @@ impl EncodedSpec {
         self.vars.get(attr, lo, hi)
     }
 
-    /// The order atom behind a variable.
-    pub fn atom_of(&self, var: Var) -> OrderAtom {
-        self.atoms[var.index()]
+    /// The order atom behind a variable, or `None` for auxiliary (guard)
+    /// variables.
+    pub fn order_atom(&self, var: Var) -> Option<OrderAtom> {
+        let idx = *self.var_atom.get(var.index())?;
+        (idx != NO_ATOM).then(|| self.atoms[idx as usize])
     }
 
-    /// Number of order variables.
+    /// All order variables with their atoms, in allocation order.
+    pub fn order_vars(&self) -> impl Iterator<Item = (Var, OrderAtom)> + '_ {
+        self.atom_vars.iter().copied().zip(self.atoms.iter().copied())
+    }
+
+    /// Number of order variables (guard variables excluded).
     pub fn num_order_vars(&self) -> usize {
         self.atoms.len()
+    }
+
+    /// Positive literals of the guards of every **active** clause group.
+    /// Fresh solvers/propagators over [`EncodedSpec::cnf`] must assert
+    /// these (retracted groups are already neutralised by `¬g` units inside
+    /// the CNF); the incremental engine instead carries them as persistent
+    /// assumptions so they stay retractable.
+    pub fn active_guards(&self) -> Vec<Lit> {
+        self.groups
+            .iter()
+            .filter(|g| g.active)
+            .map(|g| g.guard.positive())
+            .collect()
+    }
+
+    /// The group and guard variable of CNF clause `idx`, or `None` for
+    /// permanent clauses. Used by the engine to strip guard literals when
+    /// syncing its group-aware unit propagator.
+    pub fn clause_group(&self, idx: usize) -> Option<(GroupId, Var)> {
+        let g = self.clause_groups[idx];
+        (g != NO_GROUP).then(|| (g, self.groups[g as usize].guard))
+    }
+
+    /// A CDCL solver over `Φ(Se)` with all active guard groups asserted as
+    /// root units — correct for any consumer that never retracts.
+    pub fn fresh_solver(&self) -> cr_sat::Solver {
+        let mut solver = cr_sat::Solver::from_cnf(&self.cnf);
+        for g in self.active_guards() {
+            solver.add_clause([g]);
+        }
+        solver
+    }
+
+    /// A root-level unit propagator over `Φ(Se)` with all active guard
+    /// groups asserted as units — correct for any consumer that never
+    /// retracts.
+    pub fn fresh_propagator(&self) -> cr_sat::UnitPropagator {
+        let mut up = cr_sat::UnitPropagator::new(&self.cnf);
+        for g in self.active_guards() {
+            up.add_clause(&[g]);
+        }
+        up
     }
 
     /// Interned id of `value` in `attr`'s space.
@@ -436,6 +743,13 @@ mod tests {
             parse_currency_constraint(&s, "t1 <[status] t2 -> t1 <[job] t2").unwrap(),
         ];
         Specification::without_orders(e, sigma, vec![])
+    }
+
+    fn extended_ok(outcome: ExtendOutcome) -> Vec<GroupId> {
+        match outcome {
+            ExtendOutcome::Extended { retracted_groups } => retracted_groups,
+            ExtendOutcome::NeedsRebuild => panic!("expected pure extension"),
+        }
     }
 
     #[test]
@@ -563,6 +877,47 @@ mod tests {
     }
 
     #[test]
+    fn guarded_encoding_matches_unguarded_once_activated() {
+        // Same spec as above, but with guarded CFDs: the bare CNF no longer
+        // forces the CFD (guards free), while the activated encoding does.
+        let s = Schema::new("p", ["status", "AC", "city"]).unwrap();
+        let e = EntityInstance::new(
+            s.clone(),
+            vec![
+                Tuple::of([Value::str("working"), Value::int(212), Value::str("NY")]),
+                Tuple::of([Value::str("retired"), Value::int(213), Value::str("LA")]),
+            ],
+        )
+        .unwrap();
+        let sigma = vec![
+            parse_currency_constraint(
+                &s,
+                r#"t1[status] = "working" && t2[status] = "retired" -> t1 <[status] t2"#,
+            )
+            .unwrap(),
+            parse_currency_constraint(&s, "t1 <[status] t2 -> t1 <[AC] t2").unwrap(),
+        ];
+        let gamma = parse_cfds(&s, "AC = 213 -> city = \"LA\"").unwrap();
+        let spec = Specification::without_orders(e, sigma, gamma);
+        let enc = EncodedSpec::encode_with(&spec, EncodeOptions::default().with_guarded_cfds());
+        assert_eq!(enc.active_guards().len(), 1);
+        let city = spec.schema().attr_id("city").unwrap();
+        let ny = enc.value_id(city, &Value::str("NY")).unwrap();
+        let la = enc.value_id(city, &Value::str("LA")).unwrap();
+        let x = enc.var_of(city, ny, la).unwrap();
+        let mut activated = enc.fresh_solver();
+        assert_eq!(
+            activated.solve_with_assumptions(&[x.negative()]),
+            SolveResult::Unsat
+        );
+        assert_eq!(activated.solve(), SolveResult::Sat);
+        // Guard variables are not order atoms.
+        let guard = enc.active_guards()[0].var();
+        assert!(enc.order_atom(guard).is_none());
+        assert!(enc.order_atom(x).is_some());
+    }
+
+    #[test]
     fn extension_with_in_domain_answer_matches_scratch_deduction() {
         // Answering city=LA must make LA the deduced top of `city` exactly
         // as a from-scratch re-encode of the extended spec would.
@@ -581,7 +936,7 @@ mod tests {
         let input = UserInput::single(city, Value::str("LA"));
 
         let before = enc.cnf().num_clauses();
-        assert_eq!(enc.extend_with_input(&spec, &input), ExtendOutcome::Extended);
+        assert!(extended_ok(enc.extend_with_input(&spec, &input)).is_empty());
         assert!(enc.cnf().num_clauses() > before, "unit clauses appended");
 
         let (extended, _, _) = spec.apply_user_input(&input);
@@ -604,14 +959,14 @@ mod tests {
         let status = spec.schema().attr_id("status").unwrap();
         let job = spec.schema().attr_id("job").unwrap();
         let input = UserInput::single(status, Value::str("retired"));
-        assert_eq!(enc.extend_with_input(&spec, &input), ExtendOutcome::Extended);
+        assert!(extended_ok(enc.extend_with_input(&spec, &input)).is_empty());
         let od = crate::deduce::deduce_order(&enc).unwrap();
         let jid = |v: &str| enc.value_id(job, &Value::str(v)).unwrap();
         assert!(od.contains(job, jid("nurse"), jid("n/a")));
     }
 
     #[test]
-    fn extension_rejects_out_of_domain_values() {
+    fn unguarded_extension_rejects_out_of_domain_values() {
         let spec = tiny_spec();
         let mut enc = EncodedSpec::encode(&spec);
         let clauses = enc.cnf().num_clauses();
@@ -622,6 +977,126 @@ mod tests {
             ExtendOutcome::NeedsRebuild
         );
         assert_eq!(enc.cnf().num_clauses(), clauses, "encoding untouched");
+    }
+
+    #[test]
+    fn guarded_extension_absorbs_out_of_domain_values() {
+        // The answered value is new: the space grows, the new value tops
+        // the attribute, and deduction still works on the extended CNF.
+        let spec = tiny_spec();
+        let mut enc =
+            EncodedSpec::encode_with(&spec, EncodeOptions::default().with_guarded_cfds());
+        let status = spec.schema().attr_id("status").unwrap();
+        let input = UserInput::single(status, Value::str("deceased"));
+        // No CFDs → nothing to retract, but the extension must succeed.
+        assert!(extended_ok(enc.extend_with_input(&spec, &input)).is_empty());
+        let deceased = enc.value_id(status, &Value::str("deceased")).expect("interned");
+        let od = crate::deduce::deduce_order(&enc).unwrap();
+        for old in ["working", "retired"] {
+            let oid = enc.value_id(status, &Value::str(old)).unwrap();
+            assert!(od.contains(status, oid, deceased), "{old} must sit below");
+        }
+        // The grown space stays internally consistent (asymmetry +
+        // transitivity were appended).
+        let mut solver = enc.fresh_solver();
+        assert_eq!(solver.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn guarded_extension_retracts_and_reemits_cfd_on_lhs_growth() {
+        // CFD: AC = 213 → city = "LA". A new AC value must invalidate the
+        // old ωX premise (which didn't mention it) — after answering
+        // AC=999, the CFD may no longer fire, because 999 tops AC.
+        let s = Schema::new("p", ["AC", "city"]).unwrap();
+        let e = EntityInstance::new(
+            s.clone(),
+            vec![
+                Tuple::of([Value::int(212), Value::str("NY")]),
+                Tuple::of([Value::int(213), Value::str("LA")]),
+            ],
+        )
+        .unwrap();
+        let gamma = parse_cfds(&s, "AC = 213 -> city = \"LA\"").unwrap();
+        let spec = Specification::without_orders(e, vec![], gamma);
+        let mut enc =
+            EncodedSpec::encode_with(&spec, EncodeOptions::default().with_guarded_cfds());
+        let ac = spec.schema().attr_id("AC").unwrap();
+        let city = spec.schema().attr_id("city").unwrap();
+        let old_cfd_instances = enc
+            .omega()
+            .iter()
+            .filter(|c| c.origin == super::super::Origin::Cfd(0))
+            .count();
+        assert!(old_cfd_instances > 0);
+
+        let input = UserInput::single(ac, Value::int(999));
+        let retracted = extended_ok(enc.extend_with_input(&spec, &input));
+        assert_eq!(retracted.len(), 1, "the CFD's group must be retracted");
+
+        // Re-emitted instances now range over the grown AC space: the ωX
+        // premise contains 999 ≺ 213, which contradicts the base-order unit
+        // 213 ≺ 999 — so the CFD is dead and city stays ambiguous.
+        let nid = enc.value_id(ac, &Value::int(999)).unwrap();
+        let cid213 = enc.value_id(ac, &Value::int(213)).unwrap();
+        let reemitted: Vec<_> = enc
+            .omega()
+            .iter()
+            .filter(|c| c.origin == super::super::Origin::Cfd(0))
+            .collect();
+        assert!(!reemitted.is_empty());
+        assert!(
+            reemitted.iter().all(|c| c
+                .premise
+                .contains(&OrderAtom { attr: ac, lo: nid, hi: cid213 })),
+            "re-emitted ωX must mention the new value"
+        );
+        let od = crate::deduce::deduce_order(&enc).unwrap();
+        let ny = enc.value_id(city, &Value::str("NY")).unwrap();
+        let la = enc.value_id(city, &Value::str("LA")).unwrap();
+        assert!(!od.contains(city, ny, la), "CFD must not fire after retraction");
+        assert!(!od.contains(city, la, ny));
+        // And the scratch re-encode agrees.
+        let (extended, _, _) = spec.apply_user_input(&input);
+        let scratch = EncodedSpec::encode(&extended);
+        let od_scr = crate::deduce::deduce_order(&scratch).unwrap();
+        let ny_s = scratch.value_id(city, &Value::str("NY")).unwrap();
+        let la_s = scratch.value_id(city, &Value::str("LA")).unwrap();
+        assert!(!od_scr.contains(city, ny_s, la_s));
+        assert!(!od_scr.contains(city, la_s, ny_s));
+    }
+
+    #[test]
+    fn guarded_extension_activates_previously_dead_cfd() {
+        // CFD: AC = 999 → city = "LA". 999 is outside the domain at encode
+        // time (CFD vacuous); answering AC=999 must bring it to life:
+        // 999 tops AC, the ωX premise holds, NY ≺ LA becomes deducible.
+        let s = Schema::new("p", ["AC", "city"]).unwrap();
+        let e = EntityInstance::new(
+            s.clone(),
+            vec![
+                Tuple::of([Value::int(212), Value::str("NY")]),
+                Tuple::of([Value::int(213), Value::str("LA")]),
+            ],
+        )
+        .unwrap();
+        let gamma = parse_cfds(&s, "AC = 999 -> city = \"LA\"").unwrap();
+        let spec = Specification::without_orders(e, vec![], gamma);
+        let mut enc =
+            EncodedSpec::encode_with(&spec, EncodeOptions::default().with_guarded_cfds());
+        assert!(enc.omega().iter().all(|c| c.origin != super::super::Origin::Cfd(0)));
+        assert!(enc.active_guards().is_empty());
+
+        let ac = spec.schema().attr_id("AC").unwrap();
+        let input = UserInput::single(ac, Value::int(999));
+        let retracted = extended_ok(enc.extend_with_input(&spec, &input));
+        assert!(retracted.is_empty(), "nothing was emitted before");
+        assert_eq!(enc.active_guards().len(), 1, "the CFD now has a live group");
+
+        let city = spec.schema().attr_id("city").unwrap();
+        let od = crate::deduce::deduce_order(&enc).unwrap();
+        let ny = enc.value_id(city, &Value::str("NY")).unwrap();
+        let la = enc.value_id(city, &Value::str("LA")).unwrap();
+        assert!(od.contains(city, ny, la), "revived CFD must fire");
     }
 
     #[test]

@@ -7,6 +7,15 @@
 //! implication to a clause, adding transitivity and asymmetry axioms so that
 //! satisfying assignments correspond to valid completions (Lemma 5).
 //!
+//! ## Guard-literal clause groups
+//!
+//! With [`EncodeOptions::guarded_cfds`] each CFD's instance constraints
+//! form a retractable clause group, which is what lets the incremental
+//! resolution engine absorb out-of-domain user answers without ever
+//! rebuilding the encoding. The full emission → activation → retraction
+//! lifecycle is documented in the [`cnf`] module docs; the engine side
+//! lives in `framework`'s module docs.
+//!
 //! ## Semantics notes (see DESIGN.md §4)
 //!
 //! * The value space of attribute `Ai` is its active domain plus `null` when
@@ -24,7 +33,7 @@
 mod cnf;
 mod omega;
 
-pub use cnf::{EncodedSpec, ExtendOutcome};
+pub use cnf::{EncodedSpec, ExtendOutcome, GroupId};
 pub use omega::{Conclusion, InstanceConstraint, OrderAtom, Origin};
 
 use cr_types::{AttrId, ValueId};
@@ -50,11 +59,23 @@ pub struct EncodeOptions {
     /// value-level completions. Default `true`; set `false` for the
     /// paper-faithful ablation.
     pub totality: bool,
+    /// Emit every CFD's instance constraints as a *guard-literal clause
+    /// group* (see the guard-group lifecycle in the [`cnf`] module docs).
+    /// Guarded CFD clauses carry an extra `¬g` literal and are only active
+    /// while `g` is asserted — via [`EncodedSpec::active_guards`] units in
+    /// fresh solvers, or as persistent assumptions on the incremental
+    /// engine's warm solver — which makes them *retractable*: when a user
+    /// answer introduces a new value, the affected CFDs' stale groups are
+    /// withdrawn and re-emitted over the grown value space instead of
+    /// rebuilding the whole encoding. Default `false` (one-shot encodings
+    /// never retract and skip the guard plumbing); the incremental
+    /// resolution engine turns it on.
+    pub guarded_cfds: bool,
 }
 
 impl Default for EncodeOptions {
     fn default() -> Self {
-        EncodeOptions { full_transitivity: true, totality: true }
+        EncodeOptions { full_transitivity: true, totality: true, guarded_cfds: false }
     }
 }
 
@@ -62,7 +83,12 @@ impl EncodeOptions {
     /// The encoding exactly as described in Section V-A of the paper
     /// (no totality clauses).
     pub fn paper_faithful() -> Self {
-        EncodeOptions { full_transitivity: true, totality: false }
+        EncodeOptions { totality: false, ..Default::default() }
+    }
+
+    /// These options with guarded CFD emission enabled.
+    pub fn with_guarded_cfds(self) -> Self {
+        EncodeOptions { guarded_cfds: true, ..self }
     }
 }
 

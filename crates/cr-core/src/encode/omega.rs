@@ -1,9 +1,19 @@
 //! `Instantiation(Se)`: from a specification to instance constraints Ω(Se).
+//!
+//! The hot loops — active-domain construction, base-order instantiation and
+//! the per-constraint projection grouping and pair instantiation — run on
+//! the entity's **instance-local dense value ids**
+//! (`EntityInstance::dense_id`, contiguous `u32` rows): equality and null
+//! tests are single integer compares, and dense → space-local id
+//! translation is one load from a flat `attr × id` table sized by the
+//! entity's own distinct-value count. Full [`Value`]s are only touched
+//! where semantics require them (comparison predicates, canonical sorting
+//! of each value space, CFD constants).
 
 use std::collections::HashMap;
 
 use cr_constraints::Predicate;
-use cr_types::{AttrValueSpace, TupleId, Value, ValueId};
+use cr_types::{AttrValueSpace, TupleId, Value, ValueId, NULL_VALUE_ID};
 
 use crate::spec::Specification;
 
@@ -62,62 +72,46 @@ pub(crate) struct Instantiated {
     pub omega: Vec<InstanceConstraint>,
 }
 
-/// Instantiates currency constraint `sigma[ci]` on the ordered tuple pair
-/// `(t1, t2)` — the `ins(ω, s1, s2)` of Section V-A. Returns `None` when a
-/// comparison predicate fails, a premise order atom is instantiated on
-/// equal or missing values (vacuous — see the notes in the module docs of
-/// `encode`), or the conclusion is vacuously satisfied.
+/// Core of `ins(ω, s1, s2)` (Section V-A), shared by the Value-based and
+/// dense-id pair instantiators so the vacuity/canonicalisation rules can
+/// never diverge between the scratch and incremental paths:
 ///
-/// Shared by the full instantiation below and by
-/// [`EncodedSpec::extend_with_input`](super::EncodedSpec::extend_with_input),
-/// which instantiates only the pairs involving a freshly appended
-/// user-input tuple.
-pub(crate) fn instantiate_pair(
-    space: &AttrValueSpace,
+/// * `pair(attr)` yields the `(lo, hi)` space-local ids of the two tuples'
+///   values on `attr`, or `None` when the atom is **vacuous** — the values
+///   are equal (they satisfy only ⪯) or either side is null. A premise
+///   instantiated on *missing* data is vacuous: were "null ≺ a" premises
+///   counted true, the user-input tuple `to` (null everywhere but the
+///   answered attributes) would fire rules like ϕ8 and claim the user's
+///   answers are stale; a null conclusion carries no strict obligation
+///   (`to` must not force "value ≺ null"). See DESIGN.md §4.
+/// * `cmp(p)` evaluates a comparison predicate on the pair.
+///
+/// Returns `None` when a comparison fails or any atom is vacuous; the
+/// premise is canonicalised (sorted, deduplicated).
+fn build_instance(
     constraint: &cr_constraints::CurrencyConstraint,
     ci: usize,
-    t1: &cr_types::Tuple,
-    t2: &cr_types::Tuple,
+    mut pair: impl FnMut(cr_types::AttrId) -> Option<(ValueId, ValueId)>,
+    mut cmp: impl FnMut(&Predicate) -> bool,
 ) -> Option<InstanceConstraint> {
     // Data half of ins(ω, s1, s2): comparison conjuncts.
     let mut premise: Vec<OrderAtom> = Vec::new();
     for p in constraint.premises() {
         match p {
             Predicate::Order { attr } => {
-                let v1 = t1.get(*attr);
-                let v2 = t2.get(*attr);
-                if v1 == v2 || v1.is_null() || v2.is_null() {
-                    // Equal values satisfy only ⪯, and a premise
-                    // instantiated on *missing* data is vacuous: were
-                    // "null ≺ a" premises counted true, the user-input
-                    // tuple `to` (null everywhere but the answered
-                    // attributes) would fire rules like ϕ8 and claim the
-                    // user's answers are stale. See DESIGN.md §4.
-                    return None;
-                }
-                let lo = space.get(*attr, v1).expect("interned");
-                let hi = space.get(*attr, v2).expect("interned");
+                let (lo, hi) = pair(*attr)?;
                 premise.push(OrderAtom { attr: *attr, lo, hi });
             }
             other => {
-                if !other.eval_comparison(t1, t2).expect("comparison predicate") {
+                if !cmp(other) {
                     return None;
                 }
             }
         }
     }
-    // Conclusion t1 ≺_Ar t2 on values. Equal values satisfy it vacuously; a
-    // null on either side carries no strict obligation (the user-input
-    // tuple `to` of Section III has nulls on every unanswered attribute,
-    // and must not force "value ≺ null").
+    // Conclusion t1 ≺_Ar t2 on values.
     let ar = constraint.conclusion_attr();
-    let w1 = t1.get(ar);
-    let w2 = t2.get(ar);
-    if w1 == w2 || w1.is_null() || w2.is_null() {
-        return None;
-    }
-    let lo = space.get(ar, w1).expect("interned");
-    let hi = space.get(ar, w2).expect("interned");
+    let (lo, hi) = pair(ar)?;
     premise.sort_unstable_by_key(|a| (a.attr, a.lo, a.hi));
     premise.dedup();
     Some(InstanceConstraint {
@@ -127,19 +121,104 @@ pub(crate) fn instantiate_pair(
     })
 }
 
+/// Instantiates currency constraint `sigma[ci]` on the ordered tuple pair
+/// `(t1, t2)` — [`build_instance`] over the tuples' actual values. Used by
+/// [`EncodedSpec::extend_with_input`](super::EncodedSpec::extend_with_input)
+/// for the pairs involving a freshly appended user-input tuple (which has
+/// no dense row in the entity).
+pub(crate) fn instantiate_pair(
+    space: &AttrValueSpace,
+    constraint: &cr_constraints::CurrencyConstraint,
+    ci: usize,
+    t1: &cr_types::Tuple,
+    t2: &cr_types::Tuple,
+) -> Option<InstanceConstraint> {
+    build_instance(
+        constraint,
+        ci,
+        |attr| {
+            let v1 = t1.get(attr);
+            let v2 = t2.get(attr);
+            if v1 == v2 || v1.is_null() || v2.is_null() {
+                return None;
+            }
+            Some((
+                space.get(attr, v1).expect("interned"),
+                space.get(attr, v2).expect("interned"),
+            ))
+        },
+        |p| p.eval_comparison(t1, t2).expect("comparison predicate"),
+    )
+}
+
+/// Sentinel in the global → local translation table: value not in this
+/// attribute's space.
+const G2L_UNSEEN: u32 = u32::MAX;
+/// Transient marker between the distinct-scan and canonical interning.
+const G2L_SEEN: u32 = u32::MAX - 1;
+
+/// Flat global → local value-id translation, one row per attribute. Local
+/// lookup of an already-validated global id is a single indexed load.
+pub(crate) struct GlobalToLocal {
+    table: Vec<u32>,
+    bound: usize,
+}
+
+impl GlobalToLocal {
+    #[inline]
+    fn slot(&mut self, attr: cr_types::AttrId, gid: u32) -> &mut u32 {
+        &mut self.table[attr.index() * self.bound + gid as usize]
+    }
+
+    /// Local id of a global id known to be in `attr`'s space.
+    #[inline]
+    pub(crate) fn local(&self, attr: cr_types::AttrId, gid: u32) -> ValueId {
+        let raw = self.table[attr.index() * self.bound + gid as usize];
+        debug_assert!(raw < G2L_SEEN, "gid not interned for this attribute");
+        ValueId(raw)
+    }
+}
+
 /// Runs `Instantiation(Se)` (Section V-A).
 pub(crate) fn instantiate(spec: &Specification) -> Instantiated {
     let schema = spec.schema();
     let entity = spec.entity();
-    let mut space = AttrValueSpace::new(schema.arity());
+    let arity = schema.arity();
+    let mut space = AttrValueSpace::new(arity);
 
     // 1. Value spaces: active domain (canonical order) plus null if present.
+    // One contiguous pass over the dense id matrix per attribute marks the
+    // distinct values; only the distinct ones are materialised and sorted.
+    // Dense ids are instance-local, so the translation table is sized by
+    // the entity's own distinct-value count, never by the dataset.
+    let id_bound = entity.dense_id_bound();
+    let mut g2l = GlobalToLocal {
+        table: vec![G2L_UNSEEN; arity * id_bound],
+        bound: id_bound,
+    };
     for attr in schema.attr_ids() {
-        for v in entity.active_domain(attr) {
-            space.intern(attr, &v);
+        let mut distinct: Vec<u32> = Vec::new();
+        let mut has_null = false;
+        for tid in entity.tuple_ids() {
+            let gid = entity.dense_id(tid, attr);
+            if gid == NULL_VALUE_ID {
+                has_null = true;
+                continue;
+            }
+            let slot = g2l.slot(attr, gid);
+            if *slot == G2L_UNSEEN {
+                *slot = G2L_SEEN;
+                distinct.push(gid);
+            }
         }
-        if entity.tuples().iter().any(|t| t.get(attr).is_null()) {
-            space.intern(attr, &Value::Null);
+        distinct.sort_unstable_by(|&a, &b| entity.dense_value(a).cmp(entity.dense_value(b)));
+        for gid in distinct {
+            let local = space.intern(attr, entity.dense_value(gid));
+            *g2l.slot(attr, gid) = local.0;
+        }
+        if has_null {
+            let local = space.intern(attr, &Value::Null);
+            *g2l.slot(attr, NULL_VALUE_ID) = local.0;
         }
     }
 
@@ -164,18 +243,20 @@ pub(crate) fn instantiate(spec: &Specification) -> Instantiated {
     //    differing values.
     for attr in schema.attr_ids() {
         for (t1, t2) in spec.orders().pairs(attr) {
-            let v1 = entity.tuple(t1).get(attr);
-            let v2 = entity.tuple(t2).get(attr);
-            if v1 == v2 || v1.is_null() || v2.is_null() {
+            let g1 = entity.dense_id(t1, attr);
+            let g2 = entity.dense_id(t2, attr);
+            if g1 == g2 || g1 == NULL_VALUE_ID || g2 == NULL_VALUE_ID {
                 // Equal values are the reflexive part of ⪯; null-side pairs
                 // carry no strict information (missing is ranked lowest).
                 continue;
             }
-            let lo = space.get(attr, v1).expect("base-order value interned");
-            let hi = space.get(attr, v2).expect("base-order value interned");
             omega.push(InstanceConstraint {
                 premise: Vec::new(),
-                conclusion: Conclusion::Atom(OrderAtom { attr, lo, hi }),
+                conclusion: Conclusion::Atom(OrderAtom {
+                    attr,
+                    lo: g2l.local(attr, g1),
+                    hi: g2l.local(attr, g2),
+                }),
                 origin: Origin::BaseOrder,
             });
         }
@@ -200,12 +281,13 @@ pub(crate) fn instantiate(spec: &Specification) -> Instantiated {
         attrs.sort_unstable();
         attrs.dedup();
 
-        // Distinct projections with a representative tuple. Sorted so Ω(Se)
-        // is deterministic (rule derivation is order sensitive).
+        // Distinct projections with a representative tuple, grouped by the
+        // dense global ids (no `Value` hashing). Sorted so Ω(Se) is
+        // deterministic (rule derivation is order sensitive).
         let mut reps: Vec<TupleId> = {
-            let mut map: HashMap<Vec<Value>, TupleId> = HashMap::new();
-            for (tid, tuple) in entity.iter() {
-                let key: Vec<Value> = attrs.iter().map(|&a| tuple.get(a).clone()).collect();
+            let mut map: HashMap<Vec<u32>, TupleId> = HashMap::new();
+            for tid in entity.tuple_ids() {
+                let key: Vec<u32> = attrs.iter().map(|&a| entity.dense_id(tid, a)).collect();
                 map.entry(key).or_insert(tid);
             }
             map.into_values().collect()
@@ -217,13 +299,7 @@ pub(crate) fn instantiate(spec: &Specification) -> Instantiated {
                 if r1 == r2 {
                     continue;
                 }
-                if let Some(c) = instantiate_pair(
-                    &space,
-                    constraint,
-                    ci,
-                    entity.tuple(r1),
-                    entity.tuple(r2),
-                ) {
+                if let Some(c) = instantiate_pair_dense(&g2l, constraint, ci, entity, r1, r2) {
                     omega.push(c);
                 }
             }
@@ -231,51 +307,99 @@ pub(crate) fn instantiate(spec: &Specification) -> Instantiated {
     }
 
     // 5. Constant CFDs.
-    'cfd: for (gi, cfd) in spec.gamma().iter().enumerate() {
-        // ωX: every other value of each LHS attribute sits below the pattern
-        // constant. If a pattern constant is not in the active domain the
-        // CFD can never fire.
-        let mut premise: Vec<OrderAtom> = Vec::new();
-        for (attr, c) in cfd.lhs() {
-            let Some(cid) = space.get(*attr, c) else {
-                continue 'cfd;
-            };
-            for (vid, v) in space.attr(*attr).iter() {
-                if vid != cid && !v.is_null() {
-                    premise.push(OrderAtom { attr: *attr, lo: vid, hi: cid });
-                }
-            }
-        }
-        let (battr, bval) = cfd.rhs();
-        match space.get(*battr, bval) {
-            Some(bid) => {
-                for (vid, v) in space.attr(*battr).iter() {
-                    if vid != bid && !v.is_null() {
-                        omega.push(InstanceConstraint {
-                            premise: premise.clone(),
-                            conclusion: Conclusion::Atom(OrderAtom {
-                                attr: *battr,
-                                lo: vid,
-                                hi: bid,
-                            }),
-                            origin: Origin::Cfd(gi),
-                        });
-                    }
-                }
-            }
-            None => {
-                // The pattern's B-value cannot be the current one: premise
-                // must fail. (With an empty premise the spec is invalid.)
-                omega.push(InstanceConstraint {
-                    premise: premise.clone(),
-                    conclusion: Conclusion::False,
-                    origin: Origin::Cfd(gi),
-                });
-            }
-        }
+    for (gi, cfd) in spec.gamma().iter().enumerate() {
+        omega.extend(cfd_instances(&space, gi, cfd));
     }
 
     Instantiated { space, omega }
+}
+
+/// [`instantiate_pair`] on a tuple pair *inside* the entity —
+/// [`build_instance`] over the dense id rows: equality/null checks are
+/// integer compares and space-local ids come from the flat translation
+/// table. Comparison predicates still evaluate on the actual values.
+fn instantiate_pair_dense(
+    g2l: &GlobalToLocal,
+    constraint: &cr_constraints::CurrencyConstraint,
+    ci: usize,
+    entity: &cr_types::EntityInstance,
+    t1: TupleId,
+    t2: TupleId,
+) -> Option<InstanceConstraint> {
+    build_instance(
+        constraint,
+        ci,
+        |attr| {
+            let g1 = entity.dense_id(t1, attr);
+            let g2 = entity.dense_id(t2, attr);
+            if g1 == g2 || g1 == NULL_VALUE_ID || g2 == NULL_VALUE_ID {
+                return None;
+            }
+            Some((g2l.local(attr, g1), g2l.local(attr, g2)))
+        },
+        |p| {
+            p.eval_comparison(entity.tuple(t1), entity.tuple(t2))
+                .expect("comparison predicate")
+        },
+    )
+}
+
+/// The instance constraints of one constant CFD over the given value
+/// spaces — the ωX-premise/domination emission of `Instantiation(Se)` step
+/// 5, factored out so [`EncodedSpec::extend_with_input`] can *re-emit* a
+/// CFD under a fresh guard group after a new value grows a referenced
+/// attribute's space.
+///
+/// Returns an empty vector when an LHS pattern constant is outside the
+/// active domain (the CFD can never fire); a missing RHS constant yields
+/// the single `Conclusion::False` instance.
+pub(crate) fn cfd_instances(
+    space: &AttrValueSpace,
+    gi: usize,
+    cfd: &cr_constraints::ConstantCfd,
+) -> Vec<InstanceConstraint> {
+    // ωX: every other value of each LHS attribute sits below the pattern
+    // constant.
+    let mut premise: Vec<OrderAtom> = Vec::new();
+    for (attr, c) in cfd.lhs() {
+        let Some(cid) = space.get(*attr, c) else {
+            return Vec::new();
+        };
+        for (vid, v) in space.attr(*attr).iter() {
+            if vid != cid && !v.is_null() {
+                premise.push(OrderAtom { attr: *attr, lo: vid, hi: cid });
+            }
+        }
+    }
+    let (battr, bval) = cfd.rhs();
+    let mut out = Vec::new();
+    match space.get(*battr, bval) {
+        Some(bid) => {
+            for (vid, v) in space.attr(*battr).iter() {
+                if vid != bid && !v.is_null() {
+                    out.push(InstanceConstraint {
+                        premise: premise.clone(),
+                        conclusion: Conclusion::Atom(OrderAtom {
+                            attr: *battr,
+                            lo: vid,
+                            hi: bid,
+                        }),
+                        origin: Origin::Cfd(gi),
+                    });
+                }
+            }
+        }
+        None => {
+            // The pattern's B-value cannot be the current one: premise
+            // must fail. (With an empty premise the spec is invalid.)
+            out.push(InstanceConstraint {
+                premise,
+                conclusion: Conclusion::False,
+                origin: Origin::Cfd(gi),
+            });
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -27,10 +27,38 @@
 //!   previous fixpoint when the per-round clause delta arrives, so
 //!   `DeduceOrder` does work proportional to the delta's consequences.
 //!
+//! # Zero-rebuild interaction loop: the guard-group lifecycle
+//!
 //! Answers outside the interned space ("new values" in the paper's
-//! terminology) change the value spaces and the Γ instantiation; the
-//! engine then falls back to a full rebuild for that round and resumes
-//! incrementally afterwards. The from-scratch path is kept (set
+//! terminology) change the value spaces and the Γ instantiation. The
+//! engine encodes with guarded CFDs (`EncodeOptions::guarded_cfds`), which
+//! makes those changes expressible as a pure extension — the loop **never
+//! rebuilds**:
+//!
+//! * every CFD's instance constraints form a *clause group* guarded by a
+//!   literal `g`; the engine keeps the active guards asserted on the warm
+//!   solver as persistent assumptions
+//!   (`cr_sat::Solver::set_persistent_assumptions`) and feeds the
+//!   guard-stripped clauses to its unit propagator under the group's tag;
+//! * a new value appends order variables and axioms to the encoding, and
+//!   every CFD referencing the grown attribute is *retracted* (the root
+//!   unit `¬g` travels to the solver through the ordinary clause-tail sync,
+//!   killing the group's clauses and everything learnt from them) and
+//!   *re-emitted* over the grown space under a fresh guard;
+//! * the unit propagator is told to [`cr_sat::UnitPropagator::retract_group`]
+//!   the stale groups, which resets and re-derives its fixpoint from the
+//!   surviving clauses — `O(|Φ|)` on the rare retraction round, no
+//!   re-encoding.
+//!
+//! At each round boundary the engine also compacts the solver's learnt
+//! database (`cr_sat::Solver::compact_learnts`), bounding memory over
+//! arbitrarily long interactions.
+//!
+//! The legacy rebuild fallback survives only behind the
+//! [`ResolutionConfig::rebuild_fallback`] debug/differential flag (it
+//! disables guarded CFDs, so out-of-domain answers rebuild the engine, as
+//! in the first incremental version); [`ResolutionOutcome::rebuilds`]
+//! counts how often that path fired. The from-scratch loop is kept (set
 //! `incremental: false`) for differential testing — see
 //! `tests/incremental_differential.rs` — and as the paper-faithful
 //! baseline for benchmarks.
@@ -73,6 +101,13 @@ pub struct ResolutionConfig {
     /// the module docs). `false` re-derives everything from scratch every
     /// round, exactly as the paper describes the loop.
     pub incremental: bool,
+    /// Debug/differential flag: run the incremental engine **without**
+    /// guarded CFD groups, restoring the legacy behaviour where an
+    /// out-of-domain answer rebuilds the engine for that round (counted in
+    /// [`ResolutionOutcome::rebuilds`]). Kept for differential testing of
+    /// the guarded-extension path; production configurations leave it off
+    /// and never rebuild.
+    pub rebuild_fallback: bool,
 }
 
 impl Default for ResolutionConfig {
@@ -82,6 +117,7 @@ impl Default for ResolutionConfig {
             deduction: DeductionMethod::UnitPropagation,
             encode: EncodeOptions::default(),
             incremental: true,
+            rebuild_fallback: false,
         }
     }
 }
@@ -94,15 +130,49 @@ struct IncrementalEngine {
     up: cr_sat::UnitPropagator,
     /// Clauses of `enc.cnf()` already fed to `solver` and `up`.
     synced: usize,
+    /// Engine rebuilds performed (legacy fallback path only).
+    rebuilds: usize,
 }
 
 impl IncrementalEngine {
-    fn new(spec: &Specification, options: EncodeOptions) -> Self {
+    fn new(config: &ResolutionConfig, spec: &Specification) -> Self {
+        // Guarded CFD groups are what make every user answer a pure
+        // extension; the debug flag restores the unguarded legacy encoding
+        // whose out-of-domain answers rebuild.
+        let options = if config.rebuild_fallback {
+            config.encode
+        } else {
+            config.encode.with_guarded_cfds()
+        };
         let enc = EncodedSpec::encode_with(spec, options);
-        let solver = cr_sat::Solver::from_cnf(enc.cnf());
-        let up = cr_sat::UnitPropagator::new(enc.cnf());
-        let synced = enc.cnf().num_clauses();
-        IncrementalEngine { enc, solver, up, synced }
+        let mut solver = cr_sat::Solver::from_cnf(enc.cnf());
+        solver.set_persistent_assumptions(enc.active_guards());
+        let mut up = cr_sat::UnitPropagator::new(&cr_sat::Cnf::new());
+        let synced = Self::sync_propagator(&mut up, &enc, 0);
+        IncrementalEngine { enc, solver, up, synced, rebuilds: 0 }
+    }
+
+    /// Feeds `up` the CNF tail starting at clause `from`, stripping guard
+    /// literals from grouped clauses and tagging them with their group so
+    /// they stay retractable. Returns the new sync watermark.
+    fn sync_propagator(
+        up: &mut cr_sat::UnitPropagator,
+        enc: &EncodedSpec,
+        from: usize,
+    ) -> usize {
+        let clauses = enc.cnf().clauses();
+        up.ensure_vars(enc.cnf().num_vars() as usize);
+        for (idx, clause) in clauses.iter().enumerate().skip(from) {
+            match enc.clause_group(idx) {
+                Some((group, guard)) => {
+                    let stripped: Vec<cr_sat::Lit> =
+                        clause.iter().copied().filter(|l| l.var() != guard).collect();
+                    up.add_clause_grouped(&stripped, group);
+                }
+                None => up.add_clause(clause),
+            }
+        }
+        clauses.len()
     }
 
     /// Absorbs one round of user input. `before` is the specification the
@@ -110,20 +180,32 @@ impl IncrementalEngine {
     /// [`Specification::apply_user_input`] on it.
     fn absorb_input(
         &mut self,
+        config: &ResolutionConfig,
         before: &Specification,
         extended: &Specification,
         input: &UserInput,
-        options: EncodeOptions,
     ) {
         match self.enc.extend_with_input(before, input) {
-            ExtendOutcome::Extended => {
+            ExtendOutcome::Extended { retracted_groups } => {
+                self.up.retract_groups(&retracted_groups);
                 self.solver.extend_from_cnf(self.enc.cnf(), self.synced);
-                self.up.extend_from_cnf(self.enc.cnf(), self.synced);
-                self.synced = self.enc.cnf().num_clauses();
+                self.synced = Self::sync_propagator(&mut self.up, &self.enc, self.synced);
+                // Guard set may have changed (retractions and fresh CFD
+                // emissions).
+                self.solver.set_persistent_assumptions(self.enc.active_guards());
+                // Round-boundary sweep: learnt clauses accumulate over a
+                // resolve(); keep the database proportional to the formula.
+                let cap = (self.enc.cnf().num_clauses() / 2).max(2_000);
+                self.solver.compact_learnts(cap);
             }
-            // Out-of-domain answers change the value spaces: rebuild once,
+            // Legacy fallback (lazy transitivity or `rebuild_fallback`):
+            // out-of-domain answers change the value spaces — rebuild once,
             // then continue incrementally from the new state.
-            ExtendOutcome::NeedsRebuild => *self = IncrementalEngine::new(extended, options),
+            ExtendOutcome::NeedsRebuild => {
+                let rebuilds = self.rebuilds + 1;
+                *self = IncrementalEngine::new(config, extended);
+                self.rebuilds = rebuilds;
+            }
         }
     }
 
@@ -189,6 +271,11 @@ pub struct ResolutionOutcome {
     pub user_values: usize,
     /// Total size of the order extension `|Ot|` accumulated from input.
     pub ot_size: usize,
+    /// Engine rebuilds the incremental path performed (always 0 unless the
+    /// [`ResolutionConfig::rebuild_fallback`] debug flag or a lazy encoding
+    /// forced the legacy fallback; 0 by definition on the scratch path,
+    /// which re-encodes every round by design).
+    pub rebuilds: usize,
     /// Per-round timing/progress reports.
     pub rounds: Vec<RoundReport>,
 }
@@ -304,7 +391,7 @@ impl Resolver {
             let t0 = Instant::now();
             let eng = match engine.as_mut() {
                 Some(e) => e,
-                None => engine.insert(IncrementalEngine::new(&current, self.config.encode)),
+                None => engine.insert(IncrementalEngine::new(&self.config, &current)),
             };
             let valid = eng.is_valid();
             let validity = t0.elapsed();
@@ -317,6 +404,7 @@ impl Resolver {
                     interactions,
                     user_values,
                     ot_size,
+                    rebuilds: eng.rebuilds,
                     rounds,
                 };
             }
@@ -340,6 +428,7 @@ impl Resolver {
                     interactions,
                     user_values,
                     ot_size,
+                    rebuilds: eng.rebuilds,
                     rounds,
                 };
             }
@@ -370,7 +459,7 @@ impl Resolver {
             user_values += input.values.len();
             let (extended, _to, added) = current.apply_user_input(&input);
             ot_size += added;
-            eng.absorb_input(&current, &extended, &input, self.config.encode);
+            eng.absorb_input(&self.config, &current, &extended, &input);
             current = extended;
         }
 
@@ -381,6 +470,7 @@ impl Resolver {
             interactions,
             user_values,
             ot_size,
+            rebuilds: engine.map_or(0, |e| e.rebuilds),
             rounds,
         }
     }
@@ -401,7 +491,9 @@ impl Resolver {
             // (1) Validity checking.
             let t0 = Instant::now();
             let enc = EncodedSpec::encode_with(&current, self.config.encode);
-            let mut solver = cr_sat::Solver::from_cnf(enc.cnf());
+            // fresh_solver asserts active guard groups — required if the
+            // caller configured the scratch path with guarded CFDs.
+            let mut solver = enc.fresh_solver();
             let valid = solver.solve() == cr_sat::SolveResult::Sat;
             let validity = t0.elapsed();
             if !valid {
@@ -415,6 +507,7 @@ impl Resolver {
                     interactions,
                     user_values,
                     ot_size,
+                    rebuilds: 0,
                     rounds,
                 };
             }
@@ -440,6 +533,7 @@ impl Resolver {
                     interactions,
                     user_values,
                     ot_size,
+                    rebuilds: 0,
                     rounds,
                 };
             }
@@ -479,6 +573,7 @@ impl Resolver {
             interactions,
             user_values,
             ot_size,
+            rebuilds: 0,
             rounds,
         }
     }

@@ -11,7 +11,7 @@
 //! a minimal conflicting core by deletion-based minimisation — every
 //! element of the core is necessary for the conflict.
 
-use cr_sat::{SolveResult, Solver};
+use cr_sat::SolveResult;
 use cr_types::{AttrId, TupleId};
 
 use crate::encode::{EncodeOptions, EncodedSpec};
@@ -26,7 +26,7 @@ use crate::spec::Specification;
 /// ill-posed: the paper defines it for valid specifications only).
 pub fn implies(spec: &Specification, ot: &PartialOrders) -> Option<bool> {
     let enc = EncodedSpec::encode(spec);
-    let mut solver = Solver::from_cnf(enc.cnf());
+    let mut solver = enc.fresh_solver();
     if solver.solve() == SolveResult::Unsat {
         return None;
     }
@@ -122,7 +122,7 @@ pub fn explain_invalidity(spec: &Specification) -> Option<Vec<ConflictPart>> {
 
 fn is_sat(spec: &Specification) -> bool {
     let enc = EncodedSpec::encode_with(spec, EncodeOptions::default());
-    let mut solver = Solver::from_cnf(enc.cnf());
+    let mut solver = enc.fresh_solver();
     solver.solve() == SolveResult::Sat
 }
 

@@ -1,6 +1,6 @@
 //! `IsValid`: validity checking via SAT (Section V-A, step (1) of Fig. 4).
 
-use cr_sat::{SolveResult, Solver};
+use cr_sat::SolveResult;
 
 use crate::encode::EncodedSpec;
 use crate::spec::Specification;
@@ -26,7 +26,7 @@ pub fn is_valid(spec: &Specification) -> Validity {
 /// Validity of an already encoded specification (avoids re-encoding when the
 /// caller also needs the encoding for deduction).
 pub fn is_valid_encoded(enc: &EncodedSpec) -> Validity {
-    let mut solver = Solver::from_cnf(enc.cnf());
+    let mut solver = enc.fresh_solver();
     let valid = solver.solve() == SolveResult::Sat;
     Validity {
         valid,

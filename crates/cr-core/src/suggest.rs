@@ -53,7 +53,7 @@ pub fn suggest(
     od: &DeducedOrders,
     known: &TrueValues,
 ) -> Suggestion {
-    let mut solver = cr_sat::Solver::from_cnf(enc.cnf());
+    let mut solver = enc.fresh_solver();
     suggest_with_solver(spec, enc, od, known, &mut solver)
 }
 
@@ -140,10 +140,13 @@ pub fn suggest_with_solver(
 /// (into `rules`) of the retained clique members.
 ///
 /// Fast path: when the clique's combined assertions are jointly satisfiable
-/// with `Φ(Se)` — one incremental probe on `solver` — the MaxSAT optimum
-/// keeps every clique member, so the instance is never built. Real
-/// suggestions overwhelmingly hit this case; the repair only runs when the
-/// clique genuinely over-asserts.
+/// with `Φ(Se)` — one incremental probe on `solver`, assembled into a
+/// single reused literal buffer with no per-rule allocation — the MaxSAT
+/// optimum keeps every clique member, so no instance is ever constructed.
+/// Real suggestions overwhelmingly hit this case. When the clique genuinely
+/// over-asserts, the repair instance *borrows* `Φ(Se)`'s clause arena
+/// ([`MaxSatInstance::with_hard_base`]) instead of copying it, so even the
+/// fallback is `O(clique)` in construction cost.
 fn max_consistent_subset(
     enc: &EncodedSpec,
     rules: &[DerivationRule],
@@ -153,39 +156,34 @@ fn max_consistent_subset(
     if clique.is_empty() {
         return Vec::new();
     }
-    let mut assumptions: Vec<cr_sat::Lit> = clique
-        .iter()
-        .flat_map(|&ri| {
-            let rule = &rules[ri];
-            rule.lhs
-                .iter()
-                .copied()
-                .chain(std::iter::once(rule.rhs))
-                .flat_map(|(attr, v)| top_literals(enc, attr, v))
-                .collect::<Vec<_>>()
-        })
-        .collect();
+    let mut assumptions: Vec<cr_sat::Lit> = Vec::new();
+    for &ri in clique {
+        let rule = &rules[ri];
+        for &(attr, v) in rule.lhs.iter().chain(std::iter::once(&rule.rhs)) {
+            push_top_literals(enc, attr, v, &mut assumptions);
+        }
+    }
     assumptions.sort_unstable();
     assumptions.dedup();
     if solver.solve_with_assumptions(&assumptions) == cr_sat::SolveResult::Sat {
         return clique.to_vec();
     }
-    let mut inst = MaxSatInstance::new(enc.cnf().num_vars());
-    for clause in enc.cnf().clauses() {
-        inst.add_hard(clause.iter().copied());
+    let mut inst = MaxSatInstance::with_hard_base(enc.cnf().num_vars(), enc.cnf().clauses());
+    // Active guard groups must hold inside the repair too (retracted ones
+    // are neutralised by ¬g units already present in the borrowed base).
+    for g in enc.active_guards() {
+        inst.add_hard([g]);
     }
     let mut selectors = Vec::with_capacity(clique.len());
+    let mut scratch: Vec<cr_sat::Lit> = Vec::new();
     for (offset, &ri) in clique.iter().enumerate() {
         let sel = cr_sat::Var(enc.cnf().num_vars() + offset as u32);
         selectors.push(sel);
         let rule = &rules[ri];
-        let assertions = rule
-            .lhs
-            .iter()
-            .copied()
-            .chain(std::iter::once(rule.rhs));
-        for (attr, v) in assertions {
-            for lit in top_literals(enc, attr, v) {
+        for &(attr, v) in rule.lhs.iter().chain(std::iter::once(&rule.rhs)) {
+            scratch.clear();
+            push_top_literals(enc, attr, v, &mut scratch);
+            for &lit in &scratch {
                 inst.add_hard([sel.negative(), lit]);
             }
         }
@@ -204,14 +202,15 @@ fn max_consistent_subset(
     }
 }
 
-/// Literals asserting "`v` is the top of `attr`".
-fn top_literals(enc: &EncodedSpec, attr: AttrId, v: ValueId) -> Vec<cr_sat::Lit> {
+/// Appends the literals asserting "`v` is the top of `attr`" to `out`.
+fn push_top_literals(enc: &EncodedSpec, attr: AttrId, v: ValueId, out: &mut Vec<cr_sat::Lit>) {
     let n = enc.space().attr(attr).len() as u32;
-    (0..n)
-        .map(ValueId)
-        .filter(|&o| o != v)
-        .filter_map(|o| enc.var_of(attr, o, v).map(|var| var.positive()))
-        .collect()
+    out.extend(
+        (0..n)
+            .map(ValueId)
+            .filter(|&o| o != v)
+            .filter_map(|o| enc.var_of(attr, o, v).map(|var| var.positive())),
+    );
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! True-value extraction (Section V-B) and the exact possible-current-value
 //! analysis.
 
-use cr_sat::{SolveResult, Solver};
+use cr_sat::SolveResult;
 use cr_types::{AttrId, Value, ValueId};
 
 use crate::deduce::DeducedOrders;
@@ -113,7 +113,7 @@ pub fn true_values_from_orders(enc: &EncodedSpec, od: &DeducedOrders) -> TrueVal
 /// true-value problem exactly on the encoded instance.
 pub fn possible_current_values(enc: &EncodedSpec, attr: AttrId) -> Vec<ValueId> {
     let n = enc.space().attr(attr).len() as u32;
-    let mut solver = Solver::from_cnf(enc.cnf());
+    let mut solver = enc.fresh_solver();
     if solver.solve() == SolveResult::Unsat {
         return Vec::new();
     }

@@ -36,6 +36,10 @@ fn assert_outcomes_match(spec: &Specification, truth: &Tuple, cap: usize, config
     assert_eq!(a.user_values, b.user_values, "answer counts diverged");
     assert_eq!(a.ot_size, b.ot_size, "|Ot| diverged");
     assert_eq!(a.rounds.len(), b.rounds.len(), "round counts diverged");
+    if !config.rebuild_fallback {
+        assert_eq!(a.rebuilds, 0, "guarded incremental engine must never rebuild");
+    }
+    assert_eq!(b.rebuilds, 0, "scratch path never counts rebuilds");
 }
 
 fn default_config(max_rounds: usize) -> ResolutionConfig {
@@ -105,10 +109,11 @@ fn silent_oracle_agrees() {
 }
 
 #[test]
-fn out_of_domain_answer_takes_rebuild_path_and_agrees() {
+fn out_of_domain_answer_extends_in_place_and_agrees() {
     // City has two conflicting values; the user asserts a third one that is
-    // not in the active domain — the incremental engine must rebuild and
-    // still match the scratch loop.
+    // not in the active domain — the guarded incremental engine absorbs it
+    // as a pure extension (zero rebuilds) and still matches the scratch
+    // loop.
     let s = Schema::new("p", ["name", "city"]).unwrap();
     let e = EntityInstance::new(
         s,
@@ -121,11 +126,81 @@ fn out_of_domain_answer_takes_rebuild_path_and_agrees() {
     let spec = Specification::without_orders(e, vec![], vec![]);
     let truth = Tuple::of([Value::str("X"), Value::str("Chicago")]);
     assert_outcomes_match(&spec, &truth, 1, default_config(10));
-    // And the resolution really adopts the new value.
+    // And the resolution really adopts the new value, without rebuilding.
     let outcome = Resolver::new(default_config(10))
         .resolve(&spec, &mut GroundTruthOracle::new(truth.clone()));
     assert!(outcome.complete);
     assert_eq!(outcome.resolved.to_tuple().unwrap().values(), truth.values());
+    assert_eq!(outcome.rebuilds, 0);
+}
+
+/// A conflict-heavy spec whose CFDs put `AC` on the LHS and `city` on the
+/// RHS: the oracle's out-of-domain answers exercise guard-group retraction
+/// and re-emission on both sides.
+fn cfd_lhs_spec(n: usize, ac_new: bool, city_new: bool) -> (Specification, Tuple) {
+    let s = Schema::new("p", ["name", "status", "AC", "city"]).unwrap();
+    let tuples: Vec<Tuple> = (0..n)
+        .map(|i| {
+            Tuple::of([
+                Value::str("X"),
+                Value::str(format!("st_{i}")),
+                Value::int(200 + i as i64),
+                Value::str(format!("city_{i}")),
+            ])
+        })
+        .collect();
+    let e = EntityInstance::new(s.clone(), tuples).unwrap();
+    let gamma: Vec<_> = (0..n)
+        .flat_map(|i| {
+            cr_constraints::parser::parse_cfds(
+                &s,
+                &format!("AC = {} -> city = \"city_{}\"", 200 + i, i),
+            )
+            .unwrap()
+        })
+        .collect();
+    let spec = Specification::without_orders(e, vec![], gamma);
+    let truth = Tuple::of([
+        Value::str("X"),
+        Value::str("st_new"),
+        if ac_new { Value::int(999) } else { Value::int(200 + n as i64 - 1) },
+        if city_new {
+            Value::str("city_new")
+        } else {
+            Value::str(format!("city_{}", n - 1))
+        },
+    ]);
+    (spec, truth)
+}
+
+#[test]
+fn out_of_domain_cfd_lhs_answer_never_rebuilds_and_agrees() {
+    // The new AC value invalidates every CFD's ωX premise: the guarded
+    // engine retracts and re-emits them instead of rebuilding.
+    let (spec, truth) = cfd_lhs_spec(3, true, true);
+    assert_outcomes_match(&spec, &truth, 1, default_config(10));
+    let outcome = Resolver::new(default_config(10))
+        .resolve(&spec, &mut GroundTruthOracle::with_cap(truth.clone(), 1));
+    assert_eq!(outcome.rebuilds, 0);
+    assert!(outcome.complete);
+    assert_eq!(outcome.resolved.to_tuple().unwrap().values(), truth.values());
+}
+
+#[test]
+fn legacy_rebuild_fallback_still_agrees_and_counts() {
+    // With the debug flag the engine encodes unguarded CFDs: out-of-domain
+    // answers must take the (counted) rebuild path and still match scratch.
+    let (spec, truth) = cfd_lhs_spec(3, true, true);
+    let config = ResolutionConfig { rebuild_fallback: true, ..default_config(10) };
+    assert_outcomes_match(&spec, &truth, 1, config);
+    let outcome = Resolver::new(config)
+        .resolve(&spec, &mut GroundTruthOracle::with_cap(truth.clone(), 1));
+    assert!(outcome.rebuilds > 0, "fallback path must actually rebuild");
+    // Same resolution either way.
+    let guarded = Resolver::new(default_config(10))
+        .resolve(&spec, &mut GroundTruthOracle::with_cap(truth.clone(), 1));
+    assert_eq!(outcome.resolved, guarded.resolved);
+    assert_eq!(outcome.interactions, guarded.interactions);
 }
 
 #[test]
@@ -190,6 +265,37 @@ proptest! {
         prop_assert_eq!(a.interactions, b.interactions);
         prop_assert_eq!(a.user_values, b.user_values);
         prop_assert_eq!(a.ot_size, b.ot_size);
+    }
+
+    /// Guarded-extension resolution must equal from-scratch resolution (and
+    /// the legacy rebuild fallback) on specs whose CFDs sit on attributes
+    /// the user answers with out-of-domain values — the retraction path.
+    #[test]
+    fn out_of_domain_cfd_lhs_answers_agree(
+        n in 2usize..6,
+        ac_coin in 0u32..2,
+        city_coin in 0u32..2,
+        cap in 1usize..4,
+    ) {
+        let (spec, truth) = cfd_lhs_spec(n, ac_coin == 1, city_coin == 1);
+        let config = default_config(10);
+        let (a, b) = resolve_both(
+            &spec,
+            || Box::new(GroundTruthOracle::with_cap(truth.clone(), cap)),
+            config,
+        );
+        prop_assert_eq!(&a.resolved, &b.resolved, "resolved diverged (n {})", n);
+        prop_assert_eq!(a.valid, b.valid);
+        prop_assert_eq!(a.complete, b.complete);
+        prop_assert_eq!(a.interactions, b.interactions);
+        prop_assert_eq!(a.user_values, b.user_values);
+        prop_assert_eq!(a.ot_size, b.ot_size);
+        prop_assert_eq!(a.rebuilds, 0, "guarded engine must never rebuild");
+        // The legacy rebuild fallback resolves identically.
+        let legacy = Resolver::new(ResolutionConfig { rebuild_fallback: true, ..config });
+        let c = legacy.resolve(&spec, &mut GroundTruthOracle::with_cap(truth.clone(), cap));
+        prop_assert_eq!(&c.resolved, &a.resolved, "legacy fallback diverged");
+        prop_assert_eq!(c.interactions, a.interactions);
     }
 
     /// Same for NBA entities (deeper constraint chains, CFD-free).

@@ -253,6 +253,7 @@ pub fn generate(config: CareerConfig) -> Dataset {
         gamma: gamma(&s),
         entities,
     }
+    .share_value_table()
 }
 
 #[cfg(test)]

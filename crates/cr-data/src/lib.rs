@@ -27,7 +27,7 @@ use std::sync::Arc;
 
 use cr_constraints::{ConstantCfd, CurrencyConstraint};
 use cr_core::Specification;
-use cr_types::{EntityInstance, Schema, Tuple};
+use cr_types::{EntityInstance, Schema, Tuple, ValueTable};
 
 /// A dataset: shared schema and constraints plus per-entity instances with
 /// their ground-truth current tuples.
@@ -68,6 +68,35 @@ impl Dataset {
     /// True iff the dataset has no entities.
     pub fn is_empty(&self) -> bool {
         self.entities.is_empty()
+    }
+
+    /// Re-interns every entity instance over **one dataset-wide
+    /// [`ValueTable`]**: all values are interned exactly once, every
+    /// entity's dense id rows reference the shared table (via `Arc`), and
+    /// equal values are deduplicated across entities. Generators call this
+    /// as their final step; the SAT encoder's instantiation then runs on
+    /// dense ids whose interning cost was paid once per dataset rather than
+    /// once per specification.
+    pub(crate) fn share_value_table(mut self) -> Self {
+        let mut table = ValueTable::new();
+        for (e, truth) in &self.entities {
+            table.intern_tuples(e.tuples());
+            table.intern_tuples(std::iter::once(truth));
+        }
+        self.entities = self
+            .entities
+            .into_iter()
+            .map(|(e, truth)| {
+                let tuples = e.tuples().to_vec();
+                let schema = e.schema().clone();
+                (
+                    EntityInstance::with_table(schema, tuples, &table)
+                        .expect("arity already validated"),
+                    truth,
+                )
+            })
+            .collect();
+        self
     }
 
     /// Summary statistics: `(entities, min/avg/max instance size, |Σ|, |Γ|)`.

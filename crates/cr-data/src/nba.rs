@@ -244,6 +244,7 @@ pub fn generate_with_sizes(sizes: &[usize], seed: u64) -> Dataset {
         gamma: gamma(&s),
         entities,
     }
+    .share_value_table()
 }
 
 /// One season snapshot of a player.

@@ -181,6 +181,7 @@ pub fn generate_with_sizes(sizes: &[usize], seed: u64) -> Dataset {
         gamma: gamma(&s),
         entities,
     }
+    .share_value_table()
 }
 
 fn generate_entity(

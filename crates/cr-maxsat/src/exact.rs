@@ -12,7 +12,7 @@ use crate::walksat;
 
 /// Solves exactly when all weights are 1; otherwise delegates to WalkSAT
 /// with a generous budget (documented fallback).
-pub fn solve_exact(instance: &MaxSatInstance) -> Option<MaxSatResult> {
+pub fn solve_exact(instance: &MaxSatInstance<'_>) -> Option<MaxSatResult> {
     if !instance.has_unit_weights() {
         return walksat::solve_walksat(instance, 500_000, 0xFA11BACC);
     }
@@ -21,7 +21,7 @@ pub fn solve_exact(instance: &MaxSatInstance) -> Option<MaxSatResult> {
     // Base formula: hard clauses + selector implications.
     let mut base = Cnf::new();
     base.ensure_vars(instance.num_vars());
-    for c in instance.hard() {
+    for c in instance.hard_iter() {
         base.add_clause(c.iter().copied());
     }
     let selectors: Vec<Var> = (0..m).map(|_| base.new_var()).collect();

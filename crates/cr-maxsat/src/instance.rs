@@ -13,17 +13,45 @@ pub struct SoftClause {
 
 /// A partial MaxSAT instance: hard clauses that must hold plus weighted soft
 /// clauses to maximise.
-#[derive(Clone, Default, Debug)]
-pub struct MaxSatInstance {
+///
+/// The hard clauses come in two parts: an optional **borrowed base** — a
+/// clause arena owned by someone else, typically the resolution engine's
+/// already-encoded `Φ(Se)` — plus instance-owned extras. The `GetSug`
+/// MaxSAT repair used to copy the whole of `Φ(Se)` into every instance; the
+/// borrowed base makes instance construction `O(1)` in `|Φ(Se)|`, so the
+/// repair can be re-issued on every suggestion round of a resolve without
+/// re-copying the formula.
+#[derive(Clone, Debug)]
+pub struct MaxSatInstance<'a> {
     num_vars: u32,
+    base: &'a [Vec<Lit>],
     hard: Vec<Vec<Lit>>,
     soft: Vec<SoftClause>,
 }
 
-impl MaxSatInstance {
+impl Default for MaxSatInstance<'_> {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl<'a> MaxSatInstance<'a> {
     /// An instance over `num_vars` variables (more are added on demand).
     pub fn new(num_vars: u32) -> Self {
-        MaxSatInstance { num_vars, hard: Vec::new(), soft: Vec::new() }
+        MaxSatInstance { num_vars, base: &[], hard: Vec::new(), soft: Vec::new() }
+    }
+
+    /// An instance whose hard clauses start as a **borrowed** clause arena
+    /// (not copied); further `add_hard` clauses are owned extras on top.
+    /// `num_vars` must cover every variable of `base` (it is not scanned —
+    /// that would defeat the `O(1)`-in-`|base|` construction; callers pass
+    /// the variable count of the `Cnf` the arena came from).
+    pub fn with_hard_base(num_vars: u32, base: &'a [Vec<Lit>]) -> Self {
+        debug_assert!(
+            base.iter().flatten().all(|l| l.var().0 < num_vars),
+            "num_vars must cover the borrowed base"
+        );
+        MaxSatInstance { num_vars, base, hard: Vec::new(), soft: Vec::new() }
     }
 
     /// Number of variables.
@@ -31,9 +59,17 @@ impl MaxSatInstance {
         self.num_vars
     }
 
-    /// Hard clauses.
-    pub fn hard(&self) -> &[Vec<Lit>] {
-        &self.hard
+    /// All hard clauses: the borrowed base followed by the owned extras.
+    pub fn hard_iter(&self) -> impl Iterator<Item = &[Lit]> {
+        self.base
+            .iter()
+            .map(Vec::as_slice)
+            .chain(self.hard.iter().map(Vec::as_slice))
+    }
+
+    /// Number of hard clauses.
+    pub fn hard_len(&self) -> usize {
+        self.base.len() + self.hard.len()
     }
 
     /// Soft clauses.
@@ -79,7 +115,7 @@ impl MaxSatInstance {
 
     /// True iff `assignment` satisfies every hard clause.
     pub fn hard_satisfied(&self, assignment: &[bool]) -> bool {
-        self.hard.iter().all(|c| clause_satisfied(c, assignment))
+        self.hard_iter().all(|c| clause_satisfied(c, assignment))
     }
 
     /// Weight of soft clauses satisfied by `assignment`.
@@ -115,7 +151,7 @@ pub struct MaxSatResult {
 impl MaxSatResult {
     /// Builds a result by evaluating `assignment` against `instance`.
     pub fn from_assignment(
-        instance: &MaxSatInstance,
+        instance: &MaxSatInstance<'_>,
         assignment: Vec<bool>,
         optimal: bool,
     ) -> Self {
@@ -160,5 +196,32 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_weight_rejected() {
         MaxSatInstance::new(1).add_soft([Var(0).positive()], 0);
+    }
+
+    #[test]
+    fn borrowed_hard_base_is_not_copied_but_counts() {
+        let base = vec![
+            vec![Var(0).positive(), Var(1).positive()],
+            vec![Var(0).negative(), Var(1).negative()],
+        ];
+        let mut inst = MaxSatInstance::with_hard_base(2, &base);
+        assert_eq!(inst.num_vars(), 2);
+        assert_eq!(inst.hard_len(), 2);
+        inst.add_hard([Var(2).positive()]);
+        inst.add_soft([Var(0).positive()], 1);
+        assert_eq!(inst.hard_len(), 3);
+        assert_eq!(inst.hard_iter().count(), 3);
+        assert!(inst.hard_satisfied(&[true, false, true]));
+        assert!(!inst.hard_satisfied(&[true, true, true]));
+        // Both solvers honour the borrowed base.
+        let res = crate::solve(&inst, crate::MaxSatStrategy::Exact).unwrap();
+        assert_eq!(res.total_weight, 1);
+        assert!(inst.hard_satisfied(&res.assignment));
+        let ls = crate::solve(
+            &inst,
+            crate::MaxSatStrategy::LocalSearch { max_flips: 1000, seed: 1 },
+        )
+        .unwrap();
+        assert!(inst.hard_satisfied(&ls.assignment));
     }
 }

@@ -48,7 +48,7 @@ impl Default for MaxSatStrategy {
 
 /// Solves a partial MaxSAT instance. Returns `None` when the hard clauses
 /// alone are unsatisfiable.
-pub fn solve(instance: &MaxSatInstance, strategy: MaxSatStrategy) -> Option<MaxSatResult> {
+pub fn solve(instance: &MaxSatInstance<'_>, strategy: MaxSatStrategy) -> Option<MaxSatResult> {
     match strategy {
         MaxSatStrategy::Exact => exact::solve_exact(instance),
         MaxSatStrategy::LocalSearch { max_flips, seed } => {
@@ -70,7 +70,7 @@ mod tests {
     use cr_sat::Var;
 
     /// Hard: x0 ⊕ x1 (as CNF); soft: x0, x1, ¬x0. Optimum satisfies 2 of 3.
-    fn small_instance() -> MaxSatInstance {
+    fn small_instance() -> MaxSatInstance<'static> {
         let mut inst = MaxSatInstance::new(2);
         inst.add_hard([Var(0).positive(), Var(1).positive()]);
         inst.add_hard([Var(0).negative(), Var(1).negative()]);

@@ -18,7 +18,7 @@ const NOISE: f64 = 0.3;
 /// Runs WalkSAT for at most `max_flips` flips. Returns `None` when the hard
 /// clauses alone are unsatisfiable.
 pub fn solve_walksat(
-    instance: &MaxSatInstance,
+    instance: &MaxSatInstance<'_>,
     max_flips: u64,
     seed: u64,
 ) -> Option<MaxSatResult> {
@@ -27,7 +27,7 @@ pub fn solve_walksat(
     // Hard feasibility and the starting point come from CDCL.
     let mut hard_cnf = Cnf::new();
     hard_cnf.ensure_vars(instance.num_vars());
-    for c in instance.hard() {
+    for c in instance.hard_iter() {
         hard_cnf.add_clause(c.iter().copied());
     }
     let mut sat = Solver::from_cnf(&hard_cnf);
@@ -53,9 +53,8 @@ pub fn solve_walksat(
         hard: bool,
     }
     let clauses: Vec<LsClause> = instance
-        .hard()
-        .iter()
-        .map(|c| LsClause { lits: c.as_slice(), weight: 0, hard: true })
+        .hard_iter()
+        .map(|c| LsClause { lits: c, weight: 0, hard: true })
         .chain(instance.soft().iter().map(|s| LsClause {
             lits: s.lits.as_slice(),
             weight: s.weight,

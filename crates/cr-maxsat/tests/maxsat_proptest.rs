@@ -13,7 +13,7 @@ struct Inst {
     soft: Vec<Vec<i32>>,
 }
 
-fn to_instance(inst: &Inst) -> MaxSatInstance {
+fn to_instance(inst: &Inst) -> MaxSatInstance<'static> {
     let mut out = MaxSatInstance::new(inst.num_vars);
     for c in &inst.hard {
         out.add_hard(c.iter().map(|&l| lit(l, inst.num_vars)));

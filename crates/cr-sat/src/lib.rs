@@ -10,7 +10,14 @@
 //! * VSIDS variable activities with phase saving,
 //! * Luby restarts and activity-based learnt-clause database reduction,
 //! * incremental solving under assumptions (used by `NaiveDeduce` and the
-//!   exact true-value queries), and
+//!   exact true-value queries),
+//! * *retractable clause groups* for the zero-rebuild interaction loop:
+//!   the solver activates guard literals as persistent assumptions
+//!   ([`Solver::set_persistent_assumptions`]) so a group can be withdrawn
+//!   by a single root unit, and the unit propagator tags clauses with group
+//!   ids and re-derives its fixpoint on [`UnitPropagator::retract_group`],
+//! * a caller-driven learnt-database sweep ([`Solver::compact_learnts`])
+//!   keyed to interaction-round boundaries, and
 //! * a standalone root-level unit-propagation engine mirroring the
 //!   clause-reduction loop of `DeduceOrder` (Fig. 5 of the paper).
 //!
@@ -41,4 +48,4 @@ pub use cnf::Cnf;
 pub use lit::{Lit, Var};
 pub use solver::{SolveResult, Solver};
 pub use stats::SolverStats;
-pub use unit_propagation::{UnitPropagator, UpOutcome};
+pub use unit_propagation::{UnitPropagator, UpOutcome, NO_GROUP};

@@ -80,6 +80,11 @@ pub struct Solver {
     /// unsatisfiable regardless of assumptions.
     pub(crate) ok: bool,
 
+    /// Literals implicitly assumed by every solve — the *activation guards*
+    /// of the clause groups currently alive (see
+    /// [`Solver::set_persistent_assumptions`]).
+    pub(crate) persistent: Vec<Lit>,
+
     pub(crate) model: Vec<LBool>,
     pub(crate) stats: SolverStats,
 }
@@ -113,6 +118,7 @@ impl Solver {
             max_learnts: 0.0,
             seen: Vec::new(),
             ok: true,
+            persistent: Vec::new(),
             model: Vec::new(),
             stats: SolverStats::default(),
         }
@@ -343,10 +349,39 @@ impl Solver {
         self.solve_with_assumptions(&[])
     }
 
-    /// Solves under the given assumption literals. The solver state is
-    /// reusable afterwards (learnt clauses are kept across calls), which is
-    /// what `NaiveDeduce` relies on for its `|It|²` SAT probes.
+    /// Registers literals assumed by **every** subsequent solve, prepended
+    /// to whatever per-call assumptions the caller passes.
+    ///
+    /// This is the solver half of retractable clause groups: group clauses
+    /// carry a guard literal `¬g`, the persistent assumption `g` activates
+    /// them, and retraction adds the root unit `¬g` (after *removing* `g`
+    /// from this set), which permanently satisfies the group's clauses and
+    /// every learnt clause derived from them (such learnt clauses contain
+    /// `¬g` by construction of conflict analysis).
+    pub fn set_persistent_assumptions(&mut self, lits: Vec<Lit>) {
+        self.persistent = lits;
+    }
+
+    /// The currently registered persistent assumptions.
+    pub fn persistent_assumptions(&self) -> &[Lit] {
+        &self.persistent
+    }
+
+    /// Solves under the given assumption literals (plus any persistent
+    /// assumptions). The solver state is reusable afterwards (learnt clauses
+    /// are kept across calls), which is what `NaiveDeduce` relies on for its
+    /// `|It|²` SAT probes.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if self.persistent.is_empty() {
+            return self.solve_with_all_assumptions(assumptions);
+        }
+        let mut all = Vec::with_capacity(self.persistent.len() + assumptions.len());
+        all.extend_from_slice(&self.persistent);
+        all.extend_from_slice(assumptions);
+        self.solve_with_all_assumptions(&all)
+    }
+
+    fn solve_with_all_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.cancel_until(0);
         if !self.ok {
             return SolveResult::Unsat;
@@ -601,6 +636,91 @@ mod tests {
         // Still None for free variables after a solve (model is separate).
         assert_eq!(s.solve(), SolveResult::Sat);
         assert_eq!(s.root_value(v[2]), None);
+    }
+
+    #[test]
+    fn guarded_group_activates_and_retracts() {
+        // Group clauses carry ¬g; g is a persistent assumption while the
+        // group is alive. Retracting = dropping the assumption and adding
+        // the root unit ¬g.
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let g = s.new_var();
+        // Guarded unit: g → x.
+        s.add_clause([g.negative(), x.positive()]);
+        s.set_persistent_assumptions(vec![g.positive()]);
+        // Active: ¬x contradicts the group.
+        assert_eq!(s.solve_with_assumptions(&[x.negative()]), SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(x), Some(true));
+        // Retract: the group no longer constrains x.
+        s.set_persistent_assumptions(Vec::new());
+        s.add_clause([g.negative()]);
+        assert_eq!(s.solve_with_assumptions(&[x.negative()]), SolveResult::Sat);
+        assert_eq!(s.model_value(x), Some(false));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn retraction_neutralises_learnt_clauses() {
+        // A conflict-rich guarded pigeonhole fragment forces learning under
+        // the guard; after retraction the formula must be satisfiable and
+        // none of the learnt clauses may constrain the pigeon variables.
+        let mut s = Solver::new();
+        let g = s.new_var();
+        let p: Vec<Vec<Var>> =
+            (0..4).map(|_| (0..3).map(|_| s.new_var()).collect()).collect();
+        for row in &p {
+            let mut lits: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+            lits.push(g.negative());
+            s.add_clause(lits);
+        }
+        for j in 0..3 {
+            for i1 in 0..4 {
+                for i2 in (i1 + 1)..4 {
+                    s.add_clause([p[i1][j].negative(), p[i2][j].negative(), g.negative()]);
+                }
+            }
+        }
+        s.set_persistent_assumptions(vec![g.positive()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        s.set_persistent_assumptions(Vec::new());
+        s.add_clause([g.negative()]);
+        // All pigeons in the first hole: violates the retracted group only.
+        let all_first: Vec<Lit> = p.iter().map(|row| row[0].positive()).collect();
+        assert_eq!(s.solve_with_assumptions(&all_first), SolveResult::Sat);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn compact_learnts_bounds_the_database() {
+        let mut s = Solver::new();
+        let n = 7;
+        let p: Vec<Vec<Var>> =
+            (0..n).map(|_| (0..n).map(|_| s.new_var()).collect()).collect();
+        for row in &p {
+            s.add_clause(row.iter().map(|v| v.positive()));
+        }
+        for j in 0..n {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([p[i1][j].negative(), p[i2][j].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let cap = 8;
+        s.compact_learnts(cap);
+        // Binary and locked clauses are exempt, but long unlocked learnts
+        // must be gone down to the cap.
+        let long_learnts = s
+            .learnt_refs
+            .iter()
+            .filter(|&&r| s.clauses[r as usize].lits.len() > 2)
+            .count();
+        assert!(long_learnts <= cap, "{long_learnts} > {cap}");
+        // Still correct afterwards.
+        assert_eq!(s.solve(), SolveResult::Sat);
     }
 
     #[test]

@@ -39,8 +39,34 @@ impl Solver {
     /// and locked clauses) and raises the budget for the next round.
     pub(crate) fn reduce_db(&mut self) {
         self.stats.db_reductions += 1;
+        let target = self.learnt_refs.len() / 2;
+        self.delete_least_active(target);
+        self.max_learnts *= 1.1;
+    }
+
+    /// Compacts the learnt-clause database down to at most `max_keep`
+    /// clauses, deleting the least active ones first (binary and locked
+    /// clauses are always kept). Unlike the in-search [`Solver::reduce_db`]
+    /// this is a *caller-driven* sweep: the incremental resolution engine
+    /// invokes it at user-interaction round boundaries so learnt clauses
+    /// stay bounded over arbitrarily long interactions, and it also resets
+    /// the in-search reduction budget so the next solve does not inherit a
+    /// budget inflated by earlier rounds.
+    pub fn compact_learnts(&mut self, max_keep: usize) {
+        debug_assert_eq!(self.decision_level(), 0);
+        if self.learnt_refs.len() > max_keep {
+            self.stats.db_reductions += 1;
+            let target = self.learnt_refs.len() - max_keep;
+            self.delete_least_active(target);
+        }
+        let floor = (self.clauses.len() as f64 / 3.0).max(2000.0);
+        self.max_learnts = self.max_learnts.min(floor.max(max_keep as f64));
+    }
+
+    /// Detaches up to `target` learnt clauses, least useful first (long
+    /// clauses with low activity; binary and locked clauses survive).
+    fn delete_least_active(&mut self, target: usize) {
         let mut refs = std::mem::take(&mut self.learnt_refs);
-        // Least useful first: long clauses with low activity.
         refs.sort_by(|&a, &b| {
             let ca = &self.clauses[a as usize];
             let cb = &self.clauses[b as usize];
@@ -49,8 +75,7 @@ impl Solver {
                 .reverse()
                 .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
         });
-        let target = refs.len() / 2;
-        let mut kept = Vec::with_capacity(refs.len() - target);
+        let mut kept = Vec::with_capacity(refs.len().saturating_sub(target));
         for (i, cref) in refs.iter().copied().enumerate() {
             let c = &self.clauses[cref as usize];
             if i < target && c.lits.len() > 2 && !self.locked(cref) {
@@ -61,7 +86,6 @@ impl Solver {
             }
         }
         self.learnt_refs = kept;
-        self.max_learnts *= 1.1;
     }
 }
 

@@ -46,7 +46,13 @@ pub struct UnitPropagator {
     queue: Vec<Lit>,
     implied: Vec<Lit>,
     conflict: bool,
+    /// Clause group tags ([`NO_GROUP`] = permanent) and retraction flags.
+    group_of: Vec<u32>,
+    dead: Vec<bool>,
 }
+
+/// Group tag of a permanent (non-retractable) clause.
+pub const NO_GROUP: u32 = u32::MAX;
 
 impl UnitPropagator {
     /// Builds a propagator over the clauses of `cnf`.
@@ -61,6 +67,8 @@ impl UnitPropagator {
             queue: Vec::new(),
             implied: Vec::new(),
             conflict: false,
+            group_of: Vec::with_capacity(cnf.num_clauses()),
+            dead: Vec::with_capacity(cnf.num_clauses()),
         };
         for clause in cnf.clauses() {
             up.add_clause(clause);
@@ -88,6 +96,16 @@ impl UnitPropagator {
 
     /// Adds one clause (used for incremental extension with user input).
     pub fn add_clause(&mut self, lits: &[Lit]) {
+        self.add_clause_grouped(lits, NO_GROUP);
+    }
+
+    /// Adds one clause tagged with a *retractable group*. All clauses of a
+    /// group can later be withdrawn with [`UnitPropagator::retract_group`] —
+    /// the mechanism behind the guard-literal clause groups of the
+    /// incremental resolution engine (the engine strips the guard literal
+    /// and passes the group tag instead, so the propagator's hot path never
+    /// sees guard variables).
+    pub fn add_clause_grouped(&mut self, lits: &[Lit], group: u32) {
         let mut clause: Vec<Lit> = lits.to_vec();
         clause.sort_unstable();
         clause.dedup();
@@ -123,6 +141,62 @@ impl UnitPropagator {
         self.clauses.push(clause);
         self.satisfied.push(sat);
         self.false_count.push(n_false);
+        self.group_of.push(group);
+        self.dead.push(false);
+    }
+
+    /// Withdraws every clause of `group` and resets the propagation state.
+    ///
+    /// Root-level assignments are irreversible *within* a fixpoint run, so
+    /// retraction cannot surgically undo the consequences of the retracted
+    /// clauses; instead the propagator clears its assignment, marks the
+    /// group's clauses dead and re-queues the remaining unit clauses. The
+    /// next [`UnitPropagator::propagate_to_fixpoint`] then re-derives the
+    /// fixpoint of the surviving formula from scratch — `O(|Φ|)`, paid only
+    /// on retraction (≈ once per out-of-domain user answer), with no
+    /// re-encoding or clause re-ingestion.
+    pub fn retract_group(&mut self, group: u32) {
+        self.retract_groups(&[group]);
+    }
+
+    /// [`UnitPropagator::retract_group`] for a batch: all groups are marked
+    /// dead first, then the state is reset **once** — a round that retracts
+    /// `k` CFD groups pays one `O(|Φ|)` re-derivation, not `k`.
+    pub fn retract_groups(&mut self, groups: &[u32]) {
+        if groups.is_empty() {
+            return;
+        }
+        debug_assert!(groups.iter().all(|&g| g != NO_GROUP), "cannot retract permanent clauses");
+        for (ci, g) in self.group_of.iter().enumerate() {
+            if groups.contains(g) {
+                self.dead[ci] = true;
+            }
+        }
+        self.reset_and_requeue();
+    }
+
+    /// Clears all derived state and re-queues the units of the surviving
+    /// clauses, as if the alive clauses had just been ingested fresh.
+    fn reset_and_requeue(&mut self) {
+        self.assign.fill(LBool::Undef);
+        self.implied.clear();
+        self.queue.clear();
+        self.conflict = false;
+        for ci in 0..self.clauses.len() {
+            let clause = &self.clauses[ci];
+            // Clauses are sorted and deduplicated at ingestion, so a
+            // tautology shows up as adjacent complementary literals.
+            let tautology = clause.windows(2).any(|w| w[0] == w[1].negate());
+            self.satisfied[ci] = self.dead[ci] || tautology;
+            self.false_count[ci] = 0;
+            if !self.satisfied[ci] {
+                match clause.len() {
+                    0 => self.conflict = true,
+                    1 => self.queue.push(clause[0]),
+                    _ => {}
+                }
+            }
+        }
     }
 
     fn value(&self, l: Lit) -> LBool {
@@ -296,6 +370,69 @@ mod tests {
         cnf.add_clause([b.negative(), b.positive()]);
         match propagate_units(&cnf) {
             UpOutcome::Fixpoint { implied } => assert!(implied.is_empty()),
+            UpOutcome::Conflict => panic!(),
+        }
+    }
+
+    #[test]
+    fn retracted_groups_never_propagate() {
+        // Group 1: a → b. Permanent: a. After retraction, b must no longer
+        // be implied — including implications *already derived* before the
+        // retraction.
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        let c = cnf.new_var();
+        cnf.add_clause([a.positive()]);
+        let mut up = UnitPropagator::new(&cnf);
+        up.add_clause_grouped(&[a.negative(), b.positive()], 1);
+        up.add_clause_grouped(&[b.negative(), c.positive()], 1);
+        match up.run() {
+            UpOutcome::Fixpoint { implied } => {
+                assert_eq!(implied, vec![a.positive(), b.positive(), c.positive()]);
+            }
+            UpOutcome::Conflict => panic!(),
+        }
+        up.retract_group(1);
+        match up.run() {
+            UpOutcome::Fixpoint { implied } => {
+                assert_eq!(implied, vec![a.positive()], "group consequences must vanish");
+            }
+            UpOutcome::Conflict => panic!(),
+        }
+        assert_eq!(up.literal_value(b.positive()), None);
+        assert_eq!(up.literal_value(c.positive()), None);
+    }
+
+    #[test]
+    fn retraction_clears_group_conflicts() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        cnf.add_clause([a.positive()]);
+        let mut up = UnitPropagator::new(&cnf);
+        up.add_clause_grouped(&[a.negative()], 7);
+        assert_eq!(up.run(), UpOutcome::Conflict);
+        up.retract_group(7);
+        match up.run() {
+            UpOutcome::Fixpoint { implied } => assert_eq!(implied, vec![a.positive()]),
+            UpOutcome::Conflict => panic!("conflict must die with its group"),
+        }
+    }
+
+    #[test]
+    fn clauses_added_after_retraction_propagate() {
+        let mut up = UnitPropagator::new(&Cnf::new());
+        let a = crate::lit::Var(0);
+        let b = crate::lit::Var(1);
+        up.add_clause_grouped(&[a.positive()], 1);
+        assert!(matches!(up.run(), UpOutcome::Fixpoint { .. }));
+        up.retract_group(1);
+        up.add_clause_grouped(&[a.negative()], 2);
+        up.add_clause(&[a.positive(), b.positive()]);
+        match up.run() {
+            UpOutcome::Fixpoint { implied } => {
+                assert_eq!(implied, vec![a.negative(), b.positive()]);
+            }
             UpOutcome::Conflict => panic!(),
         }
     }

@@ -1,9 +1,11 @@
 //! Entity instances: sets of tuples pertaining to one real-world entity.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 use crate::error::TypesError;
+use crate::interner::{ValueTable, NULL_VALUE_ID};
 use crate::schema::{AttrId, Schema};
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -25,15 +27,55 @@ impl TupleId {
 /// Entity instances are small relative to a database — the NBA dataset in the
 /// paper averages 27 tuples per entity — so the representation favours simple
 /// dense storage and cheap iteration.
+///
+/// Alongside the tuples, every instance carries a contiguous row-major
+/// matrix of **instance-local dense value ids** (`dense[tid * arity +
+/// attr]`, id [`NULL_VALUE_ID`] = null): two cells carry the same id iff
+/// they carry the same value. The SAT encoder's instantiation and
+/// projection grouping run entirely on these ids — integer compares over
+/// flat buffers sized by the *entity's* distinct-value count — instead of
+/// hashing full [`Value`]s per specification. A dataset-shared
+/// [`ValueTable`] (see [`EntityInstance::with_table`]) canonicalises the
+/// stored values so equal strings share one allocation across the whole
+/// dataset and are hashed once per dataset, not once per entity.
 #[derive(Clone)]
 pub struct EntityInstance {
     schema: Arc<Schema>,
     tuples: Vec<Tuple>,
+    /// `tuples.len() × arity` instance-local value ids, row-major.
+    dense: Vec<u32>,
+    /// Local id → value; `values_by_id[0]` is always `Null`.
+    values_by_id: Vec<Value>,
+    /// Reverse lookup for `push` (user input arrives tuple by tuple).
+    ids_by_value: HashMap<Value, u32>,
 }
 
 impl EntityInstance {
-    /// Builds an entity instance, checking every tuple's arity.
+    /// Builds an entity instance, checking every tuple's arity. Dataset
+    /// generators that share canonical values across many entities use
+    /// [`EntityInstance::with_table`] instead.
     pub fn new(schema: Arc<Schema>, tuples: Vec<Tuple>) -> Result<Self, TypesError> {
+        Self::build(schema, tuples, None)
+    }
+
+    /// Builds an entity instance whose stored values are canonicalised
+    /// through a dataset-shared [`ValueTable`]: values found in the table
+    /// are stored as clones of the table's instance (sharing its
+    /// allocation); values missing from it are kept as-is, so a partially
+    /// covering table is never wrong.
+    pub fn with_table(
+        schema: Arc<Schema>,
+        tuples: Vec<Tuple>,
+        table: &ValueTable,
+    ) -> Result<Self, TypesError> {
+        Self::build(schema, tuples, Some(table))
+    }
+
+    fn build(
+        schema: Arc<Schema>,
+        tuples: Vec<Tuple>,
+        table: Option<&ValueTable>,
+    ) -> Result<Self, TypesError> {
         for t in &tuples {
             if t.arity() != schema.arity() {
                 return Err(TypesError::ArityMismatch {
@@ -42,12 +84,77 @@ impl EntityInstance {
                 });
             }
         }
-        Ok(EntityInstance { schema, tuples })
+        let mut e = EntityInstance {
+            schema,
+            tuples: Vec::with_capacity(tuples.len()),
+            dense: Vec::with_capacity(tuples.len()),
+            values_by_id: vec![Value::Null],
+            ids_by_value: HashMap::new(),
+        };
+        for t in tuples {
+            e.append_dense_row(&t, table);
+            e.tuples.push(t);
+        }
+        Ok(e)
     }
 
     /// An empty instance over `schema`.
     pub fn empty(schema: Arc<Schema>) -> Self {
-        EntityInstance { schema, tuples: Vec::new() }
+        EntityInstance {
+            schema,
+            tuples: Vec::new(),
+            dense: Vec::new(),
+            values_by_id: vec![Value::Null],
+            ids_by_value: HashMap::new(),
+        }
+    }
+
+    /// Appends the dense-id row for `tuple` (which must have the right
+    /// arity), assigning fresh local ids to unseen values — canonicalised
+    /// through `table` when one is supplied.
+    fn append_dense_row(&mut self, tuple: &Tuple, table: Option<&ValueTable>) {
+        for v in tuple.values() {
+            let id = if v.is_null() {
+                NULL_VALUE_ID
+            } else if let Some(&id) = self.ids_by_value.get(v) {
+                id
+            } else {
+                let id = self.values_by_id.len() as u32;
+                let canonical = table
+                    .and_then(|t| t.get(v).map(|gid| t.value(gid).clone()))
+                    .unwrap_or_else(|| v.clone());
+                self.values_by_id.push(canonical.clone());
+                self.ids_by_value.insert(canonical, id);
+                id
+            };
+            self.dense.push(id);
+        }
+    }
+
+    /// Instance-local dense id of `tuples[tid][attr]`: equal iff the values
+    /// are equal, [`NULL_VALUE_ID`] iff null.
+    #[inline]
+    pub fn dense_id(&self, tid: TupleId, attr: AttrId) -> u32 {
+        self.dense[tid.index() * self.schema.arity() + attr.index()]
+    }
+
+    /// The dense-id row of one tuple (one id per attribute).
+    #[inline]
+    pub fn dense_row(&self, tid: TupleId) -> &[u32] {
+        let arity = self.schema.arity();
+        &self.dense[tid.index() * arity..(tid.index() + 1) * arity]
+    }
+
+    /// Exclusive upper bound on this instance's dense ids (1 + its
+    /// distinct non-null values) — per-entity scratch tables sized by this
+    /// scale with the entity, never with the dataset.
+    pub fn dense_id_bound(&self) -> usize {
+        self.values_by_id.len()
+    }
+
+    /// The value behind an instance-local dense id.
+    pub fn dense_value(&self, id: u32) -> &Value {
+        &self.values_by_id[id as usize]
     }
 
     /// The shared schema.
@@ -88,8 +195,16 @@ impl EntityInstance {
         (0..self.tuples.len() as u32).map(TupleId)
     }
 
+    /// True iff the value at `(tid, attr)` is null (single integer compare
+    /// against the dense row).
+    #[inline]
+    pub fn is_null_at(&self, tid: TupleId, attr: AttrId) -> bool {
+        self.dense_id(tid, attr) == NULL_VALUE_ID
+    }
+
     /// Appends a tuple, returning its id. Used when extending a specification
-    /// with user input (`Se ⊕ Ot`, Section III Remark (1)).
+    /// with user input (`Se ⊕ Ot`, Section III Remark (1)). Unseen values
+    /// (user-supplied "new values") receive fresh local ids.
     pub fn push(&mut self, tuple: Tuple) -> Result<TupleId, TypesError> {
         if tuple.arity() != self.schema.arity() {
             return Err(TypesError::ArityMismatch {
@@ -98,6 +213,7 @@ impl EntityInstance {
             });
         }
         let id = TupleId(self.tuples.len() as u32);
+        self.append_dense_row(&tuple, None);
         self.tuples.push(tuple);
         Ok(id)
     }
@@ -214,6 +330,47 @@ mod tests {
             e.tuples_with_value(status, &Value::str("retired")),
             vec![TupleId(1)]
         );
+    }
+
+    #[test]
+    fn dense_rows_mirror_values() {
+        let e = instance();
+        for (tid, t) in e.iter() {
+            for attr in e.schema().attr_ids() {
+                let id = e.dense_id(tid, attr);
+                assert_eq!(e.dense_value(id), t.get(attr));
+                assert_eq!(e.is_null_at(tid, attr), t.get(attr).is_null());
+                assert_eq!(id == crate::NULL_VALUE_ID, t.get(attr).is_null());
+            }
+        }
+        // Equal values share one id across tuples.
+        let name = e.schema().attr_id("name").unwrap();
+        assert_eq!(e.dense_id(TupleId(0), name), e.dense_id(TupleId(1), name));
+        // The id bound is entity-proportional: 1 (null) + distinct values.
+        assert_eq!(e.dense_id_bound(), 1 + 1 + 3 + 2); // name, status, kids
+    }
+
+    #[test]
+    fn shared_table_canonicalises_and_push_reuses_ids() {
+        let schema = Schema::new("p", ["a"]).unwrap();
+        let mut table = ValueTable::new();
+        table.intern(&Value::str("shared"));
+        let mut e = EntityInstance::with_table(
+            schema,
+            vec![Tuple::of([Value::str("shared")]), Tuple::of([Value::int(2)])],
+            &table,
+        )
+        .unwrap();
+        // A value missing from the table still round-trips fine.
+        assert_eq!(e.dense_value(e.dense_id(TupleId(1), AttrId(0))), &Value::int(2));
+        // Pushing a repeat of an existing value reuses its id.
+        let before = e.dense_id_bound();
+        e.push(Tuple::of([Value::int(2)])).unwrap();
+        assert_eq!(e.dense_id_bound(), before);
+        assert_eq!(e.dense_id(TupleId(2), AttrId(0)), e.dense_id(TupleId(1), AttrId(0)));
+        // A genuinely new pushed value gets a fresh id.
+        e.push(Tuple::of([Value::int(3)])).unwrap();
+        assert_eq!(e.dense_id_bound(), before + 1);
     }
 
     #[test]

@@ -1,14 +1,92 @@
-//! Per-attribute value interning.
+//! Value interning, at two granularities.
 //!
-//! The SAT encoder (Section V-A) works with the strict value order `≺v_Ai`
-//! over `adom(Ie.Ai) ∪ {CFD constants on Ai}`. Interning each such value to a
-//! dense [`ValueId`] lets the encoder address order variables as integer
-//! pairs instead of hashing full values on every clause.
+//! * [`ValueTable`] — **dataset-level**: every value occurring anywhere in a
+//!   dataset is interned exactly once into a dense `u32` id
+//!   ([`GlobalValueId`]). Entity instances carry their tuples' values as
+//!   contiguous rows of these ids (see `EntityInstance`), so equality and
+//!   null tests on the encoder's hot paths are single integer compares over
+//!   flat buffers instead of `Value` hashing per specification.
+//! * [`AttrValueSpace`] / [`ValueInterner`] — **per-attribute, per
+//!   encoding**: the SAT encoder (Section V-A) works with the strict value
+//!   order `≺v_Ai` over `adom(Ie.Ai)`; interning each such value to a dense
+//!   [`ValueId`] lets the encoder address order variables as integer pairs.
 
 use std::collections::HashMap;
 
 use crate::schema::AttrId;
 use crate::value::Value;
+
+/// Dataset-wide dense id of a value in a [`ValueTable`]. Id
+/// [`NULL_VALUE_ID`] is always `Value::Null`.
+pub type GlobalValueId = u32;
+
+/// The reserved [`GlobalValueId`] of `Value::Null`.
+pub const NULL_VALUE_ID: GlobalValueId = 0;
+
+/// A dataset-level value interner: every distinct [`Value`] maps to one
+/// dense [`GlobalValueId`], with `Null` pinned at id 0. Built once per
+/// dataset (or per entity for standalone instances) and shared by all of the
+/// dataset's entity instances via `Arc`.
+#[derive(Clone, Debug)]
+pub struct ValueTable {
+    by_value: HashMap<Value, GlobalValueId>,
+    values: Vec<Value>,
+}
+
+impl Default for ValueTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ValueTable {
+    /// A table containing only `Null` (at id 0).
+    pub fn new() -> Self {
+        let mut by_value = HashMap::new();
+        by_value.insert(Value::Null, NULL_VALUE_ID);
+        ValueTable { by_value, values: vec![Value::Null] }
+    }
+
+    /// Interns `v`, returning its stable dataset-wide id.
+    pub fn intern(&mut self, v: &Value) -> GlobalValueId {
+        if let Some(&id) = self.by_value.get(v) {
+            return id;
+        }
+        let id = self.values.len() as GlobalValueId;
+        self.values.push(v.clone());
+        self.by_value.insert(v.clone(), id);
+        id
+    }
+
+    /// Interns every value of every tuple in `tuples`.
+    pub fn intern_tuples<'a>(&mut self, tuples: impl IntoIterator<Item = &'a crate::tuple::Tuple>) {
+        for t in tuples {
+            for v in t.values() {
+                self.intern(v);
+            }
+        }
+    }
+
+    /// Looks up an already interned value.
+    pub fn get(&self, v: &Value) -> Option<GlobalValueId> {
+        self.by_value.get(v).copied()
+    }
+
+    /// The value behind `id`.
+    pub fn value(&self, id: GlobalValueId) -> &Value {
+        &self.values[id as usize]
+    }
+
+    /// Number of interned values (including `Null`).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True iff only `Null` is interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.len() == 1
+    }
+}
 
 /// Dense id of an interned value within one attribute's value space.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]

@@ -19,7 +19,9 @@ pub mod value;
 
 pub use entity::{EntityInstance, TupleId};
 pub use error::TypesError;
-pub use interner::{AttrValueSpace, ValueId, ValueInterner};
+pub use interner::{
+    AttrValueSpace, GlobalValueId, ValueId, ValueInterner, ValueTable, NULL_VALUE_ID,
+};
 pub use schema::{AttrId, Attribute, Schema};
 pub use tuple::Tuple;
 pub use value::Value;
