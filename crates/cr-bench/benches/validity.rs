@@ -53,12 +53,9 @@ fn bench_validity(c: &mut Criterion) {
     let mut ablation = c.benchmark_group("isvalid-ablation");
     ablation.sample_size(20);
     for (label, options) in [
-        ("totality+full (default)", EncodeOptions::default()),
+        ("totality+eager (default)", EncodeOptions::default()),
         ("paper-faithful (no totality)", EncodeOptions::paper_faithful()),
-        (
-            "lazy-transitivity",
-            EncodeOptions { full_transitivity: false, ..Default::default() },
-        ),
+        ("lazy-axioms", EncodeOptions::lazy()),
     ] {
         ablation.bench_function(label, |b| {
             b.iter(|| {

@@ -6,23 +6,30 @@
 //! entities at the seed bin sizes, a simulated user answering one attribute
 //! per round, and a 0.6 constraint fraction (the paper's |Σ|,|Γ| sweeps) so
 //! that entities genuinely need several interaction rounds — the regime the
-//! incremental engine targets.
+//! incremental engine targets. A synthetic *wide-domain* workload
+//! (`cr_data::gen`, conflict density 1.0) isolates the `O(n³)` transitivity
+//! cost that lazy axiom instantiation removes.
 //!
-//! Every incremental resolution also reports its **engine rebuild count**:
-//! with the guard-group zero-rebuild engine this must be 0 on every
-//! dataset, and the run fails loudly if it is not.
+//! Every dataset is resolved on four paths — (lazy | eager axioms) ×
+//! (incremental | scratch) — and the run **fails loudly** on any outcome
+//! divergence, nonzero engine rebuild count, or (lazy paths) zero recorded
+//! axiom telemetry where injection was expected. `--smoke` runs exactly
+//! those checks in CI. The JSON report additionally records round-0 encode
+//! clause counts and wall time per axiom mode plus the injected-axiom
+//! counts of the lazy resolutions.
 //!
 //! Flags: `--entities N` (per generated dataset, default 10), `--seed S`,
 //! `--rounds R` (max user rounds, default 10), `--reps K` (timing
 //! repetitions, default 3), `--frac F` (constraint fraction, default 0.6),
-//! `--out PATH` (default `BENCH_2.json`), `--smoke` (tiny CI mode: check
+//! `--out PATH` (default `BENCH_3.json`), `--smoke` (tiny CI mode: check
 //! agreement and the zero-rebuild invariant, skip the timing sweep).
 
 use std::time::Instant;
 
 use cr_bench::{arg_entities, arg_flag, arg_seed, arg_value, json::BenchReport, quick};
 use cr_core::framework::{GroundTruthOracle, ResolutionConfig, Resolver};
-use cr_core::Specification;
+use cr_core::{EncodeOptions, EncodedSpec, Specification};
+use cr_data::gen::ScenarioConfig;
 use cr_data::{nba, person, vjday};
 use cr_types::Tuple;
 
@@ -32,13 +39,19 @@ struct Workload {
     truths: Vec<Tuple>,
 }
 
-fn resolver(incremental: bool, max_rounds: usize) -> Resolver {
-    Resolver::new(ResolutionConfig { max_rounds, incremental, ..Default::default() })
+fn resolver(encode: EncodeOptions, incremental: bool, max_rounds: usize) -> Resolver {
+    Resolver::new(ResolutionConfig { max_rounds, incremental, encode, ..Default::default() })
 }
 
 /// Serial wall-clock seconds for one pass over the workload (best of `reps`).
-fn time_serial(w: &Workload, incremental: bool, rounds: usize, reps: usize) -> f64 {
-    let r = resolver(incremental, rounds);
+fn time_serial(
+    w: &Workload,
+    encode: EncodeOptions,
+    incremental: bool,
+    rounds: usize,
+    reps: usize,
+) -> f64 {
+    let r = resolver(encode, incremental, rounds);
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let t = Instant::now();
@@ -51,9 +64,9 @@ fn time_serial(w: &Workload, incremental: bool, rounds: usize, reps: usize) -> f
     best
 }
 
-/// Parallel fan-out wall-clock seconds (best of `reps`).
-fn time_parallel(w: &Workload, incremental: bool, rounds: usize, reps: usize) -> f64 {
-    let r = resolver(incremental, rounds);
+/// Parallel fan-out wall-clock seconds on the (lazy) engine default.
+fn time_parallel(w: &Workload, rounds: usize, reps: usize) -> f64 {
+    let r = resolver(EncodeOptions::lazy(), true, rounds);
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let t = Instant::now();
@@ -65,22 +78,73 @@ fn time_parallel(w: &Workload, incremental: bool, rounds: usize, reps: usize) ->
     best
 }
 
-/// Both paths must produce identical resolution outcomes. Returns the total
-/// engine rebuild count of the incremental path (must be 0 with the
-/// guard-group engine).
-fn check_agreement(w: &Workload, rounds: usize) -> usize {
-    let inc = resolver(true, rounds);
-    let scr = resolver(false, rounds);
+/// All four paths must produce identical resolution outcomes. Returns the
+/// total engine rebuild count (must be 0 with the guard-group engine) and
+/// the injected-axiom count of the lazy incremental path.
+fn check_agreement(w: &Workload, rounds: usize) -> (usize, usize) {
+    let paths = [
+        ("lazy/incremental", EncodeOptions::lazy(), true),
+        ("eager/incremental", EncodeOptions::eager(), true),
+        ("lazy/scratch", EncodeOptions::lazy(), false),
+        ("eager/scratch", EncodeOptions::eager(), false),
+    ];
     let mut rebuilds = 0;
+    let mut injected = 0;
     for (spec, truth) in w.specs.iter().zip(&w.truths) {
-        let a = inc.resolve(spec, &mut GroundTruthOracle::with_cap(truth.clone(), 1));
-        let b = scr.resolve(spec, &mut GroundTruthOracle::with_cap(truth.clone(), 1));
-        assert_eq!(a.resolved, b.resolved, "{}: resolved tuples diverged", w.label);
-        assert_eq!(a.interactions, b.interactions, "{}: interaction counts diverged", w.label);
-        assert_eq!(a.user_values, b.user_values, "{}: answer counts diverged", w.label);
-        rebuilds += a.rebuilds;
+        let outcomes: Vec<_> = paths
+            .iter()
+            .map(|&(_, encode, incremental)| {
+                resolver(encode, incremental, rounds)
+                    .resolve(spec, &mut GroundTruthOracle::with_cap(truth.clone(), 1))
+            })
+            .collect();
+        let reference = &outcomes[0];
+        for ((label, ..), outcome) in paths.iter().zip(&outcomes).skip(1) {
+            assert_eq!(
+                reference.resolved, outcome.resolved,
+                "{}: resolved tuples diverged on {label}",
+                w.label
+            );
+            assert_eq!(
+                reference.interactions, outcome.interactions,
+                "{}: interaction counts diverged on {label}",
+                w.label
+            );
+            assert_eq!(
+                reference.user_values, outcome.user_values,
+                "{}: answer counts diverged on {label}",
+                w.label
+            );
+        }
+        rebuilds += outcomes[0].rebuilds + outcomes[1].rebuilds;
+        injected += outcomes[0].injected_axioms;
     }
-    rebuilds
+    (rebuilds, injected)
+}
+
+/// Round-0 encode comparison: clause counts and encode wall time per axiom
+/// mode, summed over the workload's specs.
+struct EncodeStats {
+    eager_clauses: usize,
+    lazy_clauses: usize,
+    eager_secs: f64,
+    lazy_secs: f64,
+}
+
+fn encode_stats(w: &Workload) -> EncodeStats {
+    let mut stats =
+        EncodeStats { eager_clauses: 0, lazy_clauses: 0, eager_secs: 0.0, lazy_secs: 0.0 };
+    for spec in &w.specs {
+        let t = Instant::now();
+        let eager = EncodedSpec::encode_with(spec, EncodeOptions::eager());
+        stats.eager_secs += t.elapsed().as_secs_f64();
+        stats.eager_clauses += eager.cnf().num_clauses();
+        let t = Instant::now();
+        let lazy = EncodedSpec::encode_with(spec, EncodeOptions::lazy());
+        stats.lazy_secs += t.elapsed().as_secs_f64();
+        stats.lazy_clauses += lazy.cnf().num_clauses();
+    }
+    stats
 }
 
 fn main() {
@@ -93,7 +157,7 @@ fn main() {
         .max(1);
     let frac: f64 = arg_value("frac").and_then(|v| v.parse().ok()).unwrap_or(0.6);
     let smoke = arg_flag("smoke");
-    let out = arg_value("out").unwrap_or_else(|| "BENCH_2.json".to_string());
+    let out = arg_value("out").unwrap_or_else(|| "BENCH_3.json".to_string());
 
     // Entity sizes follow the seed's Fig. 8(a) bins: NBA up to 135 tuples,
     // Person at 1/10 paper scale up to 200.
@@ -133,9 +197,36 @@ fn main() {
                 specs: (0..ds.len()).map(|i| ds.spec(i)).collect(),
             }
         },
+        // Wide realised value spaces: the regime where transitivity clause
+        // generation dominated round-0 encode (ROADMAP "Remaining perf
+        // ideas", PR 2 profiling).
+        {
+            let n = if smoke { 2 } else { entities.clamp(2, 6) };
+            let scenarios: Vec<_> = (0..n)
+                .map(|i| {
+                    cr_data::gen::scenario(&ScenarioConfig {
+                        seed: seed.wrapping_add(i as u64),
+                        attrs: 5,
+                        tuples: if smoke { 24 } else { 60 },
+                        domain: if smoke { 20 } else { 48 },
+                        conflict_density: 1.0,
+                        null_density: 0.02,
+                        sigma: 8,
+                        gamma: 3,
+                        order_density: 0.1,
+                        new_value_answers: i % 2 == 1,
+                    })
+                })
+                .collect();
+            Workload {
+                label: "wide",
+                truths: scenarios.iter().map(|s| s.truth.clone()).collect(),
+                specs: scenarios.into_iter().map(|s| s.spec).collect(),
+            }
+        },
     ];
 
-    let mut report = BenchReport::new("zero-rebuild-interaction-loop");
+    let mut report = BenchReport::new("lazy-transitivity-engine");
     report.context("entities_per_dataset", entities);
     report.context("seed", seed);
     report.context("max_rounds", rounds);
@@ -146,50 +237,86 @@ fn main() {
     );
 
     let mut total_scratch = 0.0;
-    let mut total_incremental = 0.0;
+    let mut total_lazy = 0.0;
+    let mut total_eager = 0.0;
     let mut total_rebuilds = 0;
+    let mut lazy_injection_seen = false;
     for w in &workloads {
-        let rebuilds = check_agreement(w, rounds);
+        let (rebuilds, injected) = check_agreement(w, rounds);
         total_rebuilds += rebuilds;
+        lazy_injection_seen |= injected > 0;
         report.context(format!("rebuilds/{}", w.label), rebuilds);
+        report.context(format!("injected_axioms/{}", w.label), injected);
         if rebuilds != 0 {
             eprintln!("{:>8}: ZERO-REBUILD VIOLATION: {rebuilds} engine rebuilds", w.label);
         } else {
-            println!("{:>8}: rebuilds 0", w.label);
+            println!("{:>8}: rebuilds 0, injected axioms {injected}", w.label);
         }
+
+        let enc = encode_stats(w);
+        report.context(format!("encode_clauses/{}/eager", w.label), enc.eager_clauses);
+        report.context(format!("encode_clauses/{}/lazy", w.label), enc.lazy_clauses);
+        report.measure(format!("encode_round0/{}/eager", w.label), enc.eager_secs);
+        report.measure(format!("encode_round0/{}/lazy", w.label), enc.lazy_secs);
+        println!(
+            "{:>8}: round-0 clauses eager {} -> lazy {} ({:.1}x fewer), encode {:.4}s -> {:.4}s",
+            w.label,
+            enc.eager_clauses,
+            enc.lazy_clauses,
+            enc.eager_clauses as f64 / enc.lazy_clauses.max(1) as f64,
+            enc.eager_secs,
+            enc.lazy_secs,
+        );
         if smoke {
             continue;
         }
-        let scratch = time_serial(w, false, rounds, reps);
-        let incremental = time_serial(w, true, rounds, reps);
-        let parallel = time_parallel(w, true, rounds, reps);
+
+        let scratch = time_serial(w, EncodeOptions::eager(), false, rounds, reps);
+        let eager = time_serial(w, EncodeOptions::eager(), true, rounds, reps);
+        let lazy = time_serial(w, EncodeOptions::lazy(), true, rounds, reps);
+        let parallel = time_parallel(w, rounds, reps);
         total_scratch += scratch;
-        total_incremental += incremental;
+        total_eager += eager;
+        total_lazy += lazy;
         report.measure(format!("end_to_end/{}/scratch", w.label), scratch);
-        report.measure(format!("end_to_end/{}/incremental", w.label), incremental);
+        report.measure(format!("end_to_end/{}/incremental_eager", w.label), eager);
+        report.measure(format!("end_to_end/{}/incremental", w.label), lazy);
         report.measure(format!("end_to_end/{}/incremental_parallel", w.label), parallel);
         println!(
-            "{:>8}: scratch {:>8.4}s  incremental {:>8.4}s  ({:.2}x)  parallel {:>8.4}s  ({:.2}x)",
+            "{:>8}: scratch {:>8.4}s  eager-inc {:>8.4}s  lazy-inc {:>8.4}s  ({:.2}x vs scratch, {:.2}x vs eager)  parallel {:>8.4}s",
             w.label,
             scratch,
-            incremental,
-            scratch / incremental,
+            eager,
+            lazy,
+            scratch / lazy,
+            eager / lazy,
             parallel,
-            scratch / parallel,
         );
     }
     report.context("rebuilds_total", total_rebuilds);
     if !smoke {
-        let speedup = total_scratch / total_incremental;
+        let speedup = total_scratch / total_lazy;
         report.measure("end_to_end/total/scratch", total_scratch);
-        report.measure("end_to_end/total/incremental", total_incremental);
-        report.context("speedup_incremental_vs_scratch", format!("{speedup:.2}"));
-        println!("overall incremental speedup: {speedup:.2}x");
+        report.measure("end_to_end/total/incremental_eager", total_eager);
+        report.measure("end_to_end/total/incremental", total_lazy);
+        report.context("speedup_lazy_vs_scratch", format!("{speedup:.2}"));
+        report.context(
+            "speedup_lazy_vs_eager_incremental",
+            format!("{:.2}", total_eager / total_lazy),
+        );
+        println!(
+            "overall: lazy incremental {speedup:.2}x vs scratch, {:.2}x vs eager incremental",
+            total_eager / total_lazy
+        );
         report.write(&out).expect("write bench report");
         println!("wrote {out}");
     }
     if total_rebuilds != 0 {
         eprintln!("FAIL: incremental engine rebuilt {total_rebuilds} times (expected 0)");
+        std::process::exit(1);
+    }
+    if !lazy_injection_seen {
+        eprintln!("FAIL: lazy path recorded no injected axioms on any workload (telemetry dead?)");
         std::process::exit(1);
     }
 }

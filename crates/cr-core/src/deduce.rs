@@ -6,7 +6,7 @@ use std::collections::HashSet;
 use cr_sat::{SolveResult, Solver, UnitPropagator};
 use cr_types::{AttrId, ValueId};
 
-use crate::encode::{EncodedSpec, OrderAtom};
+use crate::encode::{EncodedSpec, OrderAtom, RecordingAxiomSource, TransientAxiomSource};
 
 /// A deduced partial order `Od` at the value level: `Se |= Od`.
 #[derive(Clone, Debug, Default)]
@@ -64,6 +64,12 @@ impl DeducedOrders {
 /// `x^A_{a1,a2}` yields `a1 ≺v a2`; a negative one yields `a2 ≺v a1`
 /// (sound because valid completions induce *total* value orders).
 ///
+/// Lazy encodings propagate through
+/// [`UnitPropagator::propagate_to_fixpoint_lazy`], interleaving on-demand
+/// axiom instantiation with propagation; the derived set equals the eager
+/// fixpoint (an eager step needs a clause that is unit under the current
+/// assignment, and exactly those are instantiated).
+///
 /// Returns `None` if propagation derives a conflict (the specification is
 /// invalid — callers should have checked `IsValid` first).
 pub fn deduce_order(enc: &EncodedSpec) -> Option<DeducedOrders> {
@@ -76,8 +82,41 @@ pub fn deduce_order(enc: &EncodedSpec) -> Option<DeducedOrders> {
 /// call, feeding it the per-round clause deltas, so each round only
 /// propagates the consequences of the new clauses. The propagator's
 /// accumulated implied set covers all rounds so far.
+///
+/// Lazily instantiated axioms are handed to the propagator only (the
+/// shared encoding is untouched); the engine uses
+/// [`deduce_order_recording`] instead so injections reach its other
+/// consumers through the CNF.
 pub fn deduce_order_from(up: &mut UnitPropagator, enc: &EncodedSpec) -> Option<DeducedOrders> {
-    let implied = up.propagate_to_fixpoint()?;
+    let implied = if enc.options().is_lazy() {
+        let mut source = TransientAxiomSource::new(enc);
+        up.propagate_to_fixpoint_lazy(&mut source)?
+    } else {
+        up.propagate_to_fixpoint()?
+    };
+    Some(orders_from_implied(enc, implied))
+}
+
+/// [`deduce_order_from`] for [`AxiomMode::Lazy`](crate::encode::AxiomMode)
+/// encodings with **recording** instantiation: axiom clauses pulled during
+/// propagation are also appended to `enc`'s CNF, so the engine's warm
+/// solver and the MaxSAT repair's borrowed hard base see them via the
+/// ordinary clause-tail sync.
+pub fn deduce_order_recording(
+    up: &mut UnitPropagator,
+    enc: &mut EncodedSpec,
+) -> Option<DeducedOrders> {
+    {
+        let mut source = RecordingAxiomSource::new(enc);
+        up.propagate_to_fixpoint_lazy(&mut source)?;
+    }
+    // Fixpoint already reached; this re-borrows the accumulated set.
+    let implied = up.propagate_to_fixpoint().expect("fixpoint just reached");
+    Some(orders_from_implied(enc, implied))
+}
+
+/// Maps implied order-atom literals to deduced value orders.
+fn orders_from_implied(enc: &EncodedSpec, implied: &[cr_sat::Lit]) -> DeducedOrders {
     let mut od = DeducedOrders::empty(enc.space().arity());
     for &lit in implied {
         let Some(OrderAtom { attr, lo, hi }) = enc.order_atom(lit.var()) else {
@@ -89,12 +128,19 @@ pub fn deduce_order_from(up: &mut UnitPropagator, enc: &EncodedSpec) -> Option<D
             od.insert(attr, hi, lo);
         }
     }
-    Some(od)
+    od
 }
 
 /// `NaiveDeduce`: the complete (but expensive) variant — for every order
 /// variable `x`, probe `Φ(Se) ∧ ¬x` and `Φ(Se) ∧ x` with the SAT solver;
 /// an unsatisfiable probe means the opposite literal is implied.
+///
+/// Probes on lazy encodings run the CEGAR loop
+/// ([`Solver::solve_lazy_with_assumptions`]): an `Unsat` probe is sound
+/// (injected axioms are entailed by the eager formula) and a `Sat` probe is
+/// exact (the final model satisfies the full theory), so the deduced set
+/// equals the eager one. Axioms injected by one probe persist in the
+/// solver and sharpen all later probes.
 ///
 /// Returns `None` if `Φ(Se)` itself is unsatisfiable.
 pub fn naive_deduce(enc: &EncodedSpec) -> Option<DeducedOrders> {
@@ -104,30 +150,66 @@ pub fn naive_deduce(enc: &EncodedSpec) -> Option<DeducedOrders> {
 
 /// `NaiveDeduce` over a caller-owned incremental [`Solver`] (the engine
 /// reuses the validity-check solver, so learnt clauses carry across both
-/// phases and across rounds).
-///
-/// Variables are probed in descending order of CNF occurrence count — a
-/// static VSIDS-style score. Heavily constrained variables are the most
-/// likely to be UNSAT probes, and answering those first seeds the solver
-/// with learnt clauses (and root-level units) that let later probes be
-/// skipped outright: any variable already fixed by root-level propagation
-/// is implied and recorded without touching the solver.
+/// phases and across rounds). Lazily instantiated axioms go to the solver
+/// only; the engine uses [`naive_deduce_recording`] to persist them in the
+/// encoding's CNF as well.
 pub fn naive_deduce_with(solver: &mut Solver, enc: &EncodedSpec) -> Option<DeducedOrders> {
-    if solver.solve() == SolveResult::Unsat {
-        return None;
+    let plan = probe_plan(enc);
+    if enc.options().is_lazy() {
+        let mut source = TransientAxiomSource::new(enc);
+        naive_probe_loop(solver, enc.space().arity(), &plan, Some(&mut source))
+    } else {
+        naive_probe_loop(solver, enc.space().arity(), &plan, None)
     }
+}
+
+/// [`naive_deduce_with`] with **recording** lazy instantiation: probe-time
+/// axiom injections are appended to `enc`'s CNF too (engine integration).
+pub fn naive_deduce_recording(
+    solver: &mut Solver,
+    enc: &mut EncodedSpec,
+) -> Option<DeducedOrders> {
+    let plan = probe_plan(enc);
+    let arity = enc.space().arity();
+    let mut source = RecordingAxiomSource::new(enc);
+    naive_probe_loop(solver, arity, &plan, Some(&mut source))
+}
+
+/// Probe order: descending CNF occurrence count — a static VSIDS-style
+/// score. Heavily constrained variables are the most likely to be UNSAT
+/// probes, and answering those first seeds the solver with learnt clauses
+/// (and root-level units) that let later probes be skipped outright.
+fn probe_plan(enc: &EncodedSpec) -> Vec<(cr_sat::Var, OrderAtom)> {
     let mut occurrences = vec![0u32; enc.cnf().num_vars() as usize];
     for clause in enc.cnf().clauses() {
         for lit in clause {
             occurrences[lit.var().index()] += 1;
         }
     }
-    let mut probe_order: Vec<cr_sat::Var> = enc.order_vars().map(|(v, _)| v).collect();
-    probe_order.sort_by_key(|v| std::cmp::Reverse(occurrences[v.index()]));
+    let mut probe_order: Vec<(cr_sat::Var, OrderAtom)> = enc.order_vars().collect();
+    probe_order.sort_by_key(|(v, _)| std::cmp::Reverse(occurrences[v.index()]));
+    probe_order
+}
 
-    let mut od = DeducedOrders::empty(enc.space().arity());
-    for var in probe_order {
-        let OrderAtom { attr, lo, hi } = enc.order_atom(var).expect("order variable");
+/// The probe loop shared by the transient/recording/eager entry points.
+/// Any variable already fixed by root-level propagation is implied and
+/// recorded without touching the solver.
+fn naive_probe_loop(
+    solver: &mut Solver,
+    arity: usize,
+    plan: &[(cr_sat::Var, OrderAtom)],
+    mut source: Option<&mut dyn cr_sat::LazyAxiomSource>,
+) -> Option<DeducedOrders> {
+    let mut probe = |solver: &mut Solver, assumptions: &[cr_sat::Lit]| match source.as_deref_mut()
+    {
+        Some(src) => solver.solve_lazy_with_assumptions(assumptions, src),
+        None => solver.solve_with_assumptions(assumptions),
+    };
+    if probe(solver, &[]) == SolveResult::Unsat {
+        return None;
+    }
+    let mut od = DeducedOrders::empty(arity);
+    for &(var, OrderAtom { attr, lo, hi }) in plan {
         // The symmetric variable's probes already decided this pair.
         if od.contains(attr, lo, hi) || od.contains(attr, hi, lo) {
             continue;
@@ -145,9 +227,9 @@ pub fn naive_deduce_with(solver: &mut Solver, enc: &EncodedSpec) -> Option<Deduc
             }
             None => {}
         }
-        if solver.solve_with_assumptions(&[var.negative()]) == SolveResult::Unsat {
+        if probe(solver, &[var.negative()]) == SolveResult::Unsat {
             od.insert(attr, lo, hi);
-        } else if solver.solve_with_assumptions(&[var.positive()]) == SolveResult::Unsat {
+        } else if probe(solver, &[var.positive()]) == SolveResult::Unsat {
             od.insert(attr, hi, lo);
         }
     }
@@ -160,26 +242,34 @@ pub fn naive_deduce_with(solver: &mut Solver, enc: &EncodedSpec) -> Option<Deduc
 /// clauses carry across probes); this variant exists for the Fig. 8(b)
 /// ablation quantifying that difference.
 pub fn naive_deduce_fresh(enc: &EncodedSpec) -> Option<DeducedOrders> {
-    {
+    // One-shot solve over a fresh solver (lazy encodings run the CEGAR
+    // loop against a throwaway source — the paper-faithful ablation pays
+    // the instantiation again per solver, by design).
+    let fresh_solve = |extra: Option<cr_sat::Lit>| {
         let mut solver = enc.fresh_solver();
-        if solver.solve() == SolveResult::Unsat {
-            return None;
+        if let Some(lit) = extra {
+            solver.add_clause([lit]);
         }
+        if enc.options().is_lazy() {
+            let mut source = TransientAxiomSource::new(enc);
+            solver.solve_lazy(&mut source)
+        } else {
+            solver.solve()
+        }
+    };
+    if fresh_solve(None) == SolveResult::Unsat {
+        return None;
     }
     let mut od = DeducedOrders::empty(enc.space().arity());
     for (var, OrderAtom { attr, lo, hi }) in enc.order_vars() {
         if od.contains(attr, lo, hi) || od.contains(attr, hi, lo) {
             continue;
         }
-        let mut s1 = enc.fresh_solver();
-        s1.add_clause([var.negative()]);
-        if s1.solve() == SolveResult::Unsat {
+        if fresh_solve(Some(var.negative())) == SolveResult::Unsat {
             od.insert(attr, lo, hi);
             continue;
         }
-        let mut s2 = enc.fresh_solver();
-        s2.add_clause([var.positive()]);
-        if s2.solve() == SolveResult::Unsat {
+        if fresh_solve(Some(var.positive())) == SolveResult::Unsat {
             od.insert(attr, hi, lo);
         }
     }

@@ -29,10 +29,32 @@
 //! travels through the same channel. Only CFD instances need groups — Σ
 //! instances, base orders, null-bottom axioms and the order axioms are
 //! never invalidated by user input; new values only *add* to them.
+//!
+//! # Lazy axiom instantiation
+//!
+//! With [`AxiomMode::Lazy`] the order axioms are not part of the CNF at
+//! all: [`EncodedSpec::violated_axioms`] answers a
+//! [`cr_sat::LazyAxiomSource`] consultation by scanning the candidate
+//! assignment against the dense `attr × lo × hi` variable table and
+//! returning exactly the asymmetry/totality/transitivity instances the
+//! candidate violates (total models) or that became unit under it (root
+//! fixpoints). Two adapters integrate it:
+//! [`RecordingAxiomSource`] additionally appends every handed-out clause
+//! to the encoding's CNF — keeping it the single source of truth, so the
+//! engine's other consumers (the warm solver ↔ unit propagator, and the
+//! MaxSAT repair's borrowed hard base) pick injected axioms up through the
+//! ordinary clause-tail sync — while [`TransientAxiomSource`] leaves the
+//! encoding untouched for throwaway solvers over a shared `&EncodedSpec`.
+//! Injected clauses are permanent (`NO_GROUP`): axioms hold regardless of
+//! any CFD group, so retraction never touches them.
+
+use std::collections::HashSet;
 
 use cr_constraints::{Predicate, TupleRef};
 use cr_sat::{Cnf, Lit, Var};
 use cr_types::{AttrId, AttrValueSpace, Value, ValueId};
+
+use super::AxiomMode;
 
 use super::omega::{
     cfd_instances, instantiate, instantiate_pair, Conclusion, InstanceConstraint, OrderAtom,
@@ -127,10 +149,10 @@ pub enum ExtendOutcome {
         /// Groups retracted by this extension, in retraction order.
         retracted_groups: Vec<GroupId>,
     },
-    /// The input cannot be expressed as a pure extension: the encoding was
-    /// built with lazy transitivity, or an answer introduces a new value
-    /// while CFDs are unguarded (`EncodeOptions::guarded_cfds` off). The
-    /// caller must re-encode from scratch.
+    /// The input cannot be expressed as a pure extension: an answer
+    /// introduces a new value while CFDs are unguarded
+    /// (`EncodeOptions::guarded_cfds` off). The caller must re-encode from
+    /// scratch.
     NeedsRebuild,
 }
 
@@ -163,6 +185,9 @@ pub struct EncodedSpec {
     cfd_groups: Vec<Option<GroupId>>,
     omega: Vec<InstanceConstraint>,
     options: EncodeOptions,
+    /// Axiom clauses recorded into the CNF by lazy instantiation
+    /// ([`RecordingAxiomSource`]); 0 for eager encodings.
+    injected_axioms: usize,
 }
 
 impl EncodedSpec {
@@ -189,31 +214,21 @@ impl EncodedSpec {
             cfd_groups: vec![None; spec.gamma().len()],
             omega: Vec::new(),
             options,
+            injected_axioms: 0,
         };
 
-        // Variables for every ordered pair of distinct values — either over
-        // the whole space (paper encoding) or lazily over the values that
-        // occur in Ω(Se).
-        if options.full_transitivity {
-            for attr in (0..enc.space.arity() as u16).map(AttrId) {
-                let n = enc.space.attr(attr).len() as u32;
-                for a in 0..n {
-                    for b in 0..n {
-                        if a != b {
-                            enc.var(OrderAtom { attr, lo: ValueId(a), hi: ValueId(b) });
-                        }
+        // Variables for every ordered pair of distinct values. Both axiom
+        // modes allocate the full dense table (`O(n²)` per attribute): the
+        // lazy mode needs it to detect violated instances, and downstream
+        // consumers (`top_assumptions`, suggestion literals) rely on every
+        // pair variable existing.
+        for attr in (0..enc.space.arity() as u16).map(AttrId) {
+            let n = enc.space.attr(attr).len() as u32;
+            for a in 0..n {
+                for b in 0..n {
+                    if a != b {
+                        enc.var(OrderAtom { attr, lo: ValueId(a), hi: ValueId(b) });
                     }
-                }
-            }
-        } else {
-            for c in &inst.omega {
-                for atom in &c.premise {
-                    enc.var(*atom);
-                    enc.var(OrderAtom { attr: atom.attr, lo: atom.hi, hi: atom.lo });
-                }
-                if let Conclusion::Atom(atom) = c.conclusion {
-                    enc.var(atom);
-                    enc.var(OrderAtom { attr: atom.attr, lo: atom.hi, hi: atom.lo });
                 }
             }
         }
@@ -238,7 +253,11 @@ impl EncodedSpec {
         }
 
         // Transitivity and asymmetry per attribute, over the realised
-        // variable set.
+        // variable set. Lazy mode emits nothing here: the axioms flow in on
+        // demand through `violated_axioms` (see the module docs).
+        if options.axioms == AxiomMode::Lazy {
+            return enc;
+        }
         let mut per_attr: Vec<Vec<ValueId>> = vec![Vec::new(); enc.space.arity()];
         for atom in &enc.atoms {
             per_attr[atom.attr.index()].push(atom.lo);
@@ -304,24 +323,22 @@ impl EncodedSpec {
     /// Answers **outside** the interned value space are handled additively
     /// when the encoding was built with guarded CFDs: the new value id
     /// appends a row to the dense attr×lo×hi variable table, its order
-    /// axioms (asymmetry, totality, transitivity triples, null-bottom) are
-    /// appended, and every CFD referencing the grown attribute is retracted
+    /// axioms are appended (eager mode; lazy mode only allocates the new
+    /// pair variables — the lazy source reads the grown table and
+    /// instantiates their axioms on demand) together with the null-bottom
+    /// unit, and every CFD referencing the grown attribute is retracted
     /// and re-emitted over the new space under a fresh guard group (see the
     /// module docs for the lifecycle).
     ///
     /// `spec` must be the specification this encoding currently represents
     /// (i.e. *before* the input is applied). Returns
-    /// [`ExtendOutcome::NeedsRebuild`] — with `self` untouched — when the
-    /// encoding was built with lazy transitivity, or when an answer lies
-    /// outside the interned space and CFDs are unguarded.
+    /// [`ExtendOutcome::NeedsRebuild`] — with `self` untouched — when an
+    /// answer lies outside the interned space and CFDs are unguarded.
     pub fn extend_with_input(
         &mut self,
         spec: &Specification,
         input: &UserInput,
     ) -> ExtendOutcome {
-        if !self.options.full_transitivity {
-            return ExtendOutcome::NeedsRebuild;
-        }
         let mut answered: Vec<(AttrId, ValueId)> = Vec::new();
         let mut grown: Vec<AttrId> = Vec::new();
         for (attr, v) in &input.values {
@@ -473,10 +490,12 @@ impl EncodedSpec {
 
     /// Appends a brand-new value to `attr`'s space: interns it, regrows the
     /// variable table, allocates the order variables of every pair
-    /// involving it and emits the asymmetry/totality/transitivity axioms
-    /// for those pairs plus the null-bottom unit. Exactly the delta a
-    /// from-scratch re-encode of the grown space would produce for the
-    /// order-axiom part of Φ(Se).
+    /// involving it and (in eager mode) emits the
+    /// asymmetry/totality/transitivity axioms for those pairs plus the
+    /// null-bottom unit — exactly the delta a from-scratch re-encode of the
+    /// grown space would produce for the order-axiom part of Φ(Se). In lazy
+    /// mode the axioms stay unmaterialised: the lazy source's scans read
+    /// the grown table and value space directly.
     fn append_value(&mut self, attr: AttrId, v: &Value) -> ValueId {
         debug_assert!(self.space.get(attr, v).is_none());
         let vid = self.space.intern(attr, v);
@@ -488,33 +507,35 @@ impl EncodedSpec {
             self.var(OrderAtom { attr, lo: w, hi: vid });
             self.var(OrderAtom { attr, lo: vid, hi: w });
         }
-        // Asymmetry and (optional) totality for the new pairs.
-        for &w in &olds {
-            let xwv = self.vars.get(attr, w, vid).expect("just allocated");
-            let xvw = self.vars.get(attr, vid, w).expect("just allocated");
-            self.push_clause([xwv.negative(), xvw.negative()], NO_GROUP);
-            if self.options.totality {
-                self.push_clause([xwv.positive(), xvw.positive()], NO_GROUP);
-            }
-        }
-        // Transitivity: all triples containing the new value, i.e. the
-        // three placements of `vid` over each ordered pair of old values.
-        for &a in &olds {
-            for &b in &olds {
-                if a == b {
-                    continue;
+        if self.options.axioms == AxiomMode::Eager {
+            // Asymmetry and (optional) totality for the new pairs.
+            for &w in &olds {
+                let xwv = self.vars.get(attr, w, vid).expect("just allocated");
+                let xvw = self.vars.get(attr, vid, w).expect("just allocated");
+                self.push_clause([xwv.negative(), xvw.negative()], NO_GROUP);
+                if self.options.totality {
+                    self.push_clause([xwv.positive(), xvw.positive()], NO_GROUP);
                 }
-                let xab = self.vars.get(attr, a, b).expect("full encoding");
-                let xav = self.vars.get(attr, a, vid).expect("just allocated");
-                let xvb = self.vars.get(attr, vid, b).expect("just allocated");
-                let xbv = self.vars.get(attr, b, vid).expect("just allocated");
-                let xva = self.vars.get(attr, vid, a).expect("just allocated");
-                // (vid, a, b): x_va ∧ x_ab → x_vb
-                self.push_clause([xva.negative(), xab.negative(), xvb.positive()], NO_GROUP);
-                // (a, vid, b): x_av ∧ x_vb → x_ab
-                self.push_clause([xav.negative(), xvb.negative(), xab.positive()], NO_GROUP);
-                // (a, b, vid): x_ab ∧ x_bv → x_av
-                self.push_clause([xab.negative(), xbv.negative(), xav.positive()], NO_GROUP);
+            }
+            // Transitivity: all triples containing the new value, i.e. the
+            // three placements of `vid` over each ordered pair of old values.
+            for &a in &olds {
+                for &b in &olds {
+                    if a == b {
+                        continue;
+                    }
+                    let xab = self.vars.get(attr, a, b).expect("full encoding");
+                    let xav = self.vars.get(attr, a, vid).expect("just allocated");
+                    let xvb = self.vars.get(attr, vid, b).expect("just allocated");
+                    let xbv = self.vars.get(attr, b, vid).expect("just allocated");
+                    let xva = self.vars.get(attr, vid, a).expect("just allocated");
+                    // (vid, a, b): x_va ∧ x_ab → x_vb
+                    self.push_clause([xva.negative(), xab.negative(), xvb.positive()], NO_GROUP);
+                    // (a, vid, b): x_av ∧ x_vb → x_ab
+                    self.push_clause([xav.negative(), xvb.negative(), xab.positive()], NO_GROUP);
+                    // (a, b, vid): x_ab ∧ x_bv → x_av
+                    self.push_clause([xab.negative(), xbv.negative(), xav.positive()], NO_GROUP);
+                }
             }
         }
         // Null stays a strict bottom below the new value.
@@ -701,8 +722,9 @@ impl EncodedSpec {
 
     /// Assumption literals asserting "`v` is the most current value of
     /// `attr`": every other value of the space sits strictly below `v`.
-    /// Returns `None` if some required variable was not allocated (lazy
-    /// encoding) — callers should fall back to the full encoding.
+    /// (The dense variable table is fully allocated in every axiom mode, so
+    /// the lookup always succeeds for interned ids; `None` is kept for
+    /// defensive callers.)
     pub fn top_assumptions(&self, attr: AttrId, v: ValueId) -> Option<Vec<Lit>> {
         let n = self.space.attr(attr).len() as u32;
         let mut lits = Vec::with_capacity(n as usize - 1);
@@ -714,6 +736,287 @@ impl EncodedSpec {
             lits.push(self.var_of(attr, o, v)?.positive());
         }
         Some(lits)
+    }
+
+    /// Axiom clauses recorded into the CNF by lazy instantiation so far
+    /// (monotone; 0 for eager encodings and for consumers that only used
+    /// [`TransientAxiomSource`]).
+    pub fn injected_axioms(&self) -> usize {
+        self.injected_axioms
+    }
+
+    /// Appends lazily instantiated axiom clauses to the CNF as permanent
+    /// clauses (axioms are theory-valid independently of any CFD group).
+    fn record_axiom_clauses(&mut self, clauses: &[Vec<Lit>]) {
+        for clause in clauses {
+            self.push_clause(clause.iter().copied(), NO_GROUP);
+        }
+        self.injected_axioms += clauses.len();
+    }
+
+    /// The order-axiom instances violated by (or unit under) a candidate
+    /// assignment — the detection half of [`cr_sat::LazyAxiomSource`] for
+    /// [`AxiomMode::Lazy`] encodings.
+    ///
+    /// `value(v)` is the candidate truth of variable `v`. With
+    /// `delta = Some(lits)` (a root fixpoint's newly assigned literals) the
+    /// scan is restricted to axiom instances touching a delta variable and
+    /// returns every instance with no true literal and at most one
+    /// unassigned literal — i.e. exactly the clauses eager unit propagation
+    /// could fire next; completeness across rounds follows because a clause
+    /// can only *become* unit through a new assignment. With `delta = None`
+    /// (a total model) all instances with no true literal are returned;
+    /// per attribute the scan is `O(n²)` on theory-satisfying models (a
+    /// total asymmetric relation is transitive iff its score sequence is a
+    /// permutation) and only walks triples when a violation exists.
+    ///
+    /// Returned clauses are **not** recorded — see [`RecordingAxiomSource`]
+    /// vs [`TransientAxiomSource`] for the two integration policies.
+    pub fn violated_axioms(
+        &self,
+        value: &dyn Fn(Var) -> Option<bool>,
+        delta: Option<&[Lit]>,
+    ) -> Vec<Vec<Lit>> {
+        debug_assert_eq!(self.options.axioms, AxiomMode::Lazy);
+        let mut out = Vec::new();
+        match delta {
+            Some(lits) => self.violated_axioms_delta(value, lits, &mut out),
+            None => self.violated_axioms_total(value, &mut out),
+        }
+        out
+    }
+
+    /// Delta scan for partial (root-fixpoint) assignments: for each newly
+    /// assigned order atom, enumerate the `O(n)` axiom instances it
+    /// participates in and keep those that are unit or conflicting.
+    fn violated_axioms_delta(
+        &self,
+        value: &dyn Fn(Var) -> Option<bool>,
+        delta: &[Lit],
+        out: &mut Vec<Vec<Lit>>,
+    ) {
+        // Dedup within the call: the same instance can be reached from two
+        // delta atoms. Key: (attr, a, b, c) for triples ("x_ab ∧ x_bc →
+        // x_ac"), (attr, a, b, MAX) for pair axioms on {a, b} (a < b).
+        let mut seen: HashSet<(AttrId, u32, u32, u32)> = HashSet::new();
+        for &lit in delta {
+            let Some(OrderAtom { attr, lo: a, hi: b }) = self.order_atom(lit.var()) else {
+                continue; // guard or other auxiliary variable
+            };
+            let n = self.space.attr(attr).len() as u32;
+            let var = |x: ValueId, y: ValueId| self.vars.get(attr, x, y).expect("dense table");
+            let val = |x: ValueId, y: ValueId| value(var(x, y));
+            let pair_key = (attr, a.0.min(b.0), a.0.max(b.0), u32::MAX);
+            if lit.is_positive() {
+                // x_ab = true. Asymmetry ¬x_ab ∨ ¬x_ba is unit (or
+                // conflicting) unless x_ba is already false.
+                if val(b, a) != Some(false) && seen.insert(pair_key) {
+                    out.push(vec![var(a, b).negative(), var(b, a).negative()]);
+                }
+                for c in (0..n).map(ValueId) {
+                    if c == a || c == b {
+                        continue;
+                    }
+                    // (a, b, c): ¬x_ab ∨ ¬x_bc ∨ x_ac.
+                    let bc = val(b, c);
+                    let ac = val(a, c);
+                    if bc != Some(false)
+                        && ac != Some(true)
+                        && usize::from(bc.is_none()) + usize::from(ac.is_none()) <= 1
+                        && seen.insert((attr, a.0, b.0, c.0))
+                    {
+                        out.push(vec![
+                            var(a, b).negative(),
+                            var(b, c).negative(),
+                            var(a, c).positive(),
+                        ]);
+                    }
+                    // (c, a, b): ¬x_ca ∨ ¬x_ab ∨ x_cb.
+                    let ca = val(c, a);
+                    let cb = val(c, b);
+                    if ca != Some(false)
+                        && cb != Some(true)
+                        && usize::from(ca.is_none()) + usize::from(cb.is_none()) <= 1
+                        && seen.insert((attr, c.0, a.0, b.0))
+                    {
+                        out.push(vec![
+                            var(c, a).negative(),
+                            var(a, b).negative(),
+                            var(c, b).positive(),
+                        ]);
+                    }
+                }
+            } else {
+                // x_ab = false. Totality x_ab ∨ x_ba is unit unless x_ba is
+                // already true.
+                if self.options.totality
+                    && val(b, a) != Some(true)
+                    && seen.insert(pair_key)
+                {
+                    out.push(vec![var(a, b).positive(), var(b, a).positive()]);
+                }
+                // x_ab is the conclusion of the triples (a, c, b):
+                // ¬x_ac ∨ ¬x_cb ∨ x_ab.
+                for c in (0..n).map(ValueId) {
+                    if c == a || c == b {
+                        continue;
+                    }
+                    let ac = val(a, c);
+                    let cb = val(c, b);
+                    if ac != Some(false)
+                        && cb != Some(false)
+                        && usize::from(ac.is_none()) + usize::from(cb.is_none()) <= 1
+                        && seen.insert((attr, a.0, c.0, b.0))
+                    {
+                        out.push(vec![
+                            var(a, c).negative(),
+                            var(c, b).negative(),
+                            var(a, b).positive(),
+                        ]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total-model scan: per attribute, check pair axioms in `O(n²)`, then
+    /// transitivity via the tournament score-sequence criterion — only a
+    /// genuinely intransitive relation pays the `O(n³)` triple walk.
+    fn violated_axioms_total(&self, value: &dyn Fn(Var) -> Option<bool>, out: &mut Vec<Vec<Lit>>) {
+        for attr in (0..self.space.arity() as u16).map(AttrId) {
+            let n = self.space.attr(attr).len();
+            if n < 2 {
+                continue;
+            }
+            let var = |x: usize, y: usize| {
+                self.vars
+                    .get(attr, ValueId(x as u32), ValueId(y as u32))
+                    .expect("dense table")
+            };
+            // Truth matrix (unassigned model slots read as false, matching
+            // `Solver::model` semantics for unconstrained variables).
+            let mut m = vec![false; n * n];
+            for x in 0..n {
+                for y in 0..n {
+                    if x != y {
+                        m[x * n + y] = value(var(x, y)) == Some(true);
+                    }
+                }
+            }
+            let mut tournament = true;
+            for x in 0..n {
+                for y in x + 1..n {
+                    let xy = m[x * n + y];
+                    let yx = m[y * n + x];
+                    if xy && yx {
+                        out.push(vec![var(x, y).negative(), var(y, x).negative()]);
+                        tournament = false;
+                    } else if !xy && !yx {
+                        tournament = false;
+                        if self.options.totality {
+                            out.push(vec![var(x, y).positive(), var(y, x).positive()]);
+                        }
+                    }
+                }
+            }
+            if tournament {
+                // A tournament is transitive iff its score sequence is a
+                // permutation of 0..n.
+                let mut score_seen = vec![false; n];
+                let mut transitive = true;
+                for x in 0..n {
+                    let s = (0..n).filter(|&y| y != x && m[x * n + y]).count();
+                    if score_seen[s] {
+                        transitive = false;
+                        break;
+                    }
+                    score_seen[s] = true;
+                }
+                if transitive {
+                    continue;
+                }
+            }
+            for x in 0..n {
+                for y in 0..n {
+                    if y == x || !m[x * n + y] {
+                        continue;
+                    }
+                    for z in 0..n {
+                        if z != x && z != y && m[y * n + z] && !m[x * n + z] {
+                            out.push(vec![
+                                var(x, y).negative(),
+                                var(y, z).negative(),
+                                var(x, z).positive(),
+                            ]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A [`cr_sat::LazyAxiomSource`] over an [`AxiomMode::Lazy`] encoding that
+/// **records** every handed-out axiom clause into the encoding's CNF (as a
+/// permanent, ungrouped clause). The incremental resolution engine uses
+/// this adapter so the CNF stays the single source of truth: its warm
+/// solver and unit propagator exchange injected axioms through the ordinary
+/// clause-tail sync, and the MaxSAT repair's borrowed hard base sees them
+/// for free.
+pub struct RecordingAxiomSource<'a> {
+    enc: &'a mut EncodedSpec,
+}
+
+impl<'a> RecordingAxiomSource<'a> {
+    /// A recording source over `enc` (which must be a lazy encoding).
+    pub fn new(enc: &'a mut EncodedSpec) -> Self {
+        debug_assert_eq!(enc.options().axioms, AxiomMode::Lazy);
+        RecordingAxiomSource { enc }
+    }
+}
+
+impl cr_sat::LazyAxiomSource for RecordingAxiomSource<'_> {
+    fn instantiate(
+        &mut self,
+        value: &dyn Fn(Var) -> Option<bool>,
+        delta: Option<&[Lit]>,
+    ) -> Vec<Vec<Lit>> {
+        let clauses = self.enc.violated_axioms(value, delta);
+        self.enc.record_axiom_clauses(&clauses);
+        clauses
+    }
+}
+
+/// A [`cr_sat::LazyAxiomSource`] over a **shared** lazy encoding: handed-out
+/// clauses go only to the consulting solver/propagator, the encoding is
+/// untouched. Used by the standalone entry points (`deduce_order`,
+/// `is_valid`, the exact true-value queries, `suggest`'s probe) that only
+/// hold `&EncodedSpec`.
+pub struct TransientAxiomSource<'a> {
+    enc: &'a EncodedSpec,
+}
+
+impl<'a> TransientAxiomSource<'a> {
+    /// A non-recording source over `enc` (which must be a lazy encoding).
+    pub fn new(enc: &'a EncodedSpec) -> Self {
+        debug_assert_eq!(enc.options().axioms, AxiomMode::Lazy);
+        TransientAxiomSource { enc }
+    }
+
+    /// `Some(Self::new(enc))` when `lazy`, else `None` — for probe loops
+    /// that branch on the encoding mode around one optional source.
+    pub fn new_if(enc: &'a EncodedSpec, lazy: bool) -> Option<Self> {
+        lazy.then(|| Self::new(enc))
+    }
+}
+
+impl cr_sat::LazyAxiomSource for TransientAxiomSource<'_> {
+    fn instantiate(
+        &mut self,
+        value: &dyn Fn(Var) -> Option<bool>,
+        delta: Option<&[Lit]>,
+    ) -> Vec<Vec<Lit>> {
+        self.enc.violated_axioms(value, delta)
     }
 }
 
@@ -829,14 +1132,57 @@ mod tests {
     }
 
     #[test]
-    fn lazy_encoding_matches_full_on_validity() {
+    fn lazy_encoding_matches_eager_on_validity() {
         let spec = tiny_spec();
-        let full = EncodedSpec::encode(&spec);
-        let lazy = EncodedSpec::encode_with(&spec, EncodeOptions { full_transitivity: false, ..Default::default() });
-        assert!(lazy.cnf().num_clauses() <= full.cnf().num_clauses());
-        let mut s1 = Solver::from_cnf(full.cnf());
+        let eager = EncodedSpec::encode(&spec);
+        let lazy = EncodedSpec::encode_with(&spec, EncodeOptions::lazy());
+        // Same variables, strictly fewer clauses (no axioms materialised).
+        assert_eq!(lazy.num_order_vars(), eager.num_order_vars());
+        assert!(lazy.cnf().num_clauses() < eager.cnf().num_clauses());
+        let mut s1 = Solver::from_cnf(eager.cnf());
         let mut s2 = Solver::from_cnf(lazy.cnf());
-        assert_eq!(s1.solve(), s2.solve());
+        let mut src = TransientAxiomSource::new(&lazy);
+        assert_eq!(s1.solve(), s2.solve_lazy(&mut src));
+    }
+
+    #[test]
+    fn lazy_up_deduction_matches_eager() {
+        // The φ-chain of `tiny_spec` must propagate identically whether the
+        // axioms are materialised or pulled on demand.
+        let spec = tiny_spec();
+        let eager = EncodedSpec::encode(&spec);
+        let lazy = EncodedSpec::encode_with(&spec, EncodeOptions::lazy());
+        let od_eager = crate::deduce::deduce_order(&eager).unwrap();
+        let od_lazy = crate::deduce::deduce_order(&lazy).unwrap();
+        assert_eq!(od_eager.size(), od_lazy.size());
+        for attr in spec.schema().attr_ids() {
+            for (lo, hi) in od_eager.pairs(attr) {
+                assert!(od_lazy.contains(attr, lo, hi));
+            }
+        }
+    }
+
+    #[test]
+    fn recording_source_appends_to_the_cnf() {
+        let spec = tiny_spec();
+        let mut enc = EncodedSpec::encode_with(&spec, EncodeOptions::lazy());
+        let before = enc.cnf().num_clauses();
+        assert_eq!(enc.injected_axioms(), 0);
+        let mut up = enc.fresh_propagator();
+        let implied = {
+            let mut src = RecordingAxiomSource::new(&mut enc);
+            up.propagate_to_fixpoint_lazy(&mut src).expect("valid").len()
+        };
+        assert!(implied > 0);
+        assert!(enc.injected_axioms() > 0, "the chain forces axiom injection");
+        assert_eq!(enc.cnf().num_clauses(), before + enc.injected_axioms());
+        // Recorded clauses are permanent: a fresh solver over the CNF sees
+        // them without any lazy cooperation.
+        let status = spec.schema().attr_id("status").unwrap();
+        let sid = |v: &str| enc.value_id(status, &Value::str(v)).unwrap();
+        let x = enc.var_of(status, sid("working"), sid("retired")).unwrap();
+        let mut solver = enc.fresh_solver();
+        assert_eq!(solver.solve_with_assumptions(&[x.negative()]), SolveResult::Unsat);
     }
 
     #[test]
@@ -1100,17 +1446,41 @@ mod tests {
     }
 
     #[test]
-    fn extension_rejects_lazy_encodings() {
+    fn lazy_extension_is_a_pure_extension_too() {
+        // In-domain answers extend lazily encoded specs exactly like eager
+        // ones; out-of-domain answers grow the table without emitting
+        // axiom clauses (the lazy source covers the grown space).
         let spec = tiny_spec();
-        let mut enc = EncodedSpec::encode_with(
-            &spec,
-            EncodeOptions { full_transitivity: false, ..Default::default() },
-        );
+        let mut enc = EncodedSpec::encode_with(&spec, EncodeOptions::lazy().with_guarded_cfds());
         let status = spec.schema().attr_id("status").unwrap();
-        let input = UserInput::single(status, Value::str("retired"));
-        assert_eq!(
-            enc.extend_with_input(&spec, &input),
-            ExtendOutcome::NeedsRebuild
-        );
+        let job = spec.schema().attr_id("job").unwrap();
+        assert!(extended_ok(
+            enc.extend_with_input(&spec, &UserInput::single(status, Value::str("retired")))
+        )
+        .is_empty());
+        let od = crate::deduce::deduce_order(&enc).unwrap();
+        let jid = |v: &str| enc.value_id(job, &Value::str(v)).unwrap();
+        assert!(od.contains(job, jid("nurse"), jid("n/a")));
+
+        // Out-of-domain growth: only Ω clauses are appended, never triples.
+        let clauses_before = enc.cnf().num_clauses();
+        let (extended, _, _) =
+            spec.apply_user_input(&UserInput::single(status, Value::str("retired")));
+        assert!(extended_ok(enc.extend_with_input(
+            &extended,
+            &UserInput::single(status, Value::str("deceased"))
+        ))
+        .is_empty());
+        let appended = enc.cnf().num_clauses() - clauses_before;
+        // 3 base-order units for the grown space (working, retired and the
+        // previous user tuple's value are all interned already) — nothing
+        // cubic.
+        assert!(appended <= 4, "lazy growth appended {appended} clauses");
+        let deceased = enc.value_id(status, &Value::str("deceased")).expect("interned");
+        let od = crate::deduce::deduce_order(&enc).unwrap();
+        for old in ["working", "retired"] {
+            let oid = enc.value_id(status, &Value::str(old)).unwrap();
+            assert!(od.contains(status, oid, deceased), "{old} must sit below");
+        }
     }
 }

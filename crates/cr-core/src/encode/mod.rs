@@ -7,14 +7,52 @@
 //! implication to a clause, adding transitivity and asymmetry axioms so that
 //! satisfying assignments correspond to valid completions (Lemma 5).
 //!
-//! ## Guard-literal clause groups
+//! ## Encoding modes
 //!
-//! With [`EncodeOptions::guarded_cfds`] each CFD's instance constraints
-//! form a retractable clause group, which is what lets the incremental
-//! resolution engine absorb out-of-domain user answers without ever
-//! rebuilding the encoding. The full emission → activation → retraction
-//! lifecycle is documented in the [`cnf`] module docs; the engine side
-//! lives in `framework`'s module docs.
+//! The axioms are the bulk of `Φ(Se)` — `O(n³)` transitivity clauses per
+//! attribute over `n` realised values, versus `O(|Ω|)` instance clauses —
+//! and three modes control how they are produced:
+//!
+//! * **Eager** ([`AxiomMode::Eager`], the [`EncodeOptions::default`]):
+//!   every asymmetry/totality/transitivity instance is materialised at
+//!   encode time. `Φ(Se)` is then self-contained: any SAT solver or unit
+//!   propagator over [`EncodedSpec::cnf`] is complete without further
+//!   cooperation. This is the right mode for one-shot consumers
+//!   (`bruteforce` comparisons, `implication`, ad-hoc analysis) and the
+//!   paper-faithful baseline.
+//! * **Lazy** ([`AxiomMode::Lazy`], the *engine default* via
+//!   [`ResolutionConfig`](crate::framework::ResolutionConfig)): the dense
+//!   `attr × lo × hi` variable table is still fully allocated (`O(n²)`),
+//!   but **no** axiom clauses are emitted. Consumers drive solving through
+//!   the [`cr_sat::LazyAxiomSource`] hook —
+//!   [`EncodedSpec::violated_axioms`] inspects a candidate assignment via
+//!   the dense table and returns exactly the axiom instances the candidate
+//!   violates (or that became unit under it), which the solver/propagator
+//!   then injects and re-checks until the theory is satisfied. Resolution
+//!   outcomes are **identical** to eager mode (differentially tested, see
+//!   below); round-0 encode cost drops from `O(n³)` to `O(n²)`.
+//! * **Guarded CFDs** ([`EncodeOptions::guarded_cfds`], orthogonal to the
+//!   axiom mode): each CFD's instance constraints form a retractable
+//!   clause group, which is what lets the incremental resolution engine
+//!   absorb out-of-domain user answers without ever rebuilding. The full
+//!   emission → activation → retraction lifecycle is documented in the
+//!   [`cnf`] module docs; the engine side lives in `framework`'s module
+//!   docs. Lazily injected axiom clauses are never guarded — they are
+//!   theory-valid regardless of any CFD, so they survive retraction.
+//!
+//! **Defaults.** [`EncodeOptions::default`] is *eager and unguarded* so
+//! that standalone `EncodedSpec::encode` + `Solver::from_cnf` pipelines
+//! stay complete with zero cooperation. The resolution engine defaults to
+//! *lazy* ([`EncodeOptions::lazy`] via `ResolutionConfig::default`) and
+//! adds guarded CFDs on top; the two defaults intentionally differ and are
+//! each documented where they apply.
+//!
+//! **Differential testing.** Lazy vs eager vs from-scratch resolution are
+//! proven outcome-identical on the four seed datasets
+//! (`tests/incremental_differential.rs`, `bench_incremental --smoke`) and
+//! on randomized scenarios from `cr_data::gen`
+//! (`tests/lazy_differential.rs`), including out-of-domain and CFD-LHS
+//! user answers.
 //!
 //! ## Semantics notes (see DESIGN.md §4)
 //!
@@ -33,21 +71,38 @@
 mod cnf;
 mod omega;
 
-pub use cnf::{EncodedSpec, ExtendOutcome, GroupId};
+pub use cnf::{
+    EncodedSpec, ExtendOutcome, GroupId, RecordingAxiomSource, TransientAxiomSource,
+};
 pub use omega::{Conclusion, InstanceConstraint, OrderAtom, Origin};
 
 use cr_types::{AttrId, ValueId};
 
+/// How the order axioms (asymmetry, totality, transitivity) of `Φ(Se)` are
+/// produced — see the "Encoding modes" section of the [module docs](self).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AxiomMode {
+    /// Materialise every axiom instance at encode time: `O(n³)` transitivity
+    /// clauses per attribute (the paper's encoding). `Φ(Se)` is
+    /// self-contained.
+    #[default]
+    Eager,
+    /// Allocate the dense order-variable table but emit no axiom clauses;
+    /// consumers instantiate violated/unit instances on demand through
+    /// [`cr_sat::LazyAxiomSource`] (see [`EncodedSpec::violated_axioms`]).
+    Lazy,
+}
+
 /// Options controlling CNF generation.
 #[derive(Clone, Copy, Debug)]
 pub struct EncodeOptions {
-    /// Generate transitivity clauses for *all* value triples of every
-    /// attribute (the paper's `O(|It|³)` encoding). When `false`, triples
-    /// are restricted to values that occur in at least one instance
-    /// constraint — an ablation that preserves unit-propagation behaviour on
-    /// sparse instances while shrinking the CNF.
-    pub full_transitivity: bool,
-    /// Add totality clauses `x^A_{a,b} ∨ x^A_{b,a}` for every value pair.
+    /// Eager or lazy order-axiom generation. [`EncodeOptions::default`] is
+    /// [`AxiomMode::Eager`] (self-contained CNF for standalone consumers);
+    /// the resolution engine defaults to [`AxiomMode::Lazy`] via
+    /// [`ResolutionConfig::default`](crate::framework::ResolutionConfig).
+    pub axioms: AxiomMode,
+    /// Include totality clauses `x^A_{a,b} ∨ x^A_{b,a}` for every value pair
+    /// (eagerly or through the lazy source, per [`EncodeOptions::axioms`]).
     ///
     /// **Reproduction finding.** The paper's encoding has transitivity and
     /// asymmetry but *not* totality, so satisfying assignments of `Φ(Se)`
@@ -75,13 +130,26 @@ pub struct EncodeOptions {
 
 impl Default for EncodeOptions {
     fn default() -> Self {
-        EncodeOptions { full_transitivity: true, totality: true, guarded_cfds: false }
+        EncodeOptions { axioms: AxiomMode::Eager, totality: true, guarded_cfds: false }
     }
 }
 
 impl EncodeOptions {
+    /// Lazy axiom instantiation with totality, unguarded — what
+    /// [`ResolutionConfig::default`](crate::framework::ResolutionConfig)
+    /// uses (the engine adds guarded CFDs itself).
+    pub fn lazy() -> Self {
+        EncodeOptions { axioms: AxiomMode::Lazy, ..Default::default() }
+    }
+
+    /// The fully materialised encoding (synonym of [`EncodeOptions::default`],
+    /// spelled out for differential-test call sites).
+    pub fn eager() -> Self {
+        EncodeOptions::default()
+    }
+
     /// The encoding exactly as described in Section V-A of the paper
-    /// (no totality clauses).
+    /// (eager, no totality clauses).
     pub fn paper_faithful() -> Self {
         EncodeOptions { totality: false, ..Default::default() }
     }
@@ -89,6 +157,11 @@ impl EncodeOptions {
     /// These options with guarded CFD emission enabled.
     pub fn with_guarded_cfds(self) -> Self {
         EncodeOptions { guarded_cfds: true, ..self }
+    }
+
+    /// True iff axioms are lazily instantiated.
+    pub fn is_lazy(&self) -> bool {
+        self.axioms == AxiomMode::Lazy
     }
 }
 

@@ -54,6 +54,22 @@
 //! database (`cr_sat::Solver::compact_learnts`), bounding memory over
 //! arbitrarily long interactions.
 //!
+//! # Lazy axiom instantiation (engine default)
+//!
+//! The engine encodes with [`AxiomMode::Lazy`](crate::encode::AxiomMode)
+//! (`ResolutionConfig::default`): the `O(n³)`-per-attribute order axioms
+//! are never materialised at encode time. Validity checks run the solver's
+//! CEGAR loop (`cr_sat::Solver::solve_lazy_with_assumptions`), deduction
+//! interleaves root propagation with on-demand instantiation
+//! (`cr_sat::UnitPropagator::propagate_to_fixpoint_lazy`), and both consult
+//! the encoding through a [`RecordingAxiomSource`], which appends every
+//! handed-out axiom clause to `Φ(Se)` — so the warm solver and the unit
+//! propagator exchange injected axioms via the ordinary clause-tail sync,
+//! and the MaxSAT repair's borrowed hard base sees them for free.
+//! [`ResolutionOutcome::injected_axioms`] counts the recorded clauses; see
+//! the "Encoding modes" section of the encode module docs for the
+//! eager/lazy/guarded matrix and the differential-test coverage.
+//!
 //! The legacy rebuild fallback survives only behind the
 //! [`ResolutionConfig::rebuild_fallback`] debug/differential flag (it
 //! disables guarded CFDs, so out-of-domain answers rebuild the engine, as
@@ -72,8 +88,11 @@ use std::time::{Duration, Instant};
 
 use cr_types::{Schema, Tuple};
 
-use crate::deduce::{deduce_order, deduce_order_from, naive_deduce, naive_deduce_with, DeducedOrders};
-use crate::encode::{EncodeOptions, EncodedSpec, ExtendOutcome};
+use crate::deduce::{
+    deduce_order_from, deduce_order_recording, naive_deduce_recording, naive_deduce_with,
+    DeducedOrders,
+};
+use crate::encode::{EncodeOptions, EncodedSpec, ExtendOutcome, RecordingAxiomSource};
 use crate::spec::{Specification, UserInput};
 use crate::suggest::{suggest_with_solver, Suggestion};
 use crate::truevalue::{true_values_from_orders, TrueValues};
@@ -115,7 +134,12 @@ impl Default for ResolutionConfig {
         ResolutionConfig {
             max_rounds: 10,
             deduction: DeductionMethod::UnitPropagation,
-            encode: EncodeOptions::default(),
+            // The engine default is *lazy* axiom instantiation
+            // (`EncodeOptions::default()` stays eager for standalone
+            // consumers — see the "Encoding modes" section of the encode
+            // module docs). Set `encode: EncodeOptions::eager()` for the
+            // fully materialised differential baseline.
+            encode: EncodeOptions::lazy(),
             incremental: true,
             rebuild_fallback: false,
         }
@@ -124,14 +148,23 @@ impl Default for ResolutionConfig {
 
 /// Round-persistent state of the incremental path: the extended encoding
 /// plus the solver and propagator kept in sync with its CNF.
+///
+/// The solver and the propagator consume the CNF at different points, so
+/// each carries its own watermark; lazily instantiated axioms recorded into
+/// the CNF by one consumer (see [`RecordingAxiomSource`]) reach the other
+/// through the ordinary tail sync.
 struct IncrementalEngine {
     enc: EncodedSpec,
     solver: cr_sat::Solver,
     up: cr_sat::UnitPropagator,
-    /// Clauses of `enc.cnf()` already fed to `solver` and `up`.
-    synced: usize,
+    /// Clauses of `enc.cnf()` already in `solver`.
+    synced_solver: usize,
+    /// Clauses of `enc.cnf()` already in `up`.
+    synced_up: usize,
     /// Engine rebuilds performed (legacy fallback path only).
     rebuilds: usize,
+    /// Axioms recorded by encodings discarded in rebuilds.
+    injected_carry: usize,
 }
 
 impl IncrementalEngine {
@@ -147,9 +180,18 @@ impl IncrementalEngine {
         let enc = EncodedSpec::encode_with(spec, options);
         let mut solver = cr_sat::Solver::from_cnf(enc.cnf());
         solver.set_persistent_assumptions(enc.active_guards());
+        let synced_solver = enc.cnf().num_clauses();
         let mut up = cr_sat::UnitPropagator::new(&cr_sat::Cnf::new());
-        let synced = Self::sync_propagator(&mut up, &enc, 0);
-        IncrementalEngine { enc, solver, up, synced, rebuilds: 0 }
+        let synced_up = Self::sync_propagator(&mut up, &enc, 0);
+        IncrementalEngine {
+            enc,
+            solver,
+            up,
+            synced_solver,
+            synced_up,
+            rebuilds: 0,
+            injected_carry: 0,
+        }
     }
 
     /// Feeds `up` the CNF tail starting at clause `from`, stripping guard
@@ -175,6 +217,20 @@ impl IncrementalEngine {
         clauses.len()
     }
 
+    /// Brings the warm solver up to date with the CNF (axioms recorded by
+    /// the propagator's lazy deduction, extension deltas).
+    fn sync_solver(&mut self) {
+        if self.synced_solver < self.enc.cnf().num_clauses() {
+            self.solver.extend_from_cnf(self.enc.cnf(), self.synced_solver);
+            self.synced_solver = self.enc.cnf().num_clauses();
+        }
+    }
+
+    /// Total lazily recorded axioms, including encodings lost to rebuilds.
+    fn injected_axioms(&self) -> usize {
+        self.injected_carry + self.enc.injected_axioms()
+    }
+
     /// Absorbs one round of user input. `before` is the specification the
     /// engine currently represents, `extended` the result of
     /// [`Specification::apply_user_input`] on it.
@@ -188,8 +244,8 @@ impl IncrementalEngine {
         match self.enc.extend_with_input(before, input) {
             ExtendOutcome::Extended { retracted_groups } => {
                 self.up.retract_groups(&retracted_groups);
-                self.solver.extend_from_cnf(self.enc.cnf(), self.synced);
-                self.synced = Self::sync_propagator(&mut self.up, &self.enc, self.synced);
+                self.sync_solver();
+                self.synced_up = Self::sync_propagator(&mut self.up, &self.enc, self.synced_up);
                 // Guard set may have changed (retractions and fresh CFD
                 // emissions).
                 self.solver.set_persistent_assumptions(self.enc.active_guards());
@@ -198,25 +254,59 @@ impl IncrementalEngine {
                 let cap = (self.enc.cnf().num_clauses() / 2).max(2_000);
                 self.solver.compact_learnts(cap);
             }
-            // Legacy fallback (lazy transitivity or `rebuild_fallback`):
-            // out-of-domain answers change the value spaces — rebuild once,
-            // then continue incrementally from the new state.
+            // Legacy fallback (`rebuild_fallback`): out-of-domain answers
+            // change the value spaces — rebuild once, then continue
+            // incrementally from the new state.
             ExtendOutcome::NeedsRebuild => {
                 let rebuilds = self.rebuilds + 1;
+                let injected_carry = self.injected_axioms();
                 *self = IncrementalEngine::new(config, extended);
                 self.rebuilds = rebuilds;
+                self.injected_carry = injected_carry;
             }
         }
     }
 
     fn is_valid(&mut self) -> bool {
-        self.solver.solve() == cr_sat::SolveResult::Sat
+        self.sync_solver();
+        let IncrementalEngine { enc, solver, .. } = self;
+        let sat = if enc.options().is_lazy() {
+            let mut source = RecordingAxiomSource::new(enc);
+            solver.solve_lazy(&mut source)
+        } else {
+            solver.solve()
+        };
+        // Everything recorded during the lazy solve is already in the
+        // solver (the CEGAR loop adds each handed-out clause).
+        self.synced_solver = self.enc.cnf().num_clauses();
+        sat == cr_sat::SolveResult::Sat
     }
 
     fn deduce(&mut self, method: DeductionMethod) -> Option<DeducedOrders> {
         match method {
-            DeductionMethod::UnitPropagation => deduce_order_from(&mut self.up, &self.enc),
-            DeductionMethod::NaiveSat => naive_deduce_with(&mut self.solver, &self.enc),
+            DeductionMethod::UnitPropagation => {
+                self.synced_up = Self::sync_propagator(&mut self.up, &self.enc, self.synced_up);
+                let IncrementalEngine { enc, up, .. } = self;
+                let od = if enc.options().is_lazy() {
+                    deduce_order_recording(up, enc)
+                } else {
+                    deduce_order_from(up, enc)
+                };
+                // Lazily recorded axioms went to both the CNF and `up`.
+                self.synced_up = self.enc.cnf().num_clauses();
+                od
+            }
+            DeductionMethod::NaiveSat => {
+                self.sync_solver();
+                let IncrementalEngine { enc, solver, .. } = self;
+                let od = if enc.options().is_lazy() {
+                    naive_deduce_recording(solver, enc)
+                } else {
+                    naive_deduce_with(solver, enc)
+                };
+                self.synced_solver = self.enc.cnf().num_clauses();
+                od
+            }
         }
     }
 }
@@ -272,10 +362,15 @@ pub struct ResolutionOutcome {
     /// Total size of the order extension `|Ot|` accumulated from input.
     pub ot_size: usize,
     /// Engine rebuilds the incremental path performed (always 0 unless the
-    /// [`ResolutionConfig::rebuild_fallback`] debug flag or a lazy encoding
-    /// forced the legacy fallback; 0 by definition on the scratch path,
-    /// which re-encodes every round by design).
+    /// [`ResolutionConfig::rebuild_fallback`] debug flag forced the legacy
+    /// fallback; 0 by definition on the scratch path, which re-encodes
+    /// every round by design).
     pub rebuilds: usize,
+    /// Axiom clauses lazily instantiated *and recorded* into `Φ(Se)` over
+    /// the whole resolution ([`AxiomMode::Lazy`](crate::encode::AxiomMode)
+    /// encodings; 0 in eager mode). Probe-time injections that only reach
+    /// a solver (suggestion probes) are not counted.
+    pub injected_axioms: usize,
     /// Per-round timing/progress reports.
     pub rounds: Vec<RoundReport>,
 }
@@ -405,6 +500,7 @@ impl Resolver {
                     user_values,
                     ot_size,
                     rebuilds: eng.rebuilds,
+                    injected_axioms: eng.injected_axioms(),
                     rounds,
                 };
             }
@@ -429,6 +525,7 @@ impl Resolver {
                     user_values,
                     ot_size,
                     rebuilds: eng.rebuilds,
+                    injected_axioms: eng.injected_axioms(),
                     rounds,
                 };
             }
@@ -437,8 +534,11 @@ impl Resolver {
                 break;
             }
 
-            // (4) Generate a suggestion and ask the user.
+            // (4) Generate a suggestion and ask the user. The warm solver
+            // must hold every CNF clause first (lazy deduction may have
+            // recorded axioms the solver has not seen yet).
             let t2 = Instant::now();
+            eng.sync_solver();
             let sug: Suggestion =
                 suggest_with_solver(&current, &eng.enc, &od, &values, &mut eng.solver);
             let suggest_time = t2.elapsed();
@@ -470,31 +570,43 @@ impl Resolver {
             interactions,
             user_values,
             ot_size,
-            rebuilds: engine.map_or(0, |e| e.rebuilds),
+            rebuilds: engine.as_ref().map_or(0, |e| e.rebuilds),
+            injected_axioms: engine.as_ref().map_or(0, |e| e.injected_axioms()),
             rounds,
         }
     }
 
     /// The Fig. 4 loop exactly as the paper describes it: every round
     /// re-encodes the extended specification and constructs fresh solvers.
-    /// Kept as the differential-testing baseline for the incremental path.
+    /// Kept as the differential-testing baseline for the incremental path
+    /// (with either axiom mode — a lazy scratch round runs the same CEGAR
+    /// loops on its throwaway solver/propagator).
     fn resolve_scratch(&self, spec: &Specification, oracle: &mut dyn UserOracle) -> ResolutionOutcome {
         let mut current = spec.clone();
         let mut rounds = Vec::new();
         let mut interactions = 0;
         let mut user_values = 0;
         let mut ot_size = 0;
+        let mut injected_axioms = 0;
         let arity = spec.schema().arity();
         let mut last_values = TrueValues::new(vec![None; arity]);
+        let lazy = self.config.encode.is_lazy();
 
         for round in 0..=self.config.max_rounds {
             // (1) Validity checking.
             let t0 = Instant::now();
-            let enc = EncodedSpec::encode_with(&current, self.config.encode);
+            let mut enc = EncodedSpec::encode_with(&current, self.config.encode);
             // fresh_solver asserts active guard groups — required if the
             // caller configured the scratch path with guarded CFDs.
             let mut solver = enc.fresh_solver();
-            let valid = solver.solve() == cr_sat::SolveResult::Sat;
+            let valid = if lazy {
+                let mut source = RecordingAxiomSource::new(&mut enc);
+                solver.solve_lazy(&mut source) == cr_sat::SolveResult::Sat
+            } else {
+                solver.solve() == cr_sat::SolveResult::Sat
+            };
+            // Clauses the solver holds (lazy-solve recordings included).
+            let mut synced = enc.cnf().num_clauses();
             let validity = t0.elapsed();
             if !valid {
                 // With a trusted oracle this means the *initial* Se has
@@ -508,6 +620,7 @@ impl Resolver {
                     user_values,
                     ot_size,
                     rebuilds: 0,
+                    injected_axioms: injected_axioms + enc.injected_axioms(),
                     rounds,
                 };
             }
@@ -515,8 +628,24 @@ impl Resolver {
             // (2) True value deducing.
             let t1 = Instant::now();
             let od: DeducedOrders = match self.config.deduction {
-                DeductionMethod::UnitPropagation => deduce_order(&enc),
-                DeductionMethod::NaiveSat => naive_deduce(&enc),
+                DeductionMethod::UnitPropagation => {
+                    let mut up = enc.fresh_propagator();
+                    if lazy {
+                        deduce_order_recording(&mut up, &mut enc)
+                    } else {
+                        deduce_order_from(&mut up, &enc)
+                    }
+                }
+                DeductionMethod::NaiveSat => {
+                    let od = if lazy {
+                        naive_deduce_recording(&mut solver, &mut enc)
+                    } else {
+                        naive_deduce_with(&mut solver, &enc)
+                    };
+                    // Probe-time recordings went through this solver too.
+                    synced = enc.cnf().num_clauses();
+                    od
+                }
             }
             .expect("deduction cannot conflict on a valid specification");
             let values = true_values_from_orders(&enc, &od);
@@ -534,17 +663,25 @@ impl Resolver {
                     user_values,
                     ot_size,
                     rebuilds: 0,
+                    injected_axioms: injected_axioms + enc.injected_axioms(),
                     rounds,
                 };
             }
             if round == self.config.max_rounds {
                 rounds.push(RoundReport::settled(round, validity, deduce, values.known_count()));
+                injected_axioms += enc.injected_axioms();
                 break;
             }
 
-            // (4) Generate a suggestion and ask the user.
+            // (4) Generate a suggestion and ask the user. Deduction may
+            // have recorded axioms the solver has not seen; sync the tail
+            // first (the engine invariant suggest_with_solver relies on).
             let t2 = Instant::now();
+            if synced < enc.cnf().num_clauses() {
+                solver.extend_from_cnf(enc.cnf(), synced);
+            }
             let sug: Suggestion = suggest_with_solver(&current, &enc, &od, &values, &mut solver);
+            injected_axioms += enc.injected_axioms();
             let suggest_time = t2.elapsed();
             let input = oracle.provide(spec.schema(), &sug);
             rounds.push(RoundReport {
@@ -574,6 +711,7 @@ impl Resolver {
             user_values,
             ot_size,
             rebuilds: 0,
+            injected_axioms,
             rounds,
         }
     }

@@ -24,10 +24,18 @@ pub fn is_valid(spec: &Specification) -> Validity {
 }
 
 /// Validity of an already encoded specification (avoids re-encoding when the
-/// caller also needs the encoding for deduction).
+/// caller also needs the encoding for deduction). Lazy encodings run the
+/// CEGAR loop against a throwaway axiom source — `Unsat` is sound (injected
+/// axioms are entailed by the eager formula) and `Sat` is exact (the final
+/// model satisfies the full theory).
 pub fn is_valid_encoded(enc: &EncodedSpec) -> Validity {
     let mut solver = enc.fresh_solver();
-    let valid = solver.solve() == SolveResult::Sat;
+    let valid = if enc.options().is_lazy() {
+        let mut source = crate::encode::TransientAxiomSource::new(enc);
+        solver.solve_lazy(&mut source) == SolveResult::Sat
+    } else {
+        solver.solve() == SolveResult::Sat
+    };
     Validity {
         valid,
         conflicts: solver.stats().conflicts,

@@ -44,16 +44,21 @@ pub mod suggest;
 pub mod truevalue;
 
 pub use deduce::{
-    deduce_order, deduce_order_from, naive_deduce, naive_deduce_fresh, naive_deduce_with,
-    DeducedOrders,
+    deduce_order, deduce_order_from, deduce_order_recording, naive_deduce, naive_deduce_fresh,
+    naive_deduce_recording, naive_deduce_with, DeducedOrders,
 };
-pub use encode::{EncodeOptions, EncodedSpec, ExtendOutcome};
+pub use encode::{
+    AxiomMode, EncodeOptions, EncodedSpec, ExtendOutcome, RecordingAxiomSource,
+    TransientAxiomSource,
+};
 pub use framework::{ResolutionConfig, ResolutionOutcome, Resolver, RoundReport};
 pub use implication::{explain_invalidity, implies, ConflictPart};
-pub use isvalid::{is_valid, Validity};
+pub use isvalid::{is_valid, is_valid_encoded, Validity};
 pub use metrics::{Accuracy, FMeasure};
 pub use orders::PartialOrders;
 pub use pick::pick_baseline;
 pub use spec::{Specification, UserInput};
 pub use suggest::{suggest, suggest_with_solver, Suggestion};
-pub use truevalue::{possible_current_values, true_values_from_orders, TrueValues};
+pub use truevalue::{
+    exact_true_values, possible_current_values, true_values_from_orders, TrueValues,
+};

@@ -147,6 +147,13 @@ pub fn suggest_with_solver(
 /// over-asserts, the repair instance *borrows* `Φ(Se)`'s clause arena
 /// ([`MaxSatInstance::with_hard_base`]) instead of copying it, so even the
 /// fallback is `O(clique)` in construction cost.
+///
+/// On lazy encodings the probe runs the CEGAR loop (axioms injected into
+/// the warm solver persist across rounds), the borrowed hard base already
+/// contains every axiom the engine recorded, and the repair itself is
+/// CEGAR-wrapped: a repair assignment violating an uninstantiated axiom
+/// adds it as an owned hard clause and re-solves, so the optimum equals the
+/// eager repair.
 fn max_consistent_subset(
     enc: &EncodedSpec,
     rules: &[DerivationRule],
@@ -165,40 +172,66 @@ fn max_consistent_subset(
     }
     assumptions.sort_unstable();
     assumptions.dedup();
-    if solver.solve_with_assumptions(&assumptions) == cr_sat::SolveResult::Sat {
+    let lazy = enc.options().is_lazy();
+    let sat = if lazy {
+        let mut source = crate::encode::TransientAxiomSource::new(enc);
+        solver.solve_lazy_with_assumptions(&assumptions, &mut source)
+    } else {
+        solver.solve_with_assumptions(&assumptions)
+    };
+    if sat == cr_sat::SolveResult::Sat {
         return clique.to_vec();
     }
-    let mut inst = MaxSatInstance::with_hard_base(enc.cnf().num_vars(), enc.cnf().clauses());
-    // Active guard groups must hold inside the repair too (retracted ones
-    // are neutralised by ¬g units already present in the borrowed base).
-    for g in enc.active_guards() {
-        inst.add_hard([g]);
-    }
-    let mut selectors = Vec::with_capacity(clique.len());
+    // Axiom clauses added by repair CEGAR rounds (lazy encodings only).
+    let mut extra_axioms: Vec<Vec<cr_sat::Lit>> = Vec::new();
     let mut scratch: Vec<cr_sat::Lit> = Vec::new();
-    for (offset, &ri) in clique.iter().enumerate() {
-        let sel = cr_sat::Var(enc.cnf().num_vars() + offset as u32);
-        selectors.push(sel);
-        let rule = &rules[ri];
-        for &(attr, v) in rule.lhs.iter().chain(std::iter::once(&rule.rhs)) {
-            scratch.clear();
-            push_top_literals(enc, attr, v, &mut scratch);
-            for &lit in &scratch {
-                inst.add_hard([sel.negative(), lit]);
-            }
+    loop {
+        let mut inst = MaxSatInstance::with_hard_base(enc.cnf().num_vars(), enc.cnf().clauses());
+        // Active guard groups must hold inside the repair too (retracted ones
+        // are neutralised by ¬g units already present in the borrowed base).
+        for g in enc.active_guards() {
+            inst.add_hard([g]);
         }
-        inst.add_soft([sel.positive()], 1);
-    }
-    match maxsat_solve(&inst, MaxSatStrategy::default()) {
-        Some(result) => clique
-            .iter()
-            .zip(&selectors)
-            .filter(|(_, sel)| result.assignment[sel.index()])
-            .map(|(&ri, _)| ri)
-            .collect(),
-        // Hard clauses unsatisfiable: the specification itself is invalid;
-        // callers check IsValid first, so this is defensive.
-        None => Vec::new(),
+        for clause in &extra_axioms {
+            inst.add_hard(clause.iter().copied());
+        }
+        let mut selectors = Vec::with_capacity(clique.len());
+        for (offset, &ri) in clique.iter().enumerate() {
+            let sel = cr_sat::Var(enc.cnf().num_vars() + offset as u32);
+            selectors.push(sel);
+            let rule = &rules[ri];
+            for &(attr, v) in rule.lhs.iter().chain(std::iter::once(&rule.rhs)) {
+                scratch.clear();
+                push_top_literals(enc, attr, v, &mut scratch);
+                for &lit in &scratch {
+                    inst.add_hard([sel.negative(), lit]);
+                }
+            }
+            inst.add_soft([sel.positive()], 1);
+        }
+        match maxsat_solve(&inst, MaxSatStrategy::default()) {
+            Some(result) => {
+                if lazy {
+                    let violated = enc.violated_axioms(
+                        &|v| result.assignment.get(v.index()).copied(),
+                        None,
+                    );
+                    if !violated.is_empty() {
+                        extra_axioms.extend(violated);
+                        continue;
+                    }
+                }
+                return clique
+                    .iter()
+                    .zip(&selectors)
+                    .filter(|(_, sel)| result.assignment[sel.index()])
+                    .map(|(&ri, _)| ri)
+                    .collect();
+            }
+            // Hard clauses unsatisfiable: the specification itself is
+            // invalid; callers check IsValid first, so this is defensive.
+            None => return Vec::new(),
+        }
     }
 }
 

@@ -114,7 +114,15 @@ pub fn true_values_from_orders(enc: &EncodedSpec, od: &DeducedOrders) -> TrueVal
 pub fn possible_current_values(enc: &EncodedSpec, attr: AttrId) -> Vec<ValueId> {
     let n = enc.space().attr(attr).len() as u32;
     let mut solver = enc.fresh_solver();
-    if solver.solve() == SolveResult::Unsat {
+    // Lazy encodings probe through the CEGAR loop; axioms injected by one
+    // probe persist in this solver and sharpen the rest.
+    let lazy = enc.options().is_lazy();
+    let mut source = crate::encode::TransientAxiomSource::new_if(enc, lazy);
+    let mut probe = |solver: &mut cr_sat::Solver, assumptions: &[cr_sat::Lit]| match &mut source {
+        Some(src) => solver.solve_lazy_with_assumptions(assumptions, src),
+        None => solver.solve_with_assumptions(assumptions),
+    };
+    if probe(&mut solver, &[]) == SolveResult::Unsat {
         return Vec::new();
     }
     let mut possible = Vec::new();
@@ -122,7 +130,7 @@ pub fn possible_current_values(enc: &EncodedSpec, attr: AttrId) -> Vec<ValueId> 
         let Some(assumptions) = enc.top_assumptions(attr, v) else {
             continue;
         };
-        if solver.solve_with_assumptions(&assumptions) == SolveResult::Sat {
+        if probe(&mut solver, &assumptions) == SolveResult::Sat {
             possible.push(v);
         }
     }

@@ -1,0 +1,379 @@
+//! Seeded randomized scenario generator for differential testing.
+//!
+//! Unlike the shape-faithful dataset emulators ([`nba`](crate::nba),
+//! [`person`](crate::person), [`career`](crate::career)), this module
+//! produces *adversarial* single-entity specifications with controllable
+//! knobs — attribute count, instance width, value-space width, conflict
+//! density, base-order density, constraint/CFD counts, nulls, and whether
+//! the ground truth carries values outside the active domain ("new
+//! values") — for property tests that compare resolution paths (lazy vs
+//! eager axiom instantiation, incremental vs from-scratch) on inputs no
+//! curated dataset would cover.
+//!
+//! Generation follows the paper's history model: every entity evolves along
+//! a hidden timeline, each attribute stepping monotonically through a
+//! ranked value pool (`conflict_density` controls how many states the
+//! timeline visits, i.e. how wide the realised value space is). Currency
+//! constraints are drawn consistent with that timeline — pattern
+//! constraints order two ranked values, propagation constraints transfer
+//! the order of one evolving attribute to another, the numeric attribute
+//! gets the ϕ4-style comparison rule — so generated specifications are
+//! almost always valid; CFDs sample attribute snapshots at random
+//! timestamps and may genuinely conflict, which is part of the coverage
+//! (both resolution paths must agree on invalid specifications too).
+
+use cr_constraints::parser::{parse_cfds, parse_currency_constraint};
+use cr_core::{PartialOrders, Specification};
+use cr_types::{AttrId, EntityInstance, Schema, Tuple, TupleId, Value};
+use rand::prelude::*;
+
+use crate::gen_util::rng;
+
+/// Knobs of one randomized scenario (see the module docs).
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// RNG seed; equal configs generate identical scenarios.
+    pub seed: u64,
+    /// Total attributes (≥ 2): attribute 0 is numeric ("seq"), the rest are
+    /// labelled string attributes.
+    pub attrs: usize,
+    /// Tuples in the entity instance (the history length).
+    pub tuples: usize,
+    /// Value-pool size per attribute — the width ceiling of the realised
+    /// value space (wide domains are what lazy transitivity targets).
+    pub domain: usize,
+    /// Currency constraints to generate.
+    pub sigma: usize,
+    /// Constant CFDs to generate.
+    pub gamma: usize,
+    /// Fraction of (attribute, tuple-pair) combinations given a base
+    /// currency order (consistent with the hidden timeline).
+    pub order_density: f64,
+    /// Fraction of the value pool the timeline actually visits per
+    /// attribute (≥ 2 states ⇒ the attribute genuinely conflicts).
+    pub conflict_density: f64,
+    /// Per-cell probability of a missing (null) value.
+    pub null_density: f64,
+    /// When true, roughly half the attributes get a ground-truth value
+    /// outside the active domain, so oracle answers exercise the
+    /// out-of-domain extension (and CFD retraction) paths.
+    pub new_value_answers: bool,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 0,
+            attrs: 4,
+            tuples: 8,
+            domain: 6,
+            sigma: 6,
+            gamma: 2,
+            order_density: 0.15,
+            conflict_density: 0.6,
+            null_density: 0.05,
+            new_value_answers: false,
+        }
+    }
+}
+
+/// A generated scenario: the specification plus the simulated user's ground
+/// truth (feed it to `GroundTruthOracle`).
+pub struct Scenario {
+    /// The single-entity specification.
+    pub spec: Specification,
+    /// Ground-truth current tuple (its values top the hidden timeline; with
+    /// [`ScenarioConfig::new_value_answers`] some lie outside the active
+    /// domain).
+    pub truth: Tuple,
+}
+
+/// Generates one scenario from `cfg` (deterministic in `cfg`).
+pub fn scenario(cfg: &ScenarioConfig) -> Scenario {
+    let attrs = cfg.attrs.max(2);
+    let tuples = cfg.tuples.max(1);
+    let domain = cfg.domain.max(2);
+    let mut r = rng(cfg.seed);
+
+    let names: Vec<String> = std::iter::once("seq".to_string())
+        .chain((1..attrs).map(|i| format!("a{i}")))
+        .collect();
+    let schema = Schema::new("scenario", names.iter().map(String::as_str)).unwrap();
+
+    // Hidden timeline: each attribute visits `states[i]` of its `domain`
+    // pool slots, stepping monotonically with the tuple timestamp.
+    let states: Vec<usize> = (0..attrs)
+        .map(|_| {
+            let width = ((domain as f64) * cfg.conflict_density).round() as usize;
+            width.clamp(2, domain).min(tuples.max(2))
+        })
+        .collect();
+    let rank_at = |attr: usize, t: usize| -> usize {
+        if tuples <= 1 {
+            states[attr] - 1
+        } else {
+            states[attr].saturating_sub(1).min(states[attr] * t / tuples)
+        }
+    };
+    let value_of = |attr: usize, rank: usize| -> Value {
+        if attr == 0 {
+            Value::int(rank as i64)
+        } else {
+            Value::str(format!("a{attr}_v{rank}"))
+        }
+    };
+
+    // Entity instance: one tuple per timestamp, shuffled, with nulls mixed
+    // in. Timestamp order is hidden from the instance (conflicts!).
+    let mut stamps: Vec<usize> = (0..tuples).collect();
+    stamps.shuffle(&mut r);
+    let mut rows: Vec<Tuple> = Vec::with_capacity(tuples);
+    for &t in &stamps {
+        let values: Vec<Value> = (0..attrs)
+            .map(|a| {
+                if cfg.null_density > 0.0 && r.gen_bool(cfg.null_density.clamp(0.0, 1.0)) {
+                    Value::Null
+                } else {
+                    value_of(a, rank_at(a, t))
+                }
+            })
+            .collect();
+        rows.push(Tuple::from_values(values));
+    }
+    let entity = EntityInstance::new(schema.clone(), rows).unwrap();
+
+    // Base currency orders, consistent with the timeline: for a sampled
+    // (attr, pair) the strictly older-ranked tuple sits below the newer.
+    let mut orders = PartialOrders::empty(attrs);
+    for a in 0..attrs {
+        for i in 0..tuples {
+            for j in 0..tuples {
+                if i == j || !r.gen_bool(cfg.order_density.clamp(0.0, 1.0)) {
+                    continue;
+                }
+                let (ri, rj) = (rank_at(a, stamps[i]), rank_at(a, stamps[j]));
+                let attr = AttrId(a as u16);
+                let (vi, vj) = (
+                    entity.tuple(TupleId(i as u32)).get(attr),
+                    entity.tuple(TupleId(j as u32)).get(attr),
+                );
+                if vi.is_null() || vj.is_null() {
+                    continue;
+                }
+                if ri < rj {
+                    orders.add(attr, TupleId(i as u32), TupleId(j as u32));
+                } else if rj < ri {
+                    orders.add(attr, TupleId(j as u32), TupleId(i as u32));
+                }
+            }
+        }
+    }
+
+    // Currency constraints: pattern / propagation / numeric-comparison mix.
+    let mut sigma = Vec::with_capacity(cfg.sigma);
+    let mut numeric_done = false;
+    for _ in 0..cfg.sigma {
+        let form = r.gen_range(0..3u32);
+        let text = match form {
+            0 if !numeric_done => {
+                numeric_done = true;
+                "t1[seq] < t2[seq] -> t1 <[seq] t2".to_string()
+            }
+            1 if attrs > 1 => {
+                // Pattern: two ranked values of one string attribute.
+                let a = r.gen_range(1..attrs);
+                if states[a] < 2 {
+                    continue;
+                }
+                let lo = r.gen_range(0..states[a] - 1);
+                let hi = r.gen_range(lo + 1..states[a]);
+                format!(
+                    "t1[{n}] = \"a{a}_v{lo}\" && t2[{n}] = \"a{a}_v{hi}\" -> t1 <[{n}] t2",
+                    n = names[a]
+                )
+            }
+            _ => {
+                // Propagation between two distinct attributes.
+                let a = r.gen_range(0..attrs);
+                let mut b = r.gen_range(0..attrs);
+                if a == b {
+                    b = (b + 1) % attrs;
+                }
+                format!("t1 <[{}] t2 -> t1 <[{}] t2", names[a], names[b])
+            }
+        };
+        sigma.push(parse_currency_constraint(&schema, &text).unwrap());
+    }
+
+    // CFDs: snapshot two attributes at a random timestamp. Snapshots at the
+    // end of the timeline are truth-consistent derivation rules; earlier
+    // ones may be dead (LHS dominated) or genuinely conflicting.
+    let mut gamma = Vec::with_capacity(cfg.gamma);
+    for _ in 0..cfg.gamma {
+        if attrs < 2 {
+            break;
+        }
+        let a = r.gen_range(1..attrs);
+        let mut b = r.gen_range(1..attrs);
+        if a == b {
+            b = 1 + (b % (attrs - 1));
+        }
+        let t = r.gen_range(0..tuples);
+        let text = format!(
+            "{} = \"a{a}_v{}\" -> {} = \"a{b}_v{}\"",
+            names[a],
+            rank_at(a, t),
+            names[b],
+            rank_at(b, t),
+        );
+        gamma.extend(parse_cfds(&schema, &text).unwrap());
+    }
+
+    // Ground truth: the timeline's final state per attribute — or a value
+    // beyond the pool when new-value answers are requested.
+    let truth = Tuple::from_values(
+        (0..attrs)
+            .map(|a| {
+                if cfg.new_value_answers && r.gen_bool(0.5) {
+                    if a == 0 {
+                        Value::int(domain as i64 + 1)
+                    } else {
+                        Value::str(format!("a{a}_new"))
+                    }
+                } else {
+                    value_of(a, states[a] - 1)
+                }
+            })
+            .collect(),
+    );
+
+    Scenario {
+        spec: Specification::new(entity, orders, sigma, gamma),
+        truth,
+    }
+}
+
+/// Convenience: a scenario drawn from raw proptest-style integers, mapping
+/// them onto the interesting ranges (used by the differential proptests).
+pub fn scenario_from_raw(
+    seed: u64,
+    tuples: usize,
+    domain: usize,
+    density_pct: u32,
+    new_values: bool,
+) -> Scenario {
+    scenario(&ScenarioConfig {
+        seed,
+        attrs: 3 + (seed % 3) as usize,
+        tuples: tuples.clamp(2, 40),
+        domain: domain.clamp(2, 24),
+        sigma: 3 + (seed % 5) as usize,
+        gamma: (seed % 4) as usize,
+        order_density: f64::from(density_pct % 30) / 100.0,
+        conflict_density: 0.3 + f64::from(density_pct % 70) / 100.0,
+        null_density: f64::from(density_pct % 12) / 100.0,
+        new_value_answers: new_values,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_core::is_valid;
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let cfg = ScenarioConfig { seed: 42, ..Default::default() };
+        let a = scenario(&cfg);
+        let b = scenario(&cfg);
+        assert_eq!(a.truth.values(), b.truth.values());
+        assert_eq!(a.spec.entity().len(), b.spec.entity().len());
+        assert_eq!(a.spec.sigma().len(), b.spec.sigma().len());
+        for (x, y) in a.spec.sigma().iter().zip(b.spec.sigma()) {
+            assert_eq!(x.to_string(), y.to_string());
+        }
+    }
+
+    #[test]
+    fn scenarios_are_mostly_valid_and_conflicting() {
+        let mut valid = 0;
+        let mut with_conflicts = 0;
+        for seed in 0..40 {
+            let s = scenario(&ScenarioConfig { seed, gamma: 0, ..Default::default() });
+            if is_valid(&s.spec).valid {
+                valid += 1;
+            }
+            // At least one attribute realises ≥ 2 values.
+            let e = s.spec.entity();
+            if s
+                .spec
+                .schema()
+                .attr_ids()
+                .any(|a| e.active_domain(a).len() >= 2)
+            {
+                with_conflicts += 1;
+            }
+        }
+        assert!(valid >= 38, "CFD-free timeline scenarios must be valid ({valid}/40)");
+        assert_eq!(with_conflicts, 40, "every scenario must have conflicts");
+    }
+
+    #[test]
+    fn new_value_truths_leave_the_active_domain() {
+        let mut saw_new = false;
+        for seed in 0..20 {
+            let s = scenario(&ScenarioConfig {
+                seed,
+                new_value_answers: true,
+                null_density: 0.0,
+                ..Default::default()
+            });
+            let e = s.spec.entity();
+            for attr in s.spec.schema().attr_ids() {
+                let v = s.truth.get(attr);
+                if !v.is_null() && !e.active_domain(attr).contains(v) {
+                    saw_new = true;
+                }
+            }
+        }
+        assert!(saw_new, "new-value truths must actually be out of domain");
+    }
+
+    #[test]
+    fn knobs_scale_the_scenario() {
+        let wide = scenario(&ScenarioConfig {
+            seed: 7,
+            tuples: 30,
+            domain: 20,
+            conflict_density: 1.0,
+            null_density: 0.0,
+            ..Default::default()
+        });
+        let e = wide.spec.entity();
+        let max_width = wide
+            .spec
+            .schema()
+            .attr_ids()
+            .map(|a| e.active_domain(a).len())
+            .max()
+            .unwrap();
+        assert!(max_width >= 10, "wide config must realise wide domains, got {max_width}");
+        let narrow = scenario(&ScenarioConfig {
+            seed: 7,
+            tuples: 30,
+            domain: 20,
+            conflict_density: 0.1,
+            null_density: 0.0,
+            ..Default::default()
+        });
+        let e = narrow.spec.entity();
+        let narrow_width = narrow
+            .spec
+            .schema()
+            .attr_ids()
+            .map(|a| e.active_domain(a).len())
+            .max()
+            .unwrap();
+        assert!(narrow_width <= 3, "narrow config stays narrow, got {narrow_width}");
+    }
+}

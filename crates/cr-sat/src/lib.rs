@@ -16,6 +16,11 @@
 //!   ([`Solver::set_persistent_assumptions`]) so a group can be withdrawn
 //!   by a single root unit, and the unit propagator tags clauses with group
 //!   ids and re-derives its fixpoint on [`UnitPropagator::retract_group`],
+//! * *lazy axiom instantiation* ([`LazyAxiomSource`], [`lazy`]): large
+//!   axiom schemes stay unmaterialised; the solver's CEGAR-style
+//!   [`Solver::solve_lazy_with_assumptions`] and the propagator's
+//!   [`UnitPropagator::propagate_to_fixpoint_lazy`] pull violated/unit
+//!   instances on demand,
 //! * a caller-driven learnt-database sweep ([`Solver::compact_learnts`])
 //!   keyed to interaction-round boundaries, and
 //! * a standalone root-level unit-propagation engine mirroring the
@@ -39,12 +44,14 @@
 
 pub mod cnf;
 pub mod dimacs;
+pub mod lazy;
 pub mod lit;
 pub mod solver;
 pub mod stats;
 pub mod unit_propagation;
 
 pub use cnf::Cnf;
+pub use lazy::LazyAxiomSource;
 pub use lit::{Lit, Var};
 pub use solver::{SolveResult, Solver};
 pub use stats::SolverStats;

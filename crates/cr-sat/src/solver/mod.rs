@@ -381,6 +381,45 @@ impl Solver {
         self.solve_with_all_assumptions(&all)
     }
 
+    /// [`Solver::solve_lazy_with_assumptions`] with no assumptions.
+    pub fn solve_lazy(&mut self, source: &mut dyn crate::LazyAxiomSource) -> SolveResult {
+        self.solve_lazy_with_assumptions(&[], source)
+    }
+
+    /// Solves under lazily instantiated axioms: the counterexample-guided
+    /// loop of the [`lazy`](crate::lazy) module. Each satisfying candidate
+    /// model is shown to `source`; the axiom clauses it returns are added
+    /// (as permanent problem clauses) and the solve repeats, until the model
+    /// satisfies the full theory or the formula becomes unsatisfiable.
+    ///
+    /// `Unsat` is sound because injected clauses are theory-valid; `Sat` is
+    /// exact because the final model provoked no further instantiation.
+    /// Injected clauses persist, so later calls (with any assumptions)
+    /// converge faster — `NaiveDeduce`'s probe loop relies on this.
+    pub fn solve_lazy_with_assumptions(
+        &mut self,
+        assumptions: &[Lit],
+        source: &mut dyn crate::LazyAxiomSource,
+    ) -> SolveResult {
+        loop {
+            if self.solve_with_assumptions(assumptions) == SolveResult::Unsat {
+                return SolveResult::Unsat;
+            }
+            // Hand the model to the source without aliasing `self` (clauses
+            // are added right after); the model buffer is moved out and back.
+            let model = std::mem::take(&mut self.model);
+            let clauses =
+                source.instantiate(&|v| model.get(v.index()).and_then(|b| b.to_option()), None);
+            self.model = model;
+            if clauses.is_empty() {
+                return SolveResult::Sat;
+            }
+            for clause in clauses {
+                self.add_clause(clause);
+            }
+        }
+    }
+
     fn solve_with_all_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.cancel_until(0);
         if !self.ok {

@@ -49,6 +49,11 @@ pub struct UnitPropagator {
     /// Clause group tags ([`NO_GROUP`] = permanent) and retraction flags.
     group_of: Vec<u32>,
     dead: Vec<bool>,
+    /// Prefix of `implied` already shown to a [`crate::LazyAxiomSource`]
+    /// (see [`UnitPropagator::propagate_to_fixpoint_lazy`]); reset together
+    /// with the assignment on retraction so re-derived fixpoints are
+    /// re-delivered from scratch.
+    lazy_cursor: usize,
 }
 
 /// Group tag of a permanent (non-retractable) clause.
@@ -69,6 +74,7 @@ impl UnitPropagator {
             conflict: false,
             group_of: Vec::with_capacity(cnf.num_clauses()),
             dead: Vec::with_capacity(cnf.num_clauses()),
+            lazy_cursor: 0,
         };
         for clause in cnf.clauses() {
             up.add_clause(clause);
@@ -182,6 +188,7 @@ impl UnitPropagator {
         self.implied.clear();
         self.queue.clear();
         self.conflict = false;
+        self.lazy_cursor = 0;
         for ci in 0..self.clauses.len() {
             let clause = &self.clauses[ci];
             // Clauses are sorted and deduplicated at ingestion, so a
@@ -279,6 +286,43 @@ impl UnitPropagator {
             self.occurs[neg.index()] = shrink_list;
         }
         Some(&self.implied)
+    }
+
+    /// [`UnitPropagator::propagate_to_fixpoint`] interleaved with lazy
+    /// axiom instantiation: after each fixpoint, `source` is shown the
+    /// literals assigned since it was last consulted (the `delta`) and every
+    /// axiom clause it returns is added; propagation then resumes. The loop
+    /// ends when a fixpoint provokes no further instantiation — at which
+    /// point the accumulated implied set equals what unit propagation over
+    /// the fully materialised axiom scheme would have derived (an eager
+    /// propagation step needs a clause that is unit under the current
+    /// assignment, and exactly those clauses are requested on demand).
+    ///
+    /// The delta cursor survives across calls (the engine re-enters this
+    /// per interaction round) and is reset by group retraction together
+    /// with the assignment, so re-derived fixpoints are re-delivered.
+    pub fn propagate_to_fixpoint_lazy(
+        &mut self,
+        source: &mut dyn crate::LazyAxiomSource,
+    ) -> Option<&[Lit]> {
+        loop {
+            self.propagate_to_fixpoint()?;
+            let clauses = {
+                let assign = &self.assign;
+                let delta = &self.implied[self.lazy_cursor..];
+                source.instantiate(
+                    &|v| assign.get(v.index()).and_then(|b| b.to_option()),
+                    Some(delta),
+                )
+            };
+            self.lazy_cursor = self.implied.len();
+            if clauses.is_empty() {
+                return Some(&self.implied);
+            }
+            for clause in &clauses {
+                self.add_clause(clause);
+            }
+        }
     }
 
     /// The current truth value of a literal after [`UnitPropagator::run`].

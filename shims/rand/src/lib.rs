@@ -120,6 +120,9 @@ pub mod seq {
 
         /// A uniformly random element, or `None` if empty.
         fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
     }
 
     impl<T> SliceRandom for [T] {
@@ -130,6 +133,13 @@ pub mod seq {
                 None
             } else {
                 Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+            }
+        }
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
             }
         }
     }
