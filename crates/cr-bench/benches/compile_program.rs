@@ -1,0 +1,60 @@
+//! Criterion bench for the dataset-compiled constraint program: one-time
+//! `CompiledProgram::compile` cost, per-entity Ω(Se) projection through the
+//! compiled program, the pre-compilation per-entity reference
+//! instantiation, and the full lazy encode the projection feeds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cr_core::{CompiledProgram, EncodeOptions, EncodedSpec};
+use cr_data::gen::ScenarioConfig;
+use cr_data::person;
+
+fn bench_compile_program(c: &mut Criterion) {
+    let person_ds = person::generate_with_sizes(&[200], 7);
+    let wide = cr_data::gen::scenario(&ScenarioConfig {
+        seed: 7,
+        attrs: 5,
+        tuples: 60,
+        domain: 48,
+        conflict_density: 1.0,
+        null_density: 0.02,
+        sigma: 8,
+        gamma: 3,
+        order_density: 0.1,
+        new_value_answers: false,
+    });
+    let cases = [
+        ("person/200", person_ds.spec(0)),
+        ("wide/60x48", wide.spec),
+    ];
+
+    let mut group = c.benchmark_group("compile_program");
+    for (label, spec) in &cases {
+        // One-time per-dataset compilation (amortised over every entity).
+        group.bench_with_input(BenchmarkId::new("compile", *label), spec, |b, spec| {
+            b.iter(|| {
+                black_box(CompiledProgram::compile(
+                    black_box(spec.sigma()),
+                    black_box(spec.gamma()),
+                    None,
+                ))
+            })
+        });
+        // Per-entity Ω(Se): compiled projection vs the old per-entity path.
+        group.bench_with_input(BenchmarkId::new("omega/compiled", *label), spec, |b, spec| {
+            b.iter(|| black_box(cr_core::encode::omega_compiled(black_box(spec))))
+        });
+        group.bench_with_input(BenchmarkId::new("omega/reference", *label), spec, |b, spec| {
+            b.iter(|| black_box(cr_core::encode::omega_reference(black_box(spec))))
+        });
+        // The round-0 encode the projection feeds (engine default: lazy).
+        group.bench_with_input(BenchmarkId::new("encode/lazy", *label), spec, |b, spec| {
+            b.iter(|| black_box(EncodedSpec::encode_with(black_box(spec), EncodeOptions::lazy())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_program);
+criterion_main!(benches);

@@ -18,25 +18,89 @@
 //! clause counts and wall time per axiom mode plus the injected-axiom
 //! counts of the lazy resolutions.
 //!
+//! Two further invariants are enforced alongside the outcome checks:
+//! **compile-once** — every workload's constraint program is compiled at
+//! setup (once per dataset, or once per heterogeneous scenario) and the
+//! global [`cr_core::compile_count`] must not move during any resolution
+//! or encode measurement — and **live retraction telemetry** — the
+//! new-value workloads must report provenance-scoped retraction replays,
+//! with per-round invalidation costs recorded in the report.
+//!
 //! Flags: `--entities N` (per generated dataset, default 10), `--seed S`,
 //! `--rounds R` (max user rounds, default 10), `--reps K` (timing
 //! repetitions, default 3), `--frac F` (constraint fraction, default 0.6),
-//! `--out PATH` (default `BENCH_3.json`), `--smoke` (tiny CI mode: check
-//! agreement and the zero-rebuild invariant, skip the timing sweep).
+//! `--threads T` (parallel fan-out width, default = available cores),
+//! `--out PATH` (default `BENCH_4.json`), `--smoke` (tiny CI mode: check
+//! agreement, compile-once and the zero-rebuild invariant, skip the
+//! timing sweep).
 
 use std::time::Instant;
 
+use std::sync::Arc;
+
 use cr_bench::{arg_entities, arg_flag, arg_seed, arg_value, json::BenchReport, quick};
 use cr_core::framework::{GroundTruthOracle, ResolutionConfig, Resolver};
-use cr_core::{EncodeOptions, EncodedSpec, Specification};
+use cr_core::{compile_count, CompiledProgram, EncodeOptions, EncodedSpec, Specification};
+use cr_constraints::parser::{parse_cfd_file, parse_currency_file};
 use cr_data::gen::ScenarioConfig;
 use cr_data::{nba, person, vjday};
-use cr_types::Tuple;
+use cr_types::{EntityInstance, Schema, Tuple, Value};
 
 struct Workload {
     label: &'static str,
     specs: Vec<Specification>,
     truths: Vec<Tuple>,
+}
+
+/// A deterministic retraction-heavy workload: every entity forces the
+/// oracle to answer an out-of-domain `AC` (and then `city`) value, so each
+/// resolution retracts CFD guard groups mid-interaction — the path whose
+/// cost the provenance-scoped replay bounds. (The generated workloads only
+/// retract occasionally: a *fired* CFD's attributes are already settled
+/// and never asked again, so interactive retraction cones are usually
+/// empty — exactly the case the replay turns into a near-no-op.)
+fn retraction_workload(entities: usize) -> Workload {
+    let schema = Schema::new("p", ["status", "AC", "city"]).expect("static schema");
+    let sigma = parse_currency_file(
+        &schema,
+        r#"phi1: t1[status] = "working" && t2[status] = "retired" -> t1 <[status] t2"#,
+    )
+    .expect("static constraints");
+    let mut specs = Vec::new();
+    let mut truths = Vec::new();
+    for e in 0..entities.max(2) as i64 {
+        let gamma = parse_cfd_file(
+            &schema,
+            &format!(
+                "psi1: AC = {} -> city = \"LA{e}\"\npsi2: AC = {} -> city = \"NY{e}\"",
+                201 + e,
+                200 + e
+            ),
+        )
+        .expect("static CFDs");
+        let entity = EntityInstance::new(
+            schema.clone(),
+            vec![
+                Tuple::of([Value::str("working"), Value::int(200 + e), Value::str(format!("NY{e}"))]),
+                Tuple::of([Value::str("retired"), Value::int(201 + e), Value::str(format!("LA{e}"))]),
+                Tuple::of([Value::str("retired"), Value::int(202 + e), Value::str(format!("SF{e}"))]),
+            ],
+        )
+        .expect("static entity");
+        specs.push(Specification::without_orders(entity, sigma.clone(), gamma));
+        truths.push(Tuple::of([
+            Value::str("retired"),
+            Value::int(999 + e),
+            Value::str(format!("Boston{e}")),
+        ]));
+    }
+    let w = Workload { label: "retract", specs, truths };
+    share_workload_program(&w.specs[..1], None);
+    // Γ differs per entity (distinct CFD constants): one program each.
+    for spec in &w.specs[1..] {
+        spec.compiled_program();
+    }
+    w
 }
 
 fn resolver(encode: EncodeOptions, incremental: bool, max_rounds: usize) -> Resolver {
@@ -65,23 +129,51 @@ fn time_serial(
 }
 
 /// Parallel fan-out wall-clock seconds on the (lazy) engine default.
-fn time_parallel(w: &Workload, rounds: usize, reps: usize) -> f64 {
+fn time_parallel(w: &Workload, rounds: usize, reps: usize, threads: usize) -> f64 {
     let r = resolver(EncodeOptions::lazy(), true, rounds);
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let t = Instant::now();
-        std::hint::black_box(r.resolve_all_parallel(&w.specs, |i| {
-            GroundTruthOracle::with_cap(w.truths[i].clone(), 1)
-        }));
+        std::hint::black_box(r.resolve_all_parallel_with_threads(
+            &w.specs,
+            |i| GroundTruthOracle::with_cap(w.truths[i].clone(), 1),
+            threads,
+        ));
         best = best.min(t.elapsed().as_secs_f64());
     }
     best
 }
 
+/// Stamps one shared compiled program (built against `table` when the
+/// dataset has one) onto every spec of a homogeneous workload — the
+/// compile-once-per-dataset contract the smoke check enforces. Specs whose
+/// programs are already stamped (career via `Dataset::spec`, wide via
+/// `cr_data::gen`) are forced to materialise them here instead, so *no*
+/// compilation can happen during the measured phase.
+fn share_workload_program(specs: &[Specification], table: Option<&cr_types::ValueTable>) {
+    let Some(first) = specs.first() else { return };
+    let program = Arc::new(CompiledProgram::compile(first.sigma(), first.gamma(), table));
+    for spec in specs {
+        spec.set_compiled_program(program.clone());
+    }
+}
+
+/// Retraction-replay telemetry summed over a workload's lazy-incremental
+/// resolutions.
+#[derive(Default)]
+struct RetractionStats {
+    replays: usize,
+    invalidated: usize,
+    full_resets: usize,
+    /// Interaction rounds that actually retracted (nonzero invalidation).
+    rounds_with_retraction: usize,
+}
+
 /// All four paths must produce identical resolution outcomes. Returns the
-/// total engine rebuild count (must be 0 with the guard-group engine) and
-/// the injected-axiom count of the lazy incremental path.
-fn check_agreement(w: &Workload, rounds: usize) -> (usize, usize) {
+/// total engine rebuild count (must be 0 with the guard-group engine), the
+/// injected-axiom count of the lazy incremental path and its retraction
+/// telemetry.
+fn check_agreement(w: &Workload, rounds: usize) -> (usize, usize, RetractionStats) {
     let paths = [
         ("lazy/incremental", EncodeOptions::lazy(), true),
         ("eager/incremental", EncodeOptions::eager(), true),
@@ -90,6 +182,7 @@ fn check_agreement(w: &Workload, rounds: usize) -> (usize, usize) {
     ];
     let mut rebuilds = 0;
     let mut injected = 0;
+    let mut retraction = RetractionStats::default();
     for (spec, truth) in w.specs.iter().zip(&w.truths) {
         let outcomes: Vec<_> = paths
             .iter()
@@ -118,8 +211,16 @@ fn check_agreement(w: &Workload, rounds: usize) -> (usize, usize) {
         }
         rebuilds += outcomes[0].rebuilds + outcomes[1].rebuilds;
         injected += outcomes[0].injected_axioms;
+        retraction.replays += outcomes[0].retraction_replays;
+        retraction.invalidated += outcomes[0].retraction_invalidated;
+        retraction.full_resets += outcomes[0].retraction_full_resets;
+        retraction.rounds_with_retraction += outcomes[0]
+            .rounds
+            .iter()
+            .filter(|r| r.retraction_invalidated > 0)
+            .count();
     }
-    (rebuilds, injected)
+    (rebuilds, injected, retraction)
 }
 
 /// Round-0 encode comparison: clause counts and encode wall time per axiom
@@ -131,18 +232,33 @@ struct EncodeStats {
     lazy_secs: f64,
 }
 
-fn encode_stats(w: &Workload) -> EncodeStats {
+/// Best of `reps` timed passes over the workload per axiom mode (the same
+/// best-of policy as the end-to-end timings — single-core containers are
+/// noisy and a single cold pass can read 20–30% high).
+fn encode_stats(w: &Workload, reps: usize) -> EncodeStats {
     let mut stats =
-        EncodeStats { eager_clauses: 0, lazy_clauses: 0, eager_secs: 0.0, lazy_secs: 0.0 };
-    for spec in &w.specs {
+        EncodeStats { eager_clauses: 0, lazy_clauses: 0, eager_secs: f64::INFINITY, lazy_secs: f64::INFINITY };
+    for rep in 0..reps.max(1) {
+        // One mode per pass: interleaving would measure every lazy encode
+        // against caches just evicted by a multi-million-clause eager one.
         let t = Instant::now();
-        let eager = EncodedSpec::encode_with(spec, EncodeOptions::eager());
-        stats.eager_secs += t.elapsed().as_secs_f64();
-        stats.eager_clauses += eager.cnf().num_clauses();
+        for spec in &w.specs {
+            let lazy = EncodedSpec::encode_with(spec, EncodeOptions::lazy());
+            if rep == 0 {
+                stats.lazy_clauses += lazy.cnf().num_clauses();
+            }
+            std::hint::black_box(lazy);
+        }
+        stats.lazy_secs = stats.lazy_secs.min(t.elapsed().as_secs_f64());
         let t = Instant::now();
-        let lazy = EncodedSpec::encode_with(spec, EncodeOptions::lazy());
-        stats.lazy_secs += t.elapsed().as_secs_f64();
-        stats.lazy_clauses += lazy.cnf().num_clauses();
+        for spec in &w.specs {
+            let eager = EncodedSpec::encode_with(spec, EncodeOptions::eager());
+            if rep == 0 {
+                stats.eager_clauses += eager.cnf().num_clauses();
+            }
+            std::hint::black_box(eager);
+        }
+        stats.eager_secs = stats.eager_secs.min(t.elapsed().as_secs_f64());
     }
     stats
 }
@@ -156,8 +272,12 @@ fn main() {
         .unwrap_or(3)
         .max(1);
     let frac: f64 = arg_value("frac").and_then(|v| v.parse().ok()).unwrap_or(0.6);
+    let threads: usize = arg_value("threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .max(1);
     let smoke = arg_flag("smoke");
-    let out = arg_value("out").unwrap_or_else(|| "BENCH_3.json".to_string());
+    let out = arg_value("out").unwrap_or_else(|| "BENCH_4.json".to_string());
 
     // Entity sizes follow the seed's Fig. 8(a) bins: NBA up to 135 tuples,
     // Person at 1/10 paper scale up to 200.
@@ -168,26 +288,38 @@ fn main() {
     let subsample =
         |spec: &Specification| spec.with_constraint_fraction(frac, frac, seed.wrapping_add(11));
     let workloads = [
-        Workload {
-            label: "vjday",
-            specs: vec![vjday::edith_spec(), vjday::george_spec()],
-            truths: vec![vjday::edith_truth(), vjday::george_truth()],
+        {
+            // Both vjday entities share Fig. 3's Σ/Γ: one program.
+            let w = Workload {
+                label: "vjday",
+                specs: vec![vjday::edith_spec(), vjday::george_spec()],
+                truths: vec![vjday::edith_truth(), vjday::george_truth()],
+            };
+            share_workload_program(&w.specs, None);
+            w
         },
         {
+            // Subsampling clears the dataset-stamped program (Σ/Γ change),
+            // so the identical subsets get one shared recompile against the
+            // dataset's value table.
             let ds = nba::generate_with_sizes(&nba_sizes, seed);
-            Workload {
+            let w = Workload {
                 label: "nba",
                 truths: (0..ds.len()).map(|i| ds.truth(i).clone()).collect(),
                 specs: (0..ds.len()).map(|i| subsample(&ds.spec(i))).collect(),
-            }
+            };
+            share_workload_program(&w.specs, ds.value_table().map(|t| t.as_ref()));
+            w
         },
         {
             let ds = person::generate_with_sizes(&person_sizes, seed);
-            Workload {
+            let w = Workload {
                 label: "person",
                 truths: (0..ds.len()).map(|i| ds.truth(i).clone()).collect(),
                 specs: (0..ds.len()).map(|i| subsample(&ds.spec(i))).collect(),
-            }
+            };
+            share_workload_program(&w.specs, ds.value_table().map(|t| t.as_ref()));
+            w
         },
         {
             let ds = quick::career(entities.min(65), seed);
@@ -224,36 +356,59 @@ fn main() {
                 specs: scenarios.into_iter().map(|s| s.spec).collect(),
             }
         },
+        retraction_workload(entities.clamp(2, 8)),
     ];
 
-    let mut report = BenchReport::new("lazy-transitivity-engine");
+    // Career specs were stamped by `Dataset::spec`, wide scenarios by
+    // `cr_data::gen` — every workload's program now exists. From here on,
+    // nothing may compile: resolutions and encode measurements only
+    // *project* entities through the per-dataset programs.
+    let compiles_at_setup = compile_count();
+
+    let mut report = BenchReport::new("compiled-program-engine");
     report.context("entities_per_dataset", entities);
     report.context("seed", seed);
     report.context("max_rounds", rounds);
     report.context("reps", reps);
-    report.context(
-        "threads",
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
-    );
+    report.context("threads", threads);
+    report.context("programs_compiled_at_setup", compiles_at_setup);
 
     let mut total_scratch = 0.0;
     let mut total_lazy = 0.0;
     let mut total_eager = 0.0;
     let mut total_rebuilds = 0;
     let mut lazy_injection_seen = false;
+    let mut retraction_replays_seen = 0;
     for w in &workloads {
-        let (rebuilds, injected) = check_agreement(w, rounds);
+        let (rebuilds, injected, retraction) = check_agreement(w, rounds);
         total_rebuilds += rebuilds;
         lazy_injection_seen |= injected > 0;
+        retraction_replays_seen += retraction.replays;
         report.context(format!("rebuilds/{}", w.label), rebuilds);
         report.context(format!("injected_axioms/{}", w.label), injected);
+        report.context(format!("retraction/{}/replays", w.label), retraction.replays);
+        report.context(format!("retraction/{}/invalidated", w.label), retraction.invalidated);
+        report.context(format!("retraction/{}/full_resets", w.label), retraction.full_resets);
+        let per_round = if retraction.rounds_with_retraction > 0 {
+            retraction.invalidated as f64 / retraction.rounds_with_retraction as f64
+        } else {
+            0.0
+        };
+        report.context(
+            format!("retraction/{}/invalidated_per_round", w.label),
+            format!("{per_round:.2}"),
+        );
         if rebuilds != 0 {
             eprintln!("{:>8}: ZERO-REBUILD VIOLATION: {rebuilds} engine rebuilds", w.label);
         } else {
-            println!("{:>8}: rebuilds 0, injected axioms {injected}", w.label);
+            println!(
+                "{:>8}: rebuilds 0, injected axioms {injected}, retraction replays {}                  ({} literals invalidated, {:.2}/round, {} full resets)",
+                w.label, retraction.replays, retraction.invalidated, per_round,
+                retraction.full_resets,
+            );
         }
 
-        let enc = encode_stats(w);
+        let enc = encode_stats(w, if smoke { 1 } else { reps });
         report.context(format!("encode_clauses/{}/eager", w.label), enc.eager_clauses);
         report.context(format!("encode_clauses/{}/lazy", w.label), enc.lazy_clauses);
         report.measure(format!("encode_round0/{}/eager", w.label), enc.eager_secs);
@@ -274,7 +429,7 @@ fn main() {
         let scratch = time_serial(w, EncodeOptions::eager(), false, rounds, reps);
         let eager = time_serial(w, EncodeOptions::eager(), true, rounds, reps);
         let lazy = time_serial(w, EncodeOptions::lazy(), true, rounds, reps);
-        let parallel = time_parallel(w, rounds, reps);
+        let parallel = time_parallel(w, rounds, reps, threads);
         total_scratch += scratch;
         total_eager += eager;
         total_lazy += lazy;
@@ -319,4 +474,23 @@ fn main() {
         eprintln!("FAIL: lazy path recorded no injected axioms on any workload (telemetry dead?)");
         std::process::exit(1);
     }
+    // Compile-once invariant: every program was compiled during workload
+    // setup; resolving entities (any path, any round count) and measuring
+    // encodes must never trigger another compilation.
+    let late_compiles = compile_count() - compiles_at_setup;
+    if late_compiles != 0 {
+        eprintln!(
+            "FAIL: {late_compiles} constraint program(s) compiled during              resolution (expected 0 — compile-once-per-dataset violated)"
+        );
+        std::process::exit(1);
+    }
+    // The wide workload's new-value answers retract CFD groups: the
+    // provenance replay telemetry must be alive.
+    if retraction_replays_seen == 0 {
+        eprintln!("FAIL: no retraction replays recorded on any workload (telemetry dead?)");
+        std::process::exit(1);
+    }
+    println!(
+        "compile-once OK ({compiles_at_setup} programs at setup, 0 during resolution);          retraction replays {retraction_replays_seen}"
+    );
 }

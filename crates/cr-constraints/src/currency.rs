@@ -66,6 +66,24 @@ impl CurrencyConstraint {
         self.conclusion_attr
     }
 
+    /// Every attribute the constraint references — premise attributes plus
+    /// the conclusion — sorted and deduplicated. This is the projection key
+    /// of the encoder's instantiation: tuple pairs agreeing on these
+    /// attributes produce identical instance constraints. Derived once per
+    /// dataset by the compiled constraint program; per-entity encoding must
+    /// not recompute it.
+    pub fn referenced_attrs(&self) -> Vec<AttrId> {
+        let mut attrs: Vec<AttrId> = self
+            .premises
+            .iter()
+            .map(|p| p.attr())
+            .chain(std::iter::once(self.conclusion_attr))
+            .collect();
+        attrs.sort_unstable();
+        attrs.dedup();
+        attrs
+    }
+
     /// Attributes of the order predicates in the premise.
     pub fn order_premise_attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
         self.premises.iter().filter_map(|p| match p {

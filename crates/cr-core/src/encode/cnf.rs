@@ -50,14 +50,14 @@
 
 use std::collections::HashSet;
 
-use cr_constraints::{Predicate, TupleRef};
 use cr_sat::{Cnf, Lit, Var};
 use cr_types::{AttrId, AttrValueSpace, Value, ValueId};
 
 use super::AxiomMode;
 
 use super::omega::{
-    cfd_instances, instantiate, instantiate_pair, Conclusion, InstanceConstraint, OrderAtom,
+    build_spaces, cfd_instances, emit_base, emit_sigma_gamma, instantiate_pair, Conclusion,
+    InstanceConstraint, OmegaSink, OrderAtom, Premise,
 };
 use super::EncodeOptions;
 use crate::spec::{Specification, UserInput};
@@ -137,6 +137,29 @@ struct GroupState {
     active: bool,
 }
 
+/// [`OmegaSink`] adapter converting streamed instances to clauses on the
+/// spot (see [`EncodedSpec::encode_with`]).
+struct EncoderSink<'a> {
+    enc: &'a mut EncodedSpec,
+    guarded: bool,
+}
+
+impl OmegaSink for EncoderSink<'_> {
+    fn hint(&mut self, additional: usize) {
+        // `additional` is a pair-count *upper bound* (vacuous pairs emit
+        // nothing); reserving it in full routinely over-allocates the Ω
+        // storage 2–3× and pushes every encode into fresh large mappings.
+        // Cap the hint and let amortised growth cover dense constraints.
+        let capped = additional.min(4096);
+        self.enc.omega.reserve(capped);
+        self.enc.clause_groups.reserve(capped);
+        self.enc.cnf.reserve_clauses(capped);
+    }
+    fn emit(&mut self, c: InstanceConstraint) {
+        self.enc.route_omega(c, self.guarded);
+    }
+}
+
 /// Outcome of [`EncodedSpec::extend_with_input`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ExtendOutcome {
@@ -198,13 +221,16 @@ impl EncodedSpec {
 
     /// Encodes `spec` with explicit [`EncodeOptions`].
     pub fn encode_with(spec: &Specification, options: EncodeOptions) -> Self {
-        let inst = instantiate(spec);
-        let widths: Vec<usize> = (0..inst.space.arity())
-            .map(|i| inst.space.attr(AttrId(i as u16)).len())
+        let program = spec.compiled_program().clone();
+        let (space, g2l) = build_spaces(spec);
+        let widths: Vec<usize> = (0..space.arity())
+            .map(|i| space.attr(AttrId(i as u16)).len())
             .collect();
         let mut enc = EncodedSpec {
-            vars: VarTable::new(widths),
-            space: inst.space,
+            vars: VarTable::new(widths.clone()),
+            // Placeholder until Ω emission (which only reads the local
+            // `space`) completes; swapped in below.
+            space: AttrValueSpace::new(0),
             atoms: Vec::new(),
             atom_vars: Vec::new(),
             var_atom: Vec::new(),
@@ -221,36 +247,43 @@ impl EncodedSpec {
         // modes allocate the full dense table (`O(n²)` per attribute): the
         // lazy mode needs it to detect violated instances, and downstream
         // consumers (`top_assumptions`, suggestion literals) rely on every
-        // pair variable existing.
-        for attr in (0..enc.space.arity() as u16).map(AttrId) {
-            let n = enc.space.attr(attr).len() as u32;
+        // pair variable existing. The table is empty here, so the atoms can
+        // be bulk-allocated in row-major walk order without the per-atom
+        // existence check `var()` pays.
+        let total: usize = widths.iter().map(|&n| n * n.saturating_sub(1)).sum();
+        enc.atoms.reserve(total);
+        let mut idx: u32 = 0;
+        for (ai, &width) in widths.iter().enumerate() {
+            let attr = AttrId(ai as u16);
+            let n = width as u32;
+            let row = &mut enc.vars.per_attr[ai];
             for a in 0..n {
                 for b in 0..n {
                     if a != b {
-                        enc.var(OrderAtom { attr, lo: ValueId(a), hi: ValueId(b) });
+                        row[(a * n + b) as usize] = idx;
+                        enc.atoms.push(OrderAtom { attr, lo: ValueId(a), hi: ValueId(b) });
+                        idx += 1;
                     }
                 }
             }
         }
+        debug_assert_eq!(idx as usize, total);
+        // Variable ↔ atom mappings are the identity over the bulk range.
+        enc.cnf.ensure_vars(idx);
+        enc.atom_vars = (0..idx).map(Var).collect();
+        enc.var_atom = (0..idx).collect();
 
-        // Ω(Se) clauses. CFD instances optionally go into one retractable
-        // group per CFD; everything else is permanent.
-        for c in inst.omega {
-            match c.origin {
-                super::Origin::Cfd(gi) if options.guarded_cfds => {
-                    let group = match enc.cfd_groups[gi] {
-                        Some(g) => g,
-                        None => {
-                            let g = enc.new_group();
-                            enc.cfd_groups[gi] = Some(g);
-                            g
-                        }
-                    };
-                    enc.add_omega_constraint_in(c, group);
-                }
-                _ => enc.add_omega_constraint(c),
-            }
+        // Ω(Se), streamed straight from the compiled-program projection
+        // into clause emission — instance construction, clause conversion
+        // and Ω recording happen in one pass with no intermediate buffer.
+        // CFD instances optionally go into one retractable group per CFD;
+        // everything else is permanent.
+        {
+            let mut sink = EncoderSink { enc: &mut enc, guarded: options.guarded_cfds };
+            emit_base(spec, &space, &g2l, &mut sink);
+            emit_sigma_gamma(spec, &program, &space, &g2l, &mut sink);
         }
+        enc.space = space;
 
         // Transitivity and asymmetry per attribute, over the realised
         // variable set. Lazy mode emits nothing here: the axioms flow in on
@@ -400,7 +433,7 @@ impl EncodedSpec {
                 .collect();
             for lo in below {
                 self.add_omega_constraint(InstanceConstraint {
-                    premise: Vec::new(),
+                    premise: Premise::new(),
                     conclusion: Conclusion::Atom(OrderAtom { attr, lo, hi: vid }),
                     origin: super::Origin::BaseOrder,
                 });
@@ -419,56 +452,43 @@ impl EncodedSpec {
         }
         let to = cr_types::Tuple::from_values(values);
         let answered_attr = |attr: AttrId| answered.iter().any(|&(a, _)| a == attr);
-        for (ci, constraint) in spec.sigma().iter().enumerate() {
+        let program = spec.compiled_program().clone();
+        for (ci, cc) in program.sigma.iter().enumerate() {
             // A pair involving `to` instantiates only if the conclusion is
             // non-null on `to`'s side, and order / tuple-comparison
             // premises need both sides non-null — so those attributes must
             // all be among the answered ones. Σ can be large (hundreds of
-            // constraints on generated workloads); these O(|ω|) checks skip
+            // constraints on generated workloads); these O(|ω|) checks —
+            // over the compiled premise shapes, nothing re-derived — skip
             // the per-tuple work for the vast majority.
-            if !answered_attr(constraint.conclusion_attr()) {
+            if !answered_attr(cc.conclusion_attr) {
                 continue;
             }
-            if constraint.premises().iter().any(|p| match p {
-                Predicate::Order { attr } | Predicate::TupleCmp { attr, .. } => {
-                    !answered_attr(*attr)
-                }
-                Predicate::ConstCmp { .. } => false,
-            }) {
+            if cc.order_premises.iter().any(|a| !answered_attr(*a))
+                || cc.tuple_cmps.iter().any(|(a, _)| !answered_attr(*a))
+            {
                 continue;
             }
             // Constant comparisons against `to`'s side have one fixed
             // operand: evaluate them once per direction instead of per
-            // tuple ((to, to) is safe — a ConstCmp only reads the tuple
-            // its `TupleRef` picks).
-            let direction_open = |to_ref: TupleRef| {
-                constraint.premises().iter().all(|p| match p {
-                    Predicate::ConstCmp { tuple, .. } if *tuple == to_ref => {
-                        p.eval_comparison(&to, &to) == Some(true)
-                    }
-                    _ => true,
-                })
-            };
-            let to_second = direction_open(TupleRef::T2); // pairs (t, to)
-            let to_first = direction_open(TupleRef::T1); // pairs (to, t)
+            // tuple.
+            let to_second = cc.t2_consts.iter().all(|c| c.eval_tuple(&to)); // pairs (t, to)
+            let to_first = cc.t1_consts.iter().all(|c| c.eval_tuple(&to)); // pairs (to, t)
             if !to_first && !to_second {
                 continue;
             }
-            let mut attrs: Vec<AttrId> = constraint
-                .premises()
-                .iter()
-                .map(|p| p.attr())
-                .chain(std::iter::once(constraint.conclusion_attr()))
-                .collect();
-            attrs.sort_unstable();
-            attrs.dedup();
+            let constraint = &spec.sigma()[ci];
             // Distinct projections over the dense id rows — integer keys,
-            // no Value hashing.
+            // no Value hashing; the projection key comes precomputed from
+            // the compiled program.
             let mut seen: std::collections::HashSet<Vec<u32>> =
                 std::collections::HashSet::new();
             for tid in entity.tuple_ids() {
-                let projection: Vec<u32> =
-                    attrs.iter().map(|&a| entity.dense_id(tid, a)).collect();
+                let projection: Vec<u32> = cc
+                    .referenced_attrs
+                    .iter()
+                    .map(|&a| entity.dense_id(tid, a))
+                    .collect();
                 if !seen.insert(projection) {
                     continue;
                 }
@@ -541,7 +561,7 @@ impl EncodedSpec {
         // Null stays a strict bottom below the new value.
         if let Some(null_id) = self.space.get(attr, &Value::Null) {
             self.add_omega_constraint(InstanceConstraint {
-                premise: Vec::new(),
+                premise: Premise::new(),
                 conclusion: Conclusion::Atom(OrderAtom { attr, lo: null_id, hi: vid }),
                 origin: super::Origin::NullBottom,
             });
@@ -564,27 +584,63 @@ impl EncodedSpec {
     /// [`EncodedSpec::add_omega_constraint`] into a clause group: the
     /// group's guard literal `¬g` is appended to the clause.
     fn add_omega_constraint_in(&mut self, c: InstanceConstraint, group: GroupId) {
-        let mut clause: Vec<Lit> = c.premise.iter().map(|a| self.var(*a).negative()).collect();
+        self.emit_omega_clause(&c, group);
+        self.omega.push(c);
+    }
+
+    /// Routes one streamed Ω instance to its clause group: CFD instances go
+    /// into their (lazily created) retractable group when `guarded`,
+    /// everything else is permanent.
+    fn route_omega(&mut self, c: InstanceConstraint, guarded: bool) {
+        match c.origin {
+            super::Origin::Cfd(gi) if guarded => {
+                let group = match self.cfd_groups[gi] {
+                    Some(g) => g,
+                    None => {
+                        let g = self.new_group();
+                        self.cfd_groups[gi] = Some(g);
+                        g
+                    }
+                };
+                self.add_omega_constraint_in(c, group);
+            }
+            _ => self.add_omega_constraint(c),
+        }
+    }
+
+    /// Emits the clause of one instance constraint (without recording the
+    /// instance): literals go straight into the CNF's flat arena — no
+    /// per-clause allocation, no intermediate buffer.
+    fn emit_omega_clause(&mut self, c: &InstanceConstraint, group: GroupId) {
+        for a in c.premise.iter() {
+            let lit = self.var(*a).negative();
+            self.cnf.push_clause_lit(lit);
+        }
         if let Conclusion::Atom(atom) = c.conclusion {
             let concl = self.var(atom).positive();
-            clause.push(concl);
+            self.cnf.push_clause_lit(concl);
         }
-        self.push_clause(clause, group);
-        self.omega.push(c);
+        if group != NO_GROUP {
+            let guard = self.groups[group as usize].guard;
+            self.cnf.push_clause_lit(guard.negative());
+        }
+        self.cnf.finish_clause();
+        self.clause_groups.push(group);
     }
 
     /// Appends one clause to the CNF, tagging it with its group (the
     /// group's guard literal is appended automatically). Every clause of
     /// the encoding goes through here so `clause_groups` stays parallel to
-    /// the clause list.
+    /// the clause list; every caller allocates its variables through
+    /// [`EncodedSpec::var`] / [`EncodedSpec::new_group`] first, so the CNF
+    /// skips its per-literal variable scan.
     fn push_clause(&mut self, lits: impl IntoIterator<Item = Lit>, group: GroupId) {
         if group == NO_GROUP {
-            self.cnf.add_clause(lits);
+            self.cnf.add_clause_prealloc(lits);
         } else {
             let guard = self.groups[group as usize].guard;
-            let mut clause: Vec<Lit> = lits.into_iter().collect();
-            clause.push(guard.negative());
-            self.cnf.add_clause(clause);
+            self.cnf
+                .add_clause_prealloc(lits.into_iter().chain(std::iter::once(guard.negative())));
         }
         self.clause_groups.push(group);
     }
@@ -747,7 +803,7 @@ impl EncodedSpec {
 
     /// Appends lazily instantiated axiom clauses to the CNF as permanent
     /// clauses (axioms are theory-valid independently of any CFD group).
-    fn record_axiom_clauses(&mut self, clauses: &[Vec<Lit>]) {
+    pub(crate) fn record_axiom_clauses(&mut self, clauses: &[Vec<Lit>]) {
         for clause in clauses {
             self.push_clause(clause.iter().copied(), NO_GROUP);
         }

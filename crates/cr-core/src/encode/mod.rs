@@ -40,12 +40,57 @@
 //!   docs. Lazily injected axiom clauses are never guarded — they are
 //!   theory-valid regardless of any CFD, so they survive retraction.
 //!
+//! ## Compiled constraint programs
+//!
+//! Every encode — any mode — projects the entity through a dataset-level
+//! [`CompiledProgram`]. The lifecycle is **build once per dataset →
+//! project per entity → extend per round**:
+//!
+//! 1. *Build once per dataset.* [`CompiledProgram::compile`] derives, from
+//!    Σ/Γ plus the dataset's shared `ValueTable`, everything per-entity
+//!    encoding would otherwise re-derive: each constraint's sorted
+//!    referenced-attribute projection key, its premise decomposed into
+//!    order premises, binary tuple comparisons and per-side constant
+//!    comparisons (pre-resolved to dense global value ids), and each CFD's
+//!    pattern tableau in dense-id form. Dataset generators compile once
+//!    and stamp the program onto every entity specification
+//!    (`Specification::set_compiled_program`); `Specification` otherwise
+//!    compiles lazily (without a table) on first encode, and clones share
+//!    the cache. [`compile_count`] counts compilations so
+//!    `bench_incremental --smoke` can enforce compile-once-per-dataset in
+//!    CI.
+//! 2. *Project per entity.* `Instantiation(Se)` walks instance-local
+//!    `u32` rows against the compiled tableaus: projection grouping sorts
+//!    packed integer keys, unary conjuncts are evaluated once per distinct
+//!    projection (never per ordered pair), and CFD patterns resolve by
+//!    global-id lookup. A `debug_assert` rejects projecting a program
+//!    compiled against one `ValueTable` onto an entity interned against
+//!    another (in release the dense-id shortcuts are simply bypassed).
+//! 3. *Extend per round.* [`EncodedSpec::extend_with_input`] reuses the
+//!    compiled premise shapes to filter Σ and locate affected CFDs; the
+//!    program itself never changes during a resolution (user input adds
+//!    tuples and values, not constraints), so every round of every entity
+//!    of a dataset shares one `Arc<CompiledProgram>` — including across
+//!    the `resolve_all_parallel` thread fan-out (`CompiledProgram` is
+//!    immutable after compile, hence freely `Send + Sync`-shared; entities
+//!    only read it).
+//!
+//! The guarded-CFD mode interacts with the program only at *emission*: the
+//! compiled tableau decides which instances a CFD produces, the guard
+//! machinery decides which clause group they land in, and re-emission
+//! after value growth re-reads the same compiled pattern (resolving any
+//! grown, non-table value by `Value` lookup). The pre-compilation
+//! per-entity derivation survives as the differential baseline
+//! (`tests/lazy_differential.rs` proves compiled ≡ reference Ω(Se) exactly
+//! on the seed datasets and randomized scenarios).
+//!
 //! **Defaults.** [`EncodeOptions::default`] is *eager and unguarded* so
 //! that standalone `EncodedSpec::encode` + `Solver::from_cnf` pipelines
 //! stay complete with zero cooperation. The resolution engine defaults to
 //! *lazy* ([`EncodeOptions::lazy`] via `ResolutionConfig::default`) and
 //! adds guarded CFDs on top; the two defaults intentionally differ and are
-//! each documented where they apply.
+//! each documented where they apply. Both defaults run the compiled
+//! projection — the program is orthogonal to the axiom and guard modes.
 //!
 //! **Differential testing.** Lazy vs eager vs from-scratch resolution are
 //! proven outcome-identical on the four seed datasets
@@ -70,11 +115,29 @@
 
 mod cnf;
 mod omega;
+mod program;
 
 pub use cnf::{
     EncodedSpec, ExtendOutcome, GroupId, RecordingAxiomSource, TransientAxiomSource,
 };
-pub use omega::{Conclusion, InstanceConstraint, OrderAtom, Origin};
+pub use omega::{Conclusion, InstanceConstraint, OrderAtom, Origin, Premise};
+pub use program::{compile_count, CompiledProgram};
+
+/// The instance constraints Ω(Se) via the **reference** (pre-compilation)
+/// per-entity instantiation — exposed for differential tests and the
+/// `compile_program` criterion bench only.
+#[doc(hidden)]
+pub fn omega_reference(spec: &crate::spec::Specification) -> Vec<InstanceConstraint> {
+    omega::instantiate_reference(spec).omega
+}
+
+/// The instance constraints Ω(Se) via the compiled-program projection —
+/// the production path, exposed alongside [`omega_reference`] for
+/// differential tests and benches.
+#[doc(hidden)]
+pub fn omega_compiled(spec: &crate::spec::Specification) -> Vec<InstanceConstraint> {
+    omega::instantiate(spec).omega
+}
 
 use cr_types::{AttrId, ValueId};
 
@@ -124,7 +187,10 @@ pub struct EncodeOptions {
     /// withdrawn and re-emitted over the grown value space instead of
     /// rebuilding the whole encoding. Default `false` (one-shot encodings
     /// never retract and skip the guard plumbing); the incremental
-    /// resolution engine turns it on.
+    /// resolution engine turns it on. Orthogonal to the compiled
+    /// constraint program (see the module docs): the compiled CFD tableau
+    /// decides *which* instances are emitted, this flag decides whether
+    /// they land in a retractable group.
     pub guarded_cfds: bool,
 }
 

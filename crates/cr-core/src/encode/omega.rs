@@ -7,14 +7,26 @@
 //! tests are single integer compares, and dense → space-local id
 //! translation is one load from a flat `attr × id` table sized by the
 //! entity's own distinct-value count. Full [`Value`]s are only touched
-//! where semantics require them (comparison predicates, canonical sorting
-//! of each value space, CFD constants).
+//! where semantics require them (ordered comparison predicates, canonical
+//! sorting of each value space).
+//!
+//! All per-constraint structure — referenced-attribute projection keys,
+//! premise decomposition, CFD pattern constants in dense-id form — comes
+//! from the dataset-level [`CompiledProgram`]: [`instantiate`] *projects*
+//! an entity through the compiled program instead of re-deriving the
+//! structure per entity. Unary (constant) comparison conjuncts are
+//! evaluated once per distinct projection, never once per ordered pair,
+//! and projection grouping sorts packed `u64` keys instead of hashing
+//! per-tuple key vectors. The pre-compilation per-entity derivation is
+//! kept as [`instantiate_reference`] — the differential-testing and
+//! benchmarking baseline the compiled path is proven against.
 
 use std::collections::HashMap;
 
 use cr_constraints::Predicate;
 use cr_types::{AttrValueSpace, TupleId, Value, ValueId, NULL_VALUE_ID};
 
+use super::program::{CompiledCfd, CompiledProgram};
 use crate::spec::Specification;
 
 /// A strict value-order atom `lo ≺v_attr hi` (distinct interned values of
@@ -54,22 +66,163 @@ pub enum Origin {
     Cfd(usize),
 }
 
+/// The premise conjunction of an [`InstanceConstraint`]: an inline
+/// small-vector of up to two [`OrderAtom`]s that spills to the heap beyond
+/// that. Σ instances overwhelmingly carry zero-, one- or two-atom premises
+/// (order/comparison conjuncts of two-tuple constraints), and `Ω(Se)` holds
+/// tens of thousands of them per entity — the per-premise heap allocation
+/// of a plain `Vec` was a measurable slice of round-0 encode. CFD ωX
+/// premises (one atom per dominated value) use the spill path.
+///
+/// Dereferences to `[OrderAtom]`; equality/hashing are content-based.
+#[derive(Clone, Debug)]
+pub struct Premise(PremiseRepr);
+
+#[derive(Clone, Debug)]
+enum PremiseRepr {
+    /// Up to two atoms stored inline (the unread slots are `ZERO_ATOM`).
+    Inline { len: u8, atoms: [OrderAtom; 2] },
+    /// Three or more atoms on the heap.
+    Spill(Vec<OrderAtom>),
+}
+
+/// Inline slots before spilling (the zero atom is never read beyond `len`).
+const PREMISE_INLINE: usize = 2;
+const ZERO_ATOM: OrderAtom =
+    OrderAtom { attr: cr_types::AttrId(0), lo: ValueId(0), hi: ValueId(0) };
+
+impl Premise {
+    /// An empty premise (`true →`).
+    pub fn new() -> Self {
+        Premise(PremiseRepr::Inline { len: 0, atoms: [ZERO_ATOM; PREMISE_INLINE] })
+    }
+
+    /// An empty premise with room for `n` atoms (pre-sizes the spill vector
+    /// when `n` exceeds the inline capacity — CFD ωX emission).
+    pub fn with_capacity(n: usize) -> Self {
+        if n > PREMISE_INLINE {
+            Premise(PremiseRepr::Spill(Vec::with_capacity(n)))
+        } else {
+            Premise::new()
+        }
+    }
+
+    /// Appends an atom, spilling to the heap on the third.
+    pub fn push(&mut self, atom: OrderAtom) {
+        match &mut self.0 {
+            PremiseRepr::Inline { len, atoms } => {
+                let l = *len as usize;
+                if l < PREMISE_INLINE {
+                    atoms[l] = atom;
+                    *len += 1;
+                } else {
+                    let mut spill = Vec::with_capacity(PREMISE_INLINE + 2);
+                    spill.extend_from_slice(atoms);
+                    spill.push(atom);
+                    self.0 = PremiseRepr::Spill(spill);
+                }
+            }
+            PremiseRepr::Spill(spill) => spill.push(atom),
+        }
+    }
+
+    /// The atoms as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[OrderAtom] {
+        match &self.0 {
+            PremiseRepr::Inline { len, atoms } => &atoms[..*len as usize],
+            PremiseRepr::Spill(spill) => spill,
+        }
+    }
+
+    /// Sorts by `(attr, lo, hi)` and deduplicates — the canonical premise
+    /// form (`build_instance` contract).
+    pub fn canonicalize(&mut self) {
+        match &mut self.0 {
+            PremiseRepr::Inline { len, atoms } => {
+                if *len == 2 {
+                    let key = |a: &OrderAtom| (a.attr, a.lo, a.hi);
+                    if key(&atoms[0]) > key(&atoms[1]) {
+                        atoms.swap(0, 1);
+                    }
+                    if atoms[0] == atoms[1] {
+                        *len = 1;
+                    }
+                }
+            }
+            PremiseRepr::Spill(spill) => {
+                spill.sort_unstable_by_key(|a| (a.attr, a.lo, a.hi));
+                spill.dedup();
+            }
+        }
+    }
+}
+
+impl Default for Premise {
+    fn default() -> Self {
+        Premise::new()
+    }
+}
+
+impl std::ops::Deref for Premise {
+    type Target = [OrderAtom];
+    fn deref(&self) -> &[OrderAtom] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Premise {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Premise {}
+
+impl std::hash::Hash for Premise {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
 /// One instance constraint `premise → conclusion` of Ω(Se). An empty premise
 /// denotes `true →` (a unit).
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct InstanceConstraint {
     /// Conjunction of value-order atoms.
-    pub premise: Vec<OrderAtom>,
+    pub premise: Premise,
     /// Implied atom or `False`.
     pub conclusion: Conclusion,
     /// Provenance.
     pub origin: Origin,
 }
 
-/// Output of instantiation: the interned value spaces plus Ω(Se).
+/// Output of instantiation: the interned value spaces plus Ω(Se). The
+/// encoder streams instances instead (see [`emit_sigma_gamma`]); this
+/// collected form serves the standalone entry points and tests.
 pub(crate) struct Instantiated {
+    #[cfg_attr(not(test), allow(dead_code))]
     pub space: AttrValueSpace,
     pub omega: Vec<InstanceConstraint>,
+}
+
+/// Receiver of streamed Ω(Se) instances ([`emit_base`],
+/// [`emit_sigma_gamma`]): either a plain collector ([`Vec`]) or the
+/// encoder, which converts each instance to its clause on the spot.
+pub(crate) trait OmegaSink {
+    /// Upcoming-instance upper bound (per constraint) — reserve storage.
+    fn hint(&mut self, _additional: usize) {}
+    /// One streamed instance.
+    fn emit(&mut self, c: InstanceConstraint);
+}
+
+impl OmegaSink for Vec<InstanceConstraint> {
+    fn hint(&mut self, additional: usize) {
+        self.reserve(additional);
+    }
+    fn emit(&mut self, c: InstanceConstraint) {
+        self.push(c);
+    }
 }
 
 /// Core of `ins(ω, s1, s2)` (Section V-A), shared by the Value-based and
@@ -95,7 +248,7 @@ fn build_instance(
     mut cmp: impl FnMut(&Predicate) -> bool,
 ) -> Option<InstanceConstraint> {
     // Data half of ins(ω, s1, s2): comparison conjuncts.
-    let mut premise: Vec<OrderAtom> = Vec::new();
+    let mut premise = Premise::new();
     for p in constraint.premises() {
         match p {
             Predicate::Order { attr } => {
@@ -112,8 +265,7 @@ fn build_instance(
     // Conclusion t1 ≺_Ar t2 on values.
     let ar = constraint.conclusion_attr();
     let (lo, hi) = pair(ar)?;
-    premise.sort_unstable_by_key(|a| (a.attr, a.lo, a.hi));
-    premise.dedup();
+    premise.canonicalize();
     Some(InstanceConstraint {
         premise,
         conclusion: Conclusion::Atom(OrderAtom { attr: ar, lo, hi }),
@@ -177,10 +329,26 @@ impl GlobalToLocal {
         debug_assert!(raw < G2L_SEEN, "gid not interned for this attribute");
         ValueId(raw)
     }
+
+    /// Local id of a global id, or `None` when the value does not occur in
+    /// `attr`'s space (it may occur in another attribute's).
+    #[inline]
+    fn get(&self, attr: cr_types::AttrId, gid: u32) -> Option<ValueId> {
+        let raw = self.table[attr.index() * self.bound + gid as usize];
+        (raw < G2L_SEEN).then_some(ValueId(raw))
+    }
+
+    /// The translation row of one attribute (indexed by entity-local id).
+    #[inline]
+    fn row(&self, attr: cr_types::AttrId) -> &[u32] {
+        &self.table[attr.index() * self.bound..(attr.index() + 1) * self.bound]
+    }
 }
 
-/// Runs `Instantiation(Se)` (Section V-A).
-pub(crate) fn instantiate(spec: &Specification) -> Instantiated {
+/// Step 1 of `Instantiation(Se)`: the per-attribute value spaces (active
+/// domain in canonical order plus null when present) and the entity-local
+/// dense-id → space-local translation table.
+pub(crate) fn build_spaces(spec: &Specification) -> (AttrValueSpace, GlobalToLocal) {
     let schema = spec.schema();
     let entity = spec.entity();
     let arity = schema.arity();
@@ -222,15 +390,28 @@ pub(crate) fn instantiate(spec: &Specification) -> Instantiated {
         }
     }
 
-    let mut omega: Vec<InstanceConstraint> = Vec::new();
+    (space, g2l)
+}
+
+/// Steps 2–3 of `Instantiation(Se)` — null-bottom axioms and base currency
+/// orders, streamed into `sink`. Shared verbatim by the compiled and
+/// reference walks.
+pub(crate) fn emit_base(
+    spec: &Specification,
+    space: &AttrValueSpace,
+    g2l: &GlobalToLocal,
+    sink: &mut impl OmegaSink,
+) {
+    let schema = spec.schema();
+    let entity = spec.entity();
 
     // 2. Null-bottom axioms: null ≺v a for every non-null a.
     for attr in schema.attr_ids() {
         if let Some(null_id) = space.get(attr, &Value::Null) {
             for (vid, v) in space.attr(attr).iter() {
                 if !v.is_null() {
-                    omega.push(InstanceConstraint {
-                        premise: Vec::new(),
+                    sink.emit(InstanceConstraint {
+                        premise: Premise::new(),
                         conclusion: Conclusion::Atom(OrderAtom { attr, lo: null_id, hi: vid }),
                         origin: Origin::NullBottom,
                     });
@@ -250,8 +431,8 @@ pub(crate) fn instantiate(spec: &Specification) -> Instantiated {
                 // carry no strict information (missing is ranked lowest).
                 continue;
             }
-            omega.push(InstanceConstraint {
-                premise: Vec::new(),
+            sink.emit(InstanceConstraint {
+                premise: Premise::new(),
                 conclusion: Conclusion::Atom(OrderAtom {
                     attr,
                     lo: g2l.local(attr, g1),
@@ -261,6 +442,96 @@ pub(crate) fn instantiate(spec: &Specification) -> Instantiated {
             });
         }
     }
+}
+
+/// Distinct projections of the entity's tuples on `attrs`, each with its
+/// first-occurring representative, sorted by tuple id (Ω(Se) must be
+/// deterministic — rule derivation is order sensitive).
+///
+/// Keys are the instance-local dense ids packed into one `u64` whenever
+/// `dense_id_bound ^ |attrs|` fits, so grouping is a sort over plain
+/// integers; the per-tuple key-vector hashing survives only as the
+/// overflow fallback (very wide projections on very wide entities).
+fn group_projections(entity: &cr_types::EntityInstance, attrs: &[cr_types::AttrId]) -> Vec<TupleId> {
+    let radix = (entity.dense_id_bound() as u64).max(1);
+    let packable = {
+        let mut cap: u64 = 1;
+        attrs.iter().all(|_| match cap.checked_mul(radix) {
+            Some(c) => {
+                cap = c;
+                true
+            }
+            None => false,
+        })
+    };
+    let mut reps: Vec<TupleId> = if packable {
+        let mut keyed: Vec<(u64, u32)> = entity
+            .tuple_ids()
+            .map(|tid| {
+                let mut key = 0u64;
+                for &a in attrs {
+                    key = key * radix + u64::from(entity.dense_id(tid, a));
+                }
+                (key, tid.0)
+            })
+            .collect();
+        // Sorting by (key, tid) keeps the smallest — i.e. first-occurring —
+        // tuple id of each projection, matching the reference grouping.
+        keyed.sort_unstable();
+        keyed.dedup_by_key(|&mut (key, _)| key);
+        keyed.into_iter().map(|(_, tid)| TupleId(tid)).collect()
+    } else {
+        let mut map: HashMap<Vec<u32>, TupleId> = HashMap::new();
+        for tid in entity.tuple_ids() {
+            let key: Vec<u32> = attrs.iter().map(|&a| entity.dense_id(tid, a)).collect();
+            map.entry(key).or_insert(tid);
+        }
+        map.into_values().collect()
+    };
+    reps.sort_unstable();
+    reps
+}
+
+/// Runs `Instantiation(Se)` (Section V-A) by projecting the entity through
+/// the specification's [`CompiledProgram`] — the production path. Proven
+/// equivalent to [`instantiate_reference`] by `tests/lazy_differential.rs`.
+pub(crate) fn instantiate(spec: &Specification) -> Instantiated {
+    let program = spec.compiled_program().clone();
+    instantiate_with(spec, &program)
+}
+
+/// [`instantiate`] against an explicit compiled program.
+pub(crate) fn instantiate_with(spec: &Specification, program: &CompiledProgram) -> Instantiated {
+    let (space, g2l) = build_spaces(spec);
+    let mut omega: Vec<InstanceConstraint> = Vec::new();
+    emit_base(spec, &space, &g2l, &mut omega);
+    emit_sigma_gamma(spec, program, &space, &g2l, &mut omega);
+    Instantiated { space, omega }
+}
+
+/// Steps 4–5 of `Instantiation(Se)` over the compiled program, streamed
+/// into `sink`. [`EncodedSpec::encode_with`] streams straight into clause
+/// emission (no intermediate instance buffer);
+/// [`instantiate_with`] collects into `Ω(Se)` for standalone consumers.
+pub(crate) fn emit_sigma_gamma(
+    spec: &Specification,
+    program: &CompiledProgram,
+    space: &AttrValueSpace,
+    g2l: &GlobalToLocal,
+    sink: &mut impl OmegaSink,
+) {
+    let entity = spec.entity();
+    if let (Some(pt), Some(et)) = (program.table_token(), entity.table_token()) {
+        debug_assert_eq!(
+            pt, et,
+            "CompiledProgram built from one ValueTable used with an entity \
+             interned against another"
+        );
+    }
+    // Dense global-id shortcuts are sound only when the program's constants
+    // and the entity's cells reference the same id universe.
+    let use_gids = program.table_token().is_some()
+        && program.table_token() == entity.table_token();
 
     // 4. Currency constraints, instantiated over distinct *projections*.
     //
@@ -270,20 +541,161 @@ pub(crate) fn instantiate(spec: &Specification) -> Instantiated {
     // projection turns the paper's O(|Σ||It|²) instantiation into
     // O(Σ_ϕ #proj²) — the worst case is unchanged, but real entity
     // instances have few distinct projections (many near-duplicate tuples).
-    for (ci, constraint) in spec.sigma().iter().enumerate() {
-        // Referenced attributes: premise attrs + conclusion.
-        let mut attrs: Vec<cr_types::AttrId> = constraint
-            .premises()
-            .iter()
-            .map(|p| p.attr())
-            .chain(std::iter::once(constraint.conclusion_attr()))
-            .collect();
-        attrs.sort_unstable();
-        attrs.dedup();
+    let mut t1_ok: Vec<bool> = Vec::new();
+    let mut t2_ok: Vec<bool> = Vec::new();
+    for (ci, cc) in program.sigma.iter().enumerate() {
+        let reps = group_projections(entity, &cc.referenced_attrs);
+        sink.hint(reps.len() * reps.len().saturating_sub(1));
 
-        // Distinct projections with a representative tuple, grouped by the
-        // dense global ids (no `Value` hashing). Sorted so Ω(Se) is
-        // deterministic (rule derivation is order sensitive).
+        // Fast path for the dominant Σ shape — a pure propagation
+        // constraint `t1 ≺[p] t2 → t1 ≺[c] t2` with distinct attributes:
+        // pre-translate both columns to space-local ids once, then the
+        // pair loop is integer compares and emission only.
+        if cc.tuple_cmps.is_empty()
+            && cc.t1_consts.is_empty()
+            && cc.t2_consts.is_empty()
+            && cc.order_premises.len() == 1
+            && cc.order_premises[0] != cc.conclusion_attr
+        {
+            const VACUOUS: u32 = u32::MAX;
+            let (ap, ac) = (cc.order_premises[0], cc.conclusion_attr);
+            let (g2l_p, g2l_c) = (g2l.row(ap), g2l.row(ac));
+            let translate = |attr: cr_types::AttrId, row: &[u32]| -> Vec<u32> {
+                reps.iter()
+                    .map(|&r| {
+                        let g = entity.dense_id(r, attr);
+                        if g == NULL_VALUE_ID {
+                            VACUOUS
+                        } else {
+                            row[g as usize]
+                        }
+                    })
+                    .collect()
+            };
+            let col_p = translate(ap, g2l_p);
+            let col_c = translate(ac, g2l_c);
+            for i in 0..reps.len() {
+                let (p1, c1) = (col_p[i], col_c[i]);
+                if p1 == VACUOUS || c1 == VACUOUS {
+                    continue;
+                }
+                for j in 0..reps.len() {
+                    let (p2, c2) = (col_p[j], col_c[j]);
+                    if i == j || p2 == p1 || p2 == VACUOUS || c2 == c1 || c2 == VACUOUS {
+                        continue;
+                    }
+                    let mut premise = Premise::new();
+                    premise.push(OrderAtom { attr: ap, lo: ValueId(p1), hi: ValueId(p2) });
+                    sink.emit(InstanceConstraint {
+                        premise,
+                        conclusion: Conclusion::Atom(OrderAtom {
+                            attr: ac,
+                            lo: ValueId(c1),
+                            hi: ValueId(c2),
+                        }),
+                        origin: Origin::Currency(ci),
+                    });
+                }
+            }
+            continue;
+        }
+
+        // Unary conjuncts hold or fail per *projection*, not per pair:
+        // evaluate each side once per representative.
+        t1_ok.clear();
+        t1_ok.extend(
+            reps.iter()
+                .map(|&r| cc.t1_consts.iter().all(|c| c.eval_gated(entity, r, use_gids))),
+        );
+        t2_ok.clear();
+        t2_ok.extend(
+            reps.iter()
+                .map(|&r| cc.t2_consts.iter().all(|c| c.eval_gated(entity, r, use_gids))),
+        );
+
+        for (i, &r1) in reps.iter().enumerate() {
+            if !t1_ok[i] {
+                continue;
+            }
+            let row1 = entity.dense_row(r1);
+            'pair: for (j, &r2) in reps.iter().enumerate() {
+                if i == j || !t2_ok[j] {
+                    continue;
+                }
+                let row2 = entity.dense_row(r2);
+                // Binary comparison conjuncts: null operands fail
+                // (eval_comparison semantics). Equal dense ids mean equal
+                // values, but distinct ids are *not* conclusive — the
+                // semantic ordering equates e.g. `Int(3)` and `Float(3.0)`
+                // — so only id equality short-circuits.
+                for &(attr, op) in &cc.tuple_cmps {
+                    let g1 = row1[attr.index()];
+                    let g2 = row2[attr.index()];
+                    if g1 == NULL_VALUE_ID || g2 == NULL_VALUE_ID {
+                        continue 'pair;
+                    }
+                    let holds = if g1 == g2 {
+                        op.eval_ordering(std::cmp::Ordering::Equal)
+                    } else {
+                        op.eval(entity.dense_value(g1), entity.dense_value(g2))
+                    };
+                    if !holds {
+                        continue 'pair;
+                    }
+                }
+                // Order premises and conclusion on dense ids; equal or null
+                // sides make the atom vacuous and drop the instance
+                // (build_instance semantics).
+                let pair = |attr: cr_types::AttrId| -> Option<(ValueId, ValueId)> {
+                    let g1 = row1[attr.index()];
+                    let g2 = row2[attr.index()];
+                    if g1 == g2 || g1 == NULL_VALUE_ID || g2 == NULL_VALUE_ID {
+                        return None;
+                    }
+                    Some((g2l.local(attr, g1), g2l.local(attr, g2)))
+                };
+                let mut premise = Premise::with_capacity(cc.order_premises.len());
+                for &attr in &cc.order_premises {
+                    match pair(attr) {
+                        Some((lo, hi)) => premise.push(OrderAtom { attr, lo, hi }),
+                        None => continue 'pair,
+                    }
+                }
+                let Some((lo, hi)) = pair(cc.conclusion_attr) else {
+                    continue;
+                };
+                premise.canonicalize();
+                sink.emit(InstanceConstraint {
+                    premise,
+                    conclusion: Conclusion::Atom(OrderAtom { attr: cc.conclusion_attr, lo, hi }),
+                    origin: Origin::Currency(ci),
+                });
+            }
+        }
+    }
+
+    // 5. Constant CFDs, patterns resolved through dense global ids.
+    for (gi, cfd) in program.gamma.iter().enumerate() {
+        for c in compiled_cfd_instances(space, g2l, entity, gi, cfd, use_gids) {
+            sink.emit(c);
+        }
+    }
+}
+
+/// The pre-compilation `Instantiation(Se)`: re-derives every constraint's
+/// referenced attributes and pattern lookups per entity and evaluates all
+/// comparison conjuncts per ordered pair. Kept as the differential-testing
+/// and benchmarking baseline for [`instantiate`].
+pub(crate) fn instantiate_reference(spec: &Specification) -> Instantiated {
+    let entity = spec.entity();
+    let (space, g2l) = build_spaces(spec);
+    let mut omega: Vec<InstanceConstraint> = Vec::new();
+    emit_base(spec, &space, &g2l, &mut omega);
+
+    // 4. Currency constraints over distinct projections (per-entity
+    // derivation of the projection key, per-pair comparison evaluation).
+    for (ci, constraint) in spec.sigma().iter().enumerate() {
+        let attrs = constraint.referenced_attrs();
         let mut reps: Vec<TupleId> = {
             let mut map: HashMap<Vec<u32>, TupleId> = HashMap::new();
             for tid in entity.tuple_ids() {
@@ -306,7 +718,7 @@ pub(crate) fn instantiate(spec: &Specification) -> Instantiated {
         }
     }
 
-    // 5. Constant CFDs.
+    // 5. Constant CFDs via per-entity `Value` lookups.
     for (gi, cfd) in spec.gamma().iter().enumerate() {
         omega.extend(cfd_instances(&space, gi, cfd));
     }
@@ -348,7 +760,9 @@ fn instantiate_pair_dense(
 /// spaces — the ωX-premise/domination emission of `Instantiation(Se)` step
 /// 5, factored out so [`EncodedSpec::extend_with_input`] can *re-emit* a
 /// CFD under a fresh guard group after a new value grows a referenced
-/// attribute's space.
+/// attribute's space. Pattern constants are resolved by `Value` lookup;
+/// the encode-time path resolves through dense global ids instead
+/// ([`compiled_cfd_instances`]).
 ///
 /// Returns an empty vector when an LHS pattern constant is outside the
 /// active domain (the CFD can never fire); a missing RHS constant yields
@@ -358,29 +772,84 @@ pub(crate) fn cfd_instances(
     gi: usize,
     cfd: &cr_constraints::ConstantCfd,
 ) -> Vec<InstanceConstraint> {
-    // ωX: every other value of each LHS attribute sits below the pattern
-    // constant.
-    let mut premise: Vec<OrderAtom> = Vec::new();
+    let mut lhs_ids = Vec::with_capacity(cfd.lhs().len());
     for (attr, c) in cfd.lhs() {
         let Some(cid) = space.get(*attr, c) else {
             return Vec::new();
         };
-        for (vid, v) in space.attr(*attr).iter() {
+        lhs_ids.push((*attr, cid));
+    }
+    let (battr, bval) = cfd.rhs();
+    cfd_instances_ids(space, gi, &lhs_ids, *battr, space.get(*battr, bval))
+}
+
+/// [`cfd_instances`] after pattern resolution through the compiled
+/// program's dense global ids: an integer lookup per constant instead of a
+/// `Value` hash (falling back to `Value` lookup when the program was
+/// compiled without a table or the id universes differ).
+fn compiled_cfd_instances(
+    space: &AttrValueSpace,
+    g2l: &GlobalToLocal,
+    entity: &cr_types::EntityInstance,
+    gi: usize,
+    cfd: &CompiledCfd,
+    use_gids: bool,
+) -> Vec<InstanceConstraint> {
+    let resolve = |attr: cr_types::AttrId, v: &Value, gid: Option<u32>| -> Option<ValueId> {
+        match gid {
+            // Global-id fast path: a table-resolved constant that occurs in
+            // the entity leads to the attribute's space slot by integer
+            // lookups. A miss is NOT conclusive — a value equal to the
+            // constant may have entered the entity *outside* the table
+            // (user input pushes rows without table interning), so fall
+            // back to the `Value` lookup before declaring absence.
+            Some(g) if use_gids => entity
+                .local_of_global(g)
+                .and_then(|local| g2l.get(attr, local))
+                .or_else(|| space.get(attr, v)),
+            _ => space.get(attr, v),
+        }
+    };
+    let mut lhs_ids = Vec::with_capacity(cfd.lhs.len());
+    for (attr, v, gid) in &cfd.lhs {
+        let Some(cid) = resolve(*attr, v, *gid) else {
+            return Vec::new();
+        };
+        lhs_ids.push((*attr, cid));
+    }
+    let (battr, bval, bgid) = &cfd.rhs;
+    cfd_instances_ids(space, gi, &lhs_ids, *battr, resolve(*battr, bval, *bgid))
+}
+
+/// Shared emission core: ωX premise plus domination conclusions, from
+/// already-resolved pattern ids. `rhs_id == None` means the pattern's
+/// B-value is outside the active domain (the premise must fail).
+fn cfd_instances_ids(
+    space: &AttrValueSpace,
+    gi: usize,
+    lhs_ids: &[(cr_types::AttrId, ValueId)],
+    battr: cr_types::AttrId,
+    rhs_id: Option<ValueId>,
+) -> Vec<InstanceConstraint> {
+    // ωX: every other value of each LHS attribute sits below the pattern
+    // constant.
+    let mut premise = Premise::new();
+    for &(attr, cid) in lhs_ids {
+        for (vid, v) in space.attr(attr).iter() {
             if vid != cid && !v.is_null() {
-                premise.push(OrderAtom { attr: *attr, lo: vid, hi: cid });
+                premise.push(OrderAtom { attr, lo: vid, hi: cid });
             }
         }
     }
-    let (battr, bval) = cfd.rhs();
     let mut out = Vec::new();
-    match space.get(*battr, bval) {
+    match rhs_id {
         Some(bid) => {
-            for (vid, v) in space.attr(*battr).iter() {
+            for (vid, v) in space.attr(battr).iter() {
                 if vid != bid && !v.is_null() {
                     out.push(InstanceConstraint {
                         premise: premise.clone(),
                         conclusion: Conclusion::Atom(OrderAtom {
-                            attr: *battr,
+                            attr: battr,
                             lo: vid,
                             hi: bid,
                         }),
@@ -544,6 +1013,84 @@ mod tests {
             .collect();
         assert_eq!(base.len(), 1);
         assert!(base[0].premise.is_empty());
+    }
+
+    /// Regression (review finding): a CFD constant present in the shared
+    /// table but entering the entity only through a *push* (user input
+    /// bypasses table interning, so the local id has no global id) must
+    /// still resolve — the compiled path falls back to the `Value` lookup
+    /// instead of declaring the constant out of domain.
+    #[test]
+    fn compiled_cfd_resolves_values_pushed_outside_the_table() {
+        let s = Schema::new("p", ["AC", "city"]).unwrap();
+        let rows = vec![
+            Tuple::of([Value::int(212), Value::str("NY")]),
+            Tuple::of([Value::int(213), Value::str("SF")]),
+        ];
+        let mut table = cr_types::ValueTable::new();
+        table.intern_tuples(rows.iter());
+        table.intern(&Value::str("LA")); // in the table, not in this entity
+        let mut e = EntityInstance::with_table(s.clone(), rows, &table).unwrap();
+        // User-input style push: "LA" gets a local id with NO global id.
+        e.push(Tuple::of([Value::Null, Value::str("LA")])).unwrap();
+        let gamma = parse_cfds(&s, "AC = 213 -> city = \"LA\"").unwrap();
+        let spec = Specification::without_orders(e, vec![], gamma);
+        spec.set_compiled_program(std::sync::Arc::new(
+            super::super::program::CompiledProgram::compile(
+                spec.sigma(),
+                spec.gamma(),
+                Some(&table),
+            ),
+        ));
+        let reference = instantiate_reference(&spec).omega;
+        let compiled = instantiate(&spec).omega;
+        assert_eq!(reference, compiled);
+        // The CFD must emit real domination conclusions, not a False stub.
+        assert!(compiled
+            .iter()
+            .any(|c| c.origin == Origin::Cfd(0)
+                && matches!(c.conclusion, Conclusion::Atom(_))));
+    }
+
+    /// Regression (review finding): `Int(3)` and `Float(3.0)` intern to
+    /// distinct dense ids but compare semantically equal — dense-id
+    /// inequality must not decide Eq/Neq comparisons on either the binary
+    /// (tuple) or unary (constant, table-compiled) fast paths.
+    #[test]
+    fn compiled_eq_comparisons_honour_semantic_numeric_equality() {
+        let s = Schema::new("p", ["kids", "status"]).unwrap();
+        let rows = vec![
+            Tuple::of([Value::int(3), Value::str("working")]),
+            Tuple::of([Value::float(3.0), Value::str("retired")]),
+        ];
+        let mut table = cr_types::ValueTable::new();
+        table.intern_tuples(rows.iter());
+        table.intern(&Value::int(3));
+        let e = EntityInstance::with_table(s.clone(), rows, &table).unwrap();
+        let sigma = vec![
+            // Binary: t1[kids] = t2[kids] holds across Int(3)/Float(3.0).
+            parse_currency_constraint(&s, "t1[kids] = t2[kids] -> t1 <[status] t2").unwrap(),
+            // Unary with a table-resolved constant: Float(3.0) = 3 holds
+            // even though the global ids differ.
+            parse_currency_constraint(&s, "t1[kids] = 3 -> t1 <[status] t2").unwrap(),
+        ];
+        let spec = Specification::without_orders(e, sigma, vec![]);
+        spec.set_compiled_program(std::sync::Arc::new(
+            super::super::program::CompiledProgram::compile(
+                spec.sigma(),
+                spec.gamma(),
+                Some(&table),
+            ),
+        ));
+        let reference = instantiate_reference(&spec).omega;
+        let compiled = instantiate(&spec).omega;
+        assert_eq!(reference, compiled);
+        for ci in 0..2 {
+            assert!(
+                compiled.iter().any(|c| c.origin == Origin::Currency(ci)),
+                "constraint {ci} must instantiate despite distinct dense ids"
+            );
+        }
     }
 
     #[test]

@@ -46,9 +46,14 @@
 //!   killing the group's clauses and everything learnt from them) and
 //!   *re-emitted* over the grown space under a fresh guard;
 //! * the unit propagator is told to [`cr_sat::UnitPropagator::retract_group`]
-//!   the stale groups, which resets and re-derives its fixpoint from the
-//!   surviving clauses — `O(|Φ|)` on the rare retraction round, no
-//!   re-encoding.
+//!   the stale groups; its **per-group implication provenance** (see the
+//!   `cr_sat::unit_propagation` module docs) undoes exactly the retracted
+//!   derivation cone and re-queues its frontier, so the replay cost is
+//!   proportional to what the retraction actually disturbed — usually
+//!   nothing, because a fired CFD's attributes are already settled — and
+//!   never `O(|Φ|)` ([`ResolutionOutcome::retraction_replays`] /
+//!   [`RoundReport::retraction_invalidated`] report it per resolution and
+//!   per round).
 //!
 //! At each round boundary the engine also compacts the solver's learnt
 //! database (`cr_sat::Solver::compact_learnts`), bounding memory over
@@ -65,7 +70,11 @@
 //! the encoding through a [`RecordingAxiomSource`], which appends every
 //! handed-out axiom clause to `Φ(Se)` — so the warm solver and the unit
 //! propagator exchange injected axioms via the ordinary clause-tail sync,
-//! and the MaxSAT repair's borrowed hard base sees them for free.
+//! and the MaxSAT repair's borrowed hard base sees them for free. The
+//! suggestion step records too (`suggest_with_engine`): the clique probe's
+//! CEGAR injections and the MaxSAT repair's discoveries all land in the
+//! CNF, so later probes start from the full already-injected theory and
+//! the tail sync can never re-feed the warm solver a duplicate instance.
 //! [`ResolutionOutcome::injected_axioms`] counts the recorded clauses; see
 //! the "Encoding modes" section of the encode module docs for the
 //! eager/lazy/guarded matrix and the differential-test coverage.
@@ -79,8 +88,13 @@
 //! `tests/incremental_differential.rs` — and as the paper-faithful
 //! baseline for benchmarks.
 //!
-//! Independent entities share nothing; [`Resolver::resolve_all_parallel`]
-//! fans a batch of resolutions across OS threads with a shared work queue.
+//! Independent entities share no *mutable* state;
+//! [`Resolver::resolve_all_parallel`] fans a batch of resolutions across
+//! OS threads with a shared work queue. What they do share is the
+//! dataset's immutable `Arc<CompiledProgram>` (stamped by the dataset
+//! generators): Σ/Γ are compiled once per dataset and every entity on
+//! every thread only projects through the shared program — see the
+//! "Compiled constraint programs" section of the encode module docs.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -94,7 +108,7 @@ use crate::deduce::{
 };
 use crate::encode::{EncodeOptions, EncodedSpec, ExtendOutcome, RecordingAxiomSource};
 use crate::spec::{Specification, UserInput};
-use crate::suggest::{suggest_with_solver, Suggestion};
+use crate::suggest::{suggest_with_engine, Suggestion};
 use crate::truevalue::{true_values_from_orders, TrueValues};
 
 /// How implied orders are deduced in step (2).
@@ -202,9 +216,9 @@ impl IncrementalEngine {
         enc: &EncodedSpec,
         from: usize,
     ) -> usize {
-        let clauses = enc.cnf().clauses();
         up.ensure_vars(enc.cnf().num_vars() as usize);
-        for (idx, clause) in clauses.iter().enumerate().skip(from) {
+        for (i, clause) in enc.cnf().clauses_from(from).enumerate() {
+            let idx = from + i;
             match enc.clause_group(idx) {
                 Some((group, guard)) => {
                     let stripped: Vec<cr_sat::Lit> =
@@ -214,7 +228,7 @@ impl IncrementalEngine {
                 None => up.add_clause(clause),
             }
         }
-        clauses.len()
+        enc.cnf().num_clauses()
     }
 
     /// Brings the warm solver up to date with the CNF (axioms recorded by
@@ -229,6 +243,12 @@ impl IncrementalEngine {
     /// Total lazily recorded axioms, including encodings lost to rebuilds.
     fn injected_axioms(&self) -> usize {
         self.injected_carry + self.enc.injected_axioms()
+    }
+
+    /// Retraction telemetry of the warm unit propagator: `(provenance
+    /// replays, literals invalidated, full fallback resets)`.
+    fn replays(&self) -> (usize, usize, usize) {
+        self.up.replay_stats()
     }
 
     /// Absorbs one round of user input. `before` is the specification the
@@ -328,6 +348,11 @@ pub struct RoundReport {
     pub suggestion_size: usize,
     /// Attributes the user answered.
     pub user_answers: usize,
+    /// Root literals invalidated by provenance-scoped retraction replay
+    /// while absorbing this round's user input (0 on rounds without CFD
+    /// retraction and on the scratch path). Compare against the fixpoint
+    /// size to see the replay staying sub-linear.
+    pub retraction_invalidated: usize,
 }
 
 impl RoundReport {
@@ -342,6 +367,7 @@ impl RoundReport {
             known_after_deduce: known,
             suggestion_size: 0,
             user_answers: 0,
+            retraction_invalidated: 0,
         }
     }
 }
@@ -368,9 +394,21 @@ pub struct ResolutionOutcome {
     pub rebuilds: usize,
     /// Axiom clauses lazily instantiated *and recorded* into `Φ(Se)` over
     /// the whole resolution ([`AxiomMode::Lazy`](crate::encode::AxiomMode)
-    /// encodings; 0 in eager mode). Probe-time injections that only reach
-    /// a solver (suggestion probes) are not counted.
+    /// encodings; 0 in eager mode). Suggestion probes and MaxSAT repair
+    /// rounds record their injections too (`suggest_with_engine`), so every
+    /// instantiated axiom is counted exactly once.
     pub injected_axioms: usize,
+    /// Provenance-scoped retraction replays the warm unit propagator
+    /// performed (out-of-domain answers retracting CFD groups; 0 on the
+    /// scratch path).
+    pub retraction_replays: usize,
+    /// Total root literals those replays invalidated — the re-derivation
+    /// work actually paid, versus re-deriving the whole fixpoint per
+    /// retraction.
+    pub retraction_invalidated: usize,
+    /// Full `O(|Φ|)` fallback resets (conflicting or mid-propagation
+    /// retractions; 0 on healthy interactive runs).
+    pub retraction_full_resets: usize,
     /// Per-round timing/progress reports.
     pub rounds: Vec<RoundReport>,
 }
@@ -501,6 +539,9 @@ impl Resolver {
                     ot_size,
                     rebuilds: eng.rebuilds,
                     injected_axioms: eng.injected_axioms(),
+                    retraction_replays: eng.replays().0,
+                    retraction_invalidated: eng.replays().1,
+                    retraction_full_resets: eng.replays().2,
                     rounds,
                 };
             }
@@ -526,6 +567,9 @@ impl Resolver {
                     ot_size,
                     rebuilds: eng.rebuilds,
                     injected_axioms: eng.injected_axioms(),
+                    retraction_replays: eng.replays().0,
+                    retraction_invalidated: eng.replays().1,
+                    retraction_full_resets: eng.replays().2,
                     rounds,
                 };
             }
@@ -536,11 +580,18 @@ impl Resolver {
 
             // (4) Generate a suggestion and ask the user. The warm solver
             // must hold every CNF clause first (lazy deduction may have
-            // recorded axioms the solver has not seen yet).
+            // recorded axioms the solver has not seen yet). The probe and
+            // the MaxSAT repair *record* their axiom injections
+            // (`suggest_with_engine`), so later rounds start from the full
+            // already-injected theory and the tail sync never re-feeds the
+            // solver an instance it already holds.
             let t2 = Instant::now();
             eng.sync_solver();
-            let sug: Suggestion =
-                suggest_with_solver(&current, &eng.enc, &od, &values, &mut eng.solver);
+            let (sug, solver_synced) = {
+                let IncrementalEngine { enc, solver, .. } = eng;
+                suggest_with_engine(&current, enc, &od, &values, solver)
+            };
+            eng.synced_solver = solver_synced;
             let suggest_time = t2.elapsed();
             let input = oracle.provide(spec.schema(), &sug);
             rounds.push(RoundReport {
@@ -551,6 +602,7 @@ impl Resolver {
                 known_after_deduce: values.known_count(),
                 suggestion_size: sug.len(),
                 user_answers: input.values.len(),
+                retraction_invalidated: 0,
             });
             if input.is_empty() {
                 break; // user settles with partial true values
@@ -559,7 +611,11 @@ impl Resolver {
             user_values += input.values.len();
             let (extended, _to, added) = current.apply_user_input(&input);
             ot_size += added;
+            let invalidated_before = eng.replays().1;
             eng.absorb_input(&self.config, &current, &extended, &input);
+            if let Some(report) = rounds.last_mut() {
+                report.retraction_invalidated = eng.replays().1 - invalidated_before;
+            }
             current = extended;
         }
 
@@ -572,6 +628,9 @@ impl Resolver {
             ot_size,
             rebuilds: engine.as_ref().map_or(0, |e| e.rebuilds),
             injected_axioms: engine.as_ref().map_or(0, |e| e.injected_axioms()),
+            retraction_replays: engine.as_ref().map_or(0, |e| e.replays().0),
+            retraction_invalidated: engine.as_ref().map_or(0, |e| e.replays().1),
+            retraction_full_resets: engine.as_ref().map_or(0, |e| e.replays().2),
             rounds,
         }
     }
@@ -621,6 +680,9 @@ impl Resolver {
                     ot_size,
                     rebuilds: 0,
                     injected_axioms: injected_axioms + enc.injected_axioms(),
+                    retraction_replays: 0,
+                    retraction_invalidated: 0,
+                    retraction_full_resets: 0,
                     rounds,
                 };
             }
@@ -664,6 +726,9 @@ impl Resolver {
                     ot_size,
                     rebuilds: 0,
                     injected_axioms: injected_axioms + enc.injected_axioms(),
+                    retraction_replays: 0,
+                    retraction_invalidated: 0,
+                    retraction_full_resets: 0,
                     rounds,
                 };
             }
@@ -675,12 +740,13 @@ impl Resolver {
 
             // (4) Generate a suggestion and ask the user. Deduction may
             // have recorded axioms the solver has not seen; sync the tail
-            // first (the engine invariant suggest_with_solver relies on).
+            // first (the engine invariant suggest_with_engine relies on).
             let t2 = Instant::now();
             if synced < enc.cnf().num_clauses() {
                 solver.extend_from_cnf(enc.cnf(), synced);
             }
-            let sug: Suggestion = suggest_with_solver(&current, &enc, &od, &values, &mut solver);
+            let (sug, _solver_synced) =
+                suggest_with_engine(&current, &mut enc, &od, &values, &mut solver);
             injected_axioms += enc.injected_axioms();
             let suggest_time = t2.elapsed();
             let input = oracle.provide(spec.schema(), &sug);
@@ -692,6 +758,7 @@ impl Resolver {
                 known_after_deduce: values.known_count(),
                 suggestion_size: sug.len(),
                 user_answers: input.values.len(),
+                retraction_invalidated: 0,
             });
             if input.is_empty() {
                 break; // user settles with partial true values
@@ -712,6 +779,9 @@ impl Resolver {
             ot_size,
             rebuilds: 0,
             injected_axioms,
+            retraction_replays: 0,
+            retraction_invalidated: 0,
+            retraction_full_resets: 0,
             rounds,
         }
     }
@@ -976,6 +1046,33 @@ mod tests {
             truth.values()
         );
         assert!(outcome.ot_size > 0);
+    }
+
+    #[test]
+    fn out_of_domain_answer_triggers_provenance_replay() {
+        // CFD: AC = 213 → city = "LA". The truth's AC is outside the active
+        // domain, so the oracle's answer grows the space, retracts the
+        // CFD's guard group and must show up as a provenance replay.
+        let s = Schema::new("p", ["AC", "city"]).unwrap();
+        let e = EntityInstance::new(
+            s.clone(),
+            vec![
+                Tuple::of([Value::int(212), Value::str("NY")]),
+                Tuple::of([Value::int(213), Value::str("LA")]),
+            ],
+        )
+        .unwrap();
+        let gamma = parse_cfd_file(&s, "psi: AC = 213 -> city = \"LA\"").unwrap();
+        let spec = Specification::without_orders(e, vec![], gamma);
+        let truth = Tuple::of([Value::int(999), Value::str("NY")]);
+        let outcome = resolve_with_truth(&spec, &truth);
+        assert!(outcome.complete, "resolution must finish");
+        assert!(
+            outcome.retraction_replays > 0,
+            "the CFD retraction must be a provenance replay: {outcome:?}"
+        );
+        assert_eq!(outcome.retraction_full_resets, 0);
+        assert_eq!(outcome.rebuilds, 0);
     }
 
     #[test]

@@ -48,8 +48,8 @@ pub use deduce::{
     naive_deduce_recording, naive_deduce_with, DeducedOrders,
 };
 pub use encode::{
-    AxiomMode, EncodeOptions, EncodedSpec, ExtendOutcome, RecordingAxiomSource,
-    TransientAxiomSource,
+    compile_count, AxiomMode, CompiledProgram, EncodeOptions, EncodedSpec, ExtendOutcome,
+    RecordingAxiomSource, TransientAxiomSource,
 };
 pub use framework::{ResolutionConfig, ResolutionOutcome, Resolver, RoundReport};
 pub use implication::{explain_invalidity, implies, ConflictPart};
@@ -58,7 +58,7 @@ pub use metrics::{Accuracy, FMeasure};
 pub use orders::PartialOrders;
 pub use pick::pick_baseline;
 pub use spec::{Specification, UserInput};
-pub use suggest::{suggest, suggest_with_solver, Suggestion};
+pub use suggest::{suggest, suggest_with_engine, suggest_with_solver, Suggestion};
 pub use truevalue::{
     exact_true_values, possible_current_values, true_values_from_orders, TrueValues,
 };

@@ -153,7 +153,7 @@ pub fn true_der(
         // atoms already implied by Od need no assumption at all.
         let mut premise: Premise = Vec::new();
         let mut usable = true;
-        for p in &c.premise {
+        for p in c.premise.iter() {
             if od.contains(p.attr, p.lo, p.hi) {
                 continue;
             }

@@ -1,22 +1,33 @@
 //! Specifications `Se = (It, Σ, Γ)` and their extension with user input.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use cr_constraints::{ConstantCfd, CurrencyConstraint};
 use cr_types::{AttrId, EntityInstance, Schema, Tuple, TupleId, Value};
 
+use crate::encode::CompiledProgram;
 use crate::orders::PartialOrders;
 
 /// A specification of an entity (Section II-C): the temporal instance
 /// `It = (Ie, ⪯_A1, …, ⪯_An)` plus the currency constraints `Σ` and constant
 /// CFDs `Γ`.
+///
+/// Alongside the constraints themselves, a specification caches their
+/// **compiled constraint program** ([`CompiledProgram`]) — the per-dataset
+/// derivations (referenced-attribute sets, premise shapes, CFD pattern
+/// tableaus) the SAT encoder projects every entity through. The cache is
+/// shared by clones, so the per-round specifications of one resolution and
+/// all entities stamped by a dataset generator
+/// ([`Specification::set_compiled_program`]) reuse one program; mutating
+/// Σ/Γ ([`Specification::with_constraint_fraction`]) clears it.
 #[derive(Clone, Debug)]
 pub struct Specification {
     entity: EntityInstance,
     orders: PartialOrders,
     sigma: Vec<CurrencyConstraint>,
     gamma: Vec<ConstantCfd>,
+    program: OnceLock<Arc<CompiledProgram>>,
 }
 
 impl Specification {
@@ -32,7 +43,7 @@ impl Specification {
             entity.schema().arity(),
             "order arity must match schema arity"
         );
-        Specification { entity, orders, sigma, gamma }
+        Specification { entity, orders, sigma, gamma, program: OnceLock::new() }
     }
 
     /// A specification with empty currency orders (the setting of all the
@@ -70,6 +81,30 @@ impl Specification {
     /// The constant CFDs `Γ`.
     pub fn gamma(&self) -> &[ConstantCfd] {
         &self.gamma
+    }
+
+    /// The compiled constraint program for Σ/Γ, compiling on first use.
+    ///
+    /// The lazy fallback compiles **without** a value table (constants keep
+    /// `Value`-based matching); dataset generators instead stamp a program
+    /// compiled once against the dataset's shared table via
+    /// [`Specification::set_compiled_program`], which every clone of the
+    /// specification then reuses.
+    pub fn compiled_program(&self) -> &Arc<CompiledProgram> {
+        self.program
+            .get_or_init(|| Arc::new(CompiledProgram::compile(&self.sigma, &self.gamma, None)))
+    }
+
+    /// Installs a pre-compiled (dataset-shared) constraint program. No-op
+    /// if a program is already cached. The program must have been compiled
+    /// from this specification's Σ/Γ.
+    pub fn set_compiled_program(&self, program: Arc<CompiledProgram>) {
+        debug_assert_eq!(
+            program.sizes(),
+            (self.sigma.len(), self.gamma.len()),
+            "compiled program does not match this specification's Σ/Γ"
+        );
+        let _ = self.program.set(program);
     }
 
     /// Extends the specification with a partial temporal order `Ot`
@@ -131,6 +166,8 @@ impl Specification {
         let mut out = self.clone();
         out.sigma = sample(&self.sigma, sigma_frac, seed);
         out.gamma = sample(&self.gamma, gamma_frac, seed.wrapping_add(1));
+        // Σ/Γ changed: the cached compiled program no longer applies.
+        out.program = OnceLock::new();
         out
     }
 }

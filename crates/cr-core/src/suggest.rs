@@ -76,7 +76,47 @@ pub fn suggest_with_solver(
 
     // GetSug: retain a maximum subset of the clique consistent with Φ(Se).
     let selected = max_consistent_subset(enc, &rules, &clique, solver);
+    assemble_suggestion(spec, enc, od, known, rules, selected)
+}
 
+/// [`suggest_with_solver`] for the incremental engine: the clique probe and
+/// the MaxSAT repair's CEGAR rounds **record** their lazily instantiated
+/// axioms into the encoding's CNF instead of running transient loops — the
+/// warm solver therefore starts every later probe from the full
+/// already-injected theory, and the clause-tail sync can never re-feed an
+/// instance the solver already holds (the bounded duplicate copies of the
+/// transient era are gone).
+///
+/// `solver` must hold every clause of `enc.cnf()` on entry (the engine
+/// syncs before suggesting). Returns the suggestion plus the solver's new
+/// sync watermark: clauses recorded by the probe already reached the solver
+/// through its CEGAR loop, clauses recorded by the MaxSAT repair did not
+/// and stay above the watermark for the next ordinary tail sync.
+pub fn suggest_with_engine(
+    spec: &Specification,
+    enc: &mut EncodedSpec,
+    od: &DeducedOrders,
+    known: &TrueValues,
+    solver: &mut cr_sat::Solver,
+) -> (Suggestion, usize) {
+    let rules = true_der(spec, enc, od, known);
+    let graph = compatibility_graph(&rules);
+    let clique = find_max_clique(&graph, CliqueStrategy::default());
+    let (selected, synced) = max_consistent_subset_recording(enc, &rules, &clique, solver);
+    (assemble_suggestion(spec, enc, od, known, rules, selected), synced)
+}
+
+/// The post-selection half of `GetSug`, shared by the transient and
+/// recording paths: compute `A'` (derivable attributes) by chaining the
+/// selected rules and assemble `A = R \ (A' ∪ B)` with candidate values.
+fn assemble_suggestion(
+    spec: &Specification,
+    enc: &EncodedSpec,
+    od: &DeducedOrders,
+    known: &TrueValues,
+    rules: Vec<DerivationRule>,
+    selected: Vec<usize>,
+) -> Suggestion {
     // A' = attributes reachable from the known/asked set by chaining the
     // selected rules (a rule fires once all of its LHS attributes are
     // settled). A plain "all RHS attributes" reading admits circular rule
@@ -163,15 +203,7 @@ fn max_consistent_subset(
     if clique.is_empty() {
         return Vec::new();
     }
-    let mut assumptions: Vec<cr_sat::Lit> = Vec::new();
-    for &ri in clique {
-        let rule = &rules[ri];
-        for &(attr, v) in rule.lhs.iter().chain(std::iter::once(&rule.rhs)) {
-            push_top_literals(enc, attr, v, &mut assumptions);
-        }
-    }
-    assumptions.sort_unstable();
-    assumptions.dedup();
+    let assumptions = clique_assumptions(enc, rules, clique);
     let lazy = enc.options().is_lazy();
     let sat = if lazy {
         let mut source = crate::encode::TransientAxiomSource::new(enc);
@@ -182,32 +214,14 @@ fn max_consistent_subset(
     if sat == cr_sat::SolveResult::Sat {
         return clique.to_vec();
     }
-    // Axiom clauses added by repair CEGAR rounds (lazy encodings only).
+    // Axiom clauses added by repair CEGAR rounds (lazy encodings only) --
+    // transient: they live only in this loop's instances.
     let mut extra_axioms: Vec<Vec<cr_sat::Lit>> = Vec::new();
     let mut scratch: Vec<cr_sat::Lit> = Vec::new();
     loop {
-        let mut inst = MaxSatInstance::with_hard_base(enc.cnf().num_vars(), enc.cnf().clauses());
-        // Active guard groups must hold inside the repair too (retracted ones
-        // are neutralised by ¬g units already present in the borrowed base).
-        for g in enc.active_guards() {
-            inst.add_hard([g]);
-        }
+        let (mut inst, selectors) = build_repair_instance(enc, rules, clique, &mut scratch);
         for clause in &extra_axioms {
             inst.add_hard(clause.iter().copied());
-        }
-        let mut selectors = Vec::with_capacity(clique.len());
-        for (offset, &ri) in clique.iter().enumerate() {
-            let sel = cr_sat::Var(enc.cnf().num_vars() + offset as u32);
-            selectors.push(sel);
-            let rule = &rules[ri];
-            for &(attr, v) in rule.lhs.iter().chain(std::iter::once(&rule.rhs)) {
-                scratch.clear();
-                push_top_literals(enc, attr, v, &mut scratch);
-                for &lit in &scratch {
-                    inst.add_hard([sel.negative(), lit]);
-                }
-            }
-            inst.add_soft([sel.positive()], 1);
         }
         match maxsat_solve(&inst, MaxSatStrategy::default()) {
             Some(result) => {
@@ -221,18 +235,136 @@ fn max_consistent_subset(
                         continue;
                     }
                 }
-                return clique
-                    .iter()
-                    .zip(&selectors)
-                    .filter(|(_, sel)| result.assignment[sel.index()])
-                    .map(|(&ri, _)| ri)
-                    .collect();
+                return retained_clique(clique, &selectors, &result.assignment);
             }
             // Hard clauses unsatisfiable: the specification itself is
             // invalid; callers check IsValid first, so this is defensive.
             None => return Vec::new(),
         }
     }
+}
+
+/// [`max_consistent_subset`] for the incremental engine (see
+/// [`suggest_with_engine`]): the consistent-clique probe consults a
+/// [`crate::encode::RecordingAxiomSource`], so axioms it instantiates land
+/// in the CNF **and** the warm solver at once, and every repair-CEGAR
+/// discovery is recorded into the CNF too — the borrowed hard base of the
+/// next repair round (and every later probe of the resolution) starts from
+/// the full already-injected theory. Returns the retained clique indices
+/// and the solver's clause-sync watermark.
+fn max_consistent_subset_recording(
+    enc: &mut EncodedSpec,
+    rules: &[DerivationRule],
+    clique: &[usize],
+    solver: &mut cr_sat::Solver,
+) -> (Vec<usize>, usize) {
+    if clique.is_empty() {
+        return (Vec::new(), enc.cnf().num_clauses());
+    }
+    let assumptions = clique_assumptions(enc, rules, clique);
+    let lazy = enc.options().is_lazy();
+    let sat = if lazy {
+        let mut source = crate::encode::RecordingAxiomSource::new(enc);
+        solver.solve_lazy_with_assumptions(&assumptions, &mut source)
+    } else {
+        solver.solve_with_assumptions(&assumptions)
+    };
+    // Everything the probe handed to the solver was recorded into the CNF
+    // in the same step: the solver is in sync up to here.
+    let synced = enc.cnf().num_clauses();
+    if sat == cr_sat::SolveResult::Sat {
+        return (clique.to_vec(), synced);
+    }
+    let mut scratch: Vec<cr_sat::Lit> = Vec::new();
+    loop {
+        let (inst, selectors) = build_repair_instance(enc, rules, clique, &mut scratch);
+        match maxsat_solve(&inst, MaxSatStrategy::default()) {
+            Some(result) => {
+                if lazy {
+                    let violated = enc.violated_axioms(
+                        &|v| result.assignment.get(v.index()).copied(),
+                        None,
+                    );
+                    if !violated.is_empty() {
+                        // Recorded into the CNF: the next iteration's
+                        // borrowed hard base (and all later consumers via
+                        // the tail sync) see them; `synced` stays below so
+                        // the engine feeds them to the solver ordinarily.
+                        enc.record_axiom_clauses(&violated);
+                        continue;
+                    }
+                }
+                return (retained_clique(clique, &selectors, &result.assignment), synced);
+            }
+            // Hard clauses unsatisfiable: the specification itself is
+            // invalid; callers check IsValid first, so this is defensive.
+            None => return (Vec::new(), synced),
+        }
+    }
+}
+
+/// The clique's combined "these values are tops" assumption set, sorted
+/// and deduplicated — shared by the transient and recording probes.
+fn clique_assumptions(
+    enc: &EncodedSpec,
+    rules: &[DerivationRule],
+    clique: &[usize],
+) -> Vec<cr_sat::Lit> {
+    let mut assumptions: Vec<cr_sat::Lit> = Vec::new();
+    for &ri in clique {
+        let rule = &rules[ri];
+        for &(attr, v) in rule.lhs.iter().chain(std::iter::once(&rule.rhs)) {
+            push_top_literals(enc, attr, v, &mut assumptions);
+        }
+    }
+    assumptions.sort_unstable();
+    assumptions.dedup();
+    assumptions
+}
+
+/// Builds one MaxSAT repair instance: the borrowed `Φ(Se)` hard base with
+/// active guard groups asserted, one selector variable per clique rule
+/// implying "all its asserted values are tops", and unit-weight soft
+/// selectors. Returns the instance and the selector variables (parallel to
+/// `clique`). Shared by the transient and recording repair loops so the
+/// selector encoding can never diverge between them.
+fn build_repair_instance<'a>(
+    enc: &'a EncodedSpec,
+    rules: &[DerivationRule],
+    clique: &[usize],
+    scratch: &mut Vec<cr_sat::Lit>,
+) -> (MaxSatInstance<'a>, Vec<cr_sat::Var>) {
+    let mut inst = MaxSatInstance::with_hard_base(enc.cnf());
+    // Active guard groups must hold inside the repair too (retracted ones
+    // are neutralised by the neg-guard units already present in the base).
+    for g in enc.active_guards() {
+        inst.add_hard([g]);
+    }
+    let mut selectors = Vec::with_capacity(clique.len());
+    for (offset, &ri) in clique.iter().enumerate() {
+        let sel = cr_sat::Var(enc.cnf().num_vars() + offset as u32);
+        selectors.push(sel);
+        let rule = &rules[ri];
+        for &(attr, v) in rule.lhs.iter().chain(std::iter::once(&rule.rhs)) {
+            scratch.clear();
+            push_top_literals(enc, attr, v, scratch);
+            for &lit in scratch.iter() {
+                inst.add_hard([sel.negative(), lit]);
+            }
+        }
+        inst.add_soft([sel.positive()], 1);
+    }
+    (inst, selectors)
+}
+
+/// The clique members a repair result retained.
+fn retained_clique(clique: &[usize], selectors: &[cr_sat::Var], assignment: &[bool]) -> Vec<usize> {
+    clique
+        .iter()
+        .zip(selectors)
+        .filter(|(_, sel)| assignment[sel.index()])
+        .map(|(&ri, _)| ri)
+        .collect()
 }
 
 /// Appends the literals asserting "`v` is the top of `attr`" to `out`.

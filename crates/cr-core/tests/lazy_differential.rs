@@ -97,6 +97,53 @@ fn assert_components_agree(spec: &Specification) {
     );
 }
 
+/// The compiled-program projection must produce **exactly** the reference
+/// per-entity instantiation's Ω(Se) — same instances, same order (rule
+/// derivation is order sensitive, so set equality is not enough).
+fn assert_omega_matches_reference(spec: &Specification) {
+    let reference = cr_core::encode::omega_reference(spec);
+    let compiled = cr_core::encode::omega_compiled(spec);
+    assert_eq!(
+        reference.len(),
+        compiled.len(),
+        "compiled Ω(Se) has a different instance count"
+    );
+    assert_eq!(reference, compiled, "compiled Ω(Se) diverged from the reference path");
+}
+
+#[test]
+fn compiled_omega_matches_reference_on_seed_datasets() {
+    for spec in [cr_data::vjday::edith_spec(), cr_data::vjday::george_spec()] {
+        assert_omega_matches_reference(&spec);
+    }
+    let nba = cr_data::nba::generate_with_sizes(&[27, 81], 7);
+    let person = cr_data::person::generate_with_sizes(&[40, 120], 7);
+    let career = cr_data::career::generate(cr_data::career::CareerConfig {
+        entities: 3,
+        seed: 7,
+        ..Default::default()
+    });
+    for ds in [&nba, &person, &career] {
+        for i in 0..ds.len() {
+            let spec = ds.spec(i);
+            assert_omega_matches_reference(&spec);
+            // Constraint subsampling clears the dataset-stamped program; a
+            // freshly (table-free) compiled program must agree too.
+            assert_omega_matches_reference(&spec.with_constraint_fraction(0.6, 0.6, 11));
+            // And after user input grows the entity with values outside the
+            // shared table (no global ids — the fallback paths must agree).
+            let input = cr_core::UserInput::single(
+                cr_types::AttrId(0),
+                ds.truth(i).get(cr_types::AttrId(0)).clone(),
+            );
+            if !input.values[&cr_types::AttrId(0)].is_null() {
+                let (extended, _, _) = spec.apply_user_input(&input);
+                assert_omega_matches_reference(&extended);
+            }
+        }
+    }
+}
+
 #[test]
 fn seed_datasets_agree_on_all_four_paths() {
     // The acceptance bar: lazy ≡ eager ≡ scratch on all four seed datasets.
@@ -223,5 +270,37 @@ proptest! {
     ) {
         let Scenario { spec, .. } = scenario_from_raw(seed, tuples, domain, density, false);
         assert_components_agree(&spec);
+    }
+
+    /// Compiled-program encoding ≡ the per-entity reference path on
+    /// randomized scenarios — exact Ω(Se) equality, with the dataset-style
+    /// table-resolved program the generator stamps, with a table-free
+    /// recompile, and after out-of-domain user input.
+    #[test]
+    fn compiled_omega_matches_reference_on_random_scenarios(
+        seed in 0u64..10_000,
+        tuples in 2usize..24,
+        domain in 2usize..16,
+        density in 0u32..100,
+        new_values in 0u32..2,
+    ) {
+        let Scenario { spec, truth } = scenario_from_raw(seed, tuples, domain, density, new_values == 1);
+        assert_omega_matches_reference(&spec);
+        // Table-free recompile (subsampling keeps all constraints at 1.0
+        // but clears the stamped program).
+        assert_omega_matches_reference(&spec.with_constraint_fraction(1.0, 1.0, seed));
+        // Grow the entity with the truth's values (out-of-domain when
+        // new_values) and compare the grown instantiation too.
+        let mut input = cr_core::UserInput::default();
+        for attr in spec.schema().attr_ids() {
+            let v = truth.get(attr);
+            if !v.is_null() {
+                input.values.insert(attr, v.clone());
+            }
+        }
+        if !input.is_empty() {
+            let (extended, _, _) = spec.apply_user_input(&input);
+            assert_omega_matches_reference(&extended);
+        }
     }
 }

@@ -252,6 +252,8 @@ pub fn generate(config: CareerConfig) -> Dataset {
         sigma,
         gamma: gamma(&s),
         entities,
+        table: None,
+        program: std::sync::OnceLock::new(),
     }
     .share_value_table()
 }

@@ -140,7 +140,13 @@ pub fn scenario(cfg: &ScenarioConfig) -> Scenario {
             .collect();
         rows.push(Tuple::from_values(values));
     }
-    let entity = EntityInstance::new(schema.clone(), rows).unwrap();
+    // A scenario is a single-entity "dataset": intern its values into a
+    // private table and (below) compile Σ/Γ against it once, so scenarios
+    // exercise the compiled-program projection with dense-id constants
+    // exactly like the shape-faithful dataset generators.
+    let mut table = cr_types::ValueTable::new();
+    table.intern_tuples(rows.iter());
+    let entity = EntityInstance::with_table(schema.clone(), rows, &table).unwrap();
 
     // Base currency orders, consistent with the timeline: for a sampled
     // (attr, pair) the strictly older-ranked tuple sits below the newer.
@@ -247,10 +253,13 @@ pub fn scenario(cfg: &ScenarioConfig) -> Scenario {
             .collect(),
     );
 
-    Scenario {
-        spec: Specification::new(entity, orders, sigma, gamma),
-        truth,
-    }
+    let spec = Specification::new(entity, orders, sigma, gamma);
+    spec.set_compiled_program(std::sync::Arc::new(cr_core::CompiledProgram::compile(
+        spec.sigma(),
+        spec.gamma(),
+        Some(&table),
+    )));
+    Scenario { spec, truth }
 }
 
 /// Convenience: a scenario drawn from raw proptest-style integers, mapping

@@ -24,14 +24,20 @@ pub mod nba;
 pub mod person;
 pub mod vjday;
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use cr_constraints::{ConstantCfd, CurrencyConstraint};
-use cr_core::Specification;
+use cr_core::{CompiledProgram, Specification};
 use cr_types::{EntityInstance, Schema, Tuple, ValueTable};
 
 /// A dataset: shared schema and constraints plus per-entity instances with
 /// their ground-truth current tuples.
+///
+/// All entities share one [`ValueTable`] (see
+/// [`Dataset::share_value_table`]) and one [`CompiledProgram`]
+/// ([`Dataset::program`]): Σ/Γ are compiled against the table **once per
+/// dataset**, and [`Dataset::spec`] stamps the shared program onto every
+/// entity specification so per-entity encoding only *projects* through it.
 pub struct Dataset {
     /// Dataset name (for reports).
     pub name: String,
@@ -43,17 +49,44 @@ pub struct Dataset {
     pub gamma: Vec<ConstantCfd>,
     /// `(entity instance, ground-truth tuple)` pairs.
     pub entities: Vec<(EntityInstance, Tuple)>,
+    /// Dataset-wide value table (filled by `share_value_table`).
+    pub(crate) table: Option<Arc<ValueTable>>,
+    /// Σ/Γ compiled against the shared table, once per dataset.
+    pub(crate) program: OnceLock<Arc<CompiledProgram>>,
 }
 
 impl Dataset {
     /// Builds the specification (with empty currency orders, as in all the
-    /// paper's experiments) for entity `i`.
+    /// paper's experiments) for entity `i`, carrying the dataset-shared
+    /// compiled constraint program.
     pub fn spec(&self, i: usize) -> Specification {
-        Specification::without_orders(
+        let spec = Specification::without_orders(
             self.entities[i].0.clone(),
             self.sigma.clone(),
             self.gamma.clone(),
-        )
+        );
+        spec.set_compiled_program(self.program().clone());
+        spec
+    }
+
+    /// The dataset's compiled constraint program, compiled on first use
+    /// against the shared value table.
+    pub fn program(&self) -> &Arc<CompiledProgram> {
+        self.program.get_or_init(|| {
+            Arc::new(CompiledProgram::compile(
+                &self.sigma,
+                &self.gamma,
+                self.table.as_deref(),
+            ))
+        })
+    }
+
+    /// The dataset-wide value table, if the entities were re-interned over
+    /// one ([`Dataset::share_value_table`]). Consumers re-deriving
+    /// constraint subsets (benchmark subsampling) compile their programs
+    /// against this table.
+    pub fn value_table(&self) -> Option<&Arc<ValueTable>> {
+        self.table.as_ref()
     }
 
     /// The ground truth of entity `i`.
@@ -97,6 +130,7 @@ impl Dataset {
                 )
             })
             .collect();
+        self.table = Some(Arc::new(table));
         self
     }
 

@@ -180,6 +180,8 @@ pub fn generate_with_sizes(sizes: &[usize], seed: u64) -> Dataset {
         sigma: sigma(&s),
         gamma: gamma(&s),
         entities,
+        table: None,
+        program: std::sync::OnceLock::new(),
     }
     .share_value_table()
 }

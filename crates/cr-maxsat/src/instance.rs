@@ -1,6 +1,6 @@
 //! Partial MaxSAT instances and results.
 
-use cr_sat::Lit;
+use cr_sat::{Cnf, Lit};
 
 /// A soft clause with a positive weight.
 #[derive(Clone, Debug)]
@@ -24,7 +24,7 @@ pub struct SoftClause {
 #[derive(Clone, Debug)]
 pub struct MaxSatInstance<'a> {
     num_vars: u32,
-    base: &'a [Vec<Lit>],
+    base: Option<&'a Cnf>,
     hard: Vec<Vec<Lit>>,
     soft: Vec<SoftClause>,
 }
@@ -38,20 +38,19 @@ impl Default for MaxSatInstance<'_> {
 impl<'a> MaxSatInstance<'a> {
     /// An instance over `num_vars` variables (more are added on demand).
     pub fn new(num_vars: u32) -> Self {
-        MaxSatInstance { num_vars, base: &[], hard: Vec::new(), soft: Vec::new() }
+        MaxSatInstance { num_vars, base: None, hard: Vec::new(), soft: Vec::new() }
     }
 
-    /// An instance whose hard clauses start as a **borrowed** clause arena
-    /// (not copied); further `add_hard` clauses are owned extras on top.
-    /// `num_vars` must cover every variable of `base` (it is not scanned —
-    /// that would defeat the `O(1)`-in-`|base|` construction; callers pass
-    /// the variable count of the `Cnf` the arena came from).
-    pub fn with_hard_base(num_vars: u32, base: &'a [Vec<Lit>]) -> Self {
-        debug_assert!(
-            base.iter().flatten().all(|l| l.var().0 < num_vars),
-            "num_vars must cover the borrowed base"
-        );
-        MaxSatInstance { num_vars, base, hard: Vec::new(), soft: Vec::new() }
+    /// An instance whose hard clauses start as a **borrowed** formula (not
+    /// copied); further `add_hard` clauses are owned extras on top. The
+    /// instance starts with the formula's variable count.
+    pub fn with_hard_base(base: &'a Cnf) -> Self {
+        MaxSatInstance {
+            num_vars: base.num_vars(),
+            base: Some(base),
+            hard: Vec::new(),
+            soft: Vec::new(),
+        }
     }
 
     /// Number of variables.
@@ -62,14 +61,14 @@ impl<'a> MaxSatInstance<'a> {
     /// All hard clauses: the borrowed base followed by the owned extras.
     pub fn hard_iter(&self) -> impl Iterator<Item = &[Lit]> {
         self.base
-            .iter()
-            .map(Vec::as_slice)
+            .into_iter()
+            .flat_map(Cnf::clauses)
             .chain(self.hard.iter().map(Vec::as_slice))
     }
 
     /// Number of hard clauses.
     pub fn hard_len(&self) -> usize {
-        self.base.len() + self.hard.len()
+        self.base.map_or(0, Cnf::num_clauses) + self.hard.len()
     }
 
     /// Soft clauses.
@@ -200,11 +199,10 @@ mod tests {
 
     #[test]
     fn borrowed_hard_base_is_not_copied_but_counts() {
-        let base = vec![
-            vec![Var(0).positive(), Var(1).positive()],
-            vec![Var(0).negative(), Var(1).negative()],
-        ];
-        let mut inst = MaxSatInstance::with_hard_base(2, &base);
+        let mut base = Cnf::new();
+        base.add_clause([Var(0).positive(), Var(1).positive()]);
+        base.add_clause([Var(0).negative(), Var(1).negative()]);
+        let mut inst = MaxSatInstance::with_hard_base(&base);
         assert_eq!(inst.num_vars(), 2);
         assert_eq!(inst.hard_len(), 2);
         inst.add_hard([Var(2).positive()]);

@@ -8,10 +8,27 @@ use crate::lit::{Lit, Var};
 /// [`crate::Solver`], the root-level [`crate::UnitPropagator`] and the MaxSAT
 /// solvers. Clauses are stored exactly as added; normalisation (duplicate and
 /// tautology removal) happens when a solver ingests the formula.
-#[derive(Clone, Default, Debug)]
+///
+/// Clauses live in one **flat literal arena** (`lits` plus a bounds index):
+/// appending a clause is an arena extend instead of a per-clause `Vec`
+/// allocation — the encoder converts tens of thousands of instance
+/// constraints per entity, and the per-clause mallocs of the boxed
+/// representation dominated round-0 encode on wide workloads — and
+/// consumers iterate contiguous memory.
+#[derive(Clone, Debug)]
 pub struct Cnf {
     num_vars: u32,
-    clauses: Vec<Vec<Lit>>,
+    /// All clause literals, concatenated.
+    lits: Vec<Lit>,
+    /// Clause `i` is `lits[bounds[i] as usize..bounds[i + 1] as usize]`;
+    /// always one longer than the clause count (starts as `[0]`).
+    bounds: Vec<u32>,
+}
+
+impl Default for Cnf {
+    fn default() -> Self {
+        Cnf { num_vars: 0, lits: Vec::new(), bounds: vec![0] }
+    }
 }
 
 impl Cnf {
@@ -39,23 +56,60 @@ impl Cnf {
 
     /// Number of clauses.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.len()
+        self.bounds.len() - 1
     }
 
     /// Total number of literal occurrences (the `|Φ(Se)|` size measure used
     /// in the paper's complexity analysis).
     pub fn num_literals(&self) -> usize {
-        self.clauses.iter().map(Vec::len).sum()
+        self.lits.len()
     }
 
     /// Adds a clause (a disjunction of literals). An empty clause makes the
     /// formula trivially unsatisfiable.
     pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
-        let clause: Vec<Lit> = lits.into_iter().collect();
-        for l in &clause {
-            self.ensure_vars(l.var().0 + 1);
+        let start = self.lits.len();
+        self.lits.extend(lits);
+        for i in start..self.lits.len() {
+            let v = self.lits[i].var().0 + 1;
+            self.ensure_vars(v);
         }
-        self.clauses.push(clause);
+        self.bounds.push(self.lits.len() as u32);
+    }
+
+    /// [`Cnf::add_clause`] for clauses whose variables are already
+    /// allocated: skips the per-literal variable-count scan. The encoder's
+    /// bulk clause conversion (tens of thousands of clauses over a
+    /// pre-allocated dense variable table) goes through here.
+    pub fn add_clause_prealloc(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        let start = self.lits.len();
+        self.lits.extend(lits);
+        debug_assert!(
+            self.lits[start..].iter().all(|l| l.var().0 < self.num_vars),
+            "add_clause_prealloc requires pre-allocated variables"
+        );
+        self.bounds.push(self.lits.len() as u32);
+    }
+
+    /// Reserves capacity for `n` additional clauses.
+    pub fn reserve_clauses(&mut self, n: usize) {
+        self.bounds.reserve(n);
+    }
+
+    /// Appends one literal of the clause under construction directly to the
+    /// arena; [`Cnf::finish_clause`] terminates it. The literal's variable
+    /// must already be allocated (bulk encoders only).
+    #[inline]
+    pub fn push_clause_lit(&mut self, l: Lit) {
+        debug_assert!(l.var().0 < self.num_vars, "push_clause_lit requires an allocated variable");
+        self.lits.push(l);
+    }
+
+    /// Terminates the clause whose literals were appended with
+    /// [`Cnf::push_clause_lit`] (an empty clause if none were).
+    #[inline]
+    pub fn finish_clause(&mut self) {
+        self.bounds.push(self.lits.len() as u32);
     }
 
     /// Adds the implication `premises → conclusion` as the clause
@@ -72,15 +126,29 @@ impl Cnf {
         self.add_clause(premises.iter().map(|p| p.negate()).collect::<Vec<_>>());
     }
 
-    /// The clause list.
-    pub fn clauses(&self) -> &[Vec<Lit>] {
-        &self.clauses
+    /// The clause at index `idx`, as a slice into the literal arena.
+    #[inline]
+    pub fn clause(&self, idx: usize) -> &[Lit] {
+        &self.lits[self.bounds[idx] as usize..self.bounds[idx + 1] as usize]
+    }
+
+    /// Iterates the clauses in insertion order.
+    pub fn clauses(&self) -> impl Iterator<Item = &[Lit]> + '_ {
+        self.clauses_from(0)
+    }
+
+    /// Iterates the clauses starting at index `from` — the tail-sync
+    /// primitive of the incremental consumers (solver, unit propagator).
+    pub fn clauses_from(&self, from: usize) -> impl Iterator<Item = &[Lit]> + '_ {
+        self.bounds[from..]
+            .windows(2)
+            .map(|w| &self.lits[w[0] as usize..w[1] as usize])
     }
 
     /// Evaluates the formula under a total assignment (indexed by variable).
     /// Used by tests and by the MaxSAT local search.
     pub fn eval(&self, assignment: &[bool]) -> bool {
-        self.clauses.iter().all(|c| {
+        self.clauses().all(|c| {
             c.iter()
                 .any(|l| assignment[l.var().index()] == l.is_positive())
         })
@@ -88,8 +156,7 @@ impl Cnf {
 
     /// Counts clauses satisfied under a total assignment.
     pub fn count_satisfied(&self, assignment: &[bool]) -> usize {
-        self.clauses
-            .iter()
+        self.clauses()
             .filter(|c| {
                 c.iter()
                     .any(|l| assignment[l.var().index()] == l.is_positive())
@@ -127,11 +194,11 @@ mod tests {
         let (a, b, c) = (cnf.new_var(), cnf.new_var(), cnf.new_var());
         cnf.add_implication(&[a.positive(), b.positive()], c.positive());
         assert_eq!(
-            cnf.clauses()[0],
-            vec![a.negative(), b.negative(), c.positive()]
+            cnf.clause(0),
+            [a.negative(), b.negative(), c.positive()]
         );
         cnf.add_negated_conjunction(&[a.positive()]);
-        assert_eq!(cnf.clauses()[1], vec![a.negative()]);
+        assert_eq!(cnf.clause(1), [a.negative()]);
     }
 
     #[test]

@@ -141,7 +141,7 @@ impl Solver {
         while self.num_vars() < cnf.num_vars() {
             self.new_var();
         }
-        for clause in &cnf.clauses()[from..] {
+        for clause in cnf.clauses_from(from) {
             self.add_clause(clause.iter().copied());
         }
         self.ok

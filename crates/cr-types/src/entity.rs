@@ -48,7 +48,21 @@ pub struct EntityInstance {
     values_by_id: Vec<Value>,
     /// Reverse lookup for `push` (user input arrives tuple by tuple).
     ids_by_value: HashMap<Value, u32>,
+    /// Local id → dataset-wide [`crate::GlobalValueId`]
+    /// ([`NO_GLOBAL_VALUE`] when the value is not in the shared table or
+    /// the instance was built without one), parallel to `values_by_id`.
+    global_by_local: Vec<u32>,
+    /// Reverse of `global_by_local` for the ids that have one — lets the
+    /// encoder resolve table-interned constants (CFD patterns, Σ constant
+    /// comparisons) to instance-local ids without hashing `Value`s.
+    local_by_global: HashMap<u32, u32>,
+    /// [`crate::ValueTable::token`] of the shared table, if any.
+    table_token: Option<u64>,
 }
+
+/// Sentinel in [`EntityInstance::global_of_local`]: the local id has no
+/// dataset-wide global id.
+pub const NO_GLOBAL_VALUE: u32 = u32::MAX;
 
 impl EntityInstance {
     /// Builds an entity instance, checking every tuple's arity. Dataset
@@ -90,6 +104,9 @@ impl EntityInstance {
             dense: Vec::with_capacity(tuples.len()),
             values_by_id: vec![Value::Null],
             ids_by_value: HashMap::new(),
+            global_by_local: vec![crate::NULL_VALUE_ID],
+            local_by_global: HashMap::new(),
+            table_token: table.map(|t| t.token()),
         };
         for t in tuples {
             e.append_dense_row(&t, table);
@@ -106,6 +123,9 @@ impl EntityInstance {
             dense: Vec::new(),
             values_by_id: vec![Value::Null],
             ids_by_value: HashMap::new(),
+            global_by_local: vec![crate::NULL_VALUE_ID],
+            local_by_global: HashMap::new(),
+            table_token: None,
         }
     }
 
@@ -120,9 +140,15 @@ impl EntityInstance {
                 id
             } else {
                 let id = self.values_by_id.len() as u32;
-                let canonical = table
-                    .and_then(|t| t.get(v).map(|gid| t.value(gid).clone()))
-                    .unwrap_or_else(|| v.clone());
+                let gid = table.and_then(|t| t.get(v));
+                let canonical = match (table, gid) {
+                    (Some(t), Some(g)) => t.value(g).clone(),
+                    _ => v.clone(),
+                };
+                self.global_by_local.push(gid.unwrap_or(NO_GLOBAL_VALUE));
+                if let Some(g) = gid {
+                    self.local_by_global.insert(g, id);
+                }
                 self.values_by_id.push(canonical.clone());
                 self.ids_by_value.insert(canonical, id);
                 id
@@ -155,6 +181,30 @@ impl EntityInstance {
     /// The value behind an instance-local dense id.
     pub fn dense_value(&self, id: u32) -> &Value {
         &self.values_by_id[id as usize]
+    }
+
+    /// The dataset-wide [`crate::GlobalValueId`] behind an instance-local
+    /// dense id, or [`NO_GLOBAL_VALUE`] when the instance was built without
+    /// a shared [`ValueTable`] or the value (e.g. a pushed user answer) is
+    /// not in it.
+    #[inline]
+    pub fn global_of_local(&self, id: u32) -> u32 {
+        self.global_by_local[id as usize]
+    }
+
+    /// The instance-local dense id carrying the table value `gid`, if that
+    /// value occurs in this instance. Integer-keyed — the encoder resolves
+    /// table-interned constants through this instead of hashing `Value`s.
+    #[inline]
+    pub fn local_of_global(&self, gid: u32) -> Option<u32> {
+        self.local_by_global.get(&gid).copied()
+    }
+
+    /// [`ValueTable::token`] of the shared table the instance was interned
+    /// against, if any. Consumers holding table-resolved ids (the encoder's
+    /// compiled constraint programs) check this before using them.
+    pub fn table_token(&self) -> Option<u64> {
+        self.table_token
     }
 
     /// The shared schema.

@@ -12,6 +12,7 @@
 //!   [`ValueId`] lets the encoder address order variables as integer pairs.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::schema::AttrId;
 use crate::value::Value;
@@ -31,6 +32,8 @@ pub const NULL_VALUE_ID: GlobalValueId = 0;
 pub struct ValueTable {
     by_value: HashMap<Value, GlobalValueId>,
     values: Vec<Value>,
+    /// Process-unique identity (see [`ValueTable::token`]).
+    token: u64,
 }
 
 impl Default for ValueTable {
@@ -39,12 +42,29 @@ impl Default for ValueTable {
     }
 }
 
+/// Source of process-unique [`ValueTable::token`] values. Starts at 1 so 0
+/// can never collide with a real token.
+static NEXT_TABLE_TOKEN: AtomicU64 = AtomicU64::new(1);
+
 impl ValueTable {
     /// A table containing only `Null` (at id 0).
     pub fn new() -> Self {
         let mut by_value = HashMap::new();
         by_value.insert(Value::Null, NULL_VALUE_ID);
-        ValueTable { by_value, values: vec![Value::Null] }
+        ValueTable {
+            by_value,
+            values: vec![Value::Null],
+            token: NEXT_TABLE_TOKEN.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// A process-unique identity for this table's id universe. Two tables
+    /// assign unrelated [`GlobalValueId`]s to the same values, so consumers
+    /// that cache ids (entity instances, the encoder's compiled constraint
+    /// programs) carry the token along and check it before mixing ids.
+    /// Clones share the token — a clone extends the same id universe.
+    pub fn token(&self) -> u64 {
+        self.token
     }
 
     /// Interns `v`, returning its stable dataset-wide id.

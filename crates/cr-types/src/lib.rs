@@ -17,7 +17,7 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
-pub use entity::{EntityInstance, TupleId};
+pub use entity::{EntityInstance, TupleId, NO_GLOBAL_VALUE};
 pub use error::TypesError;
 pub use interner::{
     AttrValueSpace, GlobalValueId, ValueId, ValueInterner, ValueTable, NULL_VALUE_ID,
