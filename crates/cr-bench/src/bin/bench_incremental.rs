@@ -18,21 +18,32 @@
 //! clause counts and wall time per axiom mode plus the injected-axiom
 //! counts of the lazy resolutions.
 //!
-//! Two further invariants are enforced alongside the outcome checks:
+//! Three further invariants are enforced alongside the outcome checks:
 //! **compile-once** — every workload's constraint program is compiled at
 //! setup (once per dataset, or once per heterogeneous scenario) and the
 //! global [`cr_core::compile_count`] must not move during any resolution
-//! or encode measurement — and **live retraction telemetry** — the
-//! new-value workloads must report provenance-scoped retraction replays,
-//! with per-round invalidation costs recorded in the report.
+//! or encode measurement — **live retraction telemetry** — the new-value
+//! workloads must report provenance-scoped retraction replays, with
+//! per-round invalidation costs recorded in the report — and **live
+//! revision ingestion**: the `ingest` workload streams upstream
+//! corrections (CFD retractions, order withdrawals, value revisions) into
+//! resolutions mid-flight, its revision replay is proven ≡ a from-scratch
+//! re-resolution of the post-revision specification
+//! (`cr_core::ingest::resolve_with_revisions_checked`), and its retraction
+//! cones must be **non-empty** (`revision invalidated > 0`) — the
+//! partial-invalidation path the interactive workloads cannot reach.
+//! Revision/retraction telemetry is reported uniformly for *every*
+//! workload, so a dead counter is distinguishable from a workload that
+//! legitimately has no revision stream.
 //!
 //! Flags: `--entities N` (per generated dataset, default 10), `--seed S`,
 //! `--rounds R` (max user rounds, default 10), `--reps K` (timing
 //! repetitions, default 3), `--frac F` (constraint fraction, default 0.6),
-//! `--threads T` (parallel fan-out width, default = available cores),
-//! `--out PATH` (default `BENCH_4.json`), `--smoke` (tiny CI mode: check
-//! agreement, compile-once and the zero-rebuild invariant, skip the
-//! timing sweep).
+//! `--threads T` (parallel fan-out width, default = available cores; the
+//! smoke mode runs a serial-vs-parallel agreement pass at this width),
+//! `--out PATH` (default `BENCH_5.json`), `--smoke` (tiny CI mode: check
+//! agreement, compile-once, zero-rebuild, live-cone and parallel-path
+//! invariants, skip the timing sweep).
 
 use std::time::Instant;
 
@@ -40,11 +51,12 @@ use std::sync::Arc;
 
 use cr_bench::{arg_entities, arg_flag, arg_seed, arg_value, json::BenchReport, quick};
 use cr_core::framework::{GroundTruthOracle, ResolutionConfig, Resolver};
+use cr_core::ingest::{resolve_with_revisions_checked, Revision, ScriptedRevisions};
 use cr_core::{compile_count, CompiledProgram, EncodeOptions, EncodedSpec, Specification};
 use cr_constraints::parser::{parse_cfd_file, parse_currency_file};
 use cr_data::gen::ScenarioConfig;
 use cr_data::{nba, person, vjday};
-use cr_types::{EntityInstance, Schema, Tuple, Value};
+use cr_types::{EntityInstance, Schema, Tuple, TupleId, Value};
 
 struct Workload {
     label: &'static str,
@@ -101,6 +113,176 @@ fn retraction_workload(entities: usize) -> Workload {
         spec.compiled_program();
     }
     w
+}
+
+/// The push-based ingestion workload: every entity resolves under a
+/// streaming revision timeline whose events *must* land in live derivation
+/// cones — the CFD has fired by the time it is retracted (round 1) and the
+/// withdrawn base order carries the `job` derivation — so the
+/// provenance-scoped replay runs its partial-invalidation path end-to-end
+/// (`revision invalidated > 0`, enforced by `--smoke`). A later value
+/// revision rewrites `city` to a brand-new value, exercising domain growth
+/// and value retirement mid-resolution. The `zip` attribute stays
+/// unconstrained so the oracle is consulted across several rounds — the
+/// window the stream pushes into.
+struct IngestWorkload {
+    specs: Vec<Specification>,
+    truths: Vec<Tuple>,
+    timelines: Vec<Vec<(usize, Revision)>>,
+}
+
+fn ingest_workload(entities: usize) -> IngestWorkload {
+    let schema =
+        Schema::new("p", ["status", "AC", "city", "job", "zip"]).expect("static schema");
+    let sigma = parse_currency_file(
+        &schema,
+        r#"
+        phi1: t1[status] = "working" && t2[status] = "retired" -> t1 <[status] t2
+        phi2: t1 <[status] t2 -> t1 <[AC] t2
+        "#,
+    )
+    .expect("static constraints");
+    let job = schema.attr_id("job").expect("static attr");
+    let city = schema.attr_id("city").expect("static attr");
+    let mut specs = Vec::new();
+    let mut truths = Vec::new();
+    let mut timelines = Vec::new();
+    for e in 0..entities.max(2) as i64 {
+        let gamma = parse_cfd_file(
+            &schema,
+            &format!("psi1: AC = {} -> city = \"LA{e}\"", 200 + e),
+        )
+        .expect("static CFDs");
+        let entity = EntityInstance::new(
+            schema.clone(),
+            vec![
+                Tuple::of([
+                    Value::str("working"),
+                    Value::int(100 + e),
+                    Value::str(format!("NY{e}")),
+                    Value::str("nurse"),
+                    Value::str(format!("Z1_{e}")),
+                ]),
+                Tuple::of([
+                    Value::str("retired"),
+                    Value::int(200 + e),
+                    Value::str(format!("LA{e}")),
+                    Value::str("vet"),
+                    Value::str(format!("Z2_{e}")),
+                ]),
+            ],
+        )
+        .expect("static entity");
+        // Base order carrying the job derivation (withdrawn at round 2).
+        let mut orders = cr_core::PartialOrders::empty(schema.arity());
+        orders.add(job, TupleId(0), TupleId(1));
+        specs.push(Specification::new(entity, orders, sigma.clone(), gamma));
+        truths.push(Tuple::of([
+            Value::str("retired"),
+            Value::int(200 + e),
+            Value::str(format!("LA{e}")),
+            Value::str("vet"),
+            Value::str(format!("Z2_{e}")),
+        ]));
+        timelines.push(vec![
+            (1, Revision::RetractCfd { cfd: 0 }),
+            (2, Revision::WithdrawOrder { attr: job, lo: TupleId(0), hi: TupleId(1) }),
+            (2, Revision::ReplaceValue {
+                tuple: TupleId(0),
+                attr: city,
+                value: Value::str(format!("Boston{e}")),
+            }),
+        ]);
+    }
+    // Γ differs per entity (distinct CFD constants): one program each,
+    // materialised at setup so nothing compiles during measurement.
+    for spec in &specs {
+        spec.compiled_program();
+    }
+    IngestWorkload { specs, truths, timelines }
+}
+
+/// Per-workload revision-ingestion telemetry (the `ingest` workload's
+/// counterpart of [`RetractionStats`]).
+#[derive(Default)]
+struct IngestStats {
+    events: usize,
+    retracted_groups: usize,
+    invalidated: usize,
+    reemitted_clauses: usize,
+    rebuilds: usize,
+}
+
+/// Differentially verifies the ingest workload — the revision replay must
+/// equal a from-scratch re-resolution of the post-revision specification
+/// after every event batch — and collects its telemetry. Aborts the bench
+/// on any divergence. (Run during setup: the scratch mirrors compile their
+/// own programs.)
+fn check_ingest(w: &IngestWorkload, rounds: usize) -> IngestStats {
+    let config = ResolutionConfig { max_rounds: rounds, ..Default::default() };
+    let mut stats = IngestStats::default();
+    for ((spec, truth), timeline) in w.specs.iter().zip(&w.truths).zip(&w.timelines) {
+        let mut oracle = GroundTruthOracle::with_cap(truth.clone(), 1);
+        let mut source = ScriptedRevisions::new(timeline.clone());
+        let checked = resolve_with_revisions_checked(&config, spec, &mut oracle, &mut source)
+            .unwrap_or_else(|e| {
+                eprintln!("  ingest: REPLAY-VS-SCRATCH DIVERGENCE: {e}");
+                std::process::exit(1);
+            });
+        assert!(checked.valid, "ingest workload stays valid");
+        stats.events += checked.revisions.events;
+        stats.retracted_groups += checked.revisions.retracted_groups;
+        stats.invalidated += checked.revisions.invalidated;
+        stats.reemitted_clauses += checked.revisions.reemitted_clauses;
+    }
+    stats
+}
+
+/// Serial wall-clock seconds for one pass of the unchecked production path
+/// (`resolve_with_revisions`) over the ingest workload (best of `reps`).
+/// Also accumulates the path's rebuild count into `stats`.
+fn time_ingest(w: &IngestWorkload, rounds: usize, reps: usize, stats: &mut IngestStats) -> f64 {
+    let r = Resolver::new(ResolutionConfig { max_rounds: rounds, ..Default::default() });
+    let mut best = f64::INFINITY;
+    for rep in 0..reps.max(1) {
+        let t = Instant::now();
+        for ((spec, truth), timeline) in w.specs.iter().zip(&w.truths).zip(&w.timelines) {
+            let mut oracle = GroundTruthOracle::with_cap(truth.clone(), 1);
+            let mut source = ScriptedRevisions::new(timeline.clone());
+            let outcome =
+                std::hint::black_box(r.resolve_with_revisions(spec, &mut oracle, &mut source));
+            if rep == 0 {
+                stats.rebuilds += outcome.rebuilds;
+            }
+        }
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// One serial-vs-parallel agreement pass at the requested fan-out width
+/// (run in smoke so `--threads N` exercises the parallel path in CI).
+fn check_parallel(w: &Workload, rounds: usize, threads: usize) {
+    let r = resolver(EncodeOptions::lazy(), true, rounds);
+    let serial: Vec<_> = w
+        .specs
+        .iter()
+        .zip(&w.truths)
+        .map(|(spec, truth)| r.resolve(spec, &mut GroundTruthOracle::with_cap(truth.clone(), 1)))
+        .collect();
+    let parallel = r.resolve_all_parallel_with_threads(
+        &w.specs,
+        |i| GroundTruthOracle::with_cap(w.truths[i].clone(), 1),
+        threads,
+    );
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            s.resolved, p.resolved,
+            "{}: parallel fan-out diverged from serial on entity {i}",
+            w.label
+        );
+        assert_eq!(p.rebuilds, 0, "{}: parallel path rebuilt on entity {i}", w.label);
+    }
 }
 
 fn resolver(encode: EncodeOptions, incremental: bool, max_rounds: usize) -> Resolver {
@@ -277,7 +459,7 @@ fn main() {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
         .max(1);
     let smoke = arg_flag("smoke");
-    let out = arg_value("out").unwrap_or_else(|| "BENCH_4.json".to_string());
+    let out = arg_value("out").unwrap_or_else(|| "BENCH_5.json".to_string());
 
     // Entity sizes follow the seed's Fig. 8(a) bins: NBA up to 135 tuples,
     // Person at 1/10 paper scale up to 200.
@@ -359,6 +541,14 @@ fn main() {
         retraction_workload(entities.clamp(2, 8)),
     ];
 
+    // Push-based ingestion workload: built AND differentially verified at
+    // setup (the replay-vs-scratch checker encodes post-revision mirror
+    // specifications from scratch, which compiles their programs — that
+    // must not count against the compile-once invariant of the measured
+    // phase below).
+    let ingest = ingest_workload(entities.clamp(2, 8));
+    let mut ingest_stats = check_ingest(&ingest, rounds);
+
     // Career specs were stamped by `Dataset::spec`, wide scenarios by
     // `cr_data::gen` — every workload's program now exists. From here on,
     // nothing may compile: resolutions and encode measurements only
@@ -407,6 +597,15 @@ fn main() {
                 retraction.full_resets,
             );
         }
+        // Uniform revision telemetry: interactive workloads have no
+        // revision stream, so the explicit zero distinguishes "nothing
+        // scheduled" from a dead counter on the ingest workload below.
+        report.context(format!("revisions/{}/events", w.label), 0);
+        report.context(format!("revisions/{}/invalidated", w.label), 0);
+        println!(
+            "{:>8}: revisions 0 events, 0 cone literals (no revision stream scheduled)",
+            w.label
+        );
 
         let enc = encode_stats(w, if smoke { 1 } else { reps });
         report.context(format!("encode_clauses/{}/eager", w.label), enc.eager_clauses);
@@ -423,6 +622,9 @@ fn main() {
             enc.lazy_secs,
         );
         if smoke {
+            // Exercise the parallel fan-out at the requested width so the
+            // multi-thread path cannot rot silently in CI.
+            check_parallel(w, rounds, threads);
             continue;
         }
 
@@ -448,6 +650,32 @@ fn main() {
             parallel,
         );
     }
+    // Push-based ingestion: replay-vs-scratch was verified at setup
+    // (`check_ingest` aborts on divergence); report its telemetry and time
+    // the unchecked production path (`resolve_with_revisions`).
+    let ingest_secs = time_ingest(&ingest, rounds, if smoke { 1 } else { reps }, &mut ingest_stats);
+    total_rebuilds += ingest_stats.rebuilds;
+    report.context("rebuilds/ingest", ingest_stats.rebuilds);
+    report.context("revisions/ingest/events", ingest_stats.events);
+    report.context("revisions/ingest/retracted_groups", ingest_stats.retracted_groups);
+    report.context("revisions/ingest/invalidated", ingest_stats.invalidated);
+    report.context("revisions/ingest/reemitted_clauses", ingest_stats.reemitted_clauses);
+    println!(
+        "{:>8}: revisions {} events, {} groups retracted, {} cone literals, {} clauses re-emitted (replay ≡ scratch verified)",
+        "ingest",
+        ingest_stats.events,
+        ingest_stats.retracted_groups,
+        ingest_stats.invalidated,
+        ingest_stats.reemitted_clauses,
+    );
+    if !smoke {
+        report.measure("end_to_end/ingest/incremental_revisions", ingest_secs);
+        println!(
+            "{:>8}: revision-streamed end-to-end {ingest_secs:.4}s (lazy incremental, {} rebuilds)",
+            "ingest", ingest_stats.rebuilds,
+        );
+    }
+
     report.context("rebuilds_total", total_rebuilds);
     if !smoke {
         let speedup = total_scratch / total_lazy;
@@ -490,7 +718,22 @@ fn main() {
         eprintln!("FAIL: no retraction replays recorded on any workload (telemetry dead?)");
         std::process::exit(1);
     }
+    // The ingest workload's corrections withdraw *fired* CFDs and
+    // load-bearing orders: its retraction cones must be non-empty — the
+    // end-to-end proof that provenance-scoped partial invalidation runs on
+    // a live path, not just at the cr-sat unit level.
+    if ingest_stats.invalidated == 0 {
+        eprintln!(
+            "FAIL: ingest workload invalidated no literals (revision cones empty — telemetry dead or events missed their derivations)"
+        );
+        std::process::exit(1);
+    }
+    if ingest_stats.events == 0 {
+        eprintln!("FAIL: ingest workload applied no revision events");
+        std::process::exit(1);
+    }
     println!(
-        "compile-once OK ({compiles_at_setup} programs at setup, 0 during resolution);          retraction replays {retraction_replays_seen}"
+        "compile-once OK ({compiles_at_setup} programs at setup, 0 during resolution);          retraction replays {retraction_replays_seen}, revision cone literals {}",
+        ingest_stats.invalidated
     );
 }

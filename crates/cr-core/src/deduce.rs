@@ -41,19 +41,22 @@ impl DeducedOrders {
     }
 
     /// Values of `attr` not dominated by any other value — the candidate
-    /// true values `V(attr)` of `DeriveVR` (Section V-C.2).
+    /// true values `V(attr)` of `DeriveVR` (Section V-C.2). Quantifies over
+    /// the **live** values of the space: on ordinary encodings that is
+    /// every interned value; on revisable encodings, values retired by
+    /// upstream corrections are no possible current values and drop out.
     ///
     /// Single pass over the deduced pairs marking dominated values in a
     /// bitvec; the previous formulation probed the hash set `O(n²)` times
     /// per attribute.
     pub fn candidates(&self, enc: &EncodedSpec, attr: AttrId) -> Vec<ValueId> {
-        let n = enc.space().attr(attr).len();
-        let mut dominated = vec![false; n];
+        let interner = enc.space().attr(attr);
+        let mut dominated = vec![false; interner.len()];
         for (lo, _) in self.pairs(attr) {
             dominated[lo.index()] = true;
         }
-        (0..n as u32)
-            .map(ValueId)
+        interner
+            .live_ids()
             .filter(|v| !dominated[v.index()])
             .collect()
     }

@@ -48,15 +48,16 @@
 //! Injected clauses are permanent (`NO_GROUP`): axioms hold regardless of
 //! any CFD group, so retraction never touches them.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use cr_sat::{Cnf, Lit, Var};
-use cr_types::{AttrId, AttrValueSpace, Value, ValueId};
+use cr_types::{AttrId, AttrValueSpace, TupleId, Value, ValueId};
 
 use super::AxiomMode;
 
 use super::omega::{
-    build_spaces, cfd_instances, emit_base, emit_sigma_gamma, instantiate_pair, Conclusion,
+    base_order_instance, build_spaces, cfd_instances, emit_base_orders, emit_null_bottoms,
+    emit_sigma_gamma, instantiate_pair, sigma_constraint_instances, Conclusion,
     InstanceConstraint, OmegaSink, OrderAtom, Premise,
 };
 use super::EncodeOptions;
@@ -206,7 +207,24 @@ pub struct EncodedSpec {
     groups: Vec<GroupState>,
     /// Per CFD index: its currently active group, if emitted.
     cfd_groups: Vec<Option<GroupId>>,
+    /// Per CFD index: withdrawn by an upstream correction
+    /// ([`EncodedSpec::retract_cfd`]); never re-emitted. All `false` on
+    /// non-revisable encodings.
+    cfd_retired: Vec<bool>,
+    /// Revisable mode: the active clause group of each tuple-level base
+    /// order pair `(attr, t1, t2)` (vacuous pairs have none).
+    order_groups: HashMap<(AttrId, TupleId, TupleId), GroupId>,
+    /// Revisable mode: the active clause group of each Σ constraint.
+    sigma_groups: Vec<Option<GroupId>>,
+    /// Revisable mode: per-attribute refcounts of the entity cells (and
+    /// user answers) realising each interned value — drives the space's
+    /// liveness mask. Indexed `[attr][value id]`; empty on non-revisable
+    /// encodings.
+    live_counts: Vec<Vec<u32>>,
     omega: Vec<InstanceConstraint>,
+    /// Group tag per Ω instance, parallel to `omega` (`NO_GROUP` =
+    /// permanent) — retracting a group removes exactly its instances.
+    omega_groups: Vec<GroupId>,
     options: EncodeOptions,
     /// Axiom clauses recorded into the CNF by lazy instantiation
     /// ([`RecordingAxiomSource`]); 0 for eager encodings.
@@ -238,7 +256,12 @@ impl EncodedSpec {
             clause_groups: Vec::new(),
             groups: Vec::new(),
             cfd_groups: vec![None; spec.gamma().len()],
+            cfd_retired: vec![false; spec.gamma().len()],
+            order_groups: HashMap::new(),
+            sigma_groups: vec![None; spec.sigma().len()],
+            live_counts: Vec::new(),
             omega: Vec::new(),
+            omega_groups: Vec::new(),
             options,
             injected_axioms: 0,
         };
@@ -277,11 +300,50 @@ impl EncodedSpec {
         // into clause emission — instance construction, clause conversion
         // and Ω recording happen in one pass with no intermediate buffer.
         // CFD instances optionally go into one retractable group per CFD;
+        // in revisable mode Σ instances are grouped per constraint (routed
+        // by `route_omega`) and base orders per order pair (below);
         // everything else is permanent.
         {
             let mut sink = EncoderSink { enc: &mut enc, guarded: options.guarded_cfds };
-            emit_base(spec, &space, &g2l, &mut sink);
+            emit_null_bottoms(spec, &space, &mut sink);
+            if !options.revisable {
+                emit_base_orders(spec, &g2l, &mut sink);
+            }
             emit_sigma_gamma(spec, &program, &space, &g2l, &mut sink);
+        }
+        if options.revisable {
+            // Base currency orders, one retractable group per tuple-level
+            // pair, so upstream corrections can withdraw a single asserted
+            // order (or re-derive the pairs a value revision touches).
+            let entity = spec.entity();
+            for attr in spec.schema().attr_ids() {
+                for (t1, t2) in spec.orders().pairs(attr) {
+                    let instance = base_order_instance(
+                        &space,
+                        attr,
+                        entity.tuple(t1).get(attr),
+                        entity.tuple(t2).get(attr),
+                    );
+                    if let Some(c) = instance {
+                        let group = enc.new_group();
+                        enc.order_groups.insert((attr, t1, t2), group);
+                        enc.add_omega_constraint_in(c, group);
+                    }
+                }
+            }
+            // Liveness refcounts: one count per cell realising the value.
+            enc.live_counts = (0..space.arity())
+                .map(|ai| vec![0u32; space.attr(AttrId(ai as u16)).len()])
+                .collect();
+            for tid in entity.tuple_ids() {
+                for attr in spec.schema().attr_ids() {
+                    let v = entity.tuple(tid).get(attr);
+                    if !v.is_null() {
+                        let vid = space.get(attr, v).expect("cell values are interned");
+                        enc.live_counts[attr.index()][vid.index()] += 1;
+                    }
+                }
+            }
         }
         enc.space = space;
 
@@ -398,6 +460,9 @@ impl EncodedSpec {
             grown.sort_unstable();
             grown.dedup();
             for (gi, cfd) in spec.gamma().iter().enumerate() {
+                if self.cfd_retired[gi] {
+                    continue; // withdrawn upstream: never re-emitted
+                }
                 let touched = cfd
                     .lhs()
                     .iter()
@@ -409,7 +474,7 @@ impl EncodedSpec {
                 if let Some(group) = self.cfd_groups[gi].take() {
                     self.retract_group(group);
                     retracted_groups.push(group);
-                    self.omega.retain(|c| c.origin != super::Origin::Cfd(gi));
+                    self.remove_omega_group(group);
                 }
                 let instances = cfd_instances(&self.space, gi, cfd);
                 if !instances.is_empty() {
@@ -422,21 +487,46 @@ impl EncodedSpec {
             }
         }
 
-        // (1) Base-order units: the answered value tops its attribute.
+        // The fresh tuple's cells realise the answered values.
         for &(attr, vid) in &answered {
-            let below: Vec<ValueId> = self
-                .space
-                .attr(attr)
-                .iter()
-                .filter(|(id, v)| *id != vid && !v.is_null())
-                .map(|(id, _)| id)
-                .collect();
-            for lo in below {
-                self.add_omega_constraint(InstanceConstraint {
-                    premise: Premise::new(),
-                    conclusion: Conclusion::Atom(OrderAtom { attr, lo, hi: vid }),
-                    origin: super::Origin::BaseOrder,
-                });
+            self.cell_added(attr, vid);
+        }
+
+        // (1) Base-order units: the answered value tops its attribute. In
+        // revisable mode each induced tuple-level pair `(attr, t, to)` gets
+        // its own retractable group, mirroring the order extension
+        // `Specification::apply_user_input` records — so an upstream
+        // correction can later withdraw the answer pair by pair (and a
+        // value revision of `t` re-derives exactly the touched pairs).
+        if self.options.revisable {
+            let to = TupleId(spec.entity().len() as u32);
+            for &(attr, vid) in &answered {
+                let hi = self.space.value(attr, vid).clone();
+                for t in spec.entity().tuple_ids() {
+                    let lo = spec.entity().tuple(t).get(attr);
+                    if let Some(c) = base_order_instance(&self.space, attr, lo, &hi) {
+                        let group = self.new_group();
+                        self.order_groups.insert((attr, t, to), group);
+                        self.add_omega_constraint_in(c, group);
+                    }
+                }
+            }
+        } else {
+            for &(attr, vid) in &answered {
+                let below: Vec<ValueId> = self
+                    .space
+                    .attr(attr)
+                    .iter()
+                    .filter(|(id, v)| *id != vid && !v.is_null())
+                    .map(|(id, _)| id)
+                    .collect();
+                for lo in below {
+                    self.add_omega_constraint(InstanceConstraint {
+                        premise: Premise::new(),
+                        conclusion: Conclusion::Atom(OrderAtom { attr, lo, hi: vid }),
+                        origin: super::Origin::BaseOrder,
+                    });
+                }
             }
         }
 
@@ -493,14 +583,22 @@ impl EncodedSpec {
                     continue;
                 }
                 let t = entity.tuple(tid);
+                // Revisable mode: delta instances join the constraint's
+                // retractable group, so a later revision touching the
+                // constraint withdraws and re-derives them with the rest.
+                let group = if self.options.revisable {
+                    self.sigma_group(ci)
+                } else {
+                    NO_GROUP
+                };
                 if to_second {
                     if let Some(c) = instantiate_pair(&self.space, constraint, ci, t, &to) {
-                        self.add_omega_constraint(c);
+                        self.add_omega_constraint_in(c, group);
                     }
                 }
                 if to_first {
                     if let Some(c) = instantiate_pair(&self.space, constraint, ci, &to, t) {
-                        self.add_omega_constraint(c);
+                        self.add_omega_constraint_in(c, group);
                     }
                 }
             }
@@ -558,8 +656,20 @@ impl EncodedSpec {
                 }
             }
         }
-        // Null stays a strict bottom below the new value.
-        if let Some(null_id) = self.space.get(attr, &Value::Null) {
+        if v.is_null() {
+            // Null joining late (a value revision nulled a cell of a
+            // previously all-non-null attribute): it is a strict bottom
+            // below every existing value, exactly as a from-scratch encode
+            // of the revised specification would emit.
+            for &w in &olds {
+                self.add_omega_constraint(InstanceConstraint {
+                    premise: Premise::new(),
+                    conclusion: Conclusion::Atom(OrderAtom { attr, lo: vid, hi: w }),
+                    origin: super::Origin::NullBottom,
+                });
+            }
+        } else if let Some(null_id) = self.space.get(attr, &Value::Null) {
+            // Null stays a strict bottom below the new value.
             self.add_omega_constraint(InstanceConstraint {
                 premise: Premise::new(),
                 conclusion: Conclusion::Atom(OrderAtom { attr, lo: null_id, hi: vid }),
@@ -567,6 +677,182 @@ impl EncodedSpec {
             });
         }
         vid
+    }
+
+    /// Withdraws CFD `gamma[gi]` permanently — the encoding-level half of an
+    /// upstream **CFD retraction** (see [`crate::ingest`]). The CFD's clause
+    /// group is retracted (root `¬g` unit, Ω instances dropped) and the CFD
+    /// is marked retired so no later extension or revision re-emits it.
+    /// Requires a revisable encoding. Returns the retracted groups (callers
+    /// holding a live `UnitPropagator` forward them to `retract_groups`
+    /// before syncing the clause tail).
+    pub fn retract_cfd(&mut self, gi: usize) -> Vec<GroupId> {
+        debug_assert!(self.options.revisable, "CFD retraction needs a revisable encoding");
+        self.cfd_retired[gi] = true;
+        match self.cfd_groups[gi].take() {
+            Some(group) => {
+                self.retract_group(group);
+                self.remove_omega_group(group);
+                vec![group]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// True iff CFD `gamma[gi]` was withdrawn by [`EncodedSpec::retract_cfd`].
+    /// Rule derivation (`TrueDer`) skips retired CFDs.
+    pub fn is_cfd_retired(&self, gi: usize) -> bool {
+        self.cfd_retired.get(gi).copied().unwrap_or(false)
+    }
+
+    /// Withdraws the base order `t1 ≺_attr t2` — the encoding-level half of
+    /// an upstream **order withdrawal** (initial orders and answer-induced
+    /// pairs alike). A vacuous pair (equal or null-sided values — no clause
+    /// was ever emitted) is a no-op. Requires a revisable encoding. Returns
+    /// the retracted groups.
+    pub fn withdraw_order(&mut self, attr: AttrId, t1: TupleId, t2: TupleId) -> Vec<GroupId> {
+        debug_assert!(self.options.revisable, "order withdrawal needs a revisable encoding");
+        match self.order_groups.remove(&(attr, t1, t2)) {
+            Some(group) => {
+                self.retract_group(group);
+                self.remove_omega_group(group);
+                vec![group]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Applies a **value revision**: the cell `(tuple, attr)` changed from
+    /// `old` to its current value in `after` (the specification *after* the
+    /// spec-level replacement — [`Specification::with_replaced_value`]).
+    /// Requires a revisable encoding.
+    ///
+    /// The revision is absorbed without rebuilding anything:
+    ///
+    /// * the new value joins the space if unseen
+    ///   (order variables + axioms appended, exactly like an out-of-domain
+    ///   user answer), and the liveness refcounts shift — a value whose
+    ///   last occurrence was revised away is *retired* from the query
+    ///   surface while its variables stay allocated;
+    /// * every base-order pair group touching `(attr, tuple)` is retracted
+    ///   and re-derived from the revised values (pairs that became vacuous
+    ///   stay retracted, pairs that became meaningful gain a fresh group);
+    /// * every Σ constraint referencing `attr` has its clause group
+    ///   retracted and re-projected over the revised entity through the
+    ///   compiled program's projection keys;
+    /// * every live CFD referencing `attr` is retracted and re-emitted over
+    ///   the revised (live-masked) space.
+    ///
+    /// Returns the retracted groups in retraction order.
+    pub fn replace_value(
+        &mut self,
+        after: &Specification,
+        tuple: TupleId,
+        attr: AttrId,
+        old: &Value,
+    ) -> Vec<GroupId> {
+        debug_assert!(self.options.revisable, "value revision needs a revisable encoding");
+        let mut retracted = Vec::new();
+
+        // Liveness swap: count the new value in before discounting the old
+        // one, so a self-replacement can never transiently retire a value.
+        let new_value = after.entity().tuple(tuple).get(attr).clone();
+        if new_value.is_null() {
+            // A from-scratch encode of the revised specification interns
+            // null for this attribute now — mirror it (with its bottom
+            // units); null is never refcounted and never retires.
+            if self.space.get(attr, &Value::Null).is_none() {
+                self.append_value(attr, &Value::Null);
+            }
+        } else {
+            let vid = match self.space.get(attr, &new_value) {
+                Some(id) => id,
+                None => self.append_value(attr, &new_value),
+            };
+            self.cell_added(attr, vid);
+        }
+        if !old.is_null() {
+            let vid = self.space.get(attr, old).expect("revised-away value was interned");
+            self.cell_removed(attr, vid);
+        }
+
+        // Base-order pairs touching the revised cell: retract and re-derive
+        // with the updated values.
+        let entity = after.entity();
+        let pairs: Vec<(TupleId, TupleId)> = after
+            .orders()
+            .pairs(attr)
+            .filter(|&(t1, t2)| t1 == tuple || t2 == tuple)
+            .collect();
+        for (t1, t2) in pairs {
+            if let Some(group) = self.order_groups.remove(&(attr, t1, t2)) {
+                self.retract_group(group);
+                retracted.push(group);
+            }
+            let instance = base_order_instance(
+                &self.space,
+                attr,
+                entity.tuple(t1).get(attr),
+                entity.tuple(t2).get(attr),
+            );
+            if let Some(c) = instance {
+                let group = self.new_group();
+                self.order_groups.insert((attr, t1, t2), group);
+                self.add_omega_constraint_in(c, group);
+            }
+        }
+
+        // Σ constraints referencing the revised attribute: their instances
+        // are derived from the referenced attributes' values, so only those
+        // groups can have changed. Re-projection reuses the compiled
+        // program's referenced-attribute keys.
+        let program = after.compiled_program().clone();
+        for (ci, cc) in program.sigma.iter().enumerate() {
+            if !cc.referenced_attrs.contains(&attr) {
+                continue;
+            }
+            if let Some(group) = self.sigma_groups[ci].take() {
+                self.retract_group(group);
+                retracted.push(group);
+            }
+            let instances = sigma_constraint_instances(after, ci, &cc.referenced_attrs, &self.space);
+            if !instances.is_empty() {
+                let group = self.new_group();
+                self.sigma_groups[ci] = Some(group);
+                for c in instances {
+                    self.add_omega_constraint_in(c, group);
+                }
+            }
+        }
+
+        // Live CFDs referencing the revised attribute: ωX premises and
+        // domination sets quantify over the (live) space, which just moved.
+        for (gi, cfd) in after.gamma().iter().enumerate() {
+            if self.cfd_retired[gi] {
+                continue;
+            }
+            let touched =
+                cfd.lhs().iter().any(|(a, _)| *a == attr) || cfd.rhs().0 == attr;
+            if !touched {
+                continue;
+            }
+            if let Some(group) = self.cfd_groups[gi].take() {
+                self.retract_group(group);
+                retracted.push(group);
+            }
+            let instances = cfd_instances(&self.space, gi, cfd);
+            if !instances.is_empty() {
+                let group = self.new_group();
+                self.cfd_groups[gi] = Some(group);
+                for c in instances {
+                    self.add_omega_constraint_in(c, group);
+                }
+            }
+        }
+        // Drop every retracted group's Ω instances in one pass (re-emitted
+        // instances above carry fresh group ids, so deferring is safe).
+        self.remove_omega_groups(&retracted);
+        retracted
     }
 
     /// Records an instance constraint and adds its clause to the CNF.
@@ -586,10 +872,43 @@ impl EncodedSpec {
     fn add_omega_constraint_in(&mut self, c: InstanceConstraint, group: GroupId) {
         self.emit_omega_clause(&c, group);
         self.omega.push(c);
+        self.omega_groups.push(group);
+    }
+
+    /// Removes the Ω instances of one retracted clause group.
+    fn remove_omega_group(&mut self, group: GroupId) {
+        self.remove_omega_groups(&[group]);
+    }
+
+    /// Removes the Ω instances of a batch of retracted clause groups in one
+    /// pass (a value revision can retract several Σ/Γ/order groups at
+    /// once; scanning Ω per group would be `O(k·|Ω|)`).
+    fn remove_omega_groups(&mut self, groups: &[GroupId]) {
+        if groups.is_empty() {
+            return;
+        }
+        let tags = std::mem::take(&mut self.omega_groups);
+        let mut it = tags.iter();
+        self.omega.retain(|_| !groups.contains(it.next().expect("parallel")));
+        self.omega_groups = tags.into_iter().filter(|g| !groups.contains(g)).collect();
+    }
+
+    /// The active clause group of Σ constraint `ci` (revisable mode),
+    /// allocating one on first use.
+    fn sigma_group(&mut self, ci: usize) -> GroupId {
+        match self.sigma_groups[ci] {
+            Some(g) => g,
+            None => {
+                let g = self.new_group();
+                self.sigma_groups[ci] = Some(g);
+                g
+            }
+        }
     }
 
     /// Routes one streamed Ω instance to its clause group: CFD instances go
-    /// into their (lazily created) retractable group when `guarded`,
+    /// into their (lazily created) retractable group when `guarded`, Σ
+    /// instances into their per-constraint group in revisable mode,
     /// everything else is permanent.
     fn route_omega(&mut self, c: InstanceConstraint, guarded: bool) {
         match c.origin {
@@ -604,7 +923,42 @@ impl EncodedSpec {
                 };
                 self.add_omega_constraint_in(c, group);
             }
+            super::Origin::Currency(ci) if self.options.revisable => {
+                let group = self.sigma_group(ci);
+                self.add_omega_constraint_in(c, group);
+            }
             _ => self.add_omega_constraint(c),
+        }
+    }
+
+    /// Revisable-mode liveness bookkeeping: one more cell (or user answer)
+    /// realises `(attr, vid)`. No-op on ordinary encodings.
+    fn cell_added(&mut self, attr: AttrId, vid: ValueId) {
+        if !self.options.revisable {
+            return;
+        }
+        let counts = &mut self.live_counts[attr.index()];
+        if counts.len() <= vid.index() {
+            counts.resize(vid.index() + 1, 0);
+        }
+        counts[vid.index()] += 1;
+        self.space.set_live(attr, vid, true);
+    }
+
+    /// Revisable-mode liveness bookkeeping: one fewer cell realises
+    /// `(attr, vid)`; the value is *retired* when its last occurrence goes
+    /// (null is exempt — null-bottom units are permanent clauses and a live
+    /// null is always dominated, so keeping it live can never change a
+    /// query result; see the ingest module docs).
+    fn cell_removed(&mut self, attr: AttrId, vid: ValueId) {
+        if !self.options.revisable {
+            return;
+        }
+        let counts = &mut self.live_counts[attr.index()];
+        debug_assert!(counts[vid.index()] > 0, "liveness refcount underflow");
+        counts[vid.index()] -= 1;
+        if counts[vid.index()] == 0 && !self.space.value(attr, vid).is_null() {
+            self.space.set_live(attr, vid, false);
         }
     }
 
@@ -777,15 +1131,16 @@ impl EncodedSpec {
     }
 
     /// Assumption literals asserting "`v` is the most current value of
-    /// `attr`": every other value of the space sits strictly below `v`.
+    /// `attr`": every other **live** value of the space sits strictly below
+    /// `v` (on ordinary encodings every value is live; on revisable ones
+    /// retired values are out of the active domain and impose nothing).
     /// (The dense variable table is fully allocated in every axiom mode, so
     /// the lookup always succeeds for interned ids; `None` is kept for
     /// defensive callers.)
     pub fn top_assumptions(&self, attr: AttrId, v: ValueId) -> Option<Vec<Lit>> {
-        let n = self.space.attr(attr).len() as u32;
-        let mut lits = Vec::with_capacity(n as usize - 1);
-        for o in 0..n {
-            let o = ValueId(o);
+        let interner = self.space.attr(attr);
+        let mut lits = Vec::with_capacity(interner.len().saturating_sub(1));
+        for o in interner.live_ids() {
             if o == v {
                 continue;
             }
@@ -1538,5 +1893,108 @@ mod tests {
             let oid = enc.value_id(status, &Value::str(old)).unwrap();
             assert!(od.contains(status, oid, deceased), "{old} must sit below");
         }
+    }
+
+    /// A revisable spec whose CFD fires: AC order via the base order pair,
+    /// city via the CFD's domination.
+    fn revisable_cfd_spec() -> Specification {
+        let s = Schema::new("p", ["AC", "city"]).unwrap();
+        let e = EntityInstance::new(
+            s.clone(),
+            vec![
+                Tuple::of([Value::int(1), Value::str("NY")]),
+                Tuple::of([Value::int(2), Value::str("LA")]),
+            ],
+        )
+        .unwrap();
+        let mut orders = crate::orders::PartialOrders::empty(2);
+        orders.add(AttrId(0), cr_types::TupleId(0), cr_types::TupleId(1));
+        let gamma = parse_cfds(&s, "AC = 2 -> city = \"LA\"").unwrap();
+        Specification::new(e, orders, vec![], gamma)
+    }
+
+    #[test]
+    fn retract_cfd_neutralises_the_group_and_blocks_reemission() {
+        let spec = revisable_cfd_spec();
+        let mut enc =
+            EncodedSpec::encode_with(&spec, EncodeOptions::default().with_revisable());
+        let city = AttrId(1);
+        let ny = enc.value_id(city, &Value::str("NY")).unwrap();
+        let la = enc.value_id(city, &Value::str("LA")).unwrap();
+        // The CFD fires (AC base order implies 1 ≺ 2): NY ≺ LA implied.
+        let od = crate::deduce::deduce_order(&enc).unwrap();
+        assert!(od.contains(city, ny, la));
+        assert!(enc.omega().iter().any(|c| c.origin == super::super::Origin::Cfd(0)));
+
+        let groups = enc.retract_cfd(0);
+        assert_eq!(groups.len(), 1);
+        assert!(enc.is_cfd_retired(0));
+        assert!(
+            enc.omega().iter().all(|c| c.origin != super::super::Origin::Cfd(0)),
+            "retired CFD instances must leave Ω"
+        );
+        let od = crate::deduce::deduce_order(&enc).unwrap();
+        assert!(!od.contains(city, ny, la), "the domination dies with the CFD");
+
+        // An out-of-domain answer growing `AC` must NOT re-emit the CFD.
+        let input = UserInput::single(AttrId(0), Value::int(9));
+        assert!(matches!(
+            enc.extend_with_input(&spec, &input),
+            ExtendOutcome::Extended { .. }
+        ));
+        assert!(enc.omega().iter().all(|c| c.origin != super::super::Origin::Cfd(0)));
+    }
+
+    #[test]
+    fn withdraw_order_removes_exactly_one_pair() {
+        let spec = revisable_cfd_spec();
+        let mut enc =
+            EncodedSpec::encode_with(&spec, EncodeOptions::default().with_revisable());
+        let ac = AttrId(0);
+        let one = enc.value_id(ac, &Value::int(1)).unwrap();
+        let two = enc.value_id(ac, &Value::int(2)).unwrap();
+        let od = crate::deduce::deduce_order(&enc).unwrap();
+        assert!(od.contains(ac, one, two));
+
+        let groups = enc.withdraw_order(ac, cr_types::TupleId(0), cr_types::TupleId(1));
+        assert_eq!(groups.len(), 1);
+        assert!(
+            enc.omega().iter().all(|c| c.origin != super::super::Origin::BaseOrder),
+            "the withdrawn pair's unit must leave Ω"
+        );
+        let od = crate::deduce::deduce_order(&enc).unwrap();
+        assert!(!od.contains(ac, one, two));
+        // Withdrawing again (or a vacuous pair) is a no-op.
+        assert!(enc.withdraw_order(ac, cr_types::TupleId(0), cr_types::TupleId(1)).is_empty());
+    }
+
+    #[test]
+    fn replace_value_retires_revives_and_regrows_the_query_surface() {
+        let spec = revisable_cfd_spec();
+        let mut enc =
+            EncodedSpec::encode_with(&spec, EncodeOptions::default().with_revisable());
+        let city = AttrId(1);
+        let ny = enc.value_id(city, &Value::str("NY")).unwrap();
+        assert!(enc.space().is_live(city, ny));
+        assert_eq!(enc.top_assumptions(city, ny).unwrap().len(), 1);
+
+        // Revise the only NY cell to LA: NY retires, its order variables
+        // stay allocated, and top-assumption probes stop quantifying over
+        // it.
+        let after = spec.with_replaced_value(cr_types::TupleId(0), city, Value::str("LA"));
+        let groups =
+            enc.replace_value(&after, cr_types::TupleId(0), city, &Value::str("NY"));
+        // The CFD references city (RHS): its group was re-derived.
+        assert!(!groups.is_empty());
+        assert!(!enc.space().is_live(city, ny));
+        assert!(enc.var_of(city, ny, enc.value_id(city, &Value::str("LA")).unwrap()).is_some());
+        let la = enc.value_id(city, &Value::str("LA")).unwrap();
+        assert!(enc.top_assumptions(city, la).unwrap().is_empty(), "LA dominates nothing live");
+
+        // Revise back: NY revives through its original variables.
+        let back = after.with_replaced_value(cr_types::TupleId(0), city, Value::str("NY"));
+        enc.replace_value(&back, cr_types::TupleId(0), city, &Value::str("LA"));
+        assert!(enc.space().is_live(city, ny));
+        assert_eq!(enc.top_assumptions(city, la).unwrap().len(), 1);
     }
 }

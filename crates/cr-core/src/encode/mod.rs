@@ -36,7 +36,7 @@
 //!   clause group, which is what lets the incremental resolution engine
 //!   absorb out-of-domain user answers without ever rebuilding. The full
 //!   emission → activation → retraction lifecycle is documented in the
-//!   [`cnf`] module docs; the engine side lives in `framework`'s module
+//!   `cnf` module docs; the engine side lives in `framework`'s module
 //!   docs. Lazily injected axiom clauses are never guarded — they are
 //!   theory-valid regardless of any CFD, so they survive retraction.
 //!
@@ -178,7 +178,7 @@ pub struct EncodeOptions {
     /// paper-faithful ablation.
     pub totality: bool,
     /// Emit every CFD's instance constraints as a *guard-literal clause
-    /// group* (see the guard-group lifecycle in the [`cnf`] module docs).
+    /// group* (see the guard-group lifecycle in the `cnf` module docs).
     /// Guarded CFD clauses carry an extra `¬g` literal and are only active
     /// while `g` is asserted — via [`EncodedSpec::active_guards`] units in
     /// fresh solvers, or as persistent assumptions on the incremental
@@ -192,11 +192,30 @@ pub struct EncodeOptions {
     /// decides *which* instances are emitted, this flag decides whether
     /// they land in a retractable group.
     pub guarded_cfds: bool,
+    /// Emit **every revision-sensitive** clause retractably, not just the
+    /// CFDs: base currency orders land in one clause group per tuple-level
+    /// order pair, Σ instances in one group per currency constraint, and
+    /// user-answer rankings in per-pair groups — so push-based correction
+    /// ingestion ([`crate::ingest`]) can withdraw an upstream CFD, a
+    /// previously-asserted order or a user answer, or replace a tuple's
+    /// attribute value, all without rebuilding the encoding. Implies the
+    /// full guard-group lifecycle of [`EncodeOptions::guarded_cfds`] and
+    /// additionally maintains per-value *liveness* refcounts (a value whose
+    /// last occurrence is revised away is retired from the query surface —
+    /// tops, candidates, ωX premises — while its order variables stay
+    /// allocated). Default `false`: one-shot encodings and the ordinary
+    /// interactive engine skip the extra guard variables.
+    pub revisable: bool,
 }
 
 impl Default for EncodeOptions {
     fn default() -> Self {
-        EncodeOptions { axioms: AxiomMode::Eager, totality: true, guarded_cfds: false }
+        EncodeOptions {
+            axioms: AxiomMode::Eager,
+            totality: true,
+            guarded_cfds: false,
+            revisable: false,
+        }
     }
 }
 
@@ -223,6 +242,12 @@ impl EncodeOptions {
     /// These options with guarded CFD emission enabled.
     pub fn with_guarded_cfds(self) -> Self {
         EncodeOptions { guarded_cfds: true, ..self }
+    }
+
+    /// These options with full revision support enabled (implies guarded
+    /// CFDs — see [`EncodeOptions::revisable`]).
+    pub fn with_revisable(self) -> Self {
+        EncodeOptions { revisable: true, guarded_cfds: true, ..self }
     }
 
     /// True iff axioms are lazily instantiated.

@@ -395,18 +395,27 @@ pub(crate) fn build_spaces(spec: &Specification) -> (AttrValueSpace, GlobalToLoc
 
 /// Steps 2–3 of `Instantiation(Se)` — null-bottom axioms and base currency
 /// orders, streamed into `sink`. Shared verbatim by the compiled and
-/// reference walks.
+/// reference walks; the *revisable* encoder streams step 2 only and emits
+/// each base order into its own retractable clause group instead (see
+/// [`super::EncodedSpec::encode_with`]).
 pub(crate) fn emit_base(
     spec: &Specification,
     space: &AttrValueSpace,
     g2l: &GlobalToLocal,
     sink: &mut impl OmegaSink,
 ) {
-    let schema = spec.schema();
-    let entity = spec.entity();
+    emit_null_bottoms(spec, space, sink);
+    emit_base_orders(spec, g2l, sink);
+}
 
-    // 2. Null-bottom axioms: null ≺v a for every non-null a.
-    for attr in schema.attr_ids() {
+/// Step 2 of `Instantiation(Se)`: null-bottom axioms `null ≺v a` for every
+/// non-null `a`.
+pub(crate) fn emit_null_bottoms(
+    spec: &Specification,
+    space: &AttrValueSpace,
+    sink: &mut impl OmegaSink,
+) {
+    for attr in spec.schema().attr_ids() {
         if let Some(null_id) = space.get(attr, &Value::Null) {
             for (vid, v) in space.attr(attr).iter() {
                 if !v.is_null() {
@@ -419,10 +428,17 @@ pub(crate) fn emit_base(
             }
         }
     }
+}
 
-    // 3. Base currency orders: (true → t1[Ai] ≺v t2[Ai]) for t1 ≺_Ai t2 with
-    //    differing values.
-    for attr in schema.attr_ids() {
+/// Step 3 of `Instantiation(Se)`: base currency orders
+/// (true → t1[Ai] ≺v t2[Ai]) for t1 ≺_Ai t2 with differing values.
+pub(crate) fn emit_base_orders(
+    spec: &Specification,
+    g2l: &GlobalToLocal,
+    sink: &mut impl OmegaSink,
+) {
+    let entity = spec.entity();
+    for attr in spec.schema().attr_ids() {
         for (t1, t2) in spec.orders().pairs(attr) {
             let g1 = entity.dense_id(t1, attr);
             let g2 = entity.dense_id(t2, attr);
@@ -442,6 +458,62 @@ pub(crate) fn emit_base(
             });
         }
     }
+}
+
+/// The instance constraint of one tuple-level base order pair, resolved
+/// through the value space (`None` when the pair is vacuous: equal or
+/// null-sided values). Value-based twin of the dense walk in
+/// [`emit_base_orders`], used by the revisable encoder, which must be able
+/// to re-derive a single pair's unit after a value revision.
+pub(crate) fn base_order_instance(
+    space: &AttrValueSpace,
+    attr: cr_types::AttrId,
+    v1: &Value,
+    v2: &Value,
+) -> Option<InstanceConstraint> {
+    if v1 == v2 || v1.is_null() || v2.is_null() {
+        return None;
+    }
+    Some(InstanceConstraint {
+        premise: Premise::new(),
+        conclusion: Conclusion::Atom(OrderAtom {
+            attr,
+            lo: space.get(attr, v1).expect("interned"),
+            hi: space.get(attr, v2).expect("interned"),
+        }),
+        origin: Origin::BaseOrder,
+    })
+}
+
+/// All instances of one currency constraint over the entity's current
+/// tuples — the per-constraint *re-emission* path of the revisable encoder
+/// (a value revision retracts the constraint's clause group and re-derives
+/// it from the updated entity). Projection-grouped exactly like the
+/// reference instantiation, so the re-derived set equals what a from-scratch
+/// encode of the revised specification would produce for this constraint.
+pub(crate) fn sigma_constraint_instances(
+    spec: &Specification,
+    ci: usize,
+    referenced_attrs: &[cr_types::AttrId],
+    space: &AttrValueSpace,
+) -> Vec<InstanceConstraint> {
+    let entity = spec.entity();
+    let constraint = &spec.sigma()[ci];
+    let reps = group_projections(entity, referenced_attrs);
+    let mut out = Vec::new();
+    for &r1 in &reps {
+        for &r2 in &reps {
+            if r1 == r2 {
+                continue;
+            }
+            if let Some(c) =
+                instantiate_pair(space, constraint, ci, entity.tuple(r1), entity.tuple(r2))
+            {
+                out.push(c);
+            }
+        }
+    }
+    out
 }
 
 /// Distinct projections of the entity's tuples on `attrs`, each with its
@@ -772,15 +844,20 @@ pub(crate) fn cfd_instances(
     gi: usize,
     cfd: &cr_constraints::ConstantCfd,
 ) -> Vec<InstanceConstraint> {
+    // A retired value (revisable encodings) is out of the active domain
+    // even though its id stays allocated.
+    let live_id = |attr: cr_types::AttrId, v: &Value| {
+        space.get(attr, v).filter(|&id| space.is_live(attr, id))
+    };
     let mut lhs_ids = Vec::with_capacity(cfd.lhs().len());
     for (attr, c) in cfd.lhs() {
-        let Some(cid) = space.get(*attr, c) else {
+        let Some(cid) = live_id(*attr, c) else {
             return Vec::new();
         };
         lhs_ids.push((*attr, cid));
     }
     let (battr, bval) = cfd.rhs();
-    cfd_instances_ids(space, gi, &lhs_ids, *battr, space.get(*battr, bval))
+    cfd_instances_ids(space, gi, &lhs_ids, *battr, live_id(*battr, bval))
 }
 
 /// [`cfd_instances`] after pattern resolution through the compiled
@@ -809,6 +886,8 @@ fn compiled_cfd_instances(
                 .or_else(|| space.get(attr, v)),
             _ => space.get(attr, v),
         }
+        // Retired values (revisable encodings) are out of the active domain.
+        .filter(|&id| space.is_live(attr, id))
     };
     let mut lhs_ids = Vec::with_capacity(cfd.lhs.len());
     for (attr, v, gid) in &cfd.lhs {
@@ -824,6 +903,14 @@ fn compiled_cfd_instances(
 /// Shared emission core: ωX premise plus domination conclusions, from
 /// already-resolved pattern ids. `rhs_id == None` means the pattern's
 /// B-value is outside the active domain (the premise must fail).
+///
+/// Quantification ranges over the **live** values of each attribute's
+/// space: on ordinary encodings every interned value is live, so this is
+/// the paper's "every other value of the active domain"; on revisable
+/// encodings, values retired by upstream corrections keep their (allocated)
+/// order variables but drop out of ωX and the domination set — exactly as
+/// if the CFD had been instantiated on the revised specification from
+/// scratch.
 fn cfd_instances_ids(
     space: &AttrValueSpace,
     gi: usize,
@@ -835,7 +922,7 @@ fn cfd_instances_ids(
     // constant.
     let mut premise = Premise::new();
     for &(attr, cid) in lhs_ids {
-        for (vid, v) in space.attr(attr).iter() {
+        for (vid, v) in space.attr(attr).iter_live() {
             if vid != cid && !v.is_null() {
                 premise.push(OrderAtom { attr, lo: vid, hi: cid });
             }
@@ -844,7 +931,7 @@ fn cfd_instances_ids(
     let mut out = Vec::new();
     match rhs_id {
         Some(bid) => {
-            for (vid, v) in space.attr(battr).iter() {
+            for (vid, v) in space.attr(battr).iter_live() {
                 if vid != bid && !v.is_null() {
                     out.push(InstanceConstraint {
                         premise: premise.clone(),

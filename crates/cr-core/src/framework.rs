@@ -103,10 +103,11 @@ use std::time::{Duration, Instant};
 use cr_types::{Schema, Tuple};
 
 use crate::deduce::{
-    deduce_order_from, deduce_order_recording, naive_deduce_recording, naive_deduce_with,
+    deduce_order_recording, deduce_order_from, naive_deduce_recording, naive_deduce_with,
     DeducedOrders,
 };
-use crate::encode::{EncodeOptions, EncodedSpec, ExtendOutcome, RecordingAxiomSource};
+use crate::encode::{EncodeOptions, EncodedSpec, RecordingAxiomSource};
+use crate::ingest::{ResolutionSession, RevisionSource, RevisionTelemetry};
 use crate::spec::{Specification, UserInput};
 use crate::suggest::{suggest_with_engine, Suggestion};
 use crate::truevalue::{true_values_from_orders, TrueValues};
@@ -160,177 +161,6 @@ impl Default for ResolutionConfig {
     }
 }
 
-/// Round-persistent state of the incremental path: the extended encoding
-/// plus the solver and propagator kept in sync with its CNF.
-///
-/// The solver and the propagator consume the CNF at different points, so
-/// each carries its own watermark; lazily instantiated axioms recorded into
-/// the CNF by one consumer (see [`RecordingAxiomSource`]) reach the other
-/// through the ordinary tail sync.
-struct IncrementalEngine {
-    enc: EncodedSpec,
-    solver: cr_sat::Solver,
-    up: cr_sat::UnitPropagator,
-    /// Clauses of `enc.cnf()` already in `solver`.
-    synced_solver: usize,
-    /// Clauses of `enc.cnf()` already in `up`.
-    synced_up: usize,
-    /// Engine rebuilds performed (legacy fallback path only).
-    rebuilds: usize,
-    /// Axioms recorded by encodings discarded in rebuilds.
-    injected_carry: usize,
-}
-
-impl IncrementalEngine {
-    fn new(config: &ResolutionConfig, spec: &Specification) -> Self {
-        // Guarded CFD groups are what make every user answer a pure
-        // extension; the debug flag restores the unguarded legacy encoding
-        // whose out-of-domain answers rebuild.
-        let options = if config.rebuild_fallback {
-            config.encode
-        } else {
-            config.encode.with_guarded_cfds()
-        };
-        let enc = EncodedSpec::encode_with(spec, options);
-        let mut solver = cr_sat::Solver::from_cnf(enc.cnf());
-        solver.set_persistent_assumptions(enc.active_guards());
-        let synced_solver = enc.cnf().num_clauses();
-        let mut up = cr_sat::UnitPropagator::new(&cr_sat::Cnf::new());
-        let synced_up = Self::sync_propagator(&mut up, &enc, 0);
-        IncrementalEngine {
-            enc,
-            solver,
-            up,
-            synced_solver,
-            synced_up,
-            rebuilds: 0,
-            injected_carry: 0,
-        }
-    }
-
-    /// Feeds `up` the CNF tail starting at clause `from`, stripping guard
-    /// literals from grouped clauses and tagging them with their group so
-    /// they stay retractable. Returns the new sync watermark.
-    fn sync_propagator(
-        up: &mut cr_sat::UnitPropagator,
-        enc: &EncodedSpec,
-        from: usize,
-    ) -> usize {
-        up.ensure_vars(enc.cnf().num_vars() as usize);
-        for (i, clause) in enc.cnf().clauses_from(from).enumerate() {
-            let idx = from + i;
-            match enc.clause_group(idx) {
-                Some((group, guard)) => {
-                    let stripped: Vec<cr_sat::Lit> =
-                        clause.iter().copied().filter(|l| l.var() != guard).collect();
-                    up.add_clause_grouped(&stripped, group);
-                }
-                None => up.add_clause(clause),
-            }
-        }
-        enc.cnf().num_clauses()
-    }
-
-    /// Brings the warm solver up to date with the CNF (axioms recorded by
-    /// the propagator's lazy deduction, extension deltas).
-    fn sync_solver(&mut self) {
-        if self.synced_solver < self.enc.cnf().num_clauses() {
-            self.solver.extend_from_cnf(self.enc.cnf(), self.synced_solver);
-            self.synced_solver = self.enc.cnf().num_clauses();
-        }
-    }
-
-    /// Total lazily recorded axioms, including encodings lost to rebuilds.
-    fn injected_axioms(&self) -> usize {
-        self.injected_carry + self.enc.injected_axioms()
-    }
-
-    /// Retraction telemetry of the warm unit propagator: `(provenance
-    /// replays, literals invalidated, full fallback resets)`.
-    fn replays(&self) -> (usize, usize, usize) {
-        self.up.replay_stats()
-    }
-
-    /// Absorbs one round of user input. `before` is the specification the
-    /// engine currently represents, `extended` the result of
-    /// [`Specification::apply_user_input`] on it.
-    fn absorb_input(
-        &mut self,
-        config: &ResolutionConfig,
-        before: &Specification,
-        extended: &Specification,
-        input: &UserInput,
-    ) {
-        match self.enc.extend_with_input(before, input) {
-            ExtendOutcome::Extended { retracted_groups } => {
-                self.up.retract_groups(&retracted_groups);
-                self.sync_solver();
-                self.synced_up = Self::sync_propagator(&mut self.up, &self.enc, self.synced_up);
-                // Guard set may have changed (retractions and fresh CFD
-                // emissions).
-                self.solver.set_persistent_assumptions(self.enc.active_guards());
-                // Round-boundary sweep: learnt clauses accumulate over a
-                // resolve(); keep the database proportional to the formula.
-                let cap = (self.enc.cnf().num_clauses() / 2).max(2_000);
-                self.solver.compact_learnts(cap);
-            }
-            // Legacy fallback (`rebuild_fallback`): out-of-domain answers
-            // change the value spaces — rebuild once, then continue
-            // incrementally from the new state.
-            ExtendOutcome::NeedsRebuild => {
-                let rebuilds = self.rebuilds + 1;
-                let injected_carry = self.injected_axioms();
-                *self = IncrementalEngine::new(config, extended);
-                self.rebuilds = rebuilds;
-                self.injected_carry = injected_carry;
-            }
-        }
-    }
-
-    fn is_valid(&mut self) -> bool {
-        self.sync_solver();
-        let IncrementalEngine { enc, solver, .. } = self;
-        let sat = if enc.options().is_lazy() {
-            let mut source = RecordingAxiomSource::new(enc);
-            solver.solve_lazy(&mut source)
-        } else {
-            solver.solve()
-        };
-        // Everything recorded during the lazy solve is already in the
-        // solver (the CEGAR loop adds each handed-out clause).
-        self.synced_solver = self.enc.cnf().num_clauses();
-        sat == cr_sat::SolveResult::Sat
-    }
-
-    fn deduce(&mut self, method: DeductionMethod) -> Option<DeducedOrders> {
-        match method {
-            DeductionMethod::UnitPropagation => {
-                self.synced_up = Self::sync_propagator(&mut self.up, &self.enc, self.synced_up);
-                let IncrementalEngine { enc, up, .. } = self;
-                let od = if enc.options().is_lazy() {
-                    deduce_order_recording(up, enc)
-                } else {
-                    deduce_order_from(up, enc)
-                };
-                // Lazily recorded axioms went to both the CNF and `up`.
-                self.synced_up = self.enc.cnf().num_clauses();
-                od
-            }
-            DeductionMethod::NaiveSat => {
-                self.sync_solver();
-                let IncrementalEngine { enc, solver, .. } = self;
-                let od = if enc.options().is_lazy() {
-                    naive_deduce_recording(solver, enc)
-                } else {
-                    naive_deduce_with(solver, enc)
-                };
-                self.synced_solver = self.enc.cnf().num_clauses();
-                od
-            }
-        }
-    }
-}
-
 /// Per-round measurements (the breakdown plotted in Fig. 8(c)/(d)).
 #[derive(Clone, Debug)]
 pub struct RoundReport {
@@ -353,6 +183,14 @@ pub struct RoundReport {
     /// retraction and on the scratch path). Compare against the fixpoint
     /// size to see the replay staying sub-linear.
     pub retraction_invalidated: usize,
+    /// Upstream revision events absorbed before this round's validity
+    /// check (push-based correction ingestion; 0 without a revision
+    /// source).
+    pub revision_events: usize,
+    /// Root literals the revision replays of this round invalidated — the
+    /// *cone size* of the round's corrections (non-empty when a fired CFD
+    /// or a load-bearing order was withdrawn).
+    pub revision_invalidated: usize,
 }
 
 impl RoundReport {
@@ -368,6 +206,8 @@ impl RoundReport {
             suggestion_size: 0,
             user_answers: 0,
             retraction_invalidated: 0,
+            revision_events: 0,
+            revision_invalidated: 0,
         }
     }
 }
@@ -409,6 +249,11 @@ pub struct ResolutionOutcome {
     /// Full `O(|Φ|)` fallback resets (conflicting or mid-propagation
     /// retractions; 0 on healthy interactive runs).
     pub retraction_full_resets: usize,
+    /// Push-based correction telemetry: upstream revision events absorbed,
+    /// clause groups they retracted, the replay cone sizes and the
+    /// re-emitted clauses (all 0 without a revision source — see
+    /// [`Resolver::resolve_with_revisions`]).
+    pub revisions: RevisionTelemetry,
     /// Per-round timing/progress reports.
     pub rounds: Vec<RoundReport>,
 }
@@ -497,84 +342,143 @@ impl Resolver {
     /// [`ResolutionConfig::incremental`].
     pub fn resolve(&self, spec: &Specification, oracle: &mut dyn UserOracle) -> ResolutionOutcome {
         if self.config.incremental {
-            self.resolve_incremental(spec, oracle)
+            self.resolve_incremental(spec, oracle, None)
         } else {
             self.resolve_scratch(spec, oracle)
         }
     }
 
-    /// The Fig. 4 loop on the round-persistent [`IncrementalEngine`].
+    /// [`Resolver::resolve`] with a **push stream of upstream corrections**:
+    /// before each interaction round the `source` is polled and every
+    /// pending [`crate::ingest::Revision`] — a retracted CFD, a withdrawn
+    /// currency order or user answer, a corrected value — is absorbed by
+    /// the warm engine *without rebuilding*, through guard-group
+    /// retraction, provenance-scoped replay and compiled-program-aware
+    /// re-emission (see the [`crate::ingest`] module docs).
+    /// [`ResolutionOutcome::revisions`] reports the events applied, the
+    /// retracted groups, the replay cone sizes and the re-emitted clauses.
+    ///
+    /// Always runs the incremental engine (streaming corrections into a
+    /// from-scratch loop would just re-encode — the paper-faithful baseline
+    /// for that comparison is a fresh [`Resolver::resolve`] on the
+    /// post-revision specification, which is exactly what the differential
+    /// harness [`crate::ingest::resolve_with_revisions_checked`] proves
+    /// equivalent).
+    pub fn resolve_with_revisions(
+        &self,
+        spec: &Specification,
+        oracle: &mut dyn UserOracle,
+        source: &mut dyn RevisionSource,
+    ) -> ResolutionOutcome {
+        self.resolve_incremental(spec, oracle, Some(source))
+    }
+
+    /// The Fig. 4 loop on a round-persistent [`ResolutionSession`],
+    /// optionally fed by a revision stream (which forces the revisable
+    /// encoding — per-order and per-constraint guard groups).
     fn resolve_incremental(
         &self,
         spec: &Specification,
         oracle: &mut dyn UserOracle,
+        mut source: Option<&mut dyn RevisionSource>,
     ) -> ResolutionOutcome {
-        let mut current = spec.clone();
         let mut rounds = Vec::new();
         let mut interactions = 0;
         let mut user_values = 0;
         let mut ot_size = 0;
         let arity = spec.schema().arity();
         let mut last_values = TrueValues::new(vec![None; arity]);
-        let mut engine: Option<IncrementalEngine> = None;
+        let mut session = if source.is_some() {
+            ResolutionSession::new_revisable(&self.config, spec)
+        } else {
+            ResolutionSession::new(&self.config, spec)
+        };
+
+        let outcome = |session: &ResolutionSession,
+                       resolved: TrueValues,
+                       valid: bool,
+                       complete: bool,
+                       interactions: usize,
+                       user_values: usize,
+                       ot_size: usize,
+                       rounds: Vec<RoundReport>| {
+            ResolutionOutcome {
+                resolved,
+                valid,
+                complete,
+                interactions,
+                user_values,
+                ot_size,
+                rebuilds: session.rebuilds(),
+                injected_axioms: session.injected_axioms(),
+                retraction_replays: session.replays().0,
+                retraction_invalidated: session.replays().1,
+                retraction_full_resets: session.replays().2,
+                revisions: session.revision_telemetry(),
+                rounds,
+            }
+        };
 
         for round in 0..=self.config.max_rounds {
+            // (0) Drain the correction stream: upstream events that arrived
+            // since the last round are absorbed before validity is
+            // re-checked (their retraction cones replay here).
+            let (revision_events, revision_invalidated) = match source.as_deref_mut() {
+                Some(src) => {
+                    let revs = src.poll(round, session.current());
+                    let before = session.revision_telemetry();
+                    for rev in &revs {
+                        session.apply_revision(rev);
+                    }
+                    let after = session.revision_telemetry();
+                    (revs.len(), after.invalidated - before.invalidated)
+                }
+                None => (0, 0),
+            };
+            let stamp_revisions = |report: &mut RoundReport| {
+                report.revision_events = revision_events;
+                report.revision_invalidated = revision_invalidated;
+            };
+
             // (1) Validity checking. Round 0 pays the encode + solver
             // construction; later rounds only re-solve after the delta.
             let t0 = Instant::now();
-            let eng = match engine.as_mut() {
-                Some(e) => e,
-                None => engine.insert(IncrementalEngine::new(&self.config, &current)),
-            };
-            let valid = eng.is_valid();
+            let valid = session.is_valid();
             let validity = t0.elapsed();
             if !valid {
-                rounds.push(RoundReport::settled(round, validity, Duration::ZERO, 0));
-                return ResolutionOutcome {
-                    resolved: last_values,
-                    valid: false,
-                    complete: false,
-                    interactions,
-                    user_values,
-                    ot_size,
-                    rebuilds: eng.rebuilds,
-                    injected_axioms: eng.injected_axioms(),
-                    retraction_replays: eng.replays().0,
-                    retraction_invalidated: eng.replays().1,
-                    retraction_full_resets: eng.replays().2,
+                let mut report = RoundReport::settled(round, validity, Duration::ZERO, 0);
+                stamp_revisions(&mut report);
+                rounds.push(report);
+                return outcome(
+                    &session, last_values, false, false, interactions, user_values, ot_size,
                     rounds,
-                };
+                );
             }
 
             // (2) True value deducing.
             let t1 = Instant::now();
-            let od: DeducedOrders = eng
+            let od: DeducedOrders = session
                 .deduce(self.config.deduction)
                 .expect("deduction cannot conflict on a valid specification");
-            let values = true_values_from_orders(&eng.enc, &od);
+            let values = session.true_values(&od);
             let deduce = t1.elapsed();
             last_values = values.clone();
 
             // (3) T(Se ⊕ Ot) exists?
             if values.complete() {
-                rounds.push(RoundReport::settled(round, validity, deduce, values.known_count()));
-                return ResolutionOutcome {
-                    resolved: values,
-                    valid: true,
-                    complete: true,
-                    interactions,
-                    user_values,
-                    ot_size,
-                    rebuilds: eng.rebuilds,
-                    injected_axioms: eng.injected_axioms(),
-                    retraction_replays: eng.replays().0,
-                    retraction_invalidated: eng.replays().1,
-                    retraction_full_resets: eng.replays().2,
-                    rounds,
-                };
+                let mut report =
+                    RoundReport::settled(round, validity, deduce, values.known_count());
+                stamp_revisions(&mut report);
+                rounds.push(report);
+                return outcome(
+                    &session, values, true, true, interactions, user_values, ot_size, rounds,
+                );
             }
             if round == self.config.max_rounds {
-                rounds.push(RoundReport::settled(round, validity, deduce, values.known_count()));
+                let mut report =
+                    RoundReport::settled(round, validity, deduce, values.known_count());
+                stamp_revisions(&mut report);
+                rounds.push(report);
                 break;
             }
 
@@ -586,15 +490,10 @@ impl Resolver {
             // already-injected theory and the tail sync never re-feeds the
             // solver an instance it already holds.
             let t2 = Instant::now();
-            eng.sync_solver();
-            let (sug, solver_synced) = {
-                let IncrementalEngine { enc, solver, .. } = eng;
-                suggest_with_engine(&current, enc, &od, &values, solver)
-            };
-            eng.synced_solver = solver_synced;
+            let sug = session.suggest(&od, &values);
             let suggest_time = t2.elapsed();
             let input = oracle.provide(spec.schema(), &sug);
-            rounds.push(RoundReport {
+            let mut report = RoundReport {
                 round,
                 validity,
                 deduce,
@@ -603,36 +502,33 @@ impl Resolver {
                 suggestion_size: sug.len(),
                 user_answers: input.values.len(),
                 retraction_invalidated: 0,
-            });
+                revision_events: 0,
+                revision_invalidated: 0,
+            };
+            stamp_revisions(&mut report);
+            rounds.push(report);
             if input.is_empty() {
                 break; // user settles with partial true values
             }
             interactions += 1;
             user_values += input.values.len();
-            let (extended, _to, added) = current.apply_user_input(&input);
-            ot_size += added;
-            let invalidated_before = eng.replays().1;
-            eng.absorb_input(&self.config, &current, &extended, &input);
+            let invalidated_before = session.replays().1;
+            ot_size += session.apply_input(&input);
             if let Some(report) = rounds.last_mut() {
-                report.retraction_invalidated = eng.replays().1 - invalidated_before;
+                report.retraction_invalidated = session.replays().1 - invalidated_before;
             }
-            current = extended;
         }
 
-        ResolutionOutcome {
-            complete: last_values.complete(),
-            resolved: last_values,
-            valid: true,
+        outcome(
+            &session,
+            last_values.clone(),
+            true,
+            last_values.complete(),
             interactions,
             user_values,
             ot_size,
-            rebuilds: engine.as_ref().map_or(0, |e| e.rebuilds),
-            injected_axioms: engine.as_ref().map_or(0, |e| e.injected_axioms()),
-            retraction_replays: engine.as_ref().map_or(0, |e| e.replays().0),
-            retraction_invalidated: engine.as_ref().map_or(0, |e| e.replays().1),
-            retraction_full_resets: engine.as_ref().map_or(0, |e| e.replays().2),
             rounds,
-        }
+        )
     }
 
     /// The Fig. 4 loop exactly as the paper describes it: every round
@@ -683,6 +579,7 @@ impl Resolver {
                     retraction_replays: 0,
                     retraction_invalidated: 0,
                     retraction_full_resets: 0,
+                    revisions: RevisionTelemetry::default(),
                     rounds,
                 };
             }
@@ -729,6 +626,7 @@ impl Resolver {
                     retraction_replays: 0,
                     retraction_invalidated: 0,
                     retraction_full_resets: 0,
+                    revisions: RevisionTelemetry::default(),
                     rounds,
                 };
             }
@@ -759,6 +657,8 @@ impl Resolver {
                 suggestion_size: sug.len(),
                 user_answers: input.values.len(),
                 retraction_invalidated: 0,
+                revision_events: 0,
+                revision_invalidated: 0,
             });
             if input.is_empty() {
                 break; // user settles with partial true values
@@ -782,6 +682,7 @@ impl Resolver {
             retraction_replays: 0,
             retraction_invalidated: 0,
             retraction_full_resets: 0,
+            revisions: RevisionTelemetry::default(),
             rounds,
         }
     }

@@ -1,0 +1,716 @@
+//! Push-based correction ingestion: streaming upstream revisions applied
+//! mid-resolution.
+//!
+//! The Fig. 4 loop of the paper only ever *adds* user facts, so the
+//! provenance-scoped retraction replay of the incremental engine runs with
+//! empty cones on every end-to-end path (a fired CFD's attributes are
+//! already settled and never re-asked). Real deployments also receive
+//! **corrections**: upstream sources withdraw previously-trusted constant
+//! CFDs and currency orders, or revise a reported value (cf. trust-mapping
+//! revisions in Gatterbauer & Suciu and priority updates in Staworko &
+//! Chomicki). This module makes those corrections first-class:
+//!
+//! * [`Revision`] — one upstream event: retract a CFD from Γ, withdraw a
+//!   previously-asserted currency order or a whole user answer, or replace
+//!   a tuple's attribute value;
+//! * [`RevisionSource`] — a push stream of revisions polled between
+//!   interaction rounds ([`ScriptedRevisions`] replays a fixed timeline);
+//! * [`ResolutionSession`] — the round-persistent resolution engine
+//!   (encoding + warm CDCL solver + root unit propagator), now stepwise
+//!   drivable and able to absorb revisions **without rebuilding**: every
+//!   event routes through guard-group retraction
+//!   ([`EncodedSpec::retract_cfd`] / [`EncodedSpec::withdraw_order`] /
+//!   [`EncodedSpec::replace_value`]), the unit propagator's
+//!   provenance-scoped replay (which undoes exactly the retracted
+//!   derivation cone — *non-empty* for a fired CFD or a load-bearing order
+//!   — and rolls the lazy-instantiation cursor back by the invalidated
+//!   prefix), and compiled-program-aware re-emission of the disturbed Σ/Γ
+//!   clause groups;
+//! * [`resolve_with_revisions_checked`] — the differential harness: drives
+//!   a session against a revision stream and, after every revision batch,
+//!   proves the replayed engine state equivalent to a **from-scratch
+//!   re-resolution of the post-revision specification** (validity, deduced
+//!   value orders and true values all compared on a fresh eager encoding of
+//!   the [`SpecMirror`]).
+//!
+//! # Equivalence and value liveness
+//!
+//! A revision can shrink an attribute's active domain (the last occurrence
+//! of a value is revised away). Dense variable tables never shrink —
+//! instead the encoding *retires* the value (`cr_types::ValueInterner`
+//! liveness): its order variables stay allocated but it drops out of every
+//! query that quantifies over "the values of the attribute" (true-value
+//! tops, suggestion candidates, CFD ωX premises, top-assumption probes).
+//! Retired variables appear only in permanent order axioms and null-bottom
+//! units, which cannot imply any literal over live variables at the root,
+//! and any model over the live variables extends to the full variable set —
+//! so validity, root implications over live pairs, and MaxSAT repairs all
+//! coincide exactly with the from-scratch encoding of the revised
+//! specification. That is what the checked differential asserts.
+//!
+//! CFD retraction keeps Γ's *indexing* intact on the session side (the
+//! encoding flags the entry retired; `TrueDer` and extension skip it) so
+//! the cached compiled program — keyed to the original Σ/Γ — stays valid
+//! and nothing recompiles; the mirror's materialised specification drops
+//! the CFD for real.
+
+use std::collections::BTreeSet;
+
+use cr_types::{AttrId, TupleId, Value};
+
+use crate::deduce::{
+    deduce_order, deduce_order_from, deduce_order_recording, naive_deduce_recording,
+    naive_deduce_with, DeducedOrders,
+};
+use crate::encode::{EncodeOptions, EncodedSpec, ExtendOutcome, RecordingAxiomSource};
+use crate::framework::{DeductionMethod, ResolutionConfig, UserOracle};
+use crate::spec::{Specification, UserInput};
+use crate::suggest::{suggest_with_engine, Suggestion};
+use crate::truevalue::{true_values_from_orders, TrueValues};
+
+/// One upstream correction event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Revision {
+    /// The source that asserted CFD `gamma[cfd]` withdrew it. The index
+    /// refers to the *original* Γ of the specification the session was
+    /// opened on (session-side indexing never shifts).
+    RetractCfd {
+        /// Index into the original Γ.
+        cfd: usize,
+    },
+    /// A previously-asserted currency order `lo ≺_attr hi` is withdrawn —
+    /// an initial base order of `It` or a single answer-induced pair.
+    WithdrawOrder {
+        /// The attribute whose order is revised.
+        attr: AttrId,
+        /// The formerly-less-current tuple.
+        lo: TupleId,
+        /// The formerly-more-current tuple.
+        hi: TupleId,
+    },
+    /// A whole user answer is withdrawn: every order pair ranking `tuple`
+    /// on top of `attr` goes, and the answered cell reverts to null (the
+    /// input tuple itself remains, null-padded, exactly as a from-scratch
+    /// specification that never received the answer on that attribute
+    /// would look after `Se ⊕ Ot` with the remaining answers).
+    WithdrawAnswer {
+        /// The answered attribute being withdrawn.
+        attr: AttrId,
+        /// The user-input tuple carrying the answer.
+        tuple: TupleId,
+    },
+    /// The upstream source corrected a reported cell: `(tuple, attr)` now
+    /// carries `value` (possibly a brand-new value, possibly null).
+    ReplaceValue {
+        /// The revised tuple.
+        tuple: TupleId,
+        /// The revised attribute.
+        attr: AttrId,
+        /// The corrected value.
+        value: Value,
+    },
+}
+
+/// A push stream of upstream corrections, polled by the resolution loop
+/// between rounds. `current` is the specification the session presently
+/// represents, letting sources target state that only exists mid-resolution
+/// (e.g. the tuple id of an earlier answer).
+pub trait RevisionSource {
+    /// The events that arrived before interaction round `round`.
+    fn poll(&mut self, round: usize, current: &Specification) -> Vec<Revision>;
+}
+
+/// A [`RevisionSource`] replaying a fixed timeline of `(round, event)`
+/// entries (the seeded generators in `cr_data::gen` produce these).
+#[derive(Clone, Debug, Default)]
+pub struct ScriptedRevisions {
+    events: Vec<(usize, Revision)>,
+}
+
+impl ScriptedRevisions {
+    /// A scripted stream from `(round, event)` pairs (any order).
+    pub fn new(mut events: Vec<(usize, Revision)>) -> Self {
+        events.sort_by_key(|(round, _)| *round);
+        ScriptedRevisions { events }
+    }
+
+    /// Events not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.events.len()
+    }
+}
+
+impl RevisionSource for ScriptedRevisions {
+    fn poll(&mut self, round: usize, _current: &Specification) -> Vec<Revision> {
+        let mut due = Vec::new();
+        self.events.retain(|(r, e)| {
+            if *r <= round {
+                due.push(e.clone());
+                false
+            } else {
+                true
+            }
+        });
+        due
+    }
+}
+
+/// Revision telemetry of one resolution: how many events were absorbed and
+/// what the provenance-scoped replay actually paid for them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RevisionTelemetry {
+    /// Upstream events applied.
+    pub events: usize,
+    /// Clause groups the events retracted (stale CFD emissions, withdrawn
+    /// order pairs, Σ groups disturbed by value revisions).
+    pub retracted_groups: usize,
+    /// Root literals invalidated by the replays — the *cone sizes*: the
+    /// re-derivation work actually paid, versus resetting the fixpoint.
+    pub invalidated: usize,
+    /// Clauses appended while absorbing the events (retraction units plus
+    /// compiled-program re-emissions).
+    pub reemitted_clauses: usize,
+}
+
+/// Round-persistent state of the incremental resolution path: the extended
+/// encoding plus the warm CDCL solver and root unit propagator kept in sync
+/// with its CNF — the engine behind
+/// [`Resolver::resolve`](crate::framework::Resolver::resolve), exposed as a
+/// stepwise-drivable session so push-based correction ingestion (and its
+/// differential harness) can interleave revisions with interaction rounds.
+///
+/// The solver and the propagator consume the CNF at different points, so
+/// each carries its own watermark; lazily instantiated axioms recorded into
+/// the CNF by one consumer (see [`RecordingAxiomSource`]) reach the other
+/// through the ordinary tail sync.
+pub struct ResolutionSession {
+    config: ResolutionConfig,
+    current: Specification,
+    pub(crate) enc: EncodedSpec,
+    pub(crate) solver: cr_sat::Solver,
+    up: cr_sat::UnitPropagator,
+    /// Clauses of `enc.cnf()` already in `solver`.
+    pub(crate) synced_solver: usize,
+    /// Clauses of `enc.cnf()` already in `up`.
+    synced_up: usize,
+    /// Engine rebuilds performed (legacy fallback path only).
+    pub(crate) rebuilds: usize,
+    /// Axioms recorded by encodings discarded in rebuilds.
+    injected_carry: usize,
+    revisions: RevisionTelemetry,
+}
+
+impl ResolutionSession {
+    /// Opens a session on `spec` with the ordinary interactive engine
+    /// (guard-group CFDs unless the legacy rebuild fallback is forced; no
+    /// revision support — no per-order guard variables are allocated).
+    pub fn new(config: &ResolutionConfig, spec: &Specification) -> Self {
+        // Guarded CFD groups are what make every user answer a pure
+        // extension; the debug flag restores the unguarded legacy encoding
+        // whose out-of-domain answers rebuild.
+        let options = if config.rebuild_fallback {
+            config.encode
+        } else {
+            config.encode.with_guarded_cfds()
+        };
+        Self::with_options(config, spec, options)
+    }
+
+    /// Opens a **revisable** session: every revision-sensitive clause is
+    /// emitted retractably (see [`EncodeOptions::revisable`]) so
+    /// [`ResolutionSession::apply_revision`] can absorb upstream
+    /// corrections without rebuilding.
+    pub fn new_revisable(config: &ResolutionConfig, spec: &Specification) -> Self {
+        Self::with_options(config, spec, config.encode.with_revisable())
+    }
+
+    fn with_options(
+        config: &ResolutionConfig,
+        spec: &Specification,
+        options: EncodeOptions,
+    ) -> Self {
+        let enc = EncodedSpec::encode_with(spec, options);
+        let mut solver = cr_sat::Solver::from_cnf(enc.cnf());
+        solver.set_persistent_assumptions(enc.active_guards());
+        let synced_solver = enc.cnf().num_clauses();
+        let mut up = cr_sat::UnitPropagator::new(&cr_sat::Cnf::new());
+        let synced_up = Self::sync_propagator(&mut up, &enc, 0);
+        ResolutionSession {
+            config: *config,
+            current: spec.clone(),
+            enc,
+            solver,
+            up,
+            synced_solver,
+            synced_up,
+            rebuilds: 0,
+            injected_carry: 0,
+            revisions: RevisionTelemetry::default(),
+        }
+    }
+
+    /// The specification the session currently represents (initial spec
+    /// plus the absorbed user input and revisions; a CFD retraction leaves
+    /// Γ's indexing intact — see the module docs).
+    pub fn current(&self) -> &Specification {
+        &self.current
+    }
+
+    /// The live encoding (retraction-aware Ω, value liveness, guards).
+    pub fn encoded(&self) -> &EncodedSpec {
+        &self.enc
+    }
+
+    /// Revision telemetry accumulated so far.
+    pub fn revision_telemetry(&self) -> RevisionTelemetry {
+        self.revisions
+    }
+
+    /// Feeds `up` the CNF tail starting at clause `from`, stripping guard
+    /// literals from grouped clauses and tagging them with their group so
+    /// they stay retractable. Returns the new sync watermark.
+    fn sync_propagator(
+        up: &mut cr_sat::UnitPropagator,
+        enc: &EncodedSpec,
+        from: usize,
+    ) -> usize {
+        up.ensure_vars(enc.cnf().num_vars() as usize);
+        for (i, clause) in enc.cnf().clauses_from(from).enumerate() {
+            let idx = from + i;
+            match enc.clause_group(idx) {
+                Some((group, guard)) => {
+                    let stripped: Vec<cr_sat::Lit> =
+                        clause.iter().copied().filter(|l| l.var() != guard).collect();
+                    up.add_clause_grouped(&stripped, group);
+                }
+                None => up.add_clause(clause),
+            }
+        }
+        enc.cnf().num_clauses()
+    }
+
+    /// Brings the warm solver up to date with the CNF (axioms recorded by
+    /// the propagator's lazy deduction, extension deltas).
+    pub(crate) fn sync_solver(&mut self) {
+        if self.synced_solver < self.enc.cnf().num_clauses() {
+            self.solver.extend_from_cnf(self.enc.cnf(), self.synced_solver);
+            self.synced_solver = self.enc.cnf().num_clauses();
+        }
+    }
+
+    /// Total lazily recorded axioms, including encodings lost to rebuilds.
+    pub fn injected_axioms(&self) -> usize {
+        self.injected_carry + self.enc.injected_axioms()
+    }
+
+    /// Engine rebuilds performed (0 unless the legacy fallback is forced).
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Retraction telemetry of the warm unit propagator: `(provenance
+    /// replays, literals invalidated, full fallback resets)`.
+    pub fn replays(&self) -> (usize, usize, usize) {
+        self.up.replay_stats()
+    }
+
+    /// Absorbs one round of user input: extends `current` by the induced
+    /// tuple/orders and the encoding by the delta clauses. Returns the size
+    /// of the induced order extension `|Ot|` added.
+    pub fn apply_input(&mut self, input: &UserInput) -> usize {
+        let (extended, _to, added) = self.current.apply_user_input(input);
+        match self.enc.extend_with_input(&self.current, input) {
+            ExtendOutcome::Extended { retracted_groups } => {
+                self.up.retract_groups(&retracted_groups);
+                self.sync_solver();
+                self.synced_up = Self::sync_propagator(&mut self.up, &self.enc, self.synced_up);
+                // Guard set may have changed (retractions and fresh CFD
+                // emissions).
+                self.solver.set_persistent_assumptions(self.enc.active_guards());
+                // Round-boundary sweep: learnt clauses accumulate over a
+                // resolve(); keep the database proportional to the formula.
+                let cap = (self.enc.cnf().num_clauses() / 2).max(2_000);
+                self.solver.compact_learnts(cap);
+            }
+            // Legacy fallback (`rebuild_fallback`): out-of-domain answers
+            // change the value spaces — rebuild once, then continue
+            // incrementally from the new state.
+            ExtendOutcome::NeedsRebuild => {
+                let rebuilds = self.rebuilds + 1;
+                let injected_carry = self.injected_axioms();
+                let revisions = self.revisions;
+                *self = ResolutionSession::new(&self.config, &extended);
+                self.rebuilds = rebuilds;
+                self.injected_carry = injected_carry;
+                self.revisions = revisions;
+            }
+        }
+        self.current = extended;
+        added
+    }
+
+    /// Brings the warm unit propagator to a fixpoint over everything synced
+    /// so far. Provenance-scoped retraction replay requires a settled
+    /// propagator (mid-propagation signatures are not a faithful cone
+    /// summary, and the replay would fall back to the full reset) — clauses
+    /// synced after the last deduction may still sit in the queue.
+    fn settle_propagator(&mut self) {
+        self.synced_up = Self::sync_propagator(&mut self.up, &self.enc, self.synced_up);
+        if self.enc.options().is_lazy() {
+            let ResolutionSession { enc, up, .. } = self;
+            let mut source = RecordingAxiomSource::new(enc);
+            let _ = up.propagate_to_fixpoint_lazy(&mut source);
+        } else {
+            let _ = self.up.propagate_to_fixpoint();
+        }
+        // Lazily recorded axioms went to both the CNF and the propagator;
+        // the solver picks them up at its next ordinary tail sync.
+        self.synced_up = self.enc.cnf().num_clauses();
+    }
+
+    /// Absorbs one upstream correction **without rebuilding**: the event's
+    /// stale clause groups are retracted (guard units through the ordinary
+    /// clause tail), the unit propagator replays exactly the retracted
+    /// derivation cone (rolling its lazy cursor back by the invalidated
+    /// prefix), and the disturbed constraints re-emit through the compiled
+    /// program. Requires a session opened with
+    /// [`ResolutionSession::new_revisable`].
+    pub fn apply_revision(&mut self, rev: &Revision) {
+        // Settle pending propagation first so the retraction can replay
+        // its provenance cone instead of resetting the fixpoint.
+        self.settle_propagator();
+        let clauses_before = self.enc.cnf().num_clauses();
+        let invalidated_before = self.up.replay_stats().1;
+        let groups = match rev {
+            Revision::RetractCfd { cfd } => {
+                // `current` keeps Γ intact: the encoding flags the entry
+                // retired and every consumer skips it (module docs).
+                self.enc.retract_cfd(*cfd)
+            }
+            Revision::WithdrawOrder { attr, lo, hi } => {
+                self.current = self.current.with_order_withdrawn(*attr, *lo, *hi);
+                self.enc.withdraw_order(*attr, *lo, *hi)
+            }
+            Revision::WithdrawAnswer { attr, tuple } => {
+                let old = self.current.entity().tuple(*tuple).get(*attr).clone();
+                let (next, removed) = self.current.with_answer_withdrawn(*attr, *tuple);
+                self.current = next;
+                let mut groups = Vec::new();
+                for (t1, t2) in removed {
+                    groups.extend(self.enc.withdraw_order(*attr, t1, t2));
+                }
+                if !old.is_null() {
+                    groups.extend(self.enc.replace_value(&self.current, *tuple, *attr, &old));
+                }
+                groups
+            }
+            Revision::ReplaceValue { tuple, attr, value } => {
+                let old = self.current.entity().tuple(*tuple).get(*attr).clone();
+                if old == *value {
+                    Vec::new() // vacuous correction
+                } else {
+                    self.current =
+                        self.current.with_replaced_value(*tuple, *attr, value.clone());
+                    self.enc.replace_value(&self.current, *tuple, *attr, &old)
+                }
+            }
+        };
+        // Provenance-scoped replay: undo exactly the retracted cone, then
+        // pick the re-emitted groups up through the ordinary tail sync.
+        self.up.retract_groups(&groups);
+        self.sync_solver();
+        self.synced_up = Self::sync_propagator(&mut self.up, &self.enc, self.synced_up);
+        self.solver.set_persistent_assumptions(self.enc.active_guards());
+        self.revisions.events += 1;
+        self.revisions.retracted_groups += groups.len();
+        self.revisions.invalidated += self.up.replay_stats().1 - invalidated_before;
+        self.revisions.reemitted_clauses +=
+            self.enc.cnf().num_clauses() - clauses_before;
+    }
+
+    /// Step (1) of Fig. 4 on the warm engine: is the current specification
+    /// valid?
+    pub fn is_valid(&mut self) -> bool {
+        self.sync_solver();
+        let ResolutionSession { enc, solver, .. } = self;
+        let sat = if enc.options().is_lazy() {
+            let mut source = RecordingAxiomSource::new(enc);
+            solver.solve_lazy(&mut source)
+        } else {
+            solver.solve()
+        };
+        // Everything recorded during the lazy solve is already in the
+        // solver (the CEGAR loop adds each handed-out clause).
+        self.synced_solver = self.enc.cnf().num_clauses();
+        sat == cr_sat::SolveResult::Sat
+    }
+
+    /// Step (2) of Fig. 4: deduce implied value orders on the warm engine.
+    pub fn deduce(&mut self, method: DeductionMethod) -> Option<DeducedOrders> {
+        match method {
+            DeductionMethod::UnitPropagation => {
+                self.synced_up = Self::sync_propagator(&mut self.up, &self.enc, self.synced_up);
+                let ResolutionSession { enc, up, .. } = self;
+                let od = if enc.options().is_lazy() {
+                    deduce_order_recording(up, enc)
+                } else {
+                    deduce_order_from(up, enc)
+                };
+                // Lazily recorded axioms went to both the CNF and `up`.
+                self.synced_up = self.enc.cnf().num_clauses();
+                od
+            }
+            DeductionMethod::NaiveSat => {
+                self.sync_solver();
+                let ResolutionSession { enc, solver, .. } = self;
+                let od = if enc.options().is_lazy() {
+                    naive_deduce_recording(solver, enc)
+                } else {
+                    naive_deduce_with(solver, enc)
+                };
+                self.synced_solver = self.enc.cnf().num_clauses();
+                od
+            }
+        }
+    }
+
+    /// True values extracted from deduced orders (live-masked tops).
+    pub fn true_values(&self, od: &DeducedOrders) -> TrueValues {
+        true_values_from_orders(&self.enc, od)
+    }
+
+    /// Step (4) of Fig. 4: a suggestion against the warm solver, recording
+    /// probe/repair axiom injections into the shared CNF.
+    pub fn suggest(&mut self, od: &DeducedOrders, known: &TrueValues) -> Suggestion {
+        self.sync_solver();
+        let (sug, solver_synced) = {
+            let ResolutionSession { current, enc, solver, .. } = self;
+            suggest_with_engine(current, enc, od, known, solver)
+        };
+        self.synced_solver = solver_synced;
+        sug
+    }
+}
+
+/// The *post-revision* specification, materialised: the mirror a checked
+/// replay is compared against. Tracks retired CFDs separately so revision
+/// events can keep referring to original Γ indices, and materialises a
+/// plain [`Specification`] (with retired CFDs actually removed) on demand.
+pub struct SpecMirror {
+    spec: Specification,
+    retired_cfds: BTreeSet<usize>,
+}
+
+impl SpecMirror {
+    /// A mirror starting at `spec`.
+    pub fn new(spec: &Specification) -> Self {
+        SpecMirror { spec: spec.clone(), retired_cfds: BTreeSet::new() }
+    }
+
+    /// Folds one revision into the mirror.
+    pub fn apply(&mut self, rev: &Revision) {
+        match rev {
+            Revision::RetractCfd { cfd } => {
+                self.retired_cfds.insert(*cfd);
+            }
+            Revision::WithdrawOrder { attr, lo, hi } => {
+                self.spec = self.spec.with_order_withdrawn(*attr, *lo, *hi);
+            }
+            Revision::WithdrawAnswer { attr, tuple } => {
+                let (next, _removed) = self.spec.with_answer_withdrawn(*attr, *tuple);
+                self.spec = next;
+            }
+            Revision::ReplaceValue { tuple, attr, value } => {
+                self.spec = self.spec.with_replaced_value(*tuple, *attr, value.clone());
+            }
+        }
+    }
+
+    /// Folds one round of user input into the mirror (`Se ⊕ Ot`).
+    pub fn apply_input(&mut self, input: &UserInput) {
+        let (extended, _, _) = self.spec.apply_user_input(input);
+        self.spec = extended;
+    }
+
+    /// The materialised post-revision specification: retired CFDs removed
+    /// for real. Compiles its own constraint program on first encode.
+    pub fn materialise(&self) -> Specification {
+        let gamma: Vec<_> = self
+            .spec
+            .gamma()
+            .iter()
+            .enumerate()
+            .filter(|(gi, _)| !self.retired_cfds.contains(gi))
+            .map(|(_, cfd)| cfd.clone())
+            .collect();
+        Specification::new(
+            self.spec.entity().clone(),
+            self.spec.orders().clone(),
+            self.spec.sigma().to_vec(),
+            gamma,
+        )
+    }
+}
+
+/// Result of a checked replay (see [`resolve_with_revisions_checked`]).
+pub struct CheckedReplay {
+    /// Resolution outcome of the revision-driven session.
+    pub resolved: TrueValues,
+    /// True iff the final specification was valid.
+    pub valid: bool,
+    /// True iff all attributes resolved.
+    pub complete: bool,
+    /// Interaction rounds that involved the user.
+    pub interactions: usize,
+    /// Revision telemetry of the session.
+    pub revisions: RevisionTelemetry,
+    /// Provenance-replay telemetry `(replays, invalidated, full resets)`.
+    pub replay_stats: (usize, usize, usize),
+    /// Engine-vs-scratch equivalence checks performed.
+    pub checks: usize,
+}
+
+/// Runs the Fig. 4 loop on a revisable [`ResolutionSession`] fed by
+/// `source`, and after **every** revision batch differentially verifies the
+/// replayed engine state against a from-scratch re-resolution of the
+/// post-revision specification: validity, deduced value orders (compared at
+/// the value level over the live space) and extracted true values must all
+/// coincide with a fresh eager encoding of the [`SpecMirror`]. Returns an
+/// error describing the first divergence, if any.
+///
+/// This is the harness behind `tests/` and the `ingest` smoke invariant of
+/// `bench_incremental`; the unchecked production path is
+/// [`Resolver::resolve_with_revisions`](crate::framework::Resolver::resolve_with_revisions).
+pub fn resolve_with_revisions_checked(
+    config: &ResolutionConfig,
+    spec: &Specification,
+    oracle: &mut dyn UserOracle,
+    source: &mut dyn RevisionSource,
+) -> Result<CheckedReplay, String> {
+    let mut session = ResolutionSession::new_revisable(config, spec);
+    let mut mirror = SpecMirror::new(spec);
+    let mut interactions = 0;
+    let mut checks = 0;
+    let arity = spec.schema().arity();
+    let mut last_values = TrueValues::new(vec![None; arity]);
+    let mut valid = true;
+
+    for round in 0..=config.max_rounds {
+        let revs = source.poll(round, session.current());
+        let had_revisions = !revs.is_empty();
+        for rev in &revs {
+            session.apply_revision(rev);
+            mirror.apply(rev);
+        }
+        if had_revisions {
+            check_session_against_scratch(&mut session, &mirror)?;
+            checks += 1;
+        }
+
+        if !session.is_valid() {
+            valid = false;
+            break;
+        }
+        let od = session
+            .deduce(config.deduction)
+            .expect("deduction cannot conflict on a valid specification");
+        let values = session.true_values(&od);
+        last_values = values.clone();
+        if values.complete() || round == config.max_rounds {
+            break;
+        }
+        let sug = session.suggest(&od, &values);
+        let input = oracle.provide(spec.schema(), &sug);
+        if input.is_empty() {
+            break;
+        }
+        interactions += 1;
+        session.apply_input(&input);
+        mirror.apply_input(&input);
+    }
+
+    // Final state check — covers the case where the last event batch
+    // arrived on the closing round.
+    check_session_against_scratch(&mut session, &mirror)?;
+    checks += 1;
+
+    Ok(CheckedReplay {
+        complete: last_values.complete(),
+        resolved: last_values,
+        valid,
+        interactions,
+        revisions: session.revision_telemetry(),
+        replay_stats: session.replays(),
+        checks,
+    })
+}
+
+/// One engine-vs-scratch equivalence check: encode the mirror's
+/// materialised specification from scratch (eager, self-contained) and
+/// compare validity, deduced value orders and true values against the
+/// replayed session. Public so custom drivers (tests, benches) can
+/// interleave their own revision/input schedules with verification.
+pub fn check_session_against_scratch(
+    session: &mut ResolutionSession,
+    mirror: &SpecMirror,
+) -> Result<(), String> {
+    let scratch_spec = mirror.materialise();
+    let scratch = EncodedSpec::encode_with(&scratch_spec, EncodeOptions::eager());
+    let mut scratch_solver = scratch.fresh_solver();
+    let scratch_valid = scratch_solver.solve() == cr_sat::SolveResult::Sat;
+    let session_valid = session.is_valid();
+    if session_valid != scratch_valid {
+        return Err(format!(
+            "validity diverged: replay says {session_valid}, scratch says {scratch_valid}"
+        ));
+    }
+    if !session_valid {
+        return Ok(()); // both invalid: nothing further to compare
+    }
+
+    let session_od = session
+        .deduce(DeductionMethod::UnitPropagation)
+        .ok_or_else(|| "replay deduced a conflict on a valid spec".to_string())?;
+    let scratch_od =
+        deduce_order(&scratch).ok_or_else(|| "scratch deduced a conflict".to_string())?;
+
+    // Compare at the value level over non-null lower bounds: the two
+    // encodings number their variables differently, and the replay's space
+    // retains retired values (which never appear in implied literals) plus
+    // permanent null-bottom units for them (filtered with the null side).
+    // Actual `Value`s, not renderings — `Int(3)` and `Str("3")` display
+    // alike but must never be conflated.
+    let project = |enc: &EncodedSpec, od: &DeducedOrders| -> BTreeSet<(AttrId, Value, Value)> {
+        let mut out = BTreeSet::new();
+        for ai in 0..enc.space().arity() as u16 {
+            let attr = AttrId(ai);
+            for (lo, hi) in od.pairs(attr) {
+                let lo_v = enc.value(attr, lo);
+                let hi_v = enc.value(attr, hi);
+                if lo_v.is_null() || hi_v.is_null() {
+                    continue;
+                }
+                out.insert((attr, lo_v.clone(), hi_v.clone()));
+            }
+        }
+        out
+    };
+    let replay_pairs = project(session.encoded(), &session_od);
+    let scratch_pairs = project(&scratch, &scratch_od);
+    if replay_pairs != scratch_pairs {
+        let only_replay: Vec<_> = replay_pairs.difference(&scratch_pairs).take(5).collect();
+        let only_scratch: Vec<_> = scratch_pairs.difference(&replay_pairs).take(5).collect();
+        return Err(format!(
+            "deduced orders diverged: only-replay {only_replay:?}, only-scratch {only_scratch:?}"
+        ));
+    }
+
+    let replay_tv = session.true_values(&session_od);
+    let scratch_tv = true_values_from_orders(&scratch, &scratch_od);
+    if replay_tv != scratch_tv {
+        return Err(format!(
+            "true values diverged: replay {replay_tv:?}, scratch {scratch_tv:?}"
+        ));
+    }
+    Ok(())
+}

@@ -34,6 +34,7 @@ pub mod deduce;
 pub mod encode;
 pub mod framework;
 pub mod implication;
+pub mod ingest;
 pub mod isvalid;
 pub mod metrics;
 pub mod orders;
@@ -52,6 +53,10 @@ pub use encode::{
     RecordingAxiomSource, TransientAxiomSource,
 };
 pub use framework::{ResolutionConfig, ResolutionOutcome, Resolver, RoundReport};
+pub use ingest::{
+    resolve_with_revisions_checked, CheckedReplay, ResolutionSession, Revision, RevisionSource,
+    RevisionTelemetry, ScriptedRevisions, SpecMirror,
+};
 pub use implication::{explain_invalidity, implies, ConflictPart};
 pub use isvalid::{is_valid, is_valid_encoded, Validity};
 pub use metrics::{Accuracy, FMeasure};

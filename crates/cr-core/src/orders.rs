@@ -42,6 +42,32 @@ impl PartialOrders {
         self.per_attr[attr.index()].iter().copied()
     }
 
+    /// Withdraws `t1 ≺_attr t2`, returning whether it was present. Used by
+    /// push-based correction ingestion (upstream revisions withdrawing a
+    /// previously-asserted currency order).
+    pub fn remove(&mut self, attr: AttrId, t1: TupleId, t2: TupleId) -> bool {
+        self.per_attr[attr.index()].remove(&(t1, t2))
+    }
+
+    /// Withdraws every pair of `attr` whose *upper* tuple is `hi` — the
+    /// order extension a user answer induced for one attribute (Section III
+    /// Remark (1) ranks the answer tuple above every existing tuple).
+    /// Returns the removed pairs.
+    pub fn remove_pairs_above(&mut self, attr: AttrId, hi: TupleId) -> Vec<(TupleId, TupleId)> {
+        let set = &mut self.per_attr[attr.index()];
+        let removed: Vec<(TupleId, TupleId)> =
+            set.iter().copied().filter(|&(_, t2)| t2 == hi).collect();
+        for pair in &removed {
+            set.remove(pair);
+        }
+        removed
+    }
+
+    /// True iff `t1 ≺_attr t2` is recorded.
+    pub fn contains(&self, attr: AttrId, t1: TupleId, t2: TupleId) -> bool {
+        self.per_attr[attr.index()].contains(&(t1, t2))
+    }
+
     /// Total size `|Ot| = Σ_i |≺'_Ai|` (the minimisation objective of the
     /// conflict resolution problem).
     pub fn size(&self) -> usize {

@@ -153,6 +153,58 @@ impl Specification {
         (self.entity.len(), self.sigma.len(), self.gamma.len())
     }
 
+    /// A copy with the value at `(tid, attr)` replaced — the spec-level
+    /// effect of an upstream *value revision* (see [`crate::ingest`]). Σ/Γ
+    /// are untouched, so the cached compiled program is carried over.
+    #[must_use]
+    pub fn with_replaced_value(&self, tid: TupleId, attr: AttrId, value: Value) -> Specification {
+        let mut out = self.clone();
+        out.entity.replace_value(tid, attr, value);
+        out
+    }
+
+    /// A copy with the base order `t1 ≺_attr t2` withdrawn (no-op if the
+    /// pair was never asserted) — the spec-level effect of an upstream
+    /// *order withdrawal*. The compiled program is carried over.
+    #[must_use]
+    pub fn with_order_withdrawn(&self, attr: AttrId, t1: TupleId, t2: TupleId) -> Specification {
+        let mut out = self.clone();
+        out.orders.remove(attr, t1, t2);
+        out
+    }
+
+    /// A copy with the user answer `(attr, tuple)` withdrawn — the
+    /// spec-level effect of an upstream *answer withdrawal*: every order
+    /// pair ranking `tuple` on top of `attr` is removed and the answered
+    /// cell reverts to null (the input tuple itself remains, null-padded).
+    /// Returns the copy and the removed pairs. Σ/Γ are untouched, so the
+    /// cached compiled program is carried over.
+    #[must_use]
+    pub fn with_answer_withdrawn(
+        &self,
+        attr: AttrId,
+        tuple: TupleId,
+    ) -> (Specification, Vec<(TupleId, TupleId)>) {
+        let mut out = self.clone();
+        let removed = out.orders.remove_pairs_above(attr, tuple);
+        out.entity.replace_value(tuple, attr, Value::Null);
+        (out, removed)
+    }
+
+    /// A copy with `gamma[cfd]` removed — the spec-level effect of an
+    /// upstream *CFD retraction*. Γ changes, so the cached compiled program
+    /// is cleared (the from-scratch mirror of a revision differential
+    /// recompiles; the incremental engine never consults the program for a
+    /// retired CFD and keeps its own Γ indexing intact instead — see
+    /// [`crate::ingest`]).
+    #[must_use]
+    pub fn without_cfd(&self, cfd: usize) -> Specification {
+        let mut out = self.clone();
+        out.gamma.remove(cfd);
+        out.program = OnceLock::new();
+        out
+    }
+
     /// Returns a copy keeping only the first `frac·|Σ|` currency constraints
     /// and `frac·|Γ|` CFDs after a seeded shuffle — the constraint
     /// subsampling used when varying `|Σ|` and `|Γ|` in Fig. 8(f)–(p).

@@ -367,12 +367,14 @@ fn retained_clique(clique: &[usize], selectors: &[cr_sat::Var], assignment: &[bo
         .collect()
 }
 
-/// Appends the literals asserting "`v` is the top of `attr`" to `out`.
+/// Appends the literals asserting "`v` is the top of `attr`" to `out` —
+/// every other *live* value sits below `v` (retired values are out of the
+/// active domain on revisable encodings; ordinary encodings are all-live).
 fn push_top_literals(enc: &EncodedSpec, attr: AttrId, v: ValueId, out: &mut Vec<cr_sat::Lit>) {
-    let n = enc.space().attr(attr).len() as u32;
     out.extend(
-        (0..n)
-            .map(ValueId)
+        enc.space()
+            .attr(attr)
+            .live_ids()
             .filter(|&o| o != v)
             .filter_map(|o| enc.var_of(attr, o, v).map(|var| var.positive())),
     );

@@ -23,6 +23,7 @@
 //! (both resolution paths must agree on invalid specifications too).
 
 use cr_constraints::parser::{parse_cfds, parse_currency_constraint};
+use cr_core::ingest::{Revision, RevisionSource, ScriptedRevisions};
 use cr_core::{PartialOrders, Specification};
 use cr_types::{AttrId, EntityInstance, Schema, Tuple, TupleId, Value};
 use rand::prelude::*;
@@ -262,6 +263,157 @@ pub fn scenario(cfg: &ScenarioConfig) -> Scenario {
     Scenario { spec, truth }
 }
 
+/// Knobs of a seeded **revision timeline**: a stream of upstream correction
+/// events (CFD retractions, order withdrawals, value replacements, user
+/// answer withdrawals) generated against a specification and spread over
+/// the interaction rounds — the push-based ingestion counterpart of
+/// [`ScenarioConfig`]. Feed the resulting source to
+/// `Resolver::resolve_with_revisions` or the checked differential harness
+/// (`cr_core::ingest::resolve_with_revisions_checked`).
+#[derive(Clone, Debug)]
+pub struct RevisionTimelineConfig {
+    /// RNG seed; equal configs generate identical timelines.
+    pub seed: u64,
+    /// Scripted events to generate (the actually generated count can be
+    /// lower when the specification has too few CFDs/orders to revise).
+    pub events: usize,
+    /// Rounds `0..rounds` over which the events are spread.
+    pub rounds: usize,
+    /// Generate `RetractCfd` events (each CFD at most once).
+    pub retract_cfds: bool,
+    /// Generate `WithdrawOrder` events on the initial base orders.
+    pub withdraw_orders: bool,
+    /// Generate `ReplaceValue` events (shared, brand-new and null
+    /// replacement values — exercising value revival, domain growth and
+    /// retirement).
+    pub replace_values: bool,
+    /// Additionally withdraw one previously-given user answer per listed
+    /// round (resolved dynamically at poll time — answer tuples only exist
+    /// mid-resolution).
+    pub withdraw_answer_rounds: Vec<usize>,
+}
+
+impl Default for RevisionTimelineConfig {
+    fn default() -> Self {
+        RevisionTimelineConfig {
+            seed: 0,
+            events: 4,
+            rounds: 4,
+            retract_cfds: true,
+            withdraw_orders: true,
+            replace_values: true,
+            withdraw_answer_rounds: Vec::new(),
+        }
+    }
+}
+
+/// A seeded revision stream: a scripted timeline generated against the
+/// initial specification, plus (optionally) dynamically-resolved user
+/// answer withdrawals. Deterministic in its config.
+pub struct GeneratedRevisions {
+    script: ScriptedRevisions,
+    withdraw_answer_rounds: Vec<usize>,
+    initial_tuples: usize,
+}
+
+impl RevisionSource for GeneratedRevisions {
+    fn poll(&mut self, round: usize, current: &Specification) -> Vec<Revision> {
+        let mut out = self.script.poll(round, current);
+        if self.withdraw_answer_rounds.contains(&round) {
+            // Withdraw the earliest still-standing answer: the first
+            // user-input tuple (ids beyond the initial instance) with a
+            // non-null cell.
+            'search: for t in self.initial_tuples..current.entity().len() {
+                let tid = TupleId(t as u32);
+                for attr in current.schema().attr_ids() {
+                    if !current.entity().tuple(tid).get(attr).is_null() {
+                        out.push(Revision::WithdrawAnswer { attr, tuple: tid });
+                        break 'search;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Generates a seeded revision timeline for `spec` (see
+/// [`RevisionTimelineConfig`]). Event targets are drawn from the
+/// specification's own structure: CFD retractions hit existing Γ indices
+/// (each at most once), order withdrawals hit recorded base-order pairs
+/// (each at most once), and value replacements pick an initial tuple and
+/// attribute and rotate its value to a *shared* value (another tuple's),
+/// a *brand-new* one, or null — covering revival, domain growth and
+/// retirement of interned values.
+pub fn revision_timeline(
+    spec: &Specification,
+    cfg: &RevisionTimelineConfig,
+) -> GeneratedRevisions {
+    let mut r = rng(cfg.seed ^ 0xC0FF_EE00_D00D_F00Du64);
+    let entity = spec.entity();
+    let arity = spec.schema().arity();
+
+    let mut cfds: Vec<usize> = (0..spec.gamma().len()).collect();
+    cfds.shuffle(&mut r);
+    let mut orders: Vec<(AttrId, TupleId, TupleId)> = spec
+        .schema()
+        .attr_ids()
+        .flat_map(|a| spec.orders().pairs(a).map(move |(t1, t2)| (a, t1, t2)))
+        .collect();
+    orders.shuffle(&mut r);
+
+    let mut events: Vec<(usize, Revision)> = Vec::new();
+    let mut fresh = 0usize;
+    let rounds = cfg.rounds.max(1);
+    for _ in 0..cfg.events {
+        let round = r.gen_range(0..rounds);
+        // Pick an event kind with remaining candidates; replacement is
+        // always available on non-empty entities.
+        let kind = r.gen_range(0..3u32);
+        let rev = match kind {
+            0 if cfg.retract_cfds && !cfds.is_empty() => {
+                Revision::RetractCfd { cfd: cfds.pop().expect("non-empty") }
+            }
+            1 if cfg.withdraw_orders && !orders.is_empty() => {
+                let (attr, lo, hi) = orders.pop().expect("non-empty");
+                Revision::WithdrawOrder { attr, lo, hi }
+            }
+            _ if cfg.replace_values && !entity.is_empty() => {
+                let tuple = TupleId(r.gen_range(0..entity.len()) as u32);
+                let attr = AttrId(r.gen_range(0..arity) as u16);
+                let old = entity.tuple(tuple).get(attr);
+                let value = match r.gen_range(0..4u32) {
+                    // A value another tuple already carries (sharing or
+                    // revival after an earlier replacement).
+                    0 | 1 => {
+                        let donor = TupleId(r.gen_range(0..entity.len()) as u32);
+                        entity.tuple(donor).get(attr).clone()
+                    }
+                    // A brand-new value: grows the space mid-resolution.
+                    2 => {
+                        fresh += 1;
+                        match old {
+                            Value::Int(_) => Value::int(9_000 + fresh as i64),
+                            _ => Value::str(format!("rev_{fresh}")),
+                        }
+                    }
+                    // The source withdraws the cell entirely.
+                    _ => Value::Null,
+                };
+                Revision::ReplaceValue { tuple, attr, value }
+            }
+            _ => continue,
+        };
+        events.push((round, rev));
+    }
+
+    GeneratedRevisions {
+        script: ScriptedRevisions::new(events),
+        withdraw_answer_rounds: cfg.withdraw_answer_rounds.clone(),
+        initial_tuples: entity.len(),
+    }
+}
+
 /// Convenience: a scenario drawn from raw proptest-style integers, mapping
 /// them onto the interesting ranges (used by the differential proptests).
 pub fn scenario_from_raw(
@@ -346,6 +498,43 @@ mod tests {
             }
         }
         assert!(saw_new, "new-value truths must actually be out of domain");
+    }
+
+    #[test]
+    fn revision_timelines_are_deterministic_and_well_targeted() {
+        let s = scenario(&ScenarioConfig { seed: 11, gamma: 3, order_density: 0.3, ..Default::default() });
+        let cfg = RevisionTimelineConfig { seed: 5, events: 8, rounds: 3, ..Default::default() };
+        let drain = |mut src: GeneratedRevisions| -> Vec<Revision> {
+            (0..4).flat_map(|r| src.poll(r, &s.spec)).collect()
+        };
+        let a = drain(revision_timeline(&s.spec, &cfg));
+        let b = drain(revision_timeline(&s.spec, &cfg));
+        assert_eq!(a, b, "equal configs must generate identical timelines");
+        assert!(!a.is_empty());
+        for rev in &a {
+            match rev {
+                Revision::RetractCfd { cfd } => assert!(*cfd < s.spec.gamma().len()),
+                Revision::WithdrawOrder { attr, lo, hi } => {
+                    assert!(s.spec.orders().contains(*attr, *lo, *hi), "withdraws real pairs");
+                }
+                Revision::ReplaceValue { tuple, .. } => {
+                    assert!(tuple.index() < s.spec.entity().len());
+                }
+                Revision::WithdrawAnswer { .. } => panic!("not scripted statically"),
+            }
+        }
+        // CFD retractions never repeat an index.
+        let mut cfds: Vec<usize> = a
+            .iter()
+            .filter_map(|r| match r {
+                Revision::RetractCfd { cfd } => Some(*cfd),
+                _ => None,
+            })
+            .collect();
+        let before = cfds.len();
+        cfds.sort_unstable();
+        cfds.dedup();
+        assert_eq!(cfds.len(), before, "each CFD retracted at most once");
     }
 
     #[test]

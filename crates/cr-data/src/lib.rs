@@ -34,7 +34,7 @@ use cr_types::{EntityInstance, Schema, Tuple, ValueTable};
 /// their ground-truth current tuples.
 ///
 /// All entities share one [`ValueTable`] (see
-/// [`Dataset::share_value_table`]) and one [`CompiledProgram`]
+/// `Dataset::share_value_table`) and one [`CompiledProgram`]
 /// ([`Dataset::program`]): Σ/Γ are compiled against the table **once per
 /// dataset**, and [`Dataset::spec`] stamps the shared program onto every
 /// entity specification so per-entity encoding only *projects* through it.
@@ -82,7 +82,7 @@ impl Dataset {
     }
 
     /// The dataset-wide value table, if the entities were re-interned over
-    /// one ([`Dataset::share_value_table`]). Consumers re-deriving
+    /// one (`Dataset::share_value_table`). Consumers re-deriving
     /// constraint subsets (benchmark subsampling) compile their programs
     /// against this table.
     pub fn value_table(&self) -> Option<&Arc<ValueTable>> {

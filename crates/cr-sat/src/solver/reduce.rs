@@ -46,7 +46,7 @@ impl Solver {
 
     /// Compacts the learnt-clause database down to at most `max_keep`
     /// clauses, deleting the least active ones first (binary and locked
-    /// clauses are always kept). Unlike the in-search [`Solver::reduce_db`]
+    /// clauses are always kept). Unlike the in-search `Solver::reduce_db`
     /// this is a *caller-driven* sweep: the incremental resolution engine
     /// invokes it at user-interaction round boundaries so learnt clauses
     /// stay bounded over arbitrarily long interactions, and it also resets

@@ -268,6 +268,30 @@ impl EntityInstance {
         Ok(id)
     }
 
+    /// Replaces the value at `(tid, attr)` in place, returning the previous
+    /// value. Used by push-based correction ingestion (upstream revisions
+    /// that withdraw or correct a previously reported cell): the tuple and
+    /// its dense-id row are updated together, unseen values receive fresh
+    /// local ids (like [`EntityInstance::push`]), and the instance's link to
+    /// its shared [`ValueTable`] is preserved — a replacement value missing
+    /// from the table simply has no global id, which every global-id
+    /// consumer already handles (user-input pushes take the same path).
+    pub fn replace_value(&mut self, tid: TupleId, attr: AttrId, value: Value) -> Value {
+        let id = if value.is_null() {
+            NULL_VALUE_ID
+        } else if let Some(&id) = self.ids_by_value.get(&value) {
+            id
+        } else {
+            let id = self.values_by_id.len() as u32;
+            self.global_by_local.push(NO_GLOBAL_VALUE);
+            self.values_by_id.push(value.clone());
+            self.ids_by_value.insert(value.clone(), id);
+            id
+        };
+        self.dense[tid.index() * self.schema.arity() + attr.index()] = id;
+        self.tuples[tid.index()].set(attr, value)
+    }
+
     /// The *active domain* `adom(Ie.Ai)`: distinct non-null values of
     /// attribute `attr` occurring in the instance, in canonical order.
     ///

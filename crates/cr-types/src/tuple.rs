@@ -50,6 +50,11 @@ impl Tuple {
         &mut self.values[attr.index()]
     }
 
+    /// Replaces the value of attribute `attr`, returning the previous one.
+    pub fn set(&mut self, attr: AttrId, value: Value) -> Value {
+        std::mem::replace(&mut self.values[attr.index()], value)
+    }
+
     /// Number of attributes.
     pub fn arity(&self) -> usize {
         self.values.len()

@@ -336,7 +336,7 @@ pub mod collection {
     use std::collections::BTreeSet;
     use std::ops::{Range, RangeInclusive};
 
-    /// Size specifications accepted by [`vec`] and [`btree_set`].
+    /// Size specifications accepted by [`vec()`] and [`btree_set`].
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,
@@ -367,7 +367,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         element: S,

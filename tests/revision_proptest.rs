@@ -1,0 +1,99 @@
+//! Property tests for push-based correction ingestion: randomized revision
+//! timelines (CFD retractions, order withdrawals, value replacements —
+//! shared, fresh and null — and user-answer withdrawals) interleaved with
+//! ordinary oracle answers must keep the revision-replayed engine exactly
+//! equivalent to a from-scratch re-resolution of the post-revision
+//! specification, with sane cone telemetry throughout.
+
+use conflict_resolution::core::framework::{GroundTruthOracle, ResolutionConfig, Resolver};
+use conflict_resolution::core::ingest::resolve_with_revisions_checked;
+use conflict_resolution::data::gen::{
+    revision_timeline, scenario_from_raw, RevisionTimelineConfig, Scenario,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Revision-replay ≡ from-scratch re-resolution on the post-revision
+    /// spec, checked after every revision batch, across randomized
+    /// scenarios × randomized timelines. Also asserts telemetry sanity:
+    /// cones only exist when events were applied, and the guarded engine
+    /// never rebuilds.
+    #[test]
+    fn random_revision_timelines_replay_equals_scratch(
+        seed in 0u64..10_000,
+        tuples in 2usize..16,
+        domain in 2usize..10,
+        density in 0u32..100,
+        events in 1usize..7,
+        new_values_sel in 0u32..2,
+        withdraw_sel in 0u32..2,
+    ) {
+        let Scenario { spec, truth } = scenario_from_raw(seed, tuples, domain, density, new_values_sel == 1);
+        let mut source = revision_timeline(&spec, &RevisionTimelineConfig {
+            seed: seed.wrapping_mul(97).wrapping_add(13),
+            events,
+            rounds: 4,
+            withdraw_answer_rounds: if withdraw_sel == 1 { vec![1, 3] } else { vec![] },
+            ..Default::default()
+        });
+        let mut oracle = GroundTruthOracle::with_cap(truth.clone(), 1);
+        let config = ResolutionConfig::default();
+        let checked = resolve_with_revisions_checked(&config, &spec, &mut oracle, &mut source)
+            .map_err(|e| TestCaseError::fail(format!("replay diverged from scratch: {e}")))?;
+
+        // Telemetry sanity: cone literals and retracted groups exist only
+        // when events were actually absorbed; every check ran.
+        prop_assert!(checked.checks >= 1);
+        if checked.revisions.events == 0 {
+            prop_assert_eq!(checked.revisions.retracted_groups, 0);
+            prop_assert_eq!(checked.revisions.invalidated, 0);
+            prop_assert_eq!(checked.revisions.reemitted_clauses, 0);
+        }
+        prop_assert!(checked.revisions.invalidated == 0 || checked.revisions.events > 0);
+    }
+
+    /// The unchecked production path (`Resolver::resolve_with_revisions`)
+    /// agrees with the checked harness outcome on the same scripted
+    /// timeline, never rebuilds, and stamps per-round revision telemetry
+    /// consistent with the totals.
+    #[test]
+    fn production_revision_path_matches_checked_and_never_rebuilds(
+        seed in 0u64..10_000,
+        tuples in 2usize..14,
+        domain in 2usize..10,
+        density in 0u32..100,
+        events in 1usize..6,
+    ) {
+        let Scenario { spec, truth } = scenario_from_raw(seed, tuples, domain, density, false);
+        let timeline = |salt: u64| revision_timeline(&spec, &RevisionTimelineConfig {
+            seed: seed.wrapping_mul(193).wrapping_add(salt),
+            events,
+            rounds: 3,
+            ..Default::default()
+        });
+        let config = ResolutionConfig::default();
+
+        let mut oracle = GroundTruthOracle::with_cap(truth.clone(), 1);
+        let mut source = timeline(5);
+        let outcome = Resolver::new(config).resolve_with_revisions(&spec, &mut oracle, &mut source);
+        prop_assert_eq!(outcome.rebuilds, 0, "revisions must never rebuild the engine");
+
+        let mut oracle2 = GroundTruthOracle::with_cap(truth.clone(), 1);
+        let mut source2 = timeline(5);
+        let checked = resolve_with_revisions_checked(&config, &spec, &mut oracle2, &mut source2)
+            .map_err(|e| TestCaseError::fail(format!("replay diverged from scratch: {e}")))?;
+        prop_assert_eq!(outcome.valid, checked.valid);
+        prop_assert_eq!(outcome.complete, checked.complete);
+        prop_assert_eq!(outcome.resolved, checked.resolved);
+        prop_assert_eq!(outcome.interactions, checked.interactions);
+        prop_assert_eq!(outcome.revisions.events, checked.revisions.events);
+
+        // Per-round stamps sum to the totals.
+        let round_events: usize = outcome.rounds.iter().map(|r| r.revision_events).sum();
+        let round_cones: usize = outcome.rounds.iter().map(|r| r.revision_invalidated).sum();
+        prop_assert_eq!(round_events, outcome.revisions.events);
+        prop_assert_eq!(round_cones, outcome.revisions.invalidated);
+    }
+}
