@@ -36,12 +36,24 @@
 //! workload, so a dead counter is distinguishable from a workload that
 //! legitimately has no revision stream.
 //!
+//! The `ingest-chaos` workload extends this to **causally-stamped**
+//! streams: each entity's timeline carries vector-clocked corrections from
+//! two remote sources, including a zip correction that is causally
+//! concurrent with the user's round-0 zip answer — the run must **re-open**
+//! that attribute (`reopened > 0`). Each entity is resolved four ways —
+//! canonical interactive, schedule-preserving chaos (reorder + duplicates,
+//! must converge interactively), and canonical vs deterministically-swapped
+//! delivery drain-first (the successor overtakes its predecessor, forcing
+//! frontier buffering, and must converge post-drain) — and the smoke gates
+//! require nonzero duplicate-drops and buffering, zero quarantines on the
+//! clean streams, zero rebuilds, and exact convergence everywhere.
+//!
 //! Flags: `--entities N` (per generated dataset, default 10), `--seed S`,
 //! `--rounds R` (max user rounds, default 10), `--reps K` (timing
 //! repetitions, default 3), `--frac F` (constraint fraction, default 0.6),
 //! `--threads T` (parallel fan-out width, default = available cores; the
 //! smoke mode runs a serial-vs-parallel agreement pass at this width),
-//! `--out PATH` (default `BENCH_5.json`), `--smoke` (tiny CI mode: check
+//! `--out PATH` (default `BENCH_6.json`), `--smoke` (tiny CI mode: check
 //! agreement, compile-once, zero-rebuild, live-cone and parallel-path
 //! invariants, skip the timing sweep).
 
@@ -50,13 +62,19 @@ use std::time::Instant;
 use std::sync::Arc;
 
 use cr_bench::{arg_entities, arg_flag, arg_seed, arg_value, json::BenchReport, quick};
+use cr_core::causal::{
+    resolve_causal_checked, CausalReplayConfig, CausalRevision, ScriptedCausalRevisions,
+};
 use cr_core::framework::{GroundTruthOracle, ResolutionConfig, Resolver};
-use cr_core::ingest::{resolve_with_revisions_checked, Revision, ScriptedRevisions};
+use cr_core::ingest::{
+    resolve_with_revisions_checked, Revision, RevisionPolicy, ScriptedRevisions,
+};
 use cr_core::{compile_count, CompiledProgram, EncodeOptions, EncodedSpec, Specification};
 use cr_constraints::parser::{parse_cfd_file, parse_currency_file};
+use cr_data::chaos::{chaos, ChaosConfig};
 use cr_data::gen::ScenarioConfig;
 use cr_data::{nba, person, vjday};
-use cr_types::{EntityInstance, Schema, Tuple, TupleId, Value};
+use cr_types::{EntityInstance, Schema, SourceClock, SourceId, Tuple, TupleId, Value};
 
 struct Workload {
     label: &'static str,
@@ -260,6 +278,151 @@ fn time_ingest(w: &IngestWorkload, rounds: usize, reps: usize, stats: &mut Inges
     best
 }
 
+/// The causally-stamped chaos workload: the ingest schema/entities with
+/// vector-clocked timelines from two remote sources. The `zip` correction
+/// is delivered at round 1 — causally concurrent with the user's round-0
+/// `zip` answer and contradicting it, so every canonical interactive run
+/// must re-open the attribute.
+struct ChaosWorkload {
+    specs: Vec<Specification>,
+    truths: Vec<Tuple>,
+    timelines: Vec<Vec<(usize, CausalRevision)>>,
+}
+
+fn chaos_workload(entities: usize) -> ChaosWorkload {
+    let ingest = ingest_workload(entities);
+    let schema = ingest.specs[0].schema().clone();
+    let job = schema.attr_id("job").expect("static attr");
+    let city = schema.attr_id("city").expect("static attr");
+    let zip = schema.attr_id("zip").expect("static attr");
+    let timelines = (0..ingest.specs.len() as i64)
+        .map(|e| {
+            let mut s1 = SourceClock::new(SourceId(1));
+            let mut s2 = SourceClock::new(SourceId(2));
+            vec![
+                (1, CausalRevision { stamp: s1.stamp(1), rev: Revision::RetractCfd { cfd: 0 } }),
+                // Concurrent with (and contradicting) the round-0 zip
+                // answer `Z2_{e}`: the re-open trigger.
+                (1, CausalRevision {
+                    stamp: s2.stamp(1),
+                    rev: Revision::ReplaceValue {
+                        tuple: TupleId(0),
+                        attr: zip,
+                        value: Value::str(format!("Z9_{e}")),
+                    },
+                }),
+                (2, CausalRevision {
+                    stamp: s1.stamp(2),
+                    rev: Revision::WithdrawOrder { attr: job, lo: TupleId(0), hi: TupleId(1) },
+                }),
+                (2, CausalRevision {
+                    stamp: s2.stamp(2),
+                    rev: Revision::ReplaceValue {
+                        tuple: TupleId(0),
+                        attr: city,
+                        value: Value::str(format!("Boston{e}")),
+                    },
+                }),
+            ]
+        })
+        .collect();
+    ChaosWorkload { specs: ingest.specs, truths: ingest.truths, timelines }
+}
+
+/// Causal-stream telemetry summed over the chaos workload's runs (explicit
+/// zeros: a dead counter must be distinguishable from a clean run).
+#[derive(Default)]
+struct ChaosStats {
+    applied: usize,
+    duplicates_dropped: usize,
+    buffered: usize,
+    quarantined: usize,
+    reopened: usize,
+    rebuilds: usize,
+    secs: f64,
+}
+
+/// Resolves every chaos-workload entity four ways — canonical interactive,
+/// schedule-preserving chaos interactive, and canonical vs
+/// deterministically-swapped delivery drain-first — asserting exact
+/// convergence between each pair (each run is additionally verified ≡
+/// scratch after every effective batch by `resolve_causal_checked`
+/// itself). Aborts the bench on any divergence. Run during setup: the
+/// scratch mirrors compile their own programs.
+fn check_chaos(w: &ChaosWorkload, rounds: usize, seed: u64) -> ChaosStats {
+    let config = ResolutionConfig { max_rounds: rounds, ..Default::default() };
+    let interactive = CausalReplayConfig::default();
+    let drain_first = CausalReplayConfig {
+        policy: RevisionPolicy::Reject,
+        interact_while_streaming: false,
+    };
+    let mut stats = ChaosStats::default();
+    let t = Instant::now();
+    for (i, ((spec, truth), timeline)) in
+        w.specs.iter().zip(&w.truths).zip(&w.timelines).enumerate()
+    {
+        let mut run = |source: ScriptedCausalRevisions, causal: &CausalReplayConfig, what| {
+            let mut oracle = GroundTruthOracle::with_cap(truth.clone(), 1);
+            let mut source = source;
+            let replay = resolve_causal_checked(&config, spec, &mut oracle, &mut source, causal)
+                .unwrap_or_else(|e| {
+                    eprintln!("  ingest-chaos: {what} run diverged from scratch on entity {i}: {e}");
+                    std::process::exit(1);
+                });
+            stats.quarantined += replay.revisions.quarantined;
+            stats.rebuilds += replay.rebuilds;
+            replay
+        };
+
+        let canonical = run(
+            ScriptedCausalRevisions::new(timeline.clone()),
+            &interactive,
+            "canonical",
+        );
+        assert!(canonical.valid && canonical.complete, "entity {i}: canonical run must settle");
+        stats.applied += canonical.revisions.events;
+        stats.reopened += canonical.revisions.reopened;
+
+        // Schedule-preserving chaos (reorder + duplicates) must converge
+        // with the full interactive trajectory.
+        let chaotic = run(
+            chaos(timeline, spec, &ChaosConfig::schedule_preserving(seed ^ (i as u64 + 1))),
+            &interactive,
+            "schedule-preserving chaos",
+        );
+        assert_eq!(
+            canonical.resolved, chaotic.resolved,
+            "entity {i}: chaotic delivery diverged from canonical"
+        );
+        assert_eq!(canonical.interactions, chaotic.interactions, "entity {i}");
+        assert_eq!(canonical.revisions.reopened, chaotic.revisions.reopened, "entity {i}");
+        stats.duplicates_dropped += chaotic.revisions.duplicates_dropped;
+
+        // Deterministic out-of-order delivery: source 2's first event moves
+        // past its successor, which must buffer at the frontier; drain-first
+        // runs of both schedules must converge.
+        let mut swapped = timeline.clone();
+        for entry in &mut swapped {
+            if entry.1.stamp.source == SourceId(2) && entry.1.stamp.seq() == 1 {
+                entry.0 = 3;
+            }
+        }
+        let base = run(ScriptedCausalRevisions::new(timeline.clone()), &drain_first, "drain-first");
+        let ooo = run(ScriptedCausalRevisions::new(swapped), &drain_first, "out-of-order");
+        assert_eq!(
+            base.resolved, ooo.resolved,
+            "entity {i}: out-of-order drain-first delivery diverged"
+        );
+        assert!(
+            ooo.revisions.buffered > 0,
+            "entity {i}: the overtaken predecessor must force buffering"
+        );
+        stats.buffered += ooo.revisions.buffered;
+    }
+    stats.secs = t.elapsed().as_secs_f64();
+    stats
+}
+
 /// One serial-vs-parallel agreement pass at the requested fan-out width
 /// (run in smoke so `--threads N` exercises the parallel path in CI).
 fn check_parallel(w: &Workload, rounds: usize, threads: usize) {
@@ -459,7 +622,7 @@ fn main() {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
         .max(1);
     let smoke = arg_flag("smoke");
-    let out = arg_value("out").unwrap_or_else(|| "BENCH_5.json".to_string());
+    let out = arg_value("out").unwrap_or_else(|| "BENCH_6.json".to_string());
 
     // Entity sizes follow the seed's Fig. 8(a) bins: NBA up to 135 tuples,
     // Person at 1/10 paper scale up to 200.
@@ -548,6 +711,13 @@ fn main() {
     // phase below).
     let ingest = ingest_workload(entities.clamp(2, 8));
     let mut ingest_stats = check_ingest(&ingest, rounds);
+
+    // Causally-stamped chaos workload: all four delivery regimes are
+    // resolved AND cross-checked here at setup, for the same reason —
+    // `resolve_causal_checked`'s scratch mirrors compile their own
+    // programs, which must not count against the measured phase.
+    let chaos_w = chaos_workload(entities.clamp(2, 6));
+    let chaos_stats = check_chaos(&chaos_w, rounds, seed);
 
     // Career specs were stamped by `Dataset::spec`, wide scenarios by
     // `cr_data::gen` — every workload's program now exists. From here on,
@@ -676,6 +846,31 @@ fn main() {
         );
     }
 
+    // Causal chaos workload: telemetry with explicit zeros, convergence
+    // already enforced by `check_chaos` (it aborts on divergence).
+    total_rebuilds += chaos_stats.rebuilds;
+    report.context("rebuilds/ingest-chaos", chaos_stats.rebuilds);
+    report.context("revisions/ingest-chaos/applied", chaos_stats.applied);
+    report.context(
+        "revisions/ingest-chaos/duplicates_dropped",
+        chaos_stats.duplicates_dropped,
+    );
+    report.context("revisions/ingest-chaos/buffered", chaos_stats.buffered);
+    report.context("revisions/ingest-chaos/quarantined", chaos_stats.quarantined);
+    report.context("revisions/ingest-chaos/reopened", chaos_stats.reopened);
+    println!(
+        "{:>8}: {} applied, {} duplicates dropped, {} buffered, {} quarantined, {} re-opened (4-way convergence verified)",
+        "in-chaos",
+        chaos_stats.applied,
+        chaos_stats.duplicates_dropped,
+        chaos_stats.buffered,
+        chaos_stats.quarantined,
+        chaos_stats.reopened,
+    );
+    if !smoke {
+        report.measure("end_to_end/ingest-chaos/causal_checked", chaos_stats.secs);
+    }
+
     report.context("rebuilds_total", total_rebuilds);
     if !smoke {
         let speedup = total_scratch / total_lazy;
@@ -730,6 +925,28 @@ fn main() {
     }
     if ingest_stats.events == 0 {
         eprintln!("FAIL: ingest workload applied no revision events");
+        std::process::exit(1);
+    }
+    // Causal-stream gates: the chaos workload must actually exercise the
+    // re-open, dedup and buffering paths, and its clean streams must never
+    // quarantine anything.
+    if chaos_stats.reopened == 0 {
+        eprintln!("FAIL: ingest-chaos re-opened no attributes (concurrent-correction path dead)");
+        std::process::exit(1);
+    }
+    if chaos_stats.duplicates_dropped == 0 {
+        eprintln!("FAIL: ingest-chaos dropped no duplicates (frontier dedup path dead)");
+        std::process::exit(1);
+    }
+    if chaos_stats.buffered == 0 {
+        eprintln!("FAIL: ingest-chaos buffered no events (causal gating path dead)");
+        std::process::exit(1);
+    }
+    if chaos_stats.quarantined != 0 {
+        eprintln!(
+            "FAIL: ingest-chaos quarantined {} events on clean streams (expected 0)",
+            chaos_stats.quarantined
+        );
         std::process::exit(1);
     }
     println!(

@@ -229,6 +229,12 @@ pub struct EncodedSpec {
     /// Axiom clauses recorded into the CNF by lazy instantiation
     /// ([`RecordingAxiomSource`]); 0 for eager encodings.
     injected_axioms: usize,
+    /// Revisable mode: values whose liveness flipped retired → live since
+    /// the last [`EncodedSpec::take_revived`] drain. Revival re-admits the
+    /// value's order axioms to the lazy scheme without any of its atoms
+    /// re-entering the propagator's delta, so the engine redelivers its
+    /// order variables to the lazy source (see the ingest module).
+    revived: Vec<(AttrId, ValueId)>,
 }
 
 impl EncodedSpec {
@@ -264,6 +270,7 @@ impl EncodedSpec {
             omega_groups: Vec::new(),
             options,
             injected_axioms: 0,
+            revived: Vec::new(),
         };
 
         // Variables for every ordered pair of distinct values. Both axiom
@@ -441,22 +448,40 @@ impl EncodedSpec {
                 continue;
             }
             match self.space.get(*attr, v) {
-                Some(id) => answered.push((*attr, id)),
+                // A retired value (revisable mode) is interned but out of the
+                // live domain; answering it revives it, which grows the live
+                // space exactly like an out-of-domain answer — the attribute's
+                // CFD instances must be re-emitted over the wider space.
+                Some(id) => {
+                    if !self.space.is_live(*attr, id) {
+                        grown.push(*attr);
+                    }
+                    answered.push((*attr, id));
+                }
                 None if self.options.guarded_cfds => grown.push(*attr),
                 None => return ExtendOutcome::NeedsRebuild,
             }
         }
 
-        // Out-of-domain answers: append the new values and their axioms,
-        // then retract + re-emit every CFD whose premise or conclusion
-        // ranges over a grown attribute.
+        // Out-of-domain answers: append the new values and their axioms.
+        // Then — for grown *and* revived attributes alike — retract and
+        // re-emit every CFD whose premise or conclusion ranges over the
+        // attribute, so ωX premises and domination sets quantify over the
+        // current live space. The revival itself (`cell_added`) must happen
+        // before `cfd_instances` reads the space.
         let mut retracted_groups: Vec<GroupId> = Vec::new();
-        if !grown.is_empty() {
-            for &attr in &grown {
-                let v = &input.values[&attr];
-                let vid = self.append_value(attr, v);
-                answered.push((attr, vid));
+        for (attr, v) in &input.values {
+            if !v.is_null() && self.space.get(*attr, v).is_none() {
+                let vid = self.append_value(*attr, v);
+                answered.push((*attr, vid));
             }
+        }
+        // The fresh tuple's cells realise the answered values (reviving any
+        // retired ones — before `cfd_instances` reads the live space below).
+        for &(attr, vid) in &answered {
+            self.cell_added(attr, vid);
+        }
+        if !grown.is_empty() {
             grown.sort_unstable();
             grown.dedup();
             for (gi, cfd) in spec.gamma().iter().enumerate() {
@@ -485,11 +510,6 @@ impl EncodedSpec {
                     }
                 }
             }
-        }
-
-        // The fresh tuple's cells realise the answered values.
-        for &(attr, vid) in &answered {
-            self.cell_added(attr, vid);
         }
 
         // (1) Base-order units: the answered value tops its attribute. In
@@ -942,7 +962,21 @@ impl EncodedSpec {
             counts.resize(vid.index() + 1, 0);
         }
         counts[vid.index()] += 1;
+        if !self.space.is_live(attr, vid) {
+            // Retired → live flip: queue for axiom-scheme redelivery.
+            self.revived.push((attr, vid));
+        }
         self.space.set_live(attr, vid, true);
+    }
+
+    /// Drains the values revived (retired → live) since the last call. The
+    /// engine redelivers their order variables to the warm propagator's
+    /// lazy source after each revision/input so the re-admitted axiom
+    /// instances are scanned (their atoms never re-enter the delta on
+    /// their own — revival is the second non-monotone step next to group
+    /// retraction).
+    pub fn take_revived(&mut self) -> Vec<(AttrId, ValueId)> {
+        std::mem::take(&mut self.revived)
     }
 
     /// Revisable-mode liveness bookkeeping: one fewer cell realises
@@ -1208,24 +1242,38 @@ impl EncodedSpec {
     ) {
         // Dedup within the call: the same instance can be reached from two
         // delta atoms. Key: (attr, a, b, c) for triples ("x_ab ∧ x_bc →
-        // x_ac"), (attr, a, b, MAX) for pair axioms on {a, b} (a < b).
+        // x_ac"), (attr, a, b, MAX) for asymmetry on {a, b} and (attr, a,
+        // b, MAX-1) for totality (a < b). Asymmetry and totality need
+        // distinct keys: retraction redelivery presents *both* polarities
+        // of an unassigned variable, and a shared key would let the
+        // asymmetry emission starve the totality instance for the pair.
         let mut seen: HashSet<(AttrId, u32, u32, u32)> = HashSet::new();
         for &lit in delta {
             let Some(OrderAtom { attr, lo: a, hi: b }) = self.order_atom(lit.var()) else {
                 continue; // guard or other auxiliary variable
             };
+            // The active axiom scheme ranges over *live* values only — a
+            // from-scratch encode of the materialised specification never
+            // interns a retired value, so instantiating its axioms here
+            // (most visibly totality) would let the replay derive order
+            // facts the scratch encoding cannot.
+            let live = |x: ValueId| self.space.is_live(attr, x);
+            if !live(a) || !live(b) {
+                continue;
+            }
             let n = self.space.attr(attr).len() as u32;
             let var = |x: ValueId, y: ValueId| self.vars.get(attr, x, y).expect("dense table");
             let val = |x: ValueId, y: ValueId| value(var(x, y));
-            let pair_key = (attr, a.0.min(b.0), a.0.max(b.0), u32::MAX);
+            let asym_key = (attr, a.0.min(b.0), a.0.max(b.0), u32::MAX);
+            let total_key = (attr, a.0.min(b.0), a.0.max(b.0), u32::MAX - 1);
             if lit.is_positive() {
                 // x_ab = true. Asymmetry ¬x_ab ∨ ¬x_ba is unit (or
                 // conflicting) unless x_ba is already false.
-                if val(b, a) != Some(false) && seen.insert(pair_key) {
+                if val(b, a) != Some(false) && seen.insert(asym_key) {
                     out.push(vec![var(a, b).negative(), var(b, a).negative()]);
                 }
                 for c in (0..n).map(ValueId) {
-                    if c == a || c == b {
+                    if c == a || c == b || !live(c) {
                         continue;
                     }
                     // (a, b, c): ¬x_ab ∨ ¬x_bc ∨ x_ac.
@@ -1262,14 +1310,14 @@ impl EncodedSpec {
                 // already true.
                 if self.options.totality
                     && val(b, a) != Some(true)
-                    && seen.insert(pair_key)
+                    && seen.insert(total_key)
                 {
                     out.push(vec![var(a, b).positive(), var(b, a).positive()]);
                 }
                 // x_ab is the conclusion of the triples (a, c, b):
                 // ¬x_ac ∨ ¬x_cb ∨ x_ab.
                 for c in (0..n).map(ValueId) {
-                    if c == a || c == b {
+                    if c == a || c == b || !live(c) {
                         continue;
                     }
                     let ac = val(a, c);
@@ -1295,14 +1343,17 @@ impl EncodedSpec {
     /// genuinely intransitive relation pays the `O(n³)` triple walk.
     fn violated_axioms_total(&self, value: &dyn Fn(Var) -> Option<bool>, out: &mut Vec<Vec<Lit>>) {
         for attr in (0..self.space.arity() as u16).map(AttrId) {
-            let n = self.space.attr(attr).len();
+            // Restrict to live values: retired values are outside the
+            // active axiom scheme (a from-scratch encode never interns
+            // them), so constraining their pairs — totality above all —
+            // would over-constrain the model relative to scratch.
+            let ids: Vec<ValueId> = self.space.attr(attr).live_ids().collect();
+            let n = ids.len();
             if n < 2 {
                 continue;
             }
             let var = |x: usize, y: usize| {
-                self.vars
-                    .get(attr, ValueId(x as u32), ValueId(y as u32))
-                    .expect("dense table")
+                self.vars.get(attr, ids[x], ids[y]).expect("dense table")
             };
             // Truth matrix (unassigned model slots read as false, matching
             // `Solver::model` semantics for unconstrained variables).
@@ -1494,6 +1545,39 @@ mod tests {
         let x_job = enc.var_of(job, jid("nurse"), jid("n/a")).unwrap();
         assert!(implied.contains(&x_status.positive()));
         assert!(implied.contains(&x_job.positive()));
+    }
+
+    #[test]
+    fn redelivered_pair_gets_both_asymmetry_and_totality() {
+        // Retraction redelivery presents BOTH polarities of a variable to
+        // the lazy source in one delta. With x_ab false and x_ba undef,
+        // the positive polarity emits the asymmetry instance and the
+        // negative one the (unit) totality instance; a shared dedup key
+        // used to let the first emission starve the second, permanently
+        // losing the totality clause.
+        let spec = tiny_spec();
+        let enc = EncodedSpec::encode_with(&spec, EncodeOptions::lazy());
+        let status = spec.schema().attr_id("status").unwrap();
+        let a = enc.value_id(status, &Value::str("working")).unwrap();
+        let b = enc.value_id(status, &Value::str("retired")).unwrap();
+        let x_ab = enc.var_of(status, a, b).unwrap();
+        let x_ba = enc.var_of(status, b, a).unwrap();
+        let value = |v: cr_sat::Var| if v == x_ab { Some(false) } else { None };
+        let delta = [x_ab.positive(), x_ab.negative()];
+        let out = enc.violated_axioms(&value, Some(&delta));
+        let mut asym = vec![x_ab.negative(), x_ba.negative()];
+        let mut total = vec![x_ab.positive(), x_ba.positive()];
+        asym.sort_unstable_by_key(|l| l.index());
+        total.sort_unstable_by_key(|l| l.index());
+        let normalised: Vec<Vec<Lit>> = out
+            .into_iter()
+            .map(|mut c| {
+                c.sort_unstable_by_key(|l| l.index());
+                c
+            })
+            .collect();
+        assert!(normalised.contains(&asym), "asymmetry instance missing");
+        assert!(normalised.contains(&total), "totality instance starved by asymmetry dedup key");
     }
 
     #[test]

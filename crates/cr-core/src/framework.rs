@@ -191,6 +191,11 @@ pub struct RoundReport {
     /// *cone size* of the round's corrections (non-empty when a fired CFD
     /// or a load-bearing order was withdrawn).
     pub revision_invalidated: usize,
+    /// Revision events of this round that failed validation and were
+    /// quarantined per the session's
+    /// [`RevisionPolicy`](crate::ingest::RevisionPolicy) (0 on clean
+    /// streams and without a revision source).
+    pub revision_quarantined: usize,
 }
 
 impl RoundReport {
@@ -208,6 +213,7 @@ impl RoundReport {
             retraction_invalidated: 0,
             revision_events: 0,
             revision_invalidated: 0,
+            revision_quarantined: 0,
         }
     }
 }
@@ -423,21 +429,33 @@ impl Resolver {
             // (0) Drain the correction stream: upstream events that arrived
             // since the last round are absorbed before validity is
             // re-checked (their retraction cones replay here).
-            let (revision_events, revision_invalidated) = match source.as_deref_mut() {
-                Some(src) => {
-                    let revs = src.poll(round, session.current());
-                    let before = session.revision_telemetry();
-                    for rev in &revs {
-                        session.apply_revision(rev);
+            let (revision_events, revision_invalidated, revision_quarantined) =
+                match source.as_deref_mut() {
+                    Some(src) => {
+                        let revs = src.poll(round, session.current());
+                        let before = session.revision_telemetry();
+                        for rev in &revs {
+                            // The production session runs under its
+                            // degradation policy (default: quarantine), so
+                            // a malformed event is logged and counted, not
+                            // propagated.
+                            session
+                                .absorb_revision(rev)
+                                .expect("default policy never rejects");
+                        }
+                        let after = session.revision_telemetry();
+                        (
+                            after.events - before.events,
+                            after.invalidated - before.invalidated,
+                            after.quarantined - before.quarantined,
+                        )
                     }
-                    let after = session.revision_telemetry();
-                    (revs.len(), after.invalidated - before.invalidated)
-                }
-                None => (0, 0),
-            };
+                    None => (0, 0, 0),
+                };
             let stamp_revisions = |report: &mut RoundReport| {
                 report.revision_events = revision_events;
                 report.revision_invalidated = revision_invalidated;
+                report.revision_quarantined = revision_quarantined;
             };
 
             // (1) Validity checking. Round 0 pays the encode + solver
@@ -504,6 +522,7 @@ impl Resolver {
                 retraction_invalidated: 0,
                 revision_events: 0,
                 revision_invalidated: 0,
+                revision_quarantined: 0,
             };
             stamp_revisions(&mut report);
             rounds.push(report);
@@ -659,6 +678,7 @@ impl Resolver {
                 retraction_invalidated: 0,
                 revision_events: 0,
                 revision_invalidated: 0,
+                revision_quarantined: 0,
             });
             if input.is_empty() {
                 break; // user settles with partial true values

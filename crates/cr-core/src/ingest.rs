@@ -53,10 +53,60 @@
 //! the cached compiled program — keyed to the original Σ/Γ — stays valid
 //! and nothing recompiles; the mirror's materialised specification drops
 //! the CFD for real.
+//!
+//! # Causal correction streams
+//!
+//! Real correction sources are concurrent, duplicated, delayed and
+//! sometimes wrong; [`crate::causal`] makes the session robust against all
+//! four. Events arrive as [`CausalRevision`]s — a [`Revision`] tagged with a
+//! `cr_types::CausalStamp` (source id, HLC timestamp, per-source vector
+//! clock) — and route through [`ResolutionSession::ingest_causal`]:
+//!
+//! * a [`CausalFrontier`] deduplicates redelivery by `(source, hlc)`,
+//!   buffers events whose causal predecessors have not arrived, and
+//!   releases them in causal order (Birman–Schiper–Stephenson delivery);
+//! * concurrent [`Revision::ReplaceValue`] writes to the same cell go into
+//!   a per-cell write log; the applied value is the last-writer-wins pick
+//!   over the causally-maximal **branch tips** (exposed via
+//!   [`ResolutionSession::branch_tips`]), which makes the final cell state
+//!   a function of the delivered event *set*, independent of arrival order;
+//! * malformed events degrade per [`RevisionPolicy`]: rejected with a typed
+//!   [`RevisionError`], quarantined into a per-session log, or silently
+//!   counted — one bad event never poisons the stream (its stamp still
+//!   advances the frontier, so later events from that source stay
+//!   deliverable).
+//!
+//! # Re-opening a resolved attribute
+//!
+//! User answers are *local* events (source [`cr_types::SourceId::LOCAL`]):
+//! remote corrections never causally observe them. When a correction to an
+//! attribute's cell arrives that the accepted answer did not causally see
+//! (the answer's recorded delivery frontier is behind the correction's
+//! sequence number) and its asserted value contradicts the accepted one,
+//! the two are causally concurrent and the session **re-opens** the
+//! attribute: it withdraws the accepted answer (a
+//! [`Revision::WithdrawAnswer`], retracting the answer-induced order cone —
+//! non-empty whenever the answer was load-bearing), applies the correction,
+//! and the interaction loop re-asks. Corrections the answer *did* see, and
+//! concurrent corrections that agree (or assert null), leave the answer
+//! standing — so whether the correction lands before or after the answer,
+//! both delivery orders converge to the same final resolution.
+//!
+//! Re-opening composes with the value-liveness argument above unchanged:
+//! withdrawing an answer only *removes* occurrences (the answer-induced
+//! pairs retract, the answered cell reverts to null, the input tuple stays
+//! null-padded), so a value whose last live occurrence was the withdrawn
+//! cell is retired exactly as under any other revision — retired variables
+//! appear only in permanent order axioms and null-bottom units and cannot
+//! leak into the re-opened attribute's query surface. A later re-answer
+//! re-activates values through the ordinary extension path, identical to a
+//! fresh answer on a specification that never held the withdrawn one.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
-use cr_types::{AttrId, TupleId, Value};
+use cr_types::{AttrId, SourceId, TupleId, Value, VectorClock};
+
+use crate::causal::{CausalFrontier, CausalRevision};
 
 use crate::deduce::{
     deduce_order, deduce_order_from, deduce_order_recording, naive_deduce_recording,
@@ -109,6 +159,92 @@ pub enum Revision {
         /// The corrected value.
         value: Value,
     },
+}
+
+/// Why a revision could not be applied. Returned by
+/// [`ResolutionSession::apply_revision`] instead of panicking; under
+/// [`RevisionPolicy::Quarantine`] the `(revision, error)` pair lands in the
+/// per-session quarantine log. An `Err` always means the session state is
+/// untouched by the offending event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RevisionError {
+    /// `RetractCfd` names an index outside the original Γ.
+    UnknownCfd {
+        /// The offending index.
+        cfd: usize,
+        /// `|Γ|` of the specification the session was opened on.
+        gamma_len: usize,
+    },
+    /// `RetractCfd` names a CFD that was already retracted — a stale or
+    /// duplicated withdrawal.
+    StaleCfd {
+        /// The already-retired index.
+        cfd: usize,
+    },
+    /// The event names an attribute outside the schema.
+    UnknownAttr {
+        /// The offending attribute.
+        attr: AttrId,
+        /// The schema's arity.
+        arity: usize,
+    },
+    /// The event names a tuple outside the current entity instance.
+    UnknownTuple {
+        /// The offending tuple id.
+        tuple: TupleId,
+        /// Tuples currently in the instance.
+        len: usize,
+    },
+    /// `WithdrawOrder` names a pair the current order relation does not
+    /// contain — never asserted, or already withdrawn.
+    UnknownOrder {
+        /// The attribute of the withdrawn pair.
+        attr: AttrId,
+        /// The formerly-less-current tuple.
+        lo: TupleId,
+        /// The formerly-more-current tuple.
+        hi: TupleId,
+    },
+}
+
+impl std::fmt::Display for RevisionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RevisionError::UnknownCfd { cfd, gamma_len } => {
+                write!(f, "unknown CFD index {cfd} (|Γ| = {gamma_len})")
+            }
+            RevisionError::StaleCfd { cfd } => {
+                write!(f, "CFD {cfd} already retracted (stale/duplicate withdrawal)")
+            }
+            RevisionError::UnknownAttr { attr, arity } => {
+                write!(f, "unknown attribute {attr:?} (arity {arity})")
+            }
+            RevisionError::UnknownTuple { tuple, len } => {
+                write!(f, "unknown tuple {tuple:?} ({len} tuples in instance)")
+            }
+            RevisionError::UnknownOrder { attr, lo, hi } => {
+                write!(f, "order {lo:?} ≺_{attr:?} {hi:?} not present (never asserted or already withdrawn)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RevisionError {}
+
+/// What to do with a revision that fails validation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RevisionPolicy {
+    /// Propagate the [`RevisionError`] to the caller; the stream stops at
+    /// the first bad event. The strict choice for differential harnesses.
+    Reject,
+    /// Log the `(revision, error)` pair in the per-session quarantine log
+    /// ([`ResolutionSession::quarantined`]), count it, and keep going. The
+    /// production default: one bad event never poisons the stream.
+    #[default]
+    Quarantine,
+    /// Count the event as quarantined but keep no log — best-effort
+    /// ingestion for memory-constrained deployments.
+    BestEffort,
 }
 
 /// A push stream of upstream corrections, polled by the resolution loop
@@ -170,6 +306,19 @@ pub struct RevisionTelemetry {
     /// Clauses appended while absorbing the events (retraction units plus
     /// compiled-program re-emissions).
     pub reemitted_clauses: usize,
+    /// Redelivered events dropped by `(source, hlc)` dedup at the causal
+    /// frontier (0 on non-causal streams).
+    pub duplicates_dropped: usize,
+    /// Events that arrived before their causal predecessors and had to be
+    /// buffered at the frontier (each counted once, at buffering time; 0 on
+    /// non-causal streams).
+    pub buffered: usize,
+    /// Events that failed validation and were quarantined (or best-effort
+    /// dropped) per [`RevisionPolicy`].
+    pub quarantined: usize,
+    /// Resolved attributes re-opened because a late causally-concurrent
+    /// correction contradicted the accepted answer.
+    pub reopened: usize,
 }
 
 /// Round-persistent state of the incremental resolution path: the extended
@@ -198,6 +347,31 @@ pub struct ResolutionSession {
     /// Axioms recorded by encodings discarded in rebuilds.
     injected_carry: usize,
     revisions: RevisionTelemetry,
+    /// Degradation policy for revisions that fail validation.
+    policy: RevisionPolicy,
+    /// `(revision, error)` pairs quarantined under
+    /// [`RevisionPolicy::Quarantine`].
+    quarantine: Vec<(Revision, RevisionError)>,
+    /// Causal delivery state (dedup, buffering, per-cell write log).
+    frontier: CausalFrontier,
+    /// Accepted answers per attribute, stamped with the causal frontier at
+    /// answer time — what decides whether a late correction is concurrent
+    /// with (and may re-open) an accepted answer.
+    answers: BTreeMap<AttrId, AcceptedAnswer>,
+}
+
+/// One accepted user answer, with the causal knowledge it was given under.
+#[derive(Clone, Debug)]
+struct AcceptedAnswer {
+    /// The user-input tuple carrying the answer.
+    tuple: TupleId,
+    /// The accepted most-current value.
+    value: Value,
+    /// The frontier's delivered vector when the answer was accepted: the
+    /// remote events the user had (transitively) seen. A correction with a
+    /// sequence number beyond this vector is causally concurrent with the
+    /// answer.
+    deps: VectorClock,
 }
 
 impl ResolutionSession {
@@ -246,7 +420,39 @@ impl ResolutionSession {
             rebuilds: 0,
             injected_carry: 0,
             revisions: RevisionTelemetry::default(),
+            policy: RevisionPolicy::default(),
+            quarantine: Vec::new(),
+            frontier: CausalFrontier::new(),
+            answers: BTreeMap::new(),
         }
+    }
+
+    /// Sets the degradation policy for revisions that fail validation
+    /// (default: [`RevisionPolicy::Quarantine`]).
+    pub fn set_revision_policy(&mut self, policy: RevisionPolicy) {
+        self.policy = policy;
+    }
+
+    /// The `(revision, error)` pairs quarantined so far (only populated
+    /// under [`RevisionPolicy::Quarantine`]).
+    pub fn quarantined(&self) -> &[(Revision, RevisionError)] {
+        &self.quarantine
+    }
+
+    /// The causal delivery frontier (dedup, buffering, per-cell write log).
+    pub fn frontier(&self) -> &CausalFrontier {
+        &self.frontier
+    }
+
+    /// The causally-maximal competing writes recorded for `(tuple, attr)` —
+    /// the *branch tips* a user interface would present when concurrent
+    /// corrections disagree. Each entry is `(asserting source, value)`.
+    pub fn branch_tips(&self, tuple: TupleId, attr: AttrId) -> Vec<(SourceId, Value)> {
+        self.frontier
+            .branch_tips(tuple, attr)
+            .into_iter()
+            .map(|(stamp, value)| (stamp.source, value.clone()))
+            .collect()
     }
 
     /// The specification the session currently represents (initial spec
@@ -318,10 +524,24 @@ impl ResolutionSession {
     /// tuple/orders and the encoding by the delta clauses. Returns the size
     /// of the induced order extension `|Ot|` added.
     pub fn apply_input(&mut self, input: &UserInput) -> usize {
-        let (extended, _to, added) = self.current.apply_user_input(input);
+        let (extended, to, added) = self.current.apply_user_input(input);
+        // Record each accepted answer with the causal knowledge it was
+        // given under (the frontier's delivered vector): a later correction
+        // beyond that vector is concurrent with the answer and may re-open
+        // the attribute (see `ingest_causal`).
+        let deps = self.frontier.delivered_vector();
+        for (attr, value) in &input.values {
+            if !value.is_null() {
+                self.answers.insert(
+                    *attr,
+                    AcceptedAnswer { tuple: to, value: value.clone(), deps: deps.clone() },
+                );
+            }
+        }
         match self.enc.extend_with_input(&self.current, input) {
             ExtendOutcome::Extended { retracted_groups } => {
                 self.up.retract_groups(&retracted_groups);
+                self.redeliver_revived();
                 self.sync_solver();
                 self.synced_up = Self::sync_propagator(&mut self.up, &self.enc, self.synced_up);
                 // Guard set may have changed (retractions and fresh CFD
@@ -339,14 +559,49 @@ impl ResolutionSession {
                 let rebuilds = self.rebuilds + 1;
                 let injected_carry = self.injected_axioms();
                 let revisions = self.revisions;
+                let policy = self.policy;
+                let quarantine = std::mem::take(&mut self.quarantine);
+                let frontier = std::mem::take(&mut self.frontier);
+                let answers = std::mem::take(&mut self.answers);
                 *self = ResolutionSession::new(&self.config, &extended);
                 self.rebuilds = rebuilds;
                 self.injected_carry = injected_carry;
                 self.revisions = revisions;
+                self.policy = policy;
+                self.quarantine = quarantine;
+                self.frontier = frontier;
+                self.answers = answers;
             }
         }
         self.current = extended;
         added
+    }
+
+    /// Redelivers the order variables of values the latest encoding
+    /// mutation revived (retired → live) to the warm propagator's lazy
+    /// source: revival re-admits the value's axiom instances to the active
+    /// scheme, and — like group retraction, the other non-monotone step —
+    /// none of its atoms re-enter the delta on their own. Called after
+    /// `retract_groups` so a full-reset fallback (which clears pending
+    /// redeliveries along with the rest of the derived state) cannot drop
+    /// the entries.
+    fn redeliver_revived(&mut self) {
+        let revived = self.enc.take_revived();
+        if revived.is_empty() || !self.enc.options().is_lazy() {
+            return;
+        }
+        for (attr, vid) in revived {
+            let others: Vec<_> =
+                self.enc.space().attr(attr).live_ids().filter(|&o| o != vid).collect();
+            for o in others {
+                if let Some(v) = self.enc.var_of(attr, vid, o) {
+                    self.up.redeliver_var(v);
+                }
+                if let Some(v) = self.enc.var_of(attr, o, vid) {
+                    self.up.redeliver_var(v);
+                }
+            }
+        }
     }
 
     /// Brings the warm unit propagator to a fixpoint over everything synced
@@ -368,6 +623,61 @@ impl ResolutionSession {
         self.synced_up = self.enc.cnf().num_clauses();
     }
 
+    /// Validates `rev` against the current session state without touching
+    /// anything: every panic path of the underlying spec application
+    /// (`without_cfd`, `with_order_withdrawn`, `with_replaced_value` on ids
+    /// that don't exist) is caught here and reported as a typed
+    /// [`RevisionError`] instead.
+    pub fn validate_revision(&self, rev: &Revision) -> Result<(), RevisionError> {
+        let len = self.current.entity().len();
+        let arity = self.current.schema().arity();
+        let check_attr = |attr: AttrId| {
+            if attr.index() >= arity {
+                Err(RevisionError::UnknownAttr { attr, arity })
+            } else {
+                Ok(())
+            }
+        };
+        let check_tuple = |tuple: TupleId| {
+            if tuple.index() >= len {
+                Err(RevisionError::UnknownTuple { tuple, len })
+            } else {
+                Ok(())
+            }
+        };
+        match rev {
+            Revision::RetractCfd { cfd } => {
+                let gamma_len = self.current.gamma().len();
+                if *cfd >= gamma_len {
+                    return Err(RevisionError::UnknownCfd { cfd: *cfd, gamma_len });
+                }
+                if self.enc.is_cfd_retired(*cfd) {
+                    return Err(RevisionError::StaleCfd { cfd: *cfd });
+                }
+            }
+            Revision::WithdrawOrder { attr, lo, hi } => {
+                check_attr(*attr)?;
+                check_tuple(*lo)?;
+                check_tuple(*hi)?;
+                if !self.current.orders().contains(*attr, *lo, *hi) {
+                    return Err(RevisionError::UnknownOrder { attr: *attr, lo: *lo, hi: *hi });
+                }
+            }
+            Revision::WithdrawAnswer { attr, tuple } => {
+                check_attr(*attr)?;
+                check_tuple(*tuple)?;
+                // An in-range withdrawal of a never-asked answer (null
+                // cell, no pairs) is a permissive no-op, exactly like the
+                // scratch spec application.
+            }
+            Revision::ReplaceValue { tuple, attr, .. } => {
+                check_attr(*attr)?;
+                check_tuple(*tuple)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Absorbs one upstream correction **without rebuilding**: the event's
     /// stale clause groups are retracted (guard units through the ordinary
     /// clause tail), the unit propagator replays exactly the retracted
@@ -375,7 +685,12 @@ impl ResolutionSession {
     /// prefix), and the disturbed constraints re-emit through the compiled
     /// program. Requires a session opened with
     /// [`ResolutionSession::new_revisable`].
-    pub fn apply_revision(&mut self, rev: &Revision) {
+    ///
+    /// Returns a typed [`RevisionError`] (leaving the session untouched)
+    /// when the event fails validation; see
+    /// [`ResolutionSession::absorb_revision`] for the policy-driven wrapper.
+    pub fn apply_revision(&mut self, rev: &Revision) -> Result<(), RevisionError> {
+        self.validate_revision(rev)?;
         // Settle pending propagation first so the retraction can replay
         // its provenance cone instead of resetting the fixpoint.
         self.settle_propagator();
@@ -395,6 +710,9 @@ impl ResolutionSession {
                 let old = self.current.entity().tuple(*tuple).get(*attr).clone();
                 let (next, removed) = self.current.with_answer_withdrawn(*attr, *tuple);
                 self.current = next;
+                if self.answers.get(attr).is_some_and(|a| a.tuple == *tuple) {
+                    self.answers.remove(attr);
+                }
                 let mut groups = Vec::new();
                 for (t1, t2) in removed {
                     groups.extend(self.enc.withdraw_order(*attr, t1, t2));
@@ -418,6 +736,7 @@ impl ResolutionSession {
         // Provenance-scoped replay: undo exactly the retracted cone, then
         // pick the re-emitted groups up through the ordinary tail sync.
         self.up.retract_groups(&groups);
+        self.redeliver_revived();
         self.sync_solver();
         self.synced_up = Self::sync_propagator(&mut self.up, &self.enc, self.synced_up);
         self.solver.set_persistent_assumptions(self.enc.active_guards());
@@ -426,6 +745,120 @@ impl ResolutionSession {
         self.revisions.invalidated += self.up.replay_stats().1 - invalidated_before;
         self.revisions.reemitted_clauses +=
             self.enc.cnf().num_clauses() - clauses_before;
+        Ok(())
+    }
+
+    /// Policy-driven [`ResolutionSession::apply_revision`]: a valid event
+    /// applies (returns `Ok(true)`); an invalid one degrades per the
+    /// session's [`RevisionPolicy`] — rejected (`Err`), quarantined into
+    /// the session log, or best-effort counted (`Ok(false)`).
+    pub fn absorb_revision(&mut self, rev: &Revision) -> Result<bool, RevisionError> {
+        match self.apply_revision(rev) {
+            Ok(()) => Ok(true),
+            Err(err) => match self.policy {
+                RevisionPolicy::Reject => Err(err),
+                RevisionPolicy::Quarantine => {
+                    self.quarantine.push((rev.clone(), err));
+                    self.revisions.quarantined += 1;
+                    Ok(false)
+                }
+                RevisionPolicy::BestEffort => {
+                    self.revisions.quarantined += 1;
+                    Ok(false)
+                }
+            },
+        }
+    }
+
+    /// Ingests one poll's worth of causally-stamped events: the frontier
+    /// deduplicates and buffers them, releases what is causally deliverable,
+    /// and each delivered event is absorbed under the session policy —
+    /// `ReplaceValue` through the per-cell write log (last-writer-wins over
+    /// branch tips, so the applied cell state is independent of delivery
+    /// order), everything else directly. A delivered correction that is
+    /// causally concurrent with an accepted answer on the same attribute
+    /// and contradicts it **re-opens** the attribute first (withdraws the
+    /// answer; the interaction loop re-asks).
+    ///
+    /// Returns the *effective* plain revisions applied to the session, in
+    /// application order — exactly what a [`SpecMirror`] must replay to
+    /// stay equivalent. `Err` is only possible under
+    /// [`RevisionPolicy::Reject`].
+    pub fn ingest_causal(
+        &mut self,
+        events: Vec<CausalRevision>,
+    ) -> Result<Vec<Revision>, RevisionError> {
+        let delivered = self.frontier.ingest(events);
+        self.revisions.duplicates_dropped = self.frontier.duplicates_dropped();
+        self.revisions.buffered = self.frontier.buffered_events();
+        let mut effective = Vec::new();
+        for ev in delivered {
+            match &ev.rev {
+                Revision::ReplaceValue { tuple, attr, value } => {
+                    // Validate before the write log: a malformed correction
+                    // is quarantined per policy and never pollutes the
+                    // branch-tip state (its stamp already advanced the
+                    // frontier, so the source stays deliverable).
+                    if let Err(err) = self.validate_revision(&ev.rev) {
+                        self.degrade(ev.rev.clone(), err)?;
+                        continue;
+                    }
+                    // Re-open: the accepted answer did not causally see
+                    // this correction (its recorded frontier is behind the
+                    // correction's sequence number) and the asserted value
+                    // contradicts it.
+                    let reopen = self.answers.get(attr).and_then(|ans| {
+                        let concurrent = ans.deps.get(ev.stamp.source) < ev.stamp.seq();
+                        let conflicts = !value.is_null() && *value != ans.value;
+                        (concurrent && conflicts).then_some(ans.tuple)
+                    });
+                    if let Some(answer_tuple) = reopen {
+                        let withdraw =
+                            Revision::WithdrawAnswer { attr: *attr, tuple: answer_tuple };
+                        self.apply_revision(&withdraw)
+                            .expect("recorded answer tuple is always in range");
+                        self.revisions.reopened += 1;
+                        effective.push(withdraw);
+                    }
+                    let canonical =
+                        self.frontier.record_write(*tuple, *attr, &ev.stamp, value);
+                    let old = self.current.entity().tuple(*tuple).get(*attr);
+                    if canonical != *old {
+                        let rev = Revision::ReplaceValue {
+                            tuple: *tuple,
+                            attr: *attr,
+                            value: canonical,
+                        };
+                        self.apply_revision(&rev)
+                            .expect("canonical write was validated above");
+                        effective.push(rev);
+                    }
+                }
+                _ => {
+                    if self.absorb_revision(&ev.rev)? {
+                        effective.push(ev.rev);
+                    }
+                }
+            }
+        }
+        Ok(effective)
+    }
+
+    /// Routes one failed event through the session policy (shared by the
+    /// causal path, which validates before the write log).
+    fn degrade(&mut self, rev: Revision, err: RevisionError) -> Result<(), RevisionError> {
+        match self.policy {
+            RevisionPolicy::Reject => Err(err),
+            RevisionPolicy::Quarantine => {
+                self.quarantine.push((rev, err));
+                self.revisions.quarantined += 1;
+                Ok(())
+            }
+            RevisionPolicy::BestEffort => {
+                self.revisions.quarantined += 1;
+                Ok(())
+            }
+        }
     }
 
     /// Step (1) of Fig. 4 on the warm engine: is the current specification
@@ -599,7 +1032,9 @@ pub fn resolve_with_revisions_checked(
         let revs = source.poll(round, session.current());
         let had_revisions = !revs.is_empty();
         for rev in &revs {
-            session.apply_revision(rev);
+            session
+                .apply_revision(rev)
+                .map_err(|e| format!("scripted revision rejected: {e} ({rev:?})"))?;
             mirror.apply(rev);
         }
         if had_revisions {

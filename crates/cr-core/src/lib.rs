@@ -29,6 +29,7 @@
 //!   encoder and the deduction algorithms.
 
 pub mod bruteforce;
+pub mod causal;
 pub mod compat;
 pub mod deduce;
 pub mod encode;
@@ -53,8 +54,13 @@ pub use encode::{
     RecordingAxiomSource, TransientAxiomSource,
 };
 pub use framework::{ResolutionConfig, ResolutionOutcome, Resolver, RoundReport};
+pub use causal::{
+    resolve_causal_checked, CausalCheckedReplay, CausalFrontier, CausalReplayConfig,
+    CausalRevision, CausalRevisionSource, ScriptedCausalRevisions,
+};
 pub use ingest::{
-    resolve_with_revisions_checked, CheckedReplay, ResolutionSession, Revision, RevisionSource,
+    check_session_against_scratch, resolve_with_revisions_checked, CheckedReplay,
+    ResolutionSession, Revision, RevisionError, RevisionPolicy, RevisionSource,
     RevisionTelemetry, ScriptedRevisions, SpecMirror,
 };
 pub use implication::{explain_invalidity, implies, ConflictPart};

@@ -266,7 +266,7 @@ fn revived_value_returns_to_the_query_surface() {
 
     let retire =
         Revision::ReplaceValue { tuple: TupleId(1), attr: city, value: Value::str("NY") };
-    session.apply_revision(&retire);
+    session.apply_revision(&retire).expect("retirement is well-formed");
     mirror.apply(&retire);
     check_session_against_scratch(&mut session, &mirror).expect("retirement step");
     assert!(session.is_valid());
@@ -279,7 +279,7 @@ fn revived_value_returns_to_the_query_surface() {
 
     let revive =
         Revision::ReplaceValue { tuple: TupleId(1), attr: city, value: Value::str("LA") };
-    session.apply_revision(&revive);
+    session.apply_revision(&revive).expect("revival is well-formed");
     mirror.apply(&revive);
     check_session_against_scratch(&mut session, &mirror).expect("revival step");
     let od = session.deduce(DeductionMethod::UnitPropagation).unwrap();
@@ -403,4 +403,80 @@ fn randomized_timelines_replay_equals_scratch() {
         nonempty_cones > 0,
         "the randomized timelines must exercise non-empty retraction cones"
     );
+}
+
+#[test]
+fn empty_timeline_is_a_plain_resolution_with_a_final_check() {
+    // A revision source that never delivers anything must behave exactly
+    // like the plain interactive loop — zero events, zero cones, and the
+    // final scratch check still runs.
+    let (spec, truth) = firing_cfd_spec();
+    let mut oracle = GroundTruthOracle::new(truth);
+    let mut source = ScriptedRevisions::new(vec![]);
+    let checked =
+        resolve_with_revisions_checked(&config(), &spec, &mut oracle, &mut source)
+            .expect("empty timeline must match scratch");
+    assert!(checked.valid);
+    assert!(checked.complete);
+    assert_eq!(checked.revisions.events, 0);
+    assert_eq!(checked.revisions.invalidated, 0);
+    assert!(checked.checks >= 1, "the closing equivalence check always runs");
+}
+
+#[test]
+fn batch_targeting_an_already_retired_value_matches_scratch() {
+    // One round-1 batch: the first event retires "NY" (the only cell
+    // carrying it is replaced), the second — in the same batch — targets
+    // the now-retired value, writing it back. The revival must go through
+    // the ordinary extension path — never divergence from scratch.
+    let (spec, truth) = firing_cfd_spec();
+    let city = spec.schema().attr_id("city").unwrap();
+    let mut oracle = GroundTruthOracle::new(truth);
+    let mut source = ScriptedRevisions::new(vec![
+        (1, Revision::ReplaceValue { tuple: TupleId(0), attr: city, value: Value::str("LA") }),
+        (1, Revision::ReplaceValue { tuple: TupleId(0), attr: city, value: Value::str("NY") }),
+    ]);
+    let checked =
+        resolve_with_revisions_checked(&config(), &spec, &mut oracle, &mut source)
+            .expect("retire-then-revive must match scratch");
+    assert!(checked.valid);
+    assert!(checked.complete);
+    assert_eq!(checked.revisions.events, 2);
+    assert_eq!(checked.replay_stats.2, 0, "no full propagation resets");
+}
+
+#[test]
+fn withdrawing_a_never_asked_answer_is_a_noop() {
+    // The round-1 batch first nulls t0.job, then withdraws the "answer" on
+    // that now-null cell: no order pairs rank t0 on job and the cell is
+    // already null, so the withdrawal is a permissive no-op. The run must
+    // end exactly where a run with only the nulling event ends — same
+    // resolution, same cone, one extra (no-op) event.
+    let (spec, truth) = firing_cfd_spec();
+    let job = spec.schema().attr_id("job").unwrap();
+    let null_job =
+        Revision::ReplaceValue { tuple: TupleId(0), attr: job, value: Value::Null };
+    let mut oracle = GroundTruthOracle::new(truth.clone());
+    let mut source = ScriptedRevisions::new(vec![
+        (1, null_job.clone()),
+        (1, Revision::WithdrawAnswer { attr: job, tuple: TupleId(0) }),
+    ]);
+    let checked =
+        resolve_with_revisions_checked(&config(), &spec, &mut oracle, &mut source)
+            .expect("no-op withdrawal must match scratch");
+    assert!(checked.valid);
+    assert!(checked.complete);
+
+    let mut oracle2 = GroundTruthOracle::new(truth);
+    let mut baseline_src = ScriptedRevisions::new(vec![(1, null_job)]);
+    let baseline =
+        resolve_with_revisions_checked(&config(), &spec, &mut oracle2, &mut baseline_src)
+            .expect("baseline");
+    assert_eq!(checked.resolved, baseline.resolved);
+    assert_eq!(checked.interactions, baseline.interactions);
+    assert_eq!(
+        checked.revisions.invalidated, baseline.revisions.invalidated,
+        "the no-op withdrawal must add nothing to the retraction cone"
+    );
+    assert_eq!(checked.revisions.events, baseline.revisions.events + 1);
 }

@@ -23,9 +23,10 @@
 //! (both resolution paths must agree on invalid specifications too).
 
 use cr_constraints::parser::{parse_cfds, parse_currency_constraint};
+use cr_core::causal::CausalRevision;
 use cr_core::ingest::{Revision, RevisionSource, ScriptedRevisions};
 use cr_core::{PartialOrders, Specification};
-use cr_types::{AttrId, EntityInstance, Schema, Tuple, TupleId, Value};
+use cr_types::{AttrId, CausalStamp, EntityInstance, Schema, SourceClock, SourceId, Tuple, TupleId, Value};
 use rand::prelude::*;
 
 use crate::gen_util::rng;
@@ -412,6 +413,141 @@ pub fn revision_timeline(
         withdraw_answer_rounds: cfg.withdraw_answer_rounds.clone(),
         initial_tuples: entity.len(),
     }
+}
+
+/// Knobs of a seeded **causal timeline**: a multi-source, causally-stamped
+/// revision stream (the chaos-robust counterpart of
+/// [`RevisionTimelineConfig`]). Every event carries a
+/// `cr_types::CausalStamp` from its emitting source's `SourceClock`;
+/// sources occasionally *sync* (observe another source's latest stamp),
+/// creating genuine cross-source causal dependencies the delivery frontier
+/// must respect. Event targets are globally unique for CFD retractions and
+/// order withdrawals, so the canonical delivery of a clean timeline never
+/// quarantines; value replacements deliberately revisit cells across
+/// sources, producing causally-concurrent branch tips.
+#[derive(Clone, Debug)]
+pub struct CausalTimelineConfig {
+    /// RNG seed; equal configs generate identical timelines.
+    pub seed: u64,
+    /// Remote correction sources (`SourceId(1)..=SourceId(sources)`;
+    /// `SourceId(0)` is the local session).
+    pub sources: usize,
+    /// Events to generate (the actual count can be lower when the
+    /// specification has too few CFDs/orders to revise).
+    pub events: usize,
+    /// Rounds `0..rounds` over which the canonical schedule is spread
+    /// (nondecreasing with generation order, so canonical delivery is
+    /// causally clean — zero buffering, zero duplicates).
+    pub rounds: usize,
+    /// Per-event probability that the emitting source first observes
+    /// another source's latest stamp (a causal dependency).
+    pub sync_density: f64,
+    /// Generate `RetractCfd` events (each CFD at most once, globally).
+    pub retract_cfds: bool,
+    /// Generate `WithdrawOrder` events (each base pair at most once,
+    /// globally).
+    pub withdraw_orders: bool,
+    /// Generate `ReplaceValue` events (shared / brand-new / null values;
+    /// repeated cells across sources are deliberate concurrency coverage).
+    pub replace_values: bool,
+}
+
+impl Default for CausalTimelineConfig {
+    fn default() -> Self {
+        CausalTimelineConfig {
+            seed: 0,
+            sources: 3,
+            events: 6,
+            rounds: 3,
+            sync_density: 0.35,
+            retract_cfds: true,
+            withdraw_orders: true,
+            replace_values: true,
+        }
+    }
+}
+
+/// Generates a seeded causal timeline for `spec`: `(round, event)` pairs in
+/// canonical order (generation order; rounds nondecreasing). Feed it to
+/// `cr_core::causal::ScriptedCausalRevisions` for canonical delivery, or
+/// through [`crate::chaos`] for adversarial delivery.
+pub fn causal_timeline(
+    spec: &Specification,
+    cfg: &CausalTimelineConfig,
+) -> Vec<(usize, CausalRevision)> {
+    let mut r = rng(cfg.seed ^ 0xCA05_A117_BEEF_0001u64);
+    let entity = spec.entity();
+    let arity = spec.schema().arity();
+    let sources = cfg.sources.max(1);
+
+    let mut cfds: Vec<usize> = (0..spec.gamma().len()).collect();
+    cfds.shuffle(&mut r);
+    let mut orders: Vec<(AttrId, TupleId, TupleId)> = spec
+        .schema()
+        .attr_ids()
+        .flat_map(|a| spec.orders().pairs(a).map(move |(t1, t2)| (a, t1, t2)))
+        .collect();
+    orders.shuffle(&mut r);
+
+    // Emitter clocks plus each source's latest stamp (sync targets).
+    let mut clocks: Vec<SourceClock> =
+        (1..=sources).map(|s| SourceClock::new(SourceId(s as u32))).collect();
+    let mut latest: Vec<Option<CausalStamp>> = vec![None; sources];
+
+    // Canonical rounds: draw then sort, so generation order (= causal
+    // order) is nondecreasing in rounds and delivers without buffering.
+    let rounds = cfg.rounds.max(1);
+    let mut slots: Vec<usize> = (0..cfg.events).map(|_| r.gen_range(0..rounds)).collect();
+    slots.sort_unstable();
+
+    let mut events: Vec<(usize, CausalRevision)> = Vec::new();
+    let mut fresh = 0usize;
+    for tick in 0..cfg.events {
+        let kind = r.gen_range(0..3u32);
+        let rev = match kind {
+            0 if cfg.retract_cfds && !cfds.is_empty() => {
+                Revision::RetractCfd { cfd: cfds.pop().expect("non-empty") }
+            }
+            1 if cfg.withdraw_orders && !orders.is_empty() => {
+                let (attr, lo, hi) = orders.pop().expect("non-empty");
+                Revision::WithdrawOrder { attr, lo, hi }
+            }
+            _ if cfg.replace_values && !entity.is_empty() => {
+                let tuple = TupleId(r.gen_range(0..entity.len()) as u32);
+                let attr = AttrId(r.gen_range(0..arity) as u16);
+                let old = entity.tuple(tuple).get(attr);
+                let value = match r.gen_range(0..4u32) {
+                    0 | 1 => {
+                        let donor = TupleId(r.gen_range(0..entity.len()) as u32);
+                        entity.tuple(donor).get(attr).clone()
+                    }
+                    2 => {
+                        fresh += 1;
+                        match old {
+                            Value::Int(_) => Value::int(9_000 + fresh as i64),
+                            _ => Value::str(format!("rev_{fresh}")),
+                        }
+                    }
+                    _ => Value::Null,
+                };
+                Revision::ReplaceValue { tuple, attr, value }
+            }
+            _ => continue,
+        };
+        let src = r.gen_range(0..sources);
+        // Occasional cross-source sync: the emitter observes another
+        // source's latest stamp, so this event causally depends on it.
+        if sources > 1 && r.gen_bool(cfg.sync_density.clamp(0.0, 1.0)) {
+            let other = (src + 1 + r.gen_range(0..sources - 1)) % sources;
+            if let Some(stamp) = &latest[other] {
+                clocks[src].observe(stamp);
+            }
+        }
+        let stamp = clocks[src].stamp(tick as u64 + 1);
+        latest[src] = Some(stamp.clone());
+        events.push((slots[events.len()], CausalRevision { stamp, rev }));
+    }
+    events
 }
 
 /// Convenience: a scenario drawn from raw proptest-style integers, mapping

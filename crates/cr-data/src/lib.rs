@@ -18,6 +18,7 @@
 //! behaviour the experiments measure.
 
 pub mod career;
+pub mod chaos;
 pub mod gen;
 pub mod gen_util;
 pub mod nba;

@@ -26,10 +26,18 @@
 //! equals a from-scratch re-derivation of the surviving formula
 //! (differentially tested against exactly that). The lazy delta cursor
 //! shrinks by just the invalidated prefix entries, so a
-//! [`crate::LazyAxiomSource`] is re-consulted only about re-derived
-//! literals instead of the whole fixpoint. The propagator falls back to the
-//! full reset when it is in conflict or mid-propagation (pending queue) —
-//! states where per-literal provenance is not a faithful cone summary.
+//! [`crate::LazyAxiomSource`] is re-consulted about re-derived literals
+//! instead of the whole fixpoint — plus **both polarities of every
+//! invalidated variable**. The extra redelivery is what keeps delta-scoped
+//! sources sound under retraction: a source that skipped an axiom instance
+//! because its conclusion was already true must get another look when the
+//! retraction unassigns that conclusion while the premises survive — no
+//! surviving premise ever re-enters the delta on its own, so without the
+//! redelivery the instance would be lost and the propagator would
+//! under-derive relative to a from-scratch run. The propagator falls back
+//! to the full reset when it is in conflict or mid-propagation (pending
+//! queue) — states where per-literal provenance is not a faithful cone
+//! summary.
 
 use crate::cnf::Cnf;
 use crate::lit::{LBool, Lit};
@@ -79,6 +87,12 @@ pub struct UnitPropagator {
     /// it shrinks by the invalidated prefix entries only, so re-derived
     /// fixpoints are re-delivered without re-scanning surviving literals.
     lazy_cursor: usize,
+    /// Both polarities of every variable invalidated by a provenance
+    /// replay, pending redelivery to the next lazy consult (see the module
+    /// docs: retraction is the one non-monotone step, and an axiom instance
+    /// can become unit *on* a freshly unassigned variable without any of
+    /// its surviving literals re-entering the delta).
+    redeliver: Vec<Lit>,
     /// Telemetry: provenance-scoped replays performed, literals they
     /// invalidated, and full `O(|Φ|)` fallback resets.
     replays: usize,
@@ -117,6 +131,7 @@ impl UnitPropagator {
             group_of: Vec::with_capacity(cnf.num_clauses()),
             dead: Vec::with_capacity(cnf.num_clauses()),
             lazy_cursor: 0,
+            redeliver: Vec::new(),
             replays: 0,
             replay_invalidated: 0,
             full_resets: 0,
@@ -255,10 +270,18 @@ impl UnitPropagator {
         for l in &invalidated {
             self.assign[l.var().index()] = LBool::Undef;
             self.var_sig[l.var().index()] = 0;
+            // Queue the variable for redelivery to the lazy source: an
+            // axiom instance skipped earlier (conclusion already true, or a
+            // premise already false) can be unit on this variable now that
+            // it is unassigned, and no surviving literal of that instance
+            // will ever re-enter the delta.
+            self.redeliver.push(l.var().positive());
+            self.redeliver.push(l.var().negative());
         }
         // Shrink the implied list; the lazy delta cursor moves back by the
         // invalidated *prefix* entries only, so the axiom source is
-        // re-consulted about re-derived literals, never the whole fixpoint.
+        // re-consulted about re-derived literals (plus the redelivered
+        // invalidated variables above), never the whole fixpoint.
         let removed_before_cursor = self.implied[..self.lazy_cursor]
             .iter()
             .filter(|l| self.assign[l.var().index()] == LBool::Undef)
@@ -337,6 +360,9 @@ impl UnitPropagator {
         self.queue.clear();
         self.conflict = false;
         self.lazy_cursor = 0;
+        // Cursor 0 re-delivers the whole re-derived fixpoint, which covers
+        // every instance an invalidated variable could participate in.
+        self.redeliver.clear();
         for ci in 0..self.clauses.len() {
             let clause = &self.clauses[ci];
             // Clauses are sorted and deduplicated at ingestion, so a
@@ -352,6 +378,16 @@ impl UnitPropagator {
                 }
             }
         }
+    }
+
+    /// Queues both polarities of `v` for redelivery to the next lazy
+    /// consult (see the module docs on retraction redelivery). The
+    /// resolution engine calls this when a retired value is revived: the
+    /// value's axiom instances re-enter the active scheme without any of
+    /// its atoms re-entering the delta on their own.
+    pub fn redeliver_var(&mut self, v: crate::lit::Var) {
+        self.redeliver.push(v.positive());
+        self.redeliver.push(v.negative());
     }
 
     /// Telemetry: `(provenance replays, literals they invalidated, full
@@ -478,12 +514,23 @@ impl UnitPropagator {
             self.propagate_to_fixpoint()?;
             let clauses = {
                 let assign = &self.assign;
-                let delta = &self.implied[self.lazy_cursor..];
-                source.instantiate(
-                    &|v| assign.get(v.index()).and_then(|b| b.to_option()),
-                    Some(delta),
-                )
+                let value = |v: crate::lit::Var| assign.get(v.index()).and_then(|b| b.to_option());
+                if self.redeliver.is_empty() {
+                    source.instantiate(&value, Some(&self.implied[self.lazy_cursor..]))
+                } else {
+                    // Retraction redelivery: prepend both polarities of the
+                    // invalidated variables so the source revisits
+                    // instances that are newly unit on them (module docs).
+                    let delta: Vec<Lit> = self
+                        .redeliver
+                        .iter()
+                        .chain(self.implied[self.lazy_cursor..].iter())
+                        .copied()
+                        .collect();
+                    source.instantiate(&value, Some(&delta))
+                }
             };
+            self.redeliver.clear();
             self.lazy_cursor = self.implied.len();
             if clauses.is_empty() {
                 return Some(&self.implied);
@@ -740,14 +787,22 @@ mod tests {
         let mut rec = DeltaRecorder { seen: Vec::new() };
         up.propagate_to_fixpoint_lazy(&mut rec).unwrap();
         assert_eq!(rec.seen.len(), 1, "one delta covering the initial fixpoint");
-        // Retract group 1: only b is invalidated; the surviving a and c
-        // must NOT be re-delivered to the source.
+        // Retract group 1: only b is invalidated. The surviving a and c
+        // must NOT be re-delivered to the source — but both polarities of
+        // the unassigned b must be, so the source can revisit instances
+        // that are newly unit on it (retraction is non-monotone: an
+        // instance skipped while b was assigned can need b derived again).
         up.retract_group(1);
         rec.seen.clear();
         up.propagate_to_fixpoint_lazy(&mut rec).unwrap();
-        assert!(rec.seen.is_empty(), "nothing re-derived, nothing re-delivered: {:?}", rec.seen);
+        assert_eq!(
+            rec.seen,
+            vec![vec![b.positive(), b.negative()]],
+            "exactly the invalidated variable is re-delivered"
+        );
         // A fresh grouped support re-derives b: the delta is exactly [b].
         up.add_clause_grouped(&[b.positive()], 4);
+        rec.seen.clear();
         up.propagate_to_fixpoint_lazy(&mut rec).unwrap();
         assert_eq!(rec.seen, vec![vec![b.positive()]]);
     }

@@ -9,6 +9,7 @@
 //! It also hosts the per-attribute [`interner`] used by the SAT encoder and a
 //! small dependency-free [`csv`] module for dataset import/export.
 
+pub mod causal;
 pub mod csv;
 pub mod entity;
 pub mod error;
@@ -17,6 +18,7 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
+pub use causal::{CausalStamp, Hlc, SourceClock, SourceId, VectorClock};
 pub use entity::{EntityInstance, TupleId, NO_GLOBAL_VALUE};
 pub use error::TypesError;
 pub use interner::{
