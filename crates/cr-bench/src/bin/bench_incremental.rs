@@ -48,14 +48,22 @@
 //! require nonzero duplicate-drops and buffering, zero quarantines on the
 //! clean streams, zero rebuilds, and exact convergence everywhere.
 //!
+//! The `rehydrate` workload covers **durable sessions** (`cr-store`): a
+//! causal timeline is logged through a [`SessionStore`], the session is
+//! evicted and recovered — once by full log replay, once from the last
+//! snapshot plus tail — with each recovery differentially verified against
+//! a from-scratch resolve of the decoded log. The smoke gates fail the run
+//! if recovery replays zero events or a clean log reports any checksum
+//! failure or truncation.
+//!
 //! Flags: `--entities N` (per generated dataset, default 10), `--seed S`,
 //! `--rounds R` (max user rounds, default 10), `--reps K` (timing
 //! repetitions, default 3), `--frac F` (constraint fraction, default 0.6),
 //! `--threads T` (parallel fan-out width, default = available cores; the
 //! smoke mode runs a serial-vs-parallel agreement pass at this width),
-//! `--out PATH` (default `BENCH_6.json`), `--smoke` (tiny CI mode: check
-//! agreement, compile-once, zero-rebuild, live-cone and parallel-path
-//! invariants, skip the timing sweep).
+//! `--out PATH` (default `BENCH_7.json`), `--smoke` (tiny CI mode: check
+//! agreement, compile-once, zero-rebuild, live-cone, parallel-path and
+//! durability invariants, skip the timing sweep).
 
 use std::time::Instant;
 
@@ -71,10 +79,17 @@ use cr_core::ingest::{
 };
 use cr_core::{compile_count, CompiledProgram, EncodeOptions, EncodedSpec, Specification};
 use cr_constraints::parser::{parse_cfd_file, parse_currency_file};
+use cr_core::spec::UserInput;
 use cr_data::chaos::{chaos, ChaosConfig};
-use cr_data::gen::ScenarioConfig;
+use cr_data::gen::{
+    causal_timeline, scenario_from_raw, CausalTimelineConfig, Scenario, ScenarioConfig,
+};
 use cr_data::{nba, person, vjday};
-use cr_types::{EntityInstance, Schema, SourceClock, SourceId, Tuple, TupleId, Value};
+use cr_store::{
+    decode_log, reference_of, verify_recovery, MemoryBackend, SessionId, SessionStore,
+    StorageBackend, StoreConfig,
+};
+use cr_types::{AttrId, EntityInstance, Schema, SourceClock, SourceId, Tuple, TupleId, Value};
 
 struct Workload {
     label: &'static str,
@@ -608,6 +623,101 @@ fn encode_stats(w: &Workload, reps: usize) -> EncodeStats {
     stats
 }
 
+struct RehydrateStats {
+    events_logged: u64,
+    log_bytes: u64,
+    events_replayed: u64,
+    snapshots_used: u64,
+    checksum_failures: u64,
+    corrupt_truncations: u64,
+    full_replay_secs: f64,
+    snapshot_tail_secs: f64,
+}
+
+/// Durable-session rehydration workload: a causal timeline (with one user
+/// answer interleaved) is logged through a [`SessionStore`], the session is
+/// evicted, and recovery is timed — once replaying the whole log from
+/// scratch (`snapshot_every: 0`) and once restoring the last snapshot and
+/// replaying only the tail. Each rehydrated session is differentially
+/// verified against a from-scratch resolve of the decoded log
+/// ([`verify_recovery`]), and the run aborts on divergence. Run at setup:
+/// the scratch references compile/encode their own programs, which must
+/// not count against the compile-once invariant of the measured phase.
+fn check_rehydrate(seed: u64, events: usize, reps: usize) -> RehydrateStats {
+    let id = SessionId(1);
+    let config = ResolutionConfig::default();
+    let Scenario { spec, truth } = scenario_from_raw(seed.wrapping_add(23), 6, 4, 60, false);
+    let timeline = causal_timeline(
+        &spec,
+        &CausalTimelineConfig {
+            seed: seed.wrapping_mul(131).wrapping_add(7),
+            sources: 2,
+            events,
+            rounds: 3,
+            ..Default::default()
+        },
+    );
+    let mut input = UserInput::empty();
+    input.values.insert(AttrId(1), truth.get(AttrId(1)).clone());
+
+    let mut stats = RehydrateStats {
+        events_logged: 0,
+        log_bytes: 0,
+        events_replayed: 0,
+        snapshots_used: 0,
+        checksum_failures: 0,
+        corrupt_truncations: 0,
+        full_replay_secs: 0.0,
+        snapshot_tail_secs: 0.0,
+    };
+    for snapshot_every in [0usize, 4] {
+        let mut store = SessionStore::new(
+            MemoryBackend::new(),
+            StoreConfig { snapshot_every, ..StoreConfig::default() },
+        )
+        .expect("store config");
+        store.open(id, &spec);
+        for (i, (_, ev)) in timeline.iter().enumerate() {
+            if i == timeline.len() / 3 {
+                store.apply_input(id, &input).expect("log user input");
+            }
+            store.ingest_causal(id, vec![ev.clone()]).expect("log causal event");
+        }
+
+        // Timed evict + rehydrate cycles. The drive above already paid the
+        // first-touch rehydration of the empty log, so measure as a delta.
+        let t0 = store.recovery();
+        let started = Instant::now();
+        for _ in 0..reps.max(1) {
+            assert!(store.evict(id).expect("evict"), "session must be live before eviction");
+            store.session(id).expect("rehydrate");
+        }
+        let secs = started.elapsed().as_secs_f64() / reps.max(1) as f64;
+        let t = store.recovery();
+
+        // The rehydrated session ≡ a from-scratch resolve of the log.
+        let bytes = store.backend().read_log(id).expect("read log");
+        let (records, _, scan_error) = decode_log(&bytes);
+        assert!(scan_error.is_none(), "clean log must scan clean: {scan_error:?}");
+        let mut reference = reference_of(&config, RevisionPolicy::Quarantine, &spec, &records);
+        verify_recovery(store.session(id).expect("session"), &mut reference)
+            .expect("rehydrated session diverged from a scratch replay of its own log");
+
+        stats.events_logged = records.iter().filter(|r| r.is_event()).count() as u64;
+        stats.log_bytes = stats.log_bytes.max(bytes.len() as u64);
+        stats.events_replayed += t.events_replayed - t0.events_replayed;
+        stats.snapshots_used += t.snapshots_used - t0.snapshots_used;
+        stats.checksum_failures += t.checksum_failures;
+        stats.corrupt_truncations += t.corrupt_truncations;
+        if snapshot_every == 0 {
+            stats.full_replay_secs = secs;
+        } else {
+            stats.snapshot_tail_secs = secs;
+        }
+    }
+    stats
+}
+
 fn main() {
     let entities = arg_entities(10);
     let seed = arg_seed(7);
@@ -622,7 +732,7 @@ fn main() {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
         .max(1);
     let smoke = arg_flag("smoke");
-    let out = arg_value("out").unwrap_or_else(|| "BENCH_6.json".to_string());
+    let out = arg_value("out").unwrap_or_else(|| "BENCH_7.json".to_string());
 
     // Entity sizes follow the seed's Fig. 8(a) bins: NBA up to 135 tuples,
     // Person at 1/10 paper scale up to 200.
@@ -718,6 +828,12 @@ fn main() {
     // programs, which must not count against the measured phase.
     let chaos_w = chaos_workload(entities.clamp(2, 6));
     let chaos_stats = check_chaos(&chaos_w, rounds, seed);
+
+    // Durable-session rehydration workload: verified AND timed at setup
+    // (the scratch references compile their own programs — see
+    // `check_rehydrate`).
+    let rehydrate =
+        check_rehydrate(seed, if smoke { 8 } else { 40 }, if smoke { 1 } else { reps });
 
     // Career specs were stamped by `Dataset::spec`, wide scenarios by
     // `cr_data::gen` — every workload's program now exists. From here on,
@@ -871,6 +987,33 @@ fn main() {
         report.measure("end_to_end/ingest-chaos/causal_checked", chaos_stats.secs);
     }
 
+    // Durable-session rehydration: telemetry always, timings outside smoke.
+    report.context("rehydrate/events_logged", rehydrate.events_logged);
+    report.context("rehydrate/log_bytes", rehydrate.log_bytes);
+    report.context("rehydrate/events_replayed", rehydrate.events_replayed);
+    report.context("rehydrate/snapshots_used", rehydrate.snapshots_used);
+    report.context("rehydrate/checksum_failures", rehydrate.checksum_failures);
+    report.context("rehydrate/corrupt_truncations", rehydrate.corrupt_truncations);
+    println!(
+        "{:>8}: {} events logged ({} bytes), {} replayed across recoveries, {} snapshot restores (rehydrate ≡ scratch verified)",
+        "rehydr8",
+        rehydrate.events_logged,
+        rehydrate.log_bytes,
+        rehydrate.events_replayed,
+        rehydrate.snapshots_used,
+    );
+    if !smoke {
+        report.measure("rehydrate/full_replay", rehydrate.full_replay_secs);
+        report.measure("rehydrate/snapshot_tail", rehydrate.snapshot_tail_secs);
+        println!(
+            "{:>8}: full replay {:.4}s -> snapshot+tail {:.4}s per recovery ({:.2}x)",
+            "rehydr8",
+            rehydrate.full_replay_secs,
+            rehydrate.snapshot_tail_secs,
+            rehydrate.full_replay_secs / rehydrate.snapshot_tail_secs.max(1e-9),
+        );
+    }
+
     report.context("rebuilds_total", total_rebuilds);
     if !smoke {
         let speedup = total_scratch / total_lazy;
@@ -946,6 +1089,19 @@ fn main() {
         eprintln!(
             "FAIL: ingest-chaos quarantined {} events on clean streams (expected 0)",
             chaos_stats.quarantined
+        );
+        std::process::exit(1);
+    }
+    // Durability gates: recovery must actually replay the log, and a clean
+    // log must never report corruption.
+    if rehydrate.events_replayed == 0 {
+        eprintln!("FAIL: rehydrate workload replayed no events (recovery path dead)");
+        std::process::exit(1);
+    }
+    if rehydrate.checksum_failures != 0 || rehydrate.corrupt_truncations != 0 {
+        eprintln!(
+            "FAIL: rehydrate workload reported corruption on a clean log ({} checksum failures, {} truncations)",
+            rehydrate.checksum_failures, rehydrate.corrupt_truncations
         );
         std::process::exit(1);
     }

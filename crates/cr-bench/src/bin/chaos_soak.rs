@@ -65,7 +65,10 @@ fn main() {
     let start = Instant::now();
     let mut iter = 0u64;
     while start.elapsed().as_secs_f64() < budget {
-        let seed = base_seed.wrapping_add(iter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Reproduce any failure with `--seed <base_seed>` and the printed
+        // iteration: the failing seed is derived, not sequential.
+        let iteration = iter;
+        let seed = base_seed.wrapping_add(iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         iter += 1;
         // Scenario shapes cycle through small sizes so one iteration stays
         // in the tens of milliseconds and the soak covers many seeds.
@@ -95,13 +98,17 @@ fn main() {
             let mut source = source;
             resolve_causal_checked(&config, &spec, &mut oracle, &mut source, causal)
                 .unwrap_or_else(|e| {
-                    eprintln!("FAIL: seed {seed}: {what} run diverged from scratch: {e}");
+                    eprintln!(
+                        "FAIL: seed {seed} iteration {iteration}: {what} run diverged from scratch: {e}"
+                    );
                     std::process::exit(1);
                 })
         };
         let diverged = |what: &str, a: &CausalCheckedReplay, b: &CausalCheckedReplay| {
             if a.resolved != b.resolved || a.valid != b.valid || a.complete != b.complete {
-                eprintln!("FAIL: seed {seed}: {what} diverged from its baseline");
+                eprintln!(
+                    "FAIL: seed {seed} iteration {iteration}: {what} diverged from its baseline"
+                );
                 std::process::exit(1);
             }
         };
@@ -116,11 +123,15 @@ fn main() {
         diverged("schedule-preserving chaos", &sp, &base);
         if sp.interactions != base.interactions || sp.revisions.reopened != base.revisions.reopened
         {
-            eprintln!("FAIL: seed {seed}: schedule-preserving trajectory diverged");
+            eprintln!(
+                "FAIL: seed {seed} iteration {iteration}: schedule-preserving trajectory diverged"
+            );
             std::process::exit(1);
         }
         if base.revisions.quarantined + sp.revisions.quarantined != 0 {
-            eprintln!("FAIL: seed {seed}: clean interactive runs quarantined events");
+            eprintln!(
+                "FAIL: seed {seed} iteration {iteration}: clean interactive runs quarantined events"
+            );
             std::process::exit(1);
         }
 
@@ -134,7 +145,9 @@ fn main() {
         );
         diverged("adversarial chaos", &adv, &base_df);
         if base_df.revisions.quarantined + adv.revisions.quarantined != 0 {
-            eprintln!("FAIL: seed {seed}: clean drain-first runs quarantined events");
+            eprintln!(
+                "FAIL: seed {seed} iteration {iteration}: clean drain-first runs quarantined events"
+            );
             std::process::exit(1);
         }
 
@@ -152,7 +165,7 @@ fn main() {
         );
         if cor.revisions.quarantined != corrupt || cor.quarantined.len() != corrupt {
             eprintln!(
-                "FAIL: seed {seed}: {} of {corrupt} corrupt events quarantined",
+                "FAIL: seed {seed} iteration {iteration}: {} of {corrupt} corrupt events quarantined",
                 cor.revisions.quarantined
             );
             std::process::exit(1);

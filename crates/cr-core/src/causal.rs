@@ -24,7 +24,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use cr_types::{AttrId, CausalStamp, Hlc, SourceId, TupleId, Value};
 use cr_types::VectorClock;
 
-use crate::framework::{ResolutionConfig, UserOracle};
+use crate::framework::{ResolutionConfig, RoundReport, UserOracle};
 use crate::ingest::{
     check_session_against_scratch, ResolutionSession, Revision, RevisionError, RevisionPolicy,
     RevisionTelemetry, SpecMirror,
@@ -94,10 +94,35 @@ impl CausalRevisionSource for ScriptedCausalRevisions {
     }
 }
 
+/// One cell's log of applied value corrections, in stamp order.
+pub type StampedWrites = Vec<(CausalStamp, Value)>;
+
+/// A plain-data snapshot of a [`CausalFrontier`], used by the durable
+/// session log (`cr-store`) to persist and restore delivery state.
+/// [`CausalFrontier::state`] and [`CausalFrontier::from_state`] roundtrip
+/// exactly (`from_state(f.state()) == f`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FrontierState {
+    /// Highest delivered sequence number per source.
+    pub delivered: Vec<(SourceId, u64)>,
+    /// Out-of-order events still waiting for their causal predecessors.
+    pub buffered: Vec<CausalRevision>,
+    /// `(source, hlc)` identities already seen (delivered *or* buffered).
+    pub seen: Vec<(SourceId, Hlc)>,
+    /// Per-cell logs of applied value corrections.
+    pub writes: Vec<(TupleId, AttrId, StampedWrites)>,
+    /// Redelivered events dropped (cumulative).
+    pub duplicates: u64,
+    /// Events buffered on arrival (cumulative).
+    pub buffered_total: u64,
+    /// Concurrent disagreeing writes observed (cumulative).
+    pub concurrent_conflicts: u64,
+}
+
 /// The session's causal delivery state: per-source delivered watermarks,
 /// out-of-order buffers, the redelivery dedup set, and the per-cell write
 /// log concurrent corrections resolve through.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct CausalFrontier {
     /// Highest delivered sequence number per source.
     delivered: BTreeMap<SourceId, u64>,
@@ -280,6 +305,52 @@ impl CausalFrontier {
         }
         tips
     }
+
+    /// Snapshots the full delivery state as plain data (for persistence).
+    pub fn state(&self) -> FrontierState {
+        FrontierState {
+            delivered: self.delivered.iter().map(|(&s, &n)| (s, n)).collect(),
+            buffered: self
+                .buffers
+                .values()
+                .flat_map(|b| b.values().cloned())
+                .collect(),
+            seen: self.seen.iter().copied().collect(),
+            writes: self
+                .writes
+                .iter()
+                .map(|(&(t, a), log)| (t, a, log.clone()))
+                .collect(),
+            duplicates: self.duplicates as u64,
+            buffered_total: self.buffered as u64,
+            concurrent_conflicts: self.concurrent_conflicts as u64,
+        }
+    }
+
+    /// Rebuilds a frontier from a snapshot. Inverse of
+    /// [`CausalFrontier::state`]: `from_state(f.state()) == f`.
+    pub fn from_state(state: FrontierState) -> Self {
+        let mut f = CausalFrontier::new();
+        for (s, n) in state.delivered {
+            if n > 0 {
+                f.delivered.insert(s, n);
+            }
+        }
+        for ev in state.buffered {
+            f.buffers
+                .entry(ev.stamp.source)
+                .or_default()
+                .insert(ev.stamp.seq(), ev);
+        }
+        f.seen = state.seen.into_iter().collect();
+        for (t, a, log) in state.writes {
+            f.writes.insert((t, a), log);
+        }
+        f.duplicates = state.duplicates as usize;
+        f.buffered = state.buffered_total as usize;
+        f.concurrent_conflicts = state.concurrent_conflicts as usize;
+        f
+    }
 }
 
 /// How [`resolve_causal_checked`] drives the session.
@@ -324,6 +395,11 @@ pub struct CausalCheckedReplay {
     pub interactions: usize,
     /// Total driver rounds (delivery + interaction).
     pub rounds: usize,
+    /// Per-round reports (zero durations — the checked harness measures
+    /// nothing), carrying the revision deltas and the competing-candidate
+    /// cells ([`RoundReport::competing`]) each round surfaced: the branch
+    /// tips a caller presents instead of a bare re-open.
+    pub round_reports: Vec<RoundReport>,
     /// Revision telemetry of the session (applied / duplicate-dropped /
     /// buffered / quarantined / reopened).
     pub revisions: RevisionTelemetry,
@@ -368,8 +444,10 @@ pub fn resolve_causal_checked(
     // Interaction budget plus slack for delayed deliveries: scripted and
     // chaos schedules bound their round assignments well below this.
     let cap = config.max_rounds + source.remaining() + 8;
+    let mut round_reports: Vec<RoundReport> = Vec::new();
     loop {
         let events = source.poll(round, session.current());
+        let telemetry_before = session.revision_telemetry();
         let effective = session
             .ingest_causal(events)
             .map_err(|e| format!("causal revision rejected: {e}"))?;
@@ -379,6 +457,20 @@ pub fn resolve_causal_checked(
         if !effective.is_empty() {
             check_session_against_scratch(&mut session, &mirror)?;
             checks += 1;
+        }
+        {
+            let after = session.revision_telemetry();
+            let mut report = RoundReport::settled(
+                round,
+                std::time::Duration::ZERO,
+                std::time::Duration::ZERO,
+                0,
+            );
+            report.revision_events = after.events - telemetry_before.events;
+            report.revision_invalidated = after.invalidated - telemetry_before.invalidated;
+            report.revision_quarantined = after.quarantined - telemetry_before.quarantined;
+            report.competing = session.take_competing();
+            round_reports.push(report);
         }
         let streaming = source.remaining() > 0 || session.frontier().pending() > 0;
         valid = session.is_valid();
@@ -401,6 +493,9 @@ pub fn resolve_causal_checked(
                     }
                 } else {
                     interactions += 1;
+                    if let Some(r) = round_reports.last_mut() {
+                        r.user_answers = input.values.len();
+                    }
                     session.apply_input(&input);
                     mirror.apply_input(&input);
                 }
@@ -433,6 +528,7 @@ pub fn resolve_causal_checked(
         valid,
         interactions,
         rounds: round,
+        round_reports,
         revisions: session.revision_telemetry(),
         replay_stats: session.replays(),
         rebuilds: session.rebuilds(),

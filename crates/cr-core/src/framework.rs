@@ -107,7 +107,7 @@ use crate::deduce::{
     DeducedOrders,
 };
 use crate::encode::{EncodeOptions, EncodedSpec, RecordingAxiomSource};
-use crate::ingest::{ResolutionSession, RevisionSource, RevisionTelemetry};
+use crate::ingest::{CompetingCell, ResolutionSession, RevisionSource, RevisionTelemetry};
 use crate::spec::{Specification, UserInput};
 use crate::suggest::{suggest_with_engine, Suggestion};
 use crate::truevalue::{true_values_from_orders, TrueValues};
@@ -196,12 +196,17 @@ pub struct RoundReport {
     /// [`RevisionPolicy`](crate::ingest::RevisionPolicy) (0 on clean
     /// streams and without a revision source).
     pub revision_quarantined: usize,
+    /// Cells holding causally-concurrent competing candidates after this
+    /// round's revision drain — the branch tips (plus any re-opened local
+    /// answer) a caller should present to the user instead of a bare
+    /// re-open. Empty on non-causal streams.
+    pub competing: Vec<CompetingCell>,
 }
 
 impl RoundReport {
     /// A report for a round that ended without a suggestion: invalid
     /// specification, complete true values, or the final allowed round.
-    fn settled(round: usize, validity: Duration, deduce: Duration, known: usize) -> Self {
+    pub(crate) fn settled(round: usize, validity: Duration, deduce: Duration, known: usize) -> Self {
         RoundReport {
             round,
             validity,
@@ -214,6 +219,7 @@ impl RoundReport {
             revision_events: 0,
             revision_invalidated: 0,
             revision_quarantined: 0,
+            competing: Vec::new(),
         }
     }
 }
@@ -452,10 +458,15 @@ impl Resolver {
                     }
                     None => (0, 0, 0),
                 };
-            let stamp_revisions = |report: &mut RoundReport| {
+            // Competing-candidate cells drained once per round (populated
+            // only by causally-stamped streams; empty here unless a custom
+            // driver interleaved `ingest_causal` calls).
+            let mut competing = session.take_competing();
+            let mut stamp_revisions = |report: &mut RoundReport| {
                 report.revision_events = revision_events;
                 report.revision_invalidated = revision_invalidated;
                 report.revision_quarantined = revision_quarantined;
+                report.competing = std::mem::take(&mut competing);
             };
 
             // (1) Validity checking. Round 0 pays the encode + solver
@@ -523,6 +534,7 @@ impl Resolver {
                 revision_events: 0,
                 revision_invalidated: 0,
                 revision_quarantined: 0,
+                competing: Vec::new(),
             };
             stamp_revisions(&mut report);
             rounds.push(report);
@@ -679,6 +691,7 @@ impl Resolver {
                 revision_events: 0,
                 revision_invalidated: 0,
                 revision_quarantined: 0,
+                competing: Vec::new(),
             });
             if input.is_empty() {
                 break; // user settles with partial true values

@@ -104,9 +104,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use cr_types::{AttrId, SourceId, TupleId, Value, VectorClock};
+use cr_types::{AttrId, EntityInstance, SourceId, Tuple, TupleId, Value, VectorClock};
 
-use crate::causal::{CausalFrontier, CausalRevision};
+use crate::causal::{CausalFrontier, CausalRevision, FrontierState};
+use crate::orders::PartialOrders;
 
 use crate::deduce::{
     deduce_order, deduce_order_from, deduce_order_recording, naive_deduce_recording,
@@ -247,6 +248,11 @@ pub enum RevisionPolicy {
     BestEffort,
 }
 
+/// Default bound on the per-session quarantine log (see
+/// [`ResolutionSession::set_quarantine_cap`]): a hostile stream of
+/// malformed events grows the eviction *counter*, not session memory.
+pub const DEFAULT_QUARANTINE_CAP: usize = 256;
+
 /// A push stream of upstream corrections, polled by the resolution loop
 /// between rounds. `current` is the specification the session presently
 /// represents, letting sources target state that only exists mid-resolution
@@ -319,6 +325,31 @@ pub struct RevisionTelemetry {
     /// Resolved attributes re-opened because a late causally-concurrent
     /// correction contradicted the accepted answer.
     pub reopened: usize,
+    /// Quarantined `(revision, error)` pairs evicted (oldest first) once
+    /// the bounded quarantine log exceeded its cap
+    /// ([`ResolutionSession::set_quarantine_cap`]) — a hostile stream can
+    /// grow the *count*, never the memory.
+    pub quarantine_evicted: usize,
+}
+
+/// Competing concurrent candidates observed on one cell while ingesting
+/// causally-stamped corrections — what a user interface should present
+/// instead of a bare re-open. Candidates are the causally-maximal *branch
+/// tips* of the cell's write log ([`CausalFrontier::branch_tips`]); when a
+/// re-open fired, the withdrawn local answer rides along as a
+/// [`SourceId::LOCAL`] candidate so the user can re-confirm it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompetingCell {
+    /// The contested tuple.
+    pub tuple: TupleId,
+    /// The contested attribute.
+    pub attr: AttrId,
+    /// True iff an accepted answer on this attribute was withdrawn because
+    /// a causally-concurrent correction contradicted it.
+    pub reopened: bool,
+    /// The competing `(asserting source, value)` candidates, branch tips
+    /// first, the withdrawn local answer (if any) last.
+    pub candidates: Vec<(SourceId, Value)>,
 }
 
 /// Round-persistent state of the incremental resolution path: the extended
@@ -350,8 +381,15 @@ pub struct ResolutionSession {
     /// Degradation policy for revisions that fail validation.
     policy: RevisionPolicy,
     /// `(revision, error)` pairs quarantined under
-    /// [`RevisionPolicy::Quarantine`].
+    /// [`RevisionPolicy::Quarantine`], bounded by `quarantine_cap`.
     quarantine: Vec<(Revision, RevisionError)>,
+    /// Maximum `(revision, error)` pairs the quarantine log may hold;
+    /// overflow evicts the oldest entries (counted in
+    /// [`RevisionTelemetry::quarantine_evicted`]).
+    quarantine_cap: usize,
+    /// Competing-candidate cells observed since the last
+    /// [`ResolutionSession::take_competing`] drain.
+    competing: Vec<CompetingCell>,
     /// Causal delivery state (dedup, buffering, per-cell write log).
     frontier: CausalFrontier,
     /// Accepted answers per attribute, stamped with the causal frontier at
@@ -422,6 +460,8 @@ impl ResolutionSession {
             revisions: RevisionTelemetry::default(),
             policy: RevisionPolicy::default(),
             quarantine: Vec::new(),
+            quarantine_cap: DEFAULT_QUARANTINE_CAP,
+            competing: Vec::new(),
             frontier: CausalFrontier::new(),
             answers: BTreeMap::new(),
         }
@@ -433,10 +473,49 @@ impl ResolutionSession {
         self.policy = policy;
     }
 
+    /// Bounds the quarantine log at `cap` entries (default
+    /// [`DEFAULT_QUARANTINE_CAP`]). Overflow evicts the oldest entries and
+    /// counts them in [`RevisionTelemetry::quarantine_evicted`]; shrinking
+    /// the cap below the current length evicts immediately.
+    pub fn set_quarantine_cap(&mut self, cap: usize) {
+        self.quarantine_cap = cap;
+        self.evict_quarantine_overflow();
+    }
+
+    /// The current quarantine-log bound.
+    pub fn quarantine_cap(&self) -> usize {
+        self.quarantine_cap
+    }
+
+    fn evict_quarantine_overflow(&mut self) {
+        if self.quarantine.len() > self.quarantine_cap {
+            let excess = self.quarantine.len() - self.quarantine_cap;
+            self.quarantine.drain(..excess);
+            self.revisions.quarantine_evicted += excess;
+        }
+    }
+
+    /// Logs one failed event in the bounded quarantine and counts it.
+    fn quarantine_push(&mut self, rev: Revision, err: RevisionError) {
+        self.quarantine.push((rev, err));
+        self.revisions.quarantined += 1;
+        self.evict_quarantine_overflow();
+    }
+
     /// The `(revision, error)` pairs quarantined so far (only populated
-    /// under [`RevisionPolicy::Quarantine`]).
+    /// under [`RevisionPolicy::Quarantine`]; bounded — see
+    /// [`ResolutionSession::set_quarantine_cap`]).
     pub fn quarantined(&self) -> &[(Revision, RevisionError)] {
         &self.quarantine
+    }
+
+    /// Drains the competing-candidate cells observed since the last call —
+    /// one [`CompetingCell`] per cell that currently holds multiple
+    /// causally-concurrent branch tips, or whose accepted answer a
+    /// concurrent correction re-opened. Surfaced per round through
+    /// [`crate::framework::RoundReport::competing`].
+    pub fn take_competing(&mut self) -> Vec<CompetingCell> {
+        std::mem::take(&mut self.competing)
     }
 
     /// The causal delivery frontier (dedup, buffering, per-cell write log).
@@ -496,9 +575,15 @@ impl ResolutionSession {
     }
 
     /// Brings the warm solver up to date with the CNF (axioms recorded by
-    /// the propagator's lazy deduction, extension deltas).
+    /// the propagator's lazy deduction, extension deltas). Variables can
+    /// grow without any new clause — an input extension may allocate guard
+    /// variables for emission groups whose instances are all vacuous — and
+    /// those guards still enter the persistent assumptions, so the var
+    /// check cannot be folded into the clause-watermark check.
     pub(crate) fn sync_solver(&mut self) {
-        if self.synced_solver < self.enc.cnf().num_clauses() {
+        if self.synced_solver < self.enc.cnf().num_clauses()
+            || self.solver.num_vars() < self.enc.cnf().num_vars()
+        {
             self.solver.extend_from_cnf(self.enc.cnf(), self.synced_solver);
             self.synced_solver = self.enc.cnf().num_clauses();
         }
@@ -561,6 +646,8 @@ impl ResolutionSession {
                 let revisions = self.revisions;
                 let policy = self.policy;
                 let quarantine = std::mem::take(&mut self.quarantine);
+                let quarantine_cap = self.quarantine_cap;
+                let competing = std::mem::take(&mut self.competing);
                 let frontier = std::mem::take(&mut self.frontier);
                 let answers = std::mem::take(&mut self.answers);
                 *self = ResolutionSession::new(&self.config, &extended);
@@ -569,6 +656,8 @@ impl ResolutionSession {
                 self.revisions = revisions;
                 self.policy = policy;
                 self.quarantine = quarantine;
+                self.quarantine_cap = quarantine_cap;
+                self.competing = competing;
                 self.frontier = frontier;
                 self.answers = answers;
             }
@@ -758,8 +847,7 @@ impl ResolutionSession {
             Err(err) => match self.policy {
                 RevisionPolicy::Reject => Err(err),
                 RevisionPolicy::Quarantine => {
-                    self.quarantine.push((rev.clone(), err));
-                    self.revisions.quarantined += 1;
+                    self.quarantine_push(rev.clone(), err);
                     Ok(false)
                 }
                 RevisionPolicy::BestEffort => {
@@ -810,14 +898,16 @@ impl ResolutionSession {
                     let reopen = self.answers.get(attr).and_then(|ans| {
                         let concurrent = ans.deps.get(ev.stamp.source) < ev.stamp.seq();
                         let conflicts = !value.is_null() && *value != ans.value;
-                        (concurrent && conflicts).then_some(ans.tuple)
+                        (concurrent && conflicts).then(|| (ans.tuple, ans.value.clone()))
                     });
-                    if let Some(answer_tuple) = reopen {
+                    let mut withdrawn_answer = None;
+                    if let Some((answer_tuple, answer_value)) = reopen {
                         let withdraw =
                             Revision::WithdrawAnswer { attr: *attr, tuple: answer_tuple };
                         self.apply_revision(&withdraw)
                             .expect("recorded answer tuple is always in range");
                         self.revisions.reopened += 1;
+                        withdrawn_answer = Some(answer_value);
                         effective.push(withdraw);
                     }
                     let canonical =
@@ -833,6 +923,7 @@ impl ResolutionSession {
                             .expect("canonical write was validated above");
                         effective.push(rev);
                     }
+                    self.record_competing(*tuple, *attr, withdrawn_answer);
                 }
                 _ => {
                     if self.absorb_revision(&ev.rev)? {
@@ -844,14 +935,48 @@ impl ResolutionSession {
         Ok(effective)
     }
 
+    /// Updates the competing-candidate buffer for `(tuple, attr)` after a
+    /// delivered write: a cell with multiple branch tips — or a freshly
+    /// re-opened one — gets (or refreshes) a [`CompetingCell`] entry;
+    /// `withdrawn_answer` is the re-opened local answer, appended as a
+    /// [`SourceId::LOCAL`] candidate.
+    fn record_competing(
+        &mut self,
+        tuple: TupleId,
+        attr: AttrId,
+        withdrawn_answer: Option<Value>,
+    ) {
+        let reopened = withdrawn_answer.is_some();
+        let mut candidates: Vec<(SourceId, Value)> = self
+            .frontier
+            .branch_tips(tuple, attr)
+            .into_iter()
+            .map(|(stamp, value)| (stamp.source, value.clone()))
+            .collect();
+        if candidates.len() < 2 && !reopened {
+            return;
+        }
+        if let Some(value) = withdrawn_answer {
+            candidates.push((SourceId::LOCAL, value));
+        }
+        match self.competing.iter_mut().find(|c| c.tuple == tuple && c.attr == attr) {
+            Some(cell) => {
+                cell.reopened |= reopened;
+                cell.candidates = candidates;
+            }
+            None => {
+                self.competing.push(CompetingCell { tuple, attr, reopened, candidates });
+            }
+        }
+    }
+
     /// Routes one failed event through the session policy (shared by the
     /// causal path, which validates before the write log).
     fn degrade(&mut self, rev: Revision, err: RevisionError) -> Result<(), RevisionError> {
         match self.policy {
             RevisionPolicy::Reject => Err(err),
             RevisionPolicy::Quarantine => {
-                self.quarantine.push((rev, err));
-                self.revisions.quarantined += 1;
+                self.quarantine_push(rev, err);
                 Ok(())
             }
             RevisionPolicy::BestEffort => {
@@ -923,6 +1048,156 @@ impl ResolutionSession {
         self.synced_solver = solver_synced;
         sug
     }
+
+    /// Snapshots the session's *logical* state as plain data — everything
+    /// needed to rebuild an equivalent session on top of the base
+    /// specification it was opened on: the current entity rows and order
+    /// pairs (user input and value corrections folded in), retired CFD
+    /// indices, accepted answers with their causal dependency vectors, the
+    /// full delivery frontier, and the revision telemetry. Engine internals
+    /// (CNF, solver, propagator) are *derived* state and deliberately
+    /// excluded; so is the quarantine log (its telemetry count persists,
+    /// and replaying the tail re-quarantines tail events).
+    pub fn state(&self) -> SessionState {
+        let orders = self
+            .current
+            .schema()
+            .attr_ids()
+            .flat_map(|a| self.current.orders().pairs(a).map(move |(lo, hi)| (a, lo, hi)))
+            .collect();
+        SessionState {
+            tuples: self
+                .current
+                .entity()
+                .tuples()
+                .iter()
+                .map(|t| t.values().to_vec())
+                .collect(),
+            orders,
+            retired_cfds: (0..self.current.gamma().len())
+                .filter(|&i| self.enc.is_cfd_retired(i))
+                .collect(),
+            answers: self
+                .answers
+                .iter()
+                .map(|(&attr, a)| AnswerState {
+                    attr,
+                    tuple: a.tuple,
+                    value: a.value.clone(),
+                    deps: a.deps.clone(),
+                })
+                .collect(),
+            frontier: self.frontier.state(),
+            telemetry: self.revisions,
+        }
+    }
+
+    /// Rebuilds a session from a [`SessionState`] snapshot taken against
+    /// `base` — the specification (schema, Σ, Γ, *original* entity and
+    /// orders are ignored in favour of the snapshot's) the original session
+    /// was opened on. The restored session is revisable and behaviourally
+    /// equivalent to the snapshotted one: the current specification,
+    /// retired-CFD flags, accepted answers and delivery frontier fully
+    /// determine all subsequent `ingest_causal`/`apply_input` behaviour
+    /// (engine internals are re-derived; cost telemetry of later events may
+    /// differ, logical outcomes cannot).
+    ///
+    /// Fails with a descriptive error — never panics — when the snapshot is
+    /// inconsistent with `base` (wrong arity, out-of-range ids), which a
+    /// checksummed log should have made impossible.
+    pub fn restore(
+        config: &ResolutionConfig,
+        base: &Specification,
+        state: SessionState,
+    ) -> Result<ResolutionSession, String> {
+        let schema = base.schema().clone();
+        let arity = schema.arity();
+        let mut tuples = Vec::with_capacity(state.tuples.len());
+        for row in state.tuples {
+            if row.len() != arity {
+                return Err(format!(
+                    "snapshot row arity {} does not match schema arity {arity}",
+                    row.len()
+                ));
+            }
+            tuples.push(Tuple::from_values(row));
+        }
+        let entity = EntityInstance::new(schema, tuples)
+            .map_err(|e| format!("snapshot entity rejected: {e}"))?;
+        let mut orders = PartialOrders::empty(arity);
+        for &(attr, lo, hi) in &state.orders {
+            if attr.index() >= arity
+                || lo.index() >= entity.len()
+                || hi.index() >= entity.len()
+            {
+                return Err(format!("snapshot order {lo:?} <_{attr:?} {hi:?} out of range"));
+            }
+            orders.add(attr, lo, hi);
+        }
+        let spec =
+            Specification::new(entity, orders, base.sigma().to_vec(), base.gamma().to_vec());
+        let mut session = ResolutionSession::new_revisable(config, &spec);
+        for &cfd in &state.retired_cfds {
+            session
+                .apply_revision(&Revision::RetractCfd { cfd })
+                .map_err(|e| format!("snapshot CFD retraction rejected: {e}"))?;
+        }
+        for a in state.answers {
+            if a.attr.index() >= arity || a.tuple.index() >= session.current.entity().len() {
+                return Err(format!(
+                    "snapshot answer on {:?} at {:?} out of range",
+                    a.attr, a.tuple
+                ));
+            }
+            session
+                .answers
+                .insert(a.attr, AcceptedAnswer { tuple: a.tuple, value: a.value, deps: a.deps });
+        }
+        session.frontier = CausalFrontier::from_state(state.frontier);
+        // The snapshot's cumulative telemetry replaces the restore-time
+        // bookkeeping (the CFD retractions above counted as fresh events).
+        session.revisions = state.telemetry;
+        Ok(session)
+    }
+}
+
+/// One accepted answer in a [`SessionState`] snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnswerState {
+    /// The answered attribute.
+    pub attr: AttrId,
+    /// The user-input tuple carrying the answer.
+    pub tuple: TupleId,
+    /// The accepted most-current value.
+    pub value: Value,
+    /// The delivery frontier the answer was accepted under.
+    pub deps: VectorClock,
+}
+
+/// A plain-data snapshot of a [`ResolutionSession`]'s logical state
+/// ([`ResolutionSession::state`] / [`ResolutionSession::restore`]) — what
+/// the durable session log (`cr-store`) persists in snapshot records so
+/// rehydration replays only the log tail.
+///
+/// Two sessions that processed the same events agree on every field here
+/// *except possibly the engine-cost counters inside `telemetry`*
+/// (invalidated cone sizes and re-emitted clause counts depend on engine
+/// history); equivalence harnesses compare the logical fields.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SessionState {
+    /// Entity rows of the current specification (base rows plus
+    /// user-input tuples, value corrections folded in).
+    pub tuples: Vec<Vec<Value>>,
+    /// All current order pairs, flattened as `(attr, lo, hi)`.
+    pub orders: Vec<(AttrId, TupleId, TupleId)>,
+    /// Retired CFD indices (into the base specification's Γ).
+    pub retired_cfds: Vec<usize>,
+    /// Accepted answers with their causal dependency vectors.
+    pub answers: Vec<AnswerState>,
+    /// The causal delivery frontier.
+    pub frontier: FrontierState,
+    /// Cumulative revision telemetry at snapshot time.
+    pub telemetry: RevisionTelemetry,
 }
 
 /// The *post-revision* specification, materialised: the mirror a checked

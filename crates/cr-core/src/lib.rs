@@ -56,12 +56,12 @@ pub use encode::{
 pub use framework::{ResolutionConfig, ResolutionOutcome, Resolver, RoundReport};
 pub use causal::{
     resolve_causal_checked, CausalCheckedReplay, CausalFrontier, CausalReplayConfig,
-    CausalRevision, CausalRevisionSource, ScriptedCausalRevisions,
+    CausalRevision, CausalRevisionSource, FrontierState, ScriptedCausalRevisions,
 };
 pub use ingest::{
-    check_session_against_scratch, resolve_with_revisions_checked, CheckedReplay,
-    ResolutionSession, Revision, RevisionError, RevisionPolicy, RevisionSource,
-    RevisionTelemetry, ScriptedRevisions, SpecMirror,
+    check_session_against_scratch, resolve_with_revisions_checked, AnswerState, CheckedReplay,
+    CompetingCell, ResolutionSession, Revision, RevisionError, RevisionPolicy, RevisionSource,
+    RevisionTelemetry, ScriptedRevisions, SessionState, SpecMirror, DEFAULT_QUARANTINE_CAP,
 };
 pub use implication::{explain_invalidity, implies, ConflictPart};
 pub use isvalid::{is_valid, is_valid_encoded, Validity};

@@ -16,7 +16,7 @@ use cr_core::causal::{
 use cr_core::framework::{GroundTruthOracle, ResolutionConfig};
 use cr_core::ingest::{
     check_session_against_scratch, ResolutionSession, Revision, RevisionError, RevisionPolicy,
-    SpecMirror,
+    SpecMirror, DEFAULT_QUARANTINE_CAP,
 };
 use cr_core::Specification;
 use cr_types::{EntityInstance, Schema, SourceClock, SourceId, Tuple, TupleId, Value};
@@ -280,6 +280,16 @@ fn concurrent_writes_converge_by_lww_in_either_delivery_order() {
         assert!(tips.contains(&(SourceId(1), Value::str("SF"))));
         assert!(tips.contains(&(SourceId(2), Value::str("Boston"))));
         assert!(session.frontier().concurrent_conflicts() >= 1);
+        // The concurrency is surfaced as a competing-candidate cell, not
+        // just resolved silently: both tips are presented.
+        let competing = session.take_competing();
+        assert_eq!(competing.len(), 1, "one cell with concurrent candidates");
+        let cell = &competing[0];
+        assert_eq!((cell.tuple, cell.attr), (TupleId(0), city));
+        assert!(!cell.reopened, "no accepted answer was involved");
+        assert!(cell.candidates.contains(&(SourceId(1), Value::str("SF"))));
+        assert!(cell.candidates.contains(&(SourceId(2), Value::str("Boston"))));
+        assert!(session.take_competing().is_empty(), "take_competing drains");
         check_session_against_scratch(&mut session, &mirror).expect("replay ≡ scratch");
     }
 }
@@ -433,4 +443,127 @@ fn quarantined_corrupt_event_does_not_poison_the_causal_stream() {
         "the events around the corrupt one still apply"
     );
     assert_eq!(replay.revisions.buffered, 0, "quarantining advances the frontier");
+}
+
+/// A re-open carries its competing candidates out through the round
+/// reports: the interaction loop can present the withdrawn local answer
+/// next to the remote correction instead of a bare re-ask.
+#[test]
+fn reopen_surfaces_competing_candidates_in_round_reports() {
+    let (spec, truth) = firing_cfd_spec();
+    let job = spec.schema().attr_id("job").unwrap();
+    let mut s1 = SourceClock::new(SourceId(1));
+    let correction = CausalRevision {
+        stamp: s1.stamp(1),
+        rev: Revision::ReplaceValue {
+            tuple: TupleId(0),
+            attr: job,
+            value: Value::str("vet"),
+        },
+    };
+    let mut oracle = GroundTruthOracle::new(truth);
+    let mut source = ScriptedCausalRevisions::new(vec![(1, correction)]);
+    let replay = resolve_causal_checked(
+        &config(),
+        &spec,
+        &mut oracle,
+        &mut source,
+        &CausalReplayConfig::default(),
+    )
+    .expect("causal replay must match scratch");
+
+    assert_eq!(replay.revisions.reopened, 1);
+    let cells: Vec<_> =
+        replay.round_reports.iter().flat_map(|r| r.competing.iter()).collect();
+    assert_eq!(cells.len(), 1, "exactly the re-opened cell competes");
+    let cell = cells[0];
+    assert_eq!((cell.tuple, cell.attr), (TupleId(0), job));
+    assert!(cell.reopened, "the cell re-opened an accepted answer");
+    assert!(
+        cell.candidates.contains(&(SourceId(1), Value::str("vet"))),
+        "the remote branch tip is a candidate: {:?}",
+        cell.candidates
+    );
+    assert!(
+        cell.candidates.contains(&(SourceId::LOCAL, Value::str("n/a"))),
+        "the withdrawn local answer is presented alongside: {:?}",
+        cell.candidates
+    );
+}
+
+/// The quarantine log is bounded: beyond the cap the oldest entries are
+/// evicted (newest kept), every eviction is counted, and shrinking the cap
+/// evicts immediately.
+#[test]
+fn quarantine_log_is_bounded_with_eviction_telemetry() {
+    let (spec, _) = firing_cfd_spec();
+    let mut session = ResolutionSession::new_revisable(&config(), &spec);
+    assert_eq!(session.quarantine_cap(), DEFAULT_QUARANTINE_CAP);
+    session.set_quarantine_cap(2);
+    assert_eq!(session.quarantine_cap(), 2);
+
+    for cfd in 10..14 {
+        assert_eq!(session.absorb_revision(&Revision::RetractCfd { cfd }), Ok(false));
+    }
+    assert_eq!(session.revision_telemetry().quarantined, 4, "all four count");
+    assert_eq!(session.quarantined().len(), 2, "only the cap is retained");
+    assert_eq!(session.quarantined()[0].0, Revision::RetractCfd { cfd: 12 });
+    assert_eq!(session.quarantined()[1].0, Revision::RetractCfd { cfd: 13 });
+    assert_eq!(session.revision_telemetry().quarantine_evicted, 2);
+
+    // Shrinking the cap evicts the overflow immediately.
+    session.set_quarantine_cap(1);
+    assert_eq!(session.quarantined().len(), 1);
+    assert_eq!(session.quarantined()[0].0, Revision::RetractCfd { cfd: 13 });
+    assert_eq!(session.revision_telemetry().quarantine_evicted, 3);
+
+    // The session itself is unharmed: a good event still applies.
+    assert_eq!(session.absorb_revision(&Revision::RetractCfd { cfd: 0 }), Ok(true));
+}
+
+/// Regression (found by the crash-and-rehydrate soak): a causal
+/// `ReplaceValue` to Null followed by a user answer used to panic the
+/// solver inside `is_valid`. The input extension allocated fresh guard
+/// variables for emission groups whose instances were all vacuous — new
+/// variables but **zero** new clauses — so the clause-watermark solver
+/// sync skipped entirely and the persistent guard assumptions referenced
+/// variables the solver had never seen.
+#[test]
+fn guard_vars_without_clauses_still_reach_the_solver() {
+    use cr_core::spec::UserInput;
+    use cr_data::gen::{causal_timeline, scenario_from_raw, CausalTimelineConfig, Scenario};
+    use cr_types::AttrId;
+
+    let seed = 18239472052751201364u64;
+    let Scenario { spec, truth } = scenario_from_raw(seed, 2, 6, 78, false);
+    let timeline = causal_timeline(
+        &spec,
+        &CausalTimelineConfig {
+            seed: seed.wrapping_mul(131).wrapping_add(7),
+            sources: 2,
+            events: 4,
+            rounds: 3,
+            ..Default::default()
+        },
+    );
+    // The first event of this timeline replaces (TupleId(0), AttrId(1))
+    // with Null; the answer then re-fills the cell.
+    let ev0 = timeline[0].1.clone();
+    assert!(matches!(
+        ev0.rev,
+        Revision::ReplaceValue { value: Value::Null, .. }
+    ));
+    let mut input = UserInput::empty();
+    input.values.insert(AttrId(1), truth.get(AttrId(1)).clone());
+
+    let mut session = ResolutionSession::new_revisable(&config(), &spec);
+    let mut mirror = SpecMirror::new(&spec);
+    for rev in session.ingest_causal(vec![ev0]).unwrap() {
+        mirror.apply(&rev);
+    }
+    session.apply_input(&input);
+    mirror.apply_input(&input);
+
+    assert!(session.is_valid(), "the re-filled cell satisfies the spec");
+    check_session_against_scratch(&mut session, &mirror).unwrap();
 }

@@ -1,0 +1,136 @@
+//! The crash-and-rehydrate differential.
+//!
+//! This module packages the crate's recovery invariant as an executable
+//! check: **a restored session must be equivalent to a from-scratch
+//! resolve of the surviving event prefix**. Given the records recovery
+//! managed to read back, [`reference_of`] replays them into a *fresh*
+//! session (and a [`SpecMirror`] of cumulative effects), and
+//! [`verify_recovery`] compares the rehydrated session against it — first
+//! semantically via [`check_session_against_scratch`] (validity, deduced
+//! orders, true values against the mirror's materialised specification),
+//! then structurally on the logical [`cr_core::ingest::SessionState`] (entity rows, order
+//! pairs, retired CFDs, accepted answers, causal frontier). Telemetry cost
+//! counters are deliberately excluded: snapshot-plus-tail replay legally
+//! does less engine work than a full replay.
+//!
+//! The `cr-store` recovery tests and the `crash_soak` CI binary drive this
+//! differential at every event boundary under every [`crate::fault::Fault`]
+//! mode.
+
+use cr_core::ingest::{
+    check_session_against_scratch, ResolutionSession, RevisionPolicy, SpecMirror,
+};
+use cr_core::spec::Specification;
+use cr_core::ResolutionConfig;
+
+use crate::event::LogRecord;
+
+/// A fresh session plus effect mirror built by replaying surviving records
+/// from scratch — the "ground truth" side of the recovery differential.
+pub struct ReplayedReference {
+    /// The from-scratch session after replaying every surviving record.
+    pub session: ResolutionSession,
+    /// Mirror of the cumulative *effective* revisions and inputs, whose
+    /// materialisation is the surviving prefix's specification.
+    pub mirror: SpecMirror,
+}
+
+/// Replays `records` (as recovered from a damaged log) into a fresh
+/// session over `base`, mirroring every effective revision. Snapshot
+/// records are skipped: they are derived state, not inputs.
+///
+/// `policy` must not be [`RevisionPolicy::Reject`] — replay of a durable
+/// log is total by construction.
+pub fn reference_of(
+    config: &ResolutionConfig,
+    policy: RevisionPolicy,
+    base: &Specification,
+    records: &[LogRecord],
+) -> ReplayedReference {
+    assert!(
+        !matches!(policy, RevisionPolicy::Reject),
+        "reference replay requires a non-Reject policy"
+    );
+    let mut session = ResolutionSession::new_revisable(config, base);
+    session.set_revision_policy(policy);
+    let mut mirror = SpecMirror::new(base);
+    for rec in records {
+        match rec {
+            LogRecord::Input(input) => {
+                session.apply_input(input);
+                mirror.apply_input(input);
+            }
+            LogRecord::Causal(ev) => {
+                let effective = session
+                    .ingest_causal(vec![ev.clone()])
+                    .expect("non-Reject policy never propagates errors");
+                for rev in &effective {
+                    mirror.apply(rev);
+                }
+            }
+            LogRecord::Revision(rev) => {
+                let applied = session
+                    .absorb_revision(rev)
+                    .expect("non-Reject policy never propagates errors");
+                if applied {
+                    mirror.apply(rev);
+                }
+            }
+            LogRecord::Snapshot(_) => {}
+        }
+    }
+    ReplayedReference { session, mirror }
+}
+
+/// Checks the recovery invariant: `rehydrated` (a session rebuilt from
+/// snapshot + log tail) must be equivalent to `reference` (the same
+/// surviving records replayed from scratch).
+///
+/// Equivalence is checked two ways: both sessions against the reference
+/// mirror's materialised specification (validity / deduced orders / true
+/// values), then field-by-field on the logical state — entity rows, order
+/// pairs, retired CFDs, accepted answers and the causal frontier.
+/// Telemetry is *not* compared (cost counters depend on engine history).
+pub fn verify_recovery(
+    rehydrated: &mut ResolutionSession,
+    reference: &mut ReplayedReference,
+) -> Result<(), String> {
+    check_session_against_scratch(rehydrated, &reference.mirror)
+        .map_err(|e| format!("rehydrated session diverged from surviving prefix: {e}"))?;
+    check_session_against_scratch(&mut reference.session, &reference.mirror)
+        .map_err(|e| format!("reference replay diverged from its own mirror: {e}"))?;
+
+    let got = rehydrated.state();
+    let want = reference.session.state();
+    if got.tuples != want.tuples {
+        return Err(format!(
+            "entity rows diverged: rehydrated {:?} vs scratch {:?}",
+            got.tuples, want.tuples
+        ));
+    }
+    if got.orders != want.orders {
+        return Err(format!(
+            "order pairs diverged: rehydrated {:?} vs scratch {:?}",
+            got.orders, want.orders
+        ));
+    }
+    if got.retired_cfds != want.retired_cfds {
+        return Err(format!(
+            "retired CFDs diverged: rehydrated {:?} vs scratch {:?}",
+            got.retired_cfds, want.retired_cfds
+        ));
+    }
+    if got.answers != want.answers {
+        return Err(format!(
+            "accepted answers diverged: rehydrated {:?} vs scratch {:?}",
+            got.answers, want.answers
+        ));
+    }
+    if got.frontier != want.frontier {
+        return Err(format!(
+            "causal frontier diverged: rehydrated {:?} vs scratch {:?}",
+            got.frontier, want.frontier
+        ));
+    }
+    Ok(())
+}

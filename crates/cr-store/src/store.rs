@@ -1,0 +1,462 @@
+//! The multi-session store: write-ahead logging, snapshots, eviction and
+//! crash-and-rehydrate recovery.
+//!
+//! [`SessionStore`] hosts many durable [`ResolutionSession`]s over one
+//! [`StorageBackend`]. Every mutation follows the write-ahead discipline:
+//! the event is framed, appended, and synced **before** it is applied to
+//! the in-memory engine — the log records inputs, never effects, so replay
+//! is a pure function of the surviving bytes. Cold sessions are evicted
+//! (engine state dropped, log kept) and transparently rehydrated on next
+//! touch from the last intact snapshot plus the log tail, through the very
+//! same `ingest_causal`/`apply_input` paths production traffic uses.
+//! Recovery truncates corrupt tails (checksum or record-decode failures)
+//! and counts everything it did in [`RecoveryTelemetry`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cr_core::causal::CausalRevision;
+use cr_core::ingest::{ResolutionSession, Revision, RevisionPolicy};
+use cr_core::spec::{Specification, UserInput};
+use cr_core::ResolutionConfig;
+use cr_types::codec::{write_frame, CodecError};
+
+use crate::backend::{SessionId, StorageBackend};
+use crate::event::{decode_log, LogRecord, SnapshotRecord};
+
+/// Errors surfaced by the store and its backends.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// A log frame or record failed to decode where corruption is not an
+    /// acceptable answer (recovery itself *tolerates* corruption and
+    /// truncates instead of erroring).
+    Codec(CodecError),
+    /// A backend I/O failure.
+    Io(String),
+    /// The session was never [`open`](SessionStore::open)ed in this store.
+    UnknownSession(SessionId),
+    /// The store refuses [`RevisionPolicy::Reject`]: replay of a durable
+    /// log must be total, and a policy that aborts mid-stream would leave
+    /// rehydration unable to reach the log's end.
+    RejectPolicy,
+    /// A snapshot was internally consistent (checksums passed) but
+    /// inconsistent with the session's base specification.
+    Restore(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Codec(e) => write!(f, "log corrupt: {e}"),
+            StoreError::Io(msg) => write!(f, "storage error: {msg}"),
+            StoreError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            StoreError::RejectPolicy => write!(
+                f,
+                "RevisionPolicy::Reject is not replayable; use Quarantine or BestEffort"
+            ),
+            StoreError::Restore(msg) => write!(f, "snapshot restore failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+/// Store configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Engine configuration for every hosted session.
+    pub resolution: ResolutionConfig,
+    /// Revision policy for every hosted session. Must not be
+    /// [`RevisionPolicy::Reject`] (see [`StoreError::RejectPolicy`]).
+    pub policy: RevisionPolicy,
+    /// Append a snapshot record after this many logged events; `0` disables
+    /// snapshots (rehydration replays the full log).
+    pub snapshot_every: usize,
+    /// Maximum sessions kept live in memory; beyond it the least recently
+    /// used live session is evicted. `0` means unbounded.
+    pub max_live: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            resolution: ResolutionConfig::default(),
+            policy: RevisionPolicy::Quarantine,
+            snapshot_every: 32,
+            max_live: 0,
+        }
+    }
+}
+
+/// Counters of everything recovery and eviction did, store-wide.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryTelemetry {
+    /// Sessions rebuilt from their log (cold touch or explicit reload).
+    pub rehydrations: u64,
+    /// Live sessions whose engine state was dropped.
+    pub evictions: u64,
+    /// Event records replayed through the engine during rehydration.
+    pub events_replayed: u64,
+    /// Rehydrations that started from a snapshot instead of scratch.
+    pub snapshots_used: u64,
+    /// Corrupt log tails truncated (checksum, torn frame, or record-decode
+    /// failure).
+    pub corrupt_truncations: u64,
+    /// Total bytes discarded by those truncations.
+    pub truncated_bytes: u64,
+    /// Truncations whose cause was specifically a CRC-32 mismatch.
+    pub checksum_failures: u64,
+}
+
+struct Entry {
+    base: Specification,
+    live: Option<ResolutionSession>,
+    /// Events appended since the last snapshot record.
+    events_since_snapshot: usize,
+    /// Events appended over the session's lifetime (snapshot metadata).
+    events_total: u64,
+    /// LRU stamp from the store clock.
+    last_used: u64,
+}
+
+/// A durable multi-session host over a [`StorageBackend`].
+pub struct SessionStore<B: StorageBackend> {
+    backend: B,
+    config: StoreConfig,
+    entries: BTreeMap<u64, Entry>,
+    clock: u64,
+    recovery: RecoveryTelemetry,
+}
+
+impl<B: StorageBackend> SessionStore<B> {
+    /// Creates a store over `backend`. Fails fast on a non-replayable
+    /// policy.
+    pub fn new(backend: B, config: StoreConfig) -> Result<Self, StoreError> {
+        if matches!(config.policy, RevisionPolicy::Reject) {
+            return Err(StoreError::RejectPolicy);
+        }
+        Ok(SessionStore {
+            backend,
+            config,
+            entries: BTreeMap::new(),
+            clock: 0,
+            recovery: RecoveryTelemetry::default(),
+        })
+    }
+
+    /// The store's accumulated recovery telemetry.
+    pub fn recovery(&self) -> RecoveryTelemetry {
+        self.recovery
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Immutable access to the backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable access to the backend (fault-injection harnesses reach the
+    /// [`FaultyBackend`](crate::fault::FaultyBackend) through this).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Consumes the store, returning the backend.
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+
+    /// Registers a session with its base (pre-interaction) specification.
+    /// Cheap: no engine is built and no log is read until the session is
+    /// first touched. Re-opening a known session only updates the base.
+    pub fn open(&mut self, id: SessionId, base: &Specification) {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries
+            .entry(id.0)
+            .and_modify(|e| {
+                e.base = base.clone();
+                e.last_used = clock;
+            })
+            .or_insert_with(|| Entry {
+                base: base.clone(),
+                live: None,
+                events_since_snapshot: 0,
+                events_total: 0,
+                last_used: clock,
+            });
+    }
+
+    /// Sessions currently registered, ascending.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        self.entries.keys().map(|&k| SessionId(k)).collect()
+    }
+
+    /// Whether `id` currently holds live engine state.
+    pub fn is_live(&self, id: SessionId) -> bool {
+        self.entries.get(&id.0).is_some_and(|e| e.live.is_some())
+    }
+
+    /// Byte length of `id`'s durable log.
+    pub fn log_len(&self, id: SessionId) -> Result<u64, StoreError> {
+        self.backend.log_len(id)
+    }
+
+    /// Drops `id`'s in-memory engine state (the log stays). Returns whether
+    /// the session was live. The next touch rehydrates it.
+    pub fn evict(&mut self, id: SessionId) -> Result<bool, StoreError> {
+        let entry =
+            self.entries.get_mut(&id.0).ok_or(StoreError::UnknownSession(id))?;
+        let was_live = entry.live.take().is_some();
+        if was_live {
+            self.recovery.evictions += 1;
+        }
+        Ok(was_live)
+    }
+
+    /// The live session for `id`, rehydrating from the log if cold.
+    pub fn session(&mut self, id: SessionId) -> Result<&mut ResolutionSession, StoreError> {
+        self.touch(id)?;
+        self.enforce_live_cap(id);
+        Ok(self
+            .entries
+            .get_mut(&id.0)
+            .expect("touch ensured the entry")
+            .live
+            .as_mut()
+            .expect("touch ensured live state"))
+    }
+
+    /// Absorbs one round of user input durably: logged and synced first,
+    /// then applied. Returns the engine's `|Ot|` extension size.
+    pub fn apply_input(&mut self, id: SessionId, input: &UserInput) -> Result<usize, StoreError> {
+        self.touch(id)?;
+        self.log_event(id, &LogRecord::Input(input.clone()))?;
+        let entry = self.entries.get_mut(&id.0).expect("touched");
+        let added = entry.live.as_mut().expect("touched").apply_input(input);
+        self.after_event(id, 1)?;
+        Ok(added)
+    }
+
+    /// Ingests causally-stamped corrections durably: every event is framed
+    /// and appended, the log is synced once, then the batch is applied.
+    /// Returns the effective plain revisions, as
+    /// [`ResolutionSession::ingest_causal`] does.
+    pub fn ingest_causal(
+        &mut self,
+        id: SessionId,
+        events: Vec<CausalRevision>,
+    ) -> Result<Vec<Revision>, StoreError> {
+        self.touch(id)?;
+        let count = events.len();
+        for ev in &events {
+            self.append_record(id, &LogRecord::Causal(ev.clone()))?;
+        }
+        self.backend.sync(id)?;
+        let entry = self.entries.get_mut(&id.0).expect("touched");
+        let effective = entry
+            .live
+            .as_mut()
+            .expect("touched")
+            .ingest_causal(events)
+            .expect("store policy is never Reject");
+        self.after_event(id, count)?;
+        Ok(effective)
+    }
+
+    /// Absorbs one plain (unstamped) revision durably. Returns whether it
+    /// was applied (`false` = quarantined), as
+    /// [`ResolutionSession::absorb_revision`] does.
+    pub fn absorb_revision(&mut self, id: SessionId, rev: &Revision) -> Result<bool, StoreError> {
+        self.touch(id)?;
+        self.log_event(id, &LogRecord::Revision(rev.clone()))?;
+        let entry = self.entries.get_mut(&id.0).expect("touched");
+        let applied = entry
+            .live
+            .as_mut()
+            .expect("touched")
+            .absorb_revision(rev)
+            .expect("store policy is never Reject");
+        self.after_event(id, 1)?;
+        Ok(applied)
+    }
+
+    /// Appends a snapshot of `id`'s current state and resets the snapshot
+    /// cadence. Also available to callers that want a snapshot at a known
+    /// boundary (e.g. before shutdown).
+    pub fn snapshot(&mut self, id: SessionId) -> Result<(), StoreError> {
+        self.touch(id)?;
+        let entry = self.entries.get_mut(&id.0).expect("touched");
+        let record = LogRecord::Snapshot(Box::new(SnapshotRecord {
+            events_covered: entry.events_total,
+            state: entry.live.as_ref().expect("touched").state(),
+        }));
+        self.append_record(id, &record)?;
+        self.backend.sync(id)?;
+        self.entries.get_mut(&id.0).expect("touched").events_since_snapshot = 0;
+        Ok(())
+    }
+
+    fn append_record(&mut self, id: SessionId, record: &LogRecord) -> Result<(), StoreError> {
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &record.encode());
+        self.backend.append(id, &frame)
+    }
+
+    /// Write-ahead append + sync of one event record.
+    fn log_event(&mut self, id: SessionId, record: &LogRecord) -> Result<(), StoreError> {
+        self.append_record(id, record)?;
+        self.backend.sync(id)
+    }
+
+    /// Post-apply bookkeeping: snapshot cadence and the live cap.
+    fn after_event(&mut self, id: SessionId, count: usize) -> Result<(), StoreError> {
+        let entry = self.entries.get_mut(&id.0).expect("caller touched");
+        entry.events_total += count as u64;
+        entry.events_since_snapshot += count;
+        if self.config.snapshot_every > 0
+            && entry.events_since_snapshot >= self.config.snapshot_every
+        {
+            self.snapshot(id)?;
+        }
+        self.enforce_live_cap(id);
+        Ok(())
+    }
+
+    /// Ensures `id` is registered and live, rehydrating from the log if
+    /// necessary, and stamps its LRU clock.
+    fn touch(&mut self, id: SessionId) -> Result<(), StoreError> {
+        if !self.entries.contains_key(&id.0) {
+            return Err(StoreError::UnknownSession(id));
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        if self.entries.get(&id.0).expect("checked").live.is_none() {
+            self.rehydrate(id)?;
+        }
+        self.entries.get_mut(&id.0).expect("checked").last_used = clock;
+        Ok(())
+    }
+
+    /// Rebuilds `id`'s engine from its durable log: scan frames, truncate
+    /// any corrupt tail, restore the last intact snapshot (or start from
+    /// the base specification) and replay the tail through the ordinary
+    /// ingestion paths.
+    fn rehydrate(&mut self, id: SessionId) -> Result<(), StoreError> {
+        let bytes = self.backend.read_log(id)?;
+        let (records, valid_len, error) = decode_log(&bytes);
+        if let Some(err) = error {
+            self.recovery.corrupt_truncations += 1;
+            self.recovery.truncated_bytes += (bytes.len() - valid_len) as u64;
+            if matches!(err, CodecError::BadCrc { .. }) {
+                self.recovery.checksum_failures += 1;
+            }
+            self.backend.truncate(id, valid_len as u64)?;
+            self.backend.sync(id)?;
+        }
+
+        let entry = self.entries.get(&id.0).expect("caller checked");
+        let base = entry.base.clone();
+        // Restore from the last usable snapshot; an unusable one (version
+        // accepted but inconsistent with the base) falls back to the next
+        // older snapshot, ultimately to a from-scratch replay — snapshots
+        // are an optimization, never the source of truth.
+        let mut start = 0;
+        let mut session = None;
+        for (i, rec) in records.iter().enumerate().rev() {
+            if let LogRecord::Snapshot(snap) = rec {
+                match ResolutionSession::restore(&self.config.resolution, &base, snap.state.clone())
+                {
+                    Ok(s) => {
+                        session = Some(s);
+                        start = i + 1;
+                        self.recovery.snapshots_used += 1;
+                        break;
+                    }
+                    Err(_) => continue,
+                }
+            }
+        }
+        let mut session = session
+            .unwrap_or_else(|| ResolutionSession::new_revisable(&self.config.resolution, &base));
+        session.set_revision_policy(self.config.policy);
+
+        let mut replayed = 0u64;
+        let mut since_snapshot = 0usize;
+        let mut total = 0u64;
+        for (i, rec) in records.iter().enumerate() {
+            if let LogRecord::Snapshot(_) = rec {
+                if i < start {
+                    continue;
+                }
+                // A snapshot past the restore point still resets cadence.
+                since_snapshot = 0;
+                continue;
+            }
+            total += 1;
+            if i < start {
+                continue;
+            }
+            since_snapshot += 1;
+            replayed += 1;
+            match rec {
+                LogRecord::Input(input) => {
+                    session.apply_input(input);
+                }
+                LogRecord::Causal(ev) => {
+                    session
+                        .ingest_causal(vec![ev.clone()])
+                        .expect("store policy is never Reject");
+                }
+                LogRecord::Revision(rev) => {
+                    session
+                        .absorb_revision(rev)
+                        .expect("store policy is never Reject");
+                }
+                LogRecord::Snapshot(_) => unreachable!("handled above"),
+            }
+        }
+
+        self.recovery.rehydrations += 1;
+        self.recovery.events_replayed += replayed;
+        let entry = self.entries.get_mut(&id.0).expect("caller checked");
+        entry.live = Some(session);
+        entry.events_total = total;
+        entry.events_since_snapshot = since_snapshot;
+        Ok(())
+    }
+
+    /// Evicts least-recently-used live sessions (never `keep`) until the
+    /// live count respects `max_live`.
+    fn enforce_live_cap(&mut self, keep: SessionId) {
+        if self.config.max_live == 0 {
+            return;
+        }
+        loop {
+            let live = self.entries.values().filter(|e| e.live.is_some()).count();
+            if live <= self.config.max_live {
+                return;
+            }
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(&k, e)| e.live.is_some() && k != keep.0)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k);
+            let Some(victim) = victim else { return };
+            let entry = self.entries.get_mut(&victim).expect("just found");
+            entry.live = None;
+            self.recovery.evictions += 1;
+        }
+    }
+}

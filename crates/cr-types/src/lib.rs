@@ -10,6 +10,7 @@
 //! small dependency-free [`csv`] module for dataset import/export.
 
 pub mod causal;
+pub mod codec;
 pub mod csv;
 pub mod entity;
 pub mod error;
@@ -19,6 +20,7 @@ pub mod tuple;
 pub mod value;
 
 pub use causal::{CausalStamp, Hlc, SourceClock, SourceId, VectorClock};
+pub use codec::{CodecError, Dec, Enc, FrameScanner};
 pub use entity::{EntityInstance, TupleId, NO_GLOBAL_VALUE};
 pub use error::TypesError;
 pub use interner::{
