@@ -48,6 +48,16 @@
 //! require nonzero duplicate-drops and buffering, zero quarantines on the
 //! clean streams, zero rebuilds, and exact convergence everywhere.
 //!
+//! The `ingest-batch` workload proves the **coalesced batch path** live:
+//! every entity's revision timeline is applied twice — event-at-a-time and
+//! as whole per-round batches (`apply_revision_batch`, one union-cone
+//! retraction + one replay per batch) — with the batched session, the
+//! sequential twin and a `SpecMirror` scratch reference compared after
+//! every batch, fanned out at the requested `--threads` width. The smoke
+//! gates fail the run on any batched-vs-sequential divergence, zero
+//! coalesced events (the single-replay saving never materialised), or any
+//! batch whose union cone undercuts its largest member cone.
+//!
 //! The `rehydrate` workload covers **durable sessions** (`cr-store`): a
 //! causal timeline is logged through a [`SessionStore`], the session is
 //! evicted and recovered — once by full log replay, once from the last
@@ -61,7 +71,7 @@
 //! repetitions, default 3), `--frac F` (constraint fraction, default 0.6),
 //! `--threads T` (parallel fan-out width, default = available cores; the
 //! smoke mode runs a serial-vs-parallel agreement pass at this width),
-//! `--out PATH` (default `BENCH_7.json`), `--smoke` (tiny CI mode: check
+//! `--out PATH` (default `BENCH_8.json`), `--smoke` (tiny CI mode: check
 //! agreement, compile-once, zero-rebuild, live-cone, parallel-path and
 //! durability invariants, skip the timing sweep).
 
@@ -75,7 +85,8 @@ use cr_core::causal::{
 };
 use cr_core::framework::{GroundTruthOracle, ResolutionConfig, Resolver};
 use cr_core::ingest::{
-    resolve_with_revisions_checked, Revision, RevisionPolicy, ScriptedRevisions,
+    check_session_against_scratch, diff_logical_states, resolve_with_revisions_checked,
+    ResolutionSession, Revision, RevisionPolicy, ScriptedRevisions, SpecMirror,
 };
 use cr_core::{compile_count, CompiledProgram, EncodeOptions, EncodedSpec, Specification};
 use cr_constraints::parser::{parse_cfd_file, parse_currency_file};
@@ -293,6 +304,158 @@ fn time_ingest(w: &IngestWorkload, rounds: usize, reps: usize, stats: &mut Inges
     best
 }
 
+/// Batched-ingestion telemetry summed over the `ingest-batch` differential
+/// (explicit zeros: a dead coalescing counter must be distinguishable from
+/// a clean run).
+#[derive(Clone, Copy, Default)]
+struct BatchStats {
+    batches: usize,
+    events: usize,
+    coalesced: usize,
+    cone_union: usize,
+    max_member_cone: usize,
+    replays_saved: usize,
+}
+
+/// Groups a scripted timeline into its per-round revision batches, in
+/// round order — the poll granularity `resolve_with_revisions` hands to
+/// `apply_revision_batch`.
+fn round_batches(timeline: &[(usize, Revision)]) -> Vec<Vec<Revision>> {
+    let mut rounds: std::collections::BTreeMap<usize, Vec<Revision>> =
+        std::collections::BTreeMap::new();
+    for (round, rev) in timeline {
+        rounds.entry(*round).or_default().push(rev.clone());
+    }
+    rounds.into_values().collect()
+}
+
+/// The batched-vs-sequential differential: every entity's timeline is
+/// applied per-round-batch to one session (`apply_revision_batch`: one
+/// union-cone retraction + one replay per batch) and event-at-a-time to a
+/// twin, with both checked against a [`SpecMirror`] scratch reference and
+/// against each other ([`diff_logical_states`]) after **every** batch.
+/// Entities are fanned out across `threads` OS threads so the CI width
+/// (`--threads 2`) exercises the batch path concurrently. Aborts the bench
+/// on any divergence or on a union cone smaller than its largest member
+/// cone (structurally impossible unless coalescing is broken).
+fn check_ingest_batch(w: &IngestWorkload, threads: usize) -> BatchStats {
+    let config = ResolutionConfig::default();
+    let jobs: Vec<(usize, &Specification, Vec<Vec<Revision>>)> = w
+        .specs
+        .iter()
+        .zip(&w.timelines)
+        .enumerate()
+        .map(|(i, (spec, timeline))| (i, spec, round_batches(timeline)))
+        .collect();
+    let chunk = jobs.len().div_ceil(threads.max(1));
+    let stats = std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .chunks(chunk.max(1))
+            .map(|chunk| {
+                let config = &config;
+                scope.spawn(move || {
+                    let mut stats = BatchStats::default();
+                    for (i, spec, batches) in chunk {
+                        let mut batched = ResolutionSession::new_revisable(config, spec);
+                        let mut twin = ResolutionSession::new_revisable(config, spec);
+                        let mut mirror = SpecMirror::new(spec);
+                        for batch in batches {
+                            let report =
+                                batched.apply_revision_batch(batch).unwrap_or_else(|e| {
+                                    eprintln!("  ingest-batch: entity {i}: batch rejected: {e}");
+                                    std::process::exit(1);
+                                });
+                            for rev in batch {
+                                twin.apply_revision(rev).unwrap_or_else(|e| {
+                                    eprintln!(
+                                        "  ingest-batch: entity {i}: sequential twin rejected: {e}"
+                                    );
+                                    std::process::exit(1);
+                                });
+                                mirror.apply(rev);
+                            }
+                            if report.union_cone < report.max_member_cone {
+                                eprintln!(
+                                    "  ingest-batch: entity {i}: union cone {} < largest member cone {}",
+                                    report.union_cone, report.max_member_cone
+                                );
+                                std::process::exit(1);
+                            }
+                            let check = check_session_against_scratch(&mut batched, &mirror)
+                                .and_then(|()| check_session_against_scratch(&mut twin, &mirror))
+                                .and_then(|()| {
+                                    diff_logical_states(&batched.state(), &twin.state())
+                                });
+                            if let Err(e) = check {
+                                eprintln!(
+                                    "  ingest-batch: BATCHED-VS-SEQUENTIAL DIVERGENCE on entity {i}: {e}"
+                                );
+                                std::process::exit(1);
+                            }
+                            stats.batches += 1;
+                            stats.events += report.applied;
+                            if report.applied >= 2 {
+                                stats.coalesced += report.applied;
+                                stats.replays_saved += report.applied - 1;
+                            }
+                            stats.cone_union += report.union_cone;
+                            stats.max_member_cone += report.max_member_cone;
+                        }
+                    }
+                    stats
+                })
+            })
+            .collect();
+        let mut total = BatchStats::default();
+        for h in handles {
+            let s = h.join().expect("ingest-batch worker panicked");
+            total.batches += s.batches;
+            total.events += s.events;
+            total.coalesced += s.coalesced;
+            total.cone_union += s.cone_union;
+            total.max_member_cone += s.max_member_cone;
+            total.replays_saved += s.replays_saved;
+        }
+        total
+    });
+    stats
+}
+
+/// Best-of-`reps` wall-clock seconds for one pass over the workload's
+/// timelines: event-at-a-time (`apply_revision`) vs whole-round batches
+/// (`apply_revision_batch`) — the per-event vs coalesced replay cost the
+/// report records.
+fn time_ingest_batch(w: &IngestWorkload, reps: usize) -> (f64, f64) {
+    let config = ResolutionConfig::default();
+    let batched_jobs: Vec<Vec<Vec<Revision>>> =
+        w.timelines.iter().map(|t| round_batches(t)).collect();
+    let mut per_event = f64::INFINITY;
+    let mut batched = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        for (spec, batches) in w.specs.iter().zip(&batched_jobs) {
+            let mut session = ResolutionSession::new_revisable(&config, spec);
+            for batch in batches {
+                for rev in batch {
+                    session.apply_revision(rev).expect("valid timeline");
+                }
+            }
+            std::hint::black_box(session.epoch());
+        }
+        per_event = per_event.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        for (spec, batches) in w.specs.iter().zip(&batched_jobs) {
+            let mut session = ResolutionSession::new_revisable(&config, spec);
+            for batch in batches {
+                session.apply_revision_batch(batch).expect("valid timeline");
+            }
+            std::hint::black_box(session.epoch());
+        }
+        batched = batched.min(t.elapsed().as_secs_f64());
+    }
+    (per_event, batched)
+}
+
 /// The causally-stamped chaos workload: the ingest schema/entities with
 /// vector-clocked timelines from two remote sources. The `zip` correction
 /// is delivered at round 1 — causally concurrent with the user's round-0
@@ -370,6 +533,7 @@ fn check_chaos(w: &ChaosWorkload, rounds: usize, seed: u64) -> ChaosStats {
     let drain_first = CausalReplayConfig {
         policy: RevisionPolicy::Reject,
         interact_while_streaming: false,
+        max_batch: 0,
     };
     let mut stats = ChaosStats::default();
     let t = Instant::now();
@@ -732,7 +896,7 @@ fn main() {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
         .max(1);
     let smoke = arg_flag("smoke");
-    let out = arg_value("out").unwrap_or_else(|| "BENCH_7.json".to_string());
+    let out = arg_value("out").unwrap_or_else(|| "BENCH_8.json".to_string());
 
     // Entity sizes follow the seed's Fig. 8(a) bins: NBA up to 135 tuples,
     // Person at 1/10 paper scale up to 200.
@@ -821,6 +985,11 @@ fn main() {
     // phase below).
     let ingest = ingest_workload(entities.clamp(2, 8));
     let mut ingest_stats = check_ingest(&ingest, rounds);
+
+    // Batched-vs-sequential differential at the requested thread width:
+    // run at setup for the same compile-once reason (the scratch mirrors
+    // compile their own programs).
+    let batch_stats = check_ingest_batch(&ingest, threads);
 
     // Causally-stamped chaos workload: all four delivery regimes are
     // resolved AND cross-checked here at setup, for the same reason —
@@ -962,6 +1131,37 @@ fn main() {
         );
     }
 
+    // Batched ingestion: divergence and cone gates already enforced inside
+    // `check_ingest_batch` (it aborts); report the coalescing telemetry and
+    // the per-event vs batched cost.
+    report.context("revisions/ingest-batch/batches", batch_stats.batches);
+    report.context("revisions/ingest-batch/events", batch_stats.events);
+    report.context("revisions/ingest-batch/events_coalesced", batch_stats.coalesced);
+    report.context("revisions/ingest-batch/cone_union", batch_stats.cone_union);
+    report.context("revisions/ingest-batch/max_member_cone", batch_stats.max_member_cone);
+    report.context("revisions/ingest-batch/replays_saved", batch_stats.replays_saved);
+    println!(
+        "{:>8}: {} batches / {} events, {} coalesced, union cones {} (members max {}), {} replays saved (batched ≡ sequential ≡ scratch verified, {} threads)",
+        "in-batch",
+        batch_stats.batches,
+        batch_stats.events,
+        batch_stats.coalesced,
+        batch_stats.cone_union,
+        batch_stats.max_member_cone,
+        batch_stats.replays_saved,
+        threads,
+    );
+    if !smoke {
+        let (per_event_secs, batched_secs) = time_ingest_batch(&ingest, reps);
+        report.measure("end_to_end/ingest-batch/per_event", per_event_secs);
+        report.measure("end_to_end/ingest-batch/batched", batched_secs);
+        println!(
+            "{:>8}: per-event {per_event_secs:.4}s -> batched {batched_secs:.4}s ({:.2}x)",
+            "in-batch",
+            per_event_secs / batched_secs.max(1e-9),
+        );
+    }
+
     // Causal chaos workload: telemetry with explicit zeros, convergence
     // already enforced by `check_chaos` (it aborts on divergence).
     total_rebuilds += chaos_stats.rebuilds;
@@ -1068,6 +1268,22 @@ fn main() {
     }
     if ingest_stats.events == 0 {
         eprintln!("FAIL: ingest workload applied no revision events");
+        std::process::exit(1);
+    }
+    // Coalescing gates: the batched path must actually merge multi-event
+    // rounds into single replays (its divergence and per-batch cone gates
+    // already ran inside `check_ingest_batch`).
+    if batch_stats.coalesced == 0 {
+        eprintln!(
+            "FAIL: ingest-batch coalesced no events (batched ingestion never merged a multi-event round)"
+        );
+        std::process::exit(1);
+    }
+    if batch_stats.cone_union < batch_stats.max_member_cone {
+        eprintln!(
+            "FAIL: ingest-batch union cones {} smaller than member cones {}",
+            batch_stats.cone_union, batch_stats.max_member_cone
+        );
         std::process::exit(1);
     }
     // Causal-stream gates: the chaos workload must actually exercise the

@@ -13,7 +13,15 @@
 //!    merging batches), both drain-first — must converge post-drain;
 //! 4. **corrupt injection** under the quarantine policy — exactly the
 //!    injected events must land in the quarantine log, and the clean
-//!    remainder must still converge.
+//!    remainder must still converge;
+//! 5. **per-event vs batched ingestion** — the canonical timeline is
+//!    re-run with `max_batch = 1` (every event its own batch) and must
+//!    reproduce the seeded-split baseline's exact outcome and trajectory.
+//!
+//! Each iteration seeds a batch split (`CausalReplayConfig::max_batch` ∈
+//! {0 = whole poll, 1 = per event, 2, 3}) applied to every regime, so the
+//! soak interleaves coalesced and event-at-a-time ingestion across seeds
+//! — delivered state must never depend on the partition.
 //!
 //! Exits nonzero on any convergence divergence, any quarantine in a clean
 //! run, a wrong quarantine count in the corrupt run, or any panic
@@ -36,6 +44,7 @@ use cr_data::gen::{causal_timeline, scenario_from_raw, CausalTimelineConfig, Sce
 struct Totals {
     scenarios: usize,
     events: usize,
+    coalesced: usize,
     duplicates: usize,
     buffered: usize,
     reopened: usize,
@@ -47,15 +56,11 @@ fn main() {
     let budget: f64 = arg_value("seconds").and_then(|v| v.parse().ok()).unwrap_or(60.0);
     let base_seed = arg_seed(1);
     let config = ResolutionConfig::default();
-    let interactive = CausalReplayConfig::default();
-    let drain_first =
-        CausalReplayConfig { policy: RevisionPolicy::Reject, interact_while_streaming: false };
-    let quarantine =
-        CausalReplayConfig { policy: RevisionPolicy::Quarantine, interact_while_streaming: false };
 
     let mut totals = Totals {
         scenarios: 0,
         events: 0,
+        coalesced: 0,
         duplicates: 0,
         buffered: 0,
         reopened: 0,
@@ -77,6 +82,23 @@ fn main() {
         let density = (seed / 96 % 100) as u32;
         let events = 2 + (seed / 7 % 6) as usize;
         let sources = 1 + (seed / 5 % 3) as usize;
+        // Seeded batch split, applied to every regime this iteration: 0
+        // ingests each poll as one coalesced batch, 1 degenerates to
+        // event-at-a-time, 2/3 chunk polls mid-stream. Delivered state
+        // must never depend on the partition.
+        let max_batch = (seed / 11 % 4) as usize;
+        let interactive = CausalReplayConfig { max_batch, ..CausalReplayConfig::default() };
+        let per_event = CausalReplayConfig { max_batch: 1, ..CausalReplayConfig::default() };
+        let drain_first = CausalReplayConfig {
+            policy: RevisionPolicy::Reject,
+            interact_while_streaming: false,
+            max_batch,
+        };
+        let quarantine = CausalReplayConfig {
+            policy: RevisionPolicy::Quarantine,
+            interact_while_streaming: false,
+            max_batch,
+        };
         let Scenario { spec, truth } =
             scenario_from_raw(seed, tuples, domain, density, iter.is_multiple_of(2));
         let timeline = causal_timeline(
@@ -86,6 +108,9 @@ fn main() {
                 sources,
                 events,
                 rounds: 3,
+                // Burst polls: generated rounds carry multi-event batches,
+                // so coalescing has real work across seeds.
+                burst: 1 + (seed / 17 % 3) as usize,
                 ..Default::default()
             },
         );
@@ -135,6 +160,22 @@ fn main() {
             std::process::exit(1);
         }
 
+        // 5: per-event vs batched ingestion of the same canonical stream —
+        // the partition must not leak into outcome or trajectory.
+        let pe = run(
+            ScriptedCausalRevisions::new(timeline.clone()),
+            &per_event,
+            "per-event",
+        );
+        diverged("per-event vs batched ingestion", &pe, &base);
+        if pe.interactions != base.interactions || pe.revisions.reopened != base.revisions.reopened
+        {
+            eprintln!(
+                "FAIL: seed {seed} iteration {iteration}: per-event trajectory diverged from batched (max_batch {max_batch})"
+            );
+            std::process::exit(1);
+        }
+
         // 3: adversarial delays, drain-first both sides.
         let base_df =
             run(ScriptedCausalRevisions::new(timeline.clone()), &drain_first, "drain-first");
@@ -174,18 +215,21 @@ fn main() {
 
         totals.scenarios += 1;
         totals.events += base.revisions.events;
+        totals.coalesced += base.revisions.events_coalesced;
         totals.duplicates += sp.revisions.duplicates_dropped + adv.revisions.duplicates_dropped;
         totals.buffered += adv.revisions.buffered + cor.revisions.buffered;
         totals.reopened += base.revisions.reopened;
         totals.quarantined += cor.revisions.quarantined;
-        totals.checks += base.checks + sp.checks + base_df.checks + adv.checks + cor.checks;
+        totals.checks +=
+            base.checks + sp.checks + pe.checks + base_df.checks + adv.checks + cor.checks;
     }
 
     println!(
-        "chaos soak OK: {} scenarios in {:.1}s — {} events applied, {} duplicates dropped, {} buffered, {} re-opened, {} corrupt quarantined, {} scratch-equivalence checks",
+        "chaos soak OK: {} scenarios in {:.1}s — {} events applied ({} coalesced), {} duplicates dropped, {} buffered, {} re-opened, {} corrupt quarantined, {} scratch-equivalence checks",
         totals.scenarios,
         start.elapsed().as_secs_f64(),
         totals.events,
+        totals.coalesced,
         totals.duplicates,
         totals.buffered,
         totals.reopened,

@@ -2,9 +2,11 @@
 //!
 //! Loops over randomized scenarios × causal timelines (with a user answer
 //! interleaved) for `--seconds` wall-clock seconds (default 60). Each
-//! iteration drives a [`SessionStore`] over a fault-injecting in-memory
+//! iteration seeds a **batch split** — causal events are ingested through
+//! the store per-event or coalesced into chunks of 2–3, interleaved across
+//! seeds — and drives a [`SessionStore`] over a fault-injecting in-memory
 //! backend, checkpointing the full storage state (log bytes + sync
-//! watermark) at **every** event boundary; each checkpoint is then crashed
+//! watermark) at **every** batch boundary; each checkpoint is then crashed
 //! five ways — clean cut, torn final write, truncated tail, bit flip, lost
 //! final fsync — and a fresh store must rehydrate the session to exactly
 //! what a from-scratch resolve of the surviving prefix produces
@@ -12,9 +14,13 @@
 //! true values, plus the full logical state).
 //!
 //! Hard expectations beyond the differential: a corrupt tail is truncated
-//! to the last valid frame and counted honestly; a lost fsync leaves an
-//! intact shorter log and must report **zero** checksum failures; a clean
-//! cut recovers with no truncation at all.
+//! to the last valid frame and counted honestly; a crash that strands
+//! events without their batch marker (e.g. a lost fsync reverting to the
+//! mid-batch sync point) is truncated further, to the previous **batch
+//! boundary** ([`cr_store::plan_replay`]), and counted as a partial-batch
+//! truncation; a lost fsync leaves an intact shorter log and must report
+//! **zero** checksum failures; a clean cut recovers with no truncation at
+//! all.
 //!
 //! Exits nonzero on any divergence, printing the failing **seed and
 //! iteration**. Designed for CI: `--seconds 45` keeps the step well under
@@ -30,8 +36,8 @@ use cr_core::spec::UserInput;
 use cr_core::ResolutionConfig;
 use cr_data::gen::{causal_timeline, scenario_from_raw, CausalTimelineConfig, Scenario};
 use cr_store::{
-    decode_log, reference_of, verify_recovery, Fault, FaultyBackend, MemoryBackend, SessionId,
-    SessionStore, StorageBackend, StoreConfig,
+    decode_log_offsets, plan_replay, reference_of, verify_recovery, Fault, FaultyBackend,
+    LogRecord, MemoryBackend, SessionId, SessionStore, StorageBackend, StoreConfig,
 };
 use cr_types::AttrId;
 
@@ -39,7 +45,7 @@ const ID: SessionId = SessionId(1);
 
 enum Step {
     Input(UserInput),
-    Causal(CausalRevision),
+    Causal(Vec<CausalRevision>),
 }
 
 struct Totals {
@@ -93,11 +99,19 @@ fn main() {
                 sources,
                 events,
                 rounds: 3,
+                // Burst polls: generated rounds carry multi-event batches.
+                burst: 1 + (seed / 17 % 3) as usize,
                 ..Default::default()
             },
         );
+        // Seeded batch split: 1 ingests event-at-a-time, 2/3 coalesce
+        // consecutive events into one atomic store batch. Interleaved
+        // across seeds so recovery sees both granularities.
+        let chunk = 1 + (seed / 13 % 3) as usize;
+        let events_only: Vec<CausalRevision> =
+            timeline.into_iter().map(|(_, ev)| ev).collect();
         let mut steps: Vec<Step> =
-            timeline.into_iter().map(|(_, ev)| Step::Causal(ev)).collect();
+            events_only.chunks(chunk).map(|c| Step::Causal(c.to_vec())).collect();
         let mut input = UserInput::empty();
         input.values.insert(AttrId(1), truth.get(AttrId(1)).clone());
         steps.insert(steps.len() / 3, Step::Input(input));
@@ -115,8 +129,8 @@ fn main() {
                 Step::Input(input) => {
                     store.apply_input(ID, input).unwrap();
                 }
-                Step::Causal(ev) => {
-                    store.ingest_causal(ID, vec![ev.clone()]).unwrap();
+                Step::Causal(batch) => {
+                    store.ingest_causal(ID, batch.clone()).unwrap();
                 }
             }
             checkpoints.push(store.backend().clone());
@@ -137,8 +151,22 @@ fn main() {
                 let mut crashed = checkpoint.clone();
                 crashed.crash(ID, fault).unwrap();
                 let bytes = crashed.read_log(ID).unwrap();
-                let (records, valid_len, scan_error) = decode_log(&bytes);
+                let (offsets, valid_len, scan_error) = decode_log_offsets(&bytes);
+                let records: Vec<LogRecord> =
+                    offsets.iter().map(|(rec, _)| rec.clone()).collect();
                 let lost = (bytes.len() - valid_len) as u64;
+                // The batch boundary recovery must restore the log to: the
+                // end of the last record a marker (or input/snapshot)
+                // committed. Frame-intact events past it are an
+                // uncommitted batch and must be cut too.
+                let plan = plan_replay(&records);
+                let boundary_len = if plan.used_records == 0 {
+                    0
+                } else {
+                    offsets[plan.used_records - 1].1
+                };
+                let partial_bytes = (valid_len - boundary_len) as u64;
+                let dropped_run = plan.used_records < records.len();
 
                 let mut reference =
                     reference_of(&config, RevisionPolicy::Quarantine, &spec, &records);
@@ -169,18 +197,26 @@ fn main() {
                 };
                 match scan_error {
                     Some(_) => {
-                        if t.corrupt_truncations != 1 || t.truncated_bytes != lost {
+                        if t.corrupt_truncations != 1
+                            || t.truncated_bytes != lost + partial_bytes
+                        {
                             fail("corrupt tail not truncated/counted honestly");
-                        }
-                        if recovered.log_len(ID).unwrap() != valid_len as u64 {
-                            fail("log not truncated to the last valid frame");
                         }
                     }
                     None => {
                         if t.corrupt_truncations != 0 || t.checksum_failures != 0 {
                             fail("clean log reported corruption");
                         }
+                        if t.truncated_bytes != partial_bytes {
+                            fail("partial-batch bytes not counted honestly");
+                        }
                     }
+                }
+                if t.partial_batch_truncations != u64::from(dropped_run) {
+                    fail("partial-batch truncation miscounted");
+                }
+                if recovered.log_len(ID).unwrap() != boundary_len as u64 {
+                    fail("log not truncated to the batch boundary");
                 }
                 if matches!(fault, Fault::LostSync) && scan_error.is_some() {
                     fail("lost fsync must leave an intact (shorter) log");

@@ -370,11 +370,22 @@ pub struct CausalReplayConfig {
     /// (within-round reorder, duplicates), and late concurrent corrections
     /// exercise the re-open path.
     pub interact_while_streaming: bool,
+    /// Maximum events per [`ResolutionSession::ingest_causal`] call: `0`
+    /// feeds the whole poll as one batch (the production shape — one
+    /// union-cone engine pass per poll), `1` feeds events one at a time
+    /// (each a batch of one), `k` splits the poll into chunks of at most
+    /// `k`. Soaks seed this to interleave batched and per-event
+    /// ingestion; the delivered state must not depend on it.
+    pub max_batch: usize,
 }
 
 impl Default for CausalReplayConfig {
     fn default() -> Self {
-        CausalReplayConfig { policy: RevisionPolicy::Reject, interact_while_streaming: true }
+        CausalReplayConfig {
+            policy: RevisionPolicy::Reject,
+            interact_while_streaming: true,
+            max_batch: 0,
+        }
     }
 }
 
@@ -448,9 +459,25 @@ pub fn resolve_causal_checked(
     loop {
         let events = source.poll(round, session.current());
         let telemetry_before = session.revision_telemetry();
-        let effective = session
-            .ingest_causal(events)
-            .map_err(|e| format!("causal revision rejected: {e}"))?;
+        let effective = if causal.max_batch == 0 || events.len() <= causal.max_batch {
+            session
+                .ingest_causal(events)
+                .map_err(|e| format!("causal revision rejected: {e}"))?
+        } else {
+            // Seeded batch split: the poll is fed in chunks of at most
+            // `max_batch` events, interleaving batched and per-event
+            // ingestion — the delivered state must be identical either way
+            // (the scratch check below proves it).
+            let mut effective = Vec::new();
+            for chunk in events.chunks(causal.max_batch) {
+                effective.extend(
+                    session
+                        .ingest_causal(chunk.to_vec())
+                        .map_err(|e| format!("causal revision rejected: {e}"))?,
+                );
+            }
+            effective
+        };
         for rev in &effective {
             mirror.apply(rev);
         }
@@ -469,6 +496,11 @@ pub fn resolve_causal_checked(
             report.revision_events = after.events - telemetry_before.events;
             report.revision_invalidated = after.invalidated - telemetry_before.invalidated;
             report.revision_quarantined = after.quarantined - telemetry_before.quarantined;
+            report.revision_coalesced =
+                after.events_coalesced - telemetry_before.events_coalesced;
+            report.revision_cone_union = after.cone_union - telemetry_before.cone_union;
+            report.revision_replays_saved =
+                after.replays_saved - telemetry_before.replays_saved;
             report.competing = session.take_competing();
             round_reports.push(report);
         }

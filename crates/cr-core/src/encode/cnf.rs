@@ -1125,6 +1125,15 @@ impl EncodedSpec {
             .collect()
     }
 
+    /// Whether `group` is still active (not yet retracted). The engine's
+    /// tail sync consults this so clauses emitted for a group that was
+    /// retracted *later in the same batch* are never fed live to the
+    /// group-aware propagator — the solver side is already safe because
+    /// the group's `¬g` unit travels in the same tail.
+    pub fn is_group_active(&self, group: GroupId) -> bool {
+        self.groups[group as usize].active
+    }
+
     /// The group and guard variable of CNF clause `idx`, or `None` for
     /// permanent clauses. Used by the engine to strip guard literals when
     /// syncing its group-aware unit propagator.

@@ -196,6 +196,16 @@ pub struct RoundReport {
     /// [`RevisionPolicy`](crate::ingest::RevisionPolicy) (0 on clean
     /// streams and without a revision source).
     pub revision_quarantined: usize,
+    /// Revision events of this round that shared a multi-event batch's
+    /// single settle/replay/re-emission pass (0 when every poll held at
+    /// most one event).
+    pub revision_coalesced: usize,
+    /// Deduplicated union-cone size of this round's multi-event batches —
+    /// groups retracted in one coalesced replay.
+    pub revision_cone_union: usize,
+    /// Settle + provenance-replay passes the round's batching saved over
+    /// event-at-a-time ingestion.
+    pub revision_replays_saved: usize,
     /// Cells holding causally-concurrent competing candidates after this
     /// round's revision drain — the branch tips (plus any re-opened local
     /// answer) a caller should present to the user instead of a bare
@@ -219,6 +229,9 @@ impl RoundReport {
             revision_events: 0,
             revision_invalidated: 0,
             revision_quarantined: 0,
+            revision_coalesced: 0,
+            revision_cone_union: 0,
+            revision_replays_saved: 0,
             competing: Vec::new(),
         }
     }
@@ -435,37 +448,44 @@ impl Resolver {
             // (0) Drain the correction stream: upstream events that arrived
             // since the last round are absorbed before validity is
             // re-checked (their retraction cones replay here).
-            let (revision_events, revision_invalidated, revision_quarantined) =
-                match source.as_deref_mut() {
-                    Some(src) => {
-                        let revs = src.poll(round, session.current());
-                        let before = session.revision_telemetry();
-                        for rev in &revs {
-                            // The production session runs under its
-                            // degradation policy (default: quarantine), so
-                            // a malformed event is logged and counted, not
-                            // propagated.
-                            session
-                                .absorb_revision(rev)
-                                .expect("default policy never rejects");
-                        }
-                        let after = session.revision_telemetry();
-                        (
-                            after.events - before.events,
-                            after.invalidated - before.invalidated,
-                            after.quarantined - before.quarantined,
-                        )
+            let revision_deltas = match source.as_deref_mut() {
+                Some(src) => {
+                    let revs = src.poll(round, session.current());
+                    let before = session.revision_telemetry();
+                    if !revs.is_empty() {
+                        // The whole poll is one batch: one union-cone
+                        // settle/replay/re-emission pass regardless of the
+                        // poll size. The production session runs under its
+                        // degradation policy (default: quarantine), so a
+                        // malformed event is logged and counted, not
+                        // propagated.
+                        session
+                            .apply_revision_batch(&revs)
+                            .expect("default policy never rejects");
                     }
-                    None => (0, 0, 0),
-                };
+                    let after = session.revision_telemetry();
+                    (
+                        after.events - before.events,
+                        after.invalidated - before.invalidated,
+                        after.quarantined - before.quarantined,
+                        after.events_coalesced - before.events_coalesced,
+                        after.cone_union - before.cone_union,
+                        after.replays_saved - before.replays_saved,
+                    )
+                }
+                None => (0, 0, 0, 0, 0, 0),
+            };
             // Competing-candidate cells drained once per round (populated
             // only by causally-stamped streams; empty here unless a custom
             // driver interleaved `ingest_causal` calls).
             let mut competing = session.take_competing();
             let mut stamp_revisions = |report: &mut RoundReport| {
-                report.revision_events = revision_events;
-                report.revision_invalidated = revision_invalidated;
-                report.revision_quarantined = revision_quarantined;
+                report.revision_events = revision_deltas.0;
+                report.revision_invalidated = revision_deltas.1;
+                report.revision_quarantined = revision_deltas.2;
+                report.revision_coalesced = revision_deltas.3;
+                report.revision_cone_union = revision_deltas.4;
+                report.revision_replays_saved = revision_deltas.5;
                 report.competing = std::mem::take(&mut competing);
             };
 
@@ -534,6 +554,9 @@ impl Resolver {
                 revision_events: 0,
                 revision_invalidated: 0,
                 revision_quarantined: 0,
+                revision_coalesced: 0,
+                revision_cone_union: 0,
+                revision_replays_saved: 0,
                 competing: Vec::new(),
             };
             stamp_revisions(&mut report);
@@ -691,6 +714,9 @@ impl Resolver {
                 revision_events: 0,
                 revision_invalidated: 0,
                 revision_quarantined: 0,
+                revision_coalesced: 0,
+                revision_cone_union: 0,
+                revision_replays_saved: 0,
                 competing: Vec::new(),
             });
             if input.is_empty() {

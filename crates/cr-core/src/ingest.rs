@@ -101,10 +101,64 @@
 //! leak into the re-opened attribute's query surface. A later re-answer
 //! re-activates values through the ordinary extension path, identical to a
 //! fresh answer on a specification that never held the withdrawn one.
+//!
+//! # Batched ingestion and the union-cone equivalence
+//!
+//! A bursty upstream delivers many corrections per poll. Applying them
+//! one at a time pays one propagator settle and one provenance replay
+//! *per event*; the batch path ([`ResolutionSession::apply_revision_batch`],
+//! the staged [`ResolutionSession::begin_batch`] API, and everything
+//! routed through [`ResolutionSession::ingest_causal`]) pays them once
+//! per batch. Events are validated and folded into the specification and
+//! the encoding strictly in event order — identical checks, identical
+//! quarantine decisions, identical spec mutations as the sequential
+//! path, because every mid-stream decision (validation, the re-open
+//! predicate, the write-log LWW pick) reads only spec-level state, never
+//! the solver or the propagator. What is deferred to the seal is
+//! exclusively the *engine* work: the per-event retraction cones are
+//! collected into one deduplicated **union cone**, and the seal performs
+//! a single `retract_groups(union)` + revived-value redelivery + solver
+//! and propagator tail sync + guard-assumption refresh.
+//!
+//! Why one union replay is equivalent to N sequential replays: group
+//! retraction is idempotent and order-independent — a clause group is
+//! dead iff its guard's `¬g` unit is in the CNF, and the `¬g` units the
+//! batch appends are exactly the union of the per-event retraction sets
+//! (encoding mutations never retract a group twice, so the union is a
+//! disjoint union). The propagator's provenance replay is a function of
+//! *(synced clause set, retracted set)*: replaying the union once
+//! invalidates exactly the union of the per-event cones, and the
+//! re-derivation fixpoint over the final clause set is the same fixpoint
+//! the sequential path reaches after its last event. One hazard is
+//! specific to batching: a group can be freshly *emitted* by event `i`
+//! and retracted by event `j > i` before any tail sync ran. The solver
+//! side is safe unconditionally (the group's `¬g` unit travels in the
+//! same tail); the propagator-side tail sync skips clauses whose group is
+//! already inactive ([`EncodedSpec::is_group_active`]) so it never
+//! ingests a live clause of a dead group.
+//!
+//! # Epoch-snapshot reads
+//!
+//! The session carries a monotone [`cr_types::Epoch`], sealed once per
+//! committed mutation batch (an input round, a revision batch that
+//! applied at least one event). The staged batch API
+//! ([`ResolutionSession::begin_batch`] / [`ResolutionSession::batch_push`]
+//! / [`ResolutionSession::seal_batch`]) captures a copy-on-write summary
+//! of the *settled* outcome — validity, deduced orders, true values,
+//! undrained competing cells — before opening the batch; while the batch
+//! is mid-flight, `is_valid`, `deduce`, `true_values` and
+//! `take_competing` answer from that sealed snapshot, so a reader never
+//! observes a half-applied batch. Sealed reads are equivalent to
+//! quiescent reads at the previous epoch by construction: the snapshot
+//! *is* the quiescent answer, captured while the engine was settled, and
+//! nothing mutates it afterwards. The atomic wrappers
+//! (`apply_revision_batch`, `ingest_causal`) hold `&mut self` for the
+//! whole batch — their intermediate states are unobservable, so they
+//! skip the capture and pay nothing for it.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use cr_types::{AttrId, EntityInstance, SourceId, Tuple, TupleId, Value, VectorClock};
+use cr_types::{AttrId, EntityInstance, Epoch, SourceId, Tuple, TupleId, Value, VectorClock};
 
 use crate::causal::{CausalFrontier, CausalRevision, FrontierState};
 use crate::orders::PartialOrders;
@@ -113,7 +167,7 @@ use crate::deduce::{
     deduce_order, deduce_order_from, deduce_order_recording, naive_deduce_recording,
     naive_deduce_with, DeducedOrders,
 };
-use crate::encode::{EncodeOptions, EncodedSpec, ExtendOutcome, RecordingAxiomSource};
+use crate::encode::{EncodeOptions, EncodedSpec, ExtendOutcome, GroupId, RecordingAxiomSource};
 use crate::framework::{DeductionMethod, ResolutionConfig, UserOracle};
 use crate::spec::{Specification, UserInput};
 use crate::suggest::{suggest_with_engine, Suggestion};
@@ -330,6 +384,21 @@ pub struct RevisionTelemetry {
     /// ([`ResolutionSession::set_quarantine_cap`]) — a hostile stream can
     /// grow the *count*, never the memory.
     pub quarantine_evicted: usize,
+    /// Revision batches sealed with at least one applied event (a
+    /// per-event apply counts as a batch of one).
+    pub batches: usize,
+    /// Events that shared a multi-event batch's single settle + replay +
+    /// re-emission pass: Σ of the applied sizes of every sealed batch
+    /// with ≥ 2 applied events. 0 means ingestion never actually
+    /// coalesced anything.
+    pub events_coalesced: usize,
+    /// Deduplicated union-cone sizes of multi-event batches: groups
+    /// retracted in one pass where a sequential ingest would have spread
+    /// them over per-event replays.
+    pub cone_union: usize,
+    /// Settle + provenance-replay passes saved by coalescing: Σ over
+    /// multi-event batches of (applied events − 1).
+    pub replays_saved: usize,
 }
 
 /// Competing concurrent candidates observed on one cell while ingesting
@@ -350,6 +419,61 @@ pub struct CompetingCell {
     /// The competing `(asserting source, value)` candidates, branch tips
     /// first, the withdrawn local answer (if any) last.
     pub candidates: Vec<(SourceId, Value)>,
+}
+
+/// Outcome of one sealed revision batch
+/// ([`ResolutionSession::apply_revision_batch`] /
+/// [`ResolutionSession::seal_batch`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// The epoch the seal advanced to (unchanged if nothing applied).
+    pub epoch: Epoch,
+    /// Events pushed into the batch (applied + degraded).
+    pub events: usize,
+    /// Events that applied (validated and folded into the session).
+    pub applied: usize,
+    /// Size of the deduplicated union retraction cone replayed at the
+    /// seal. Structurally ≥ `max_member_cone`: every member cone is a
+    /// subset of the union.
+    pub union_cone: usize,
+    /// Largest single-event retraction cone in the batch.
+    pub max_member_cone: usize,
+    /// Root literals invalidated by the single union replay.
+    pub invalidated: usize,
+}
+
+/// Engine bookkeeping of one open revision batch: the deferred union
+/// retraction cone plus the watermarks per-batch telemetry is computed
+/// from at the seal.
+struct BatchState {
+    /// Deduplicated union of the groups retracted by the batch's events.
+    union: BTreeSet<GroupId>,
+    /// Largest single-event retraction cone staged so far.
+    max_member: usize,
+    /// Events pushed (applied + failed validation).
+    pushed: usize,
+    /// Events that applied (validated; spec + encoding mutated).
+    applied: usize,
+    /// CNF clause count at batch open (re-emission delta).
+    clauses_before: usize,
+    /// Propagator invalidation counter at batch open (cone-size delta).
+    invalidated_before: usize,
+}
+
+/// The copy-on-write settled-outcome summary captured by
+/// [`ResolutionSession::begin_batch`]; mid-flight snapshot reads answer
+/// from it.
+struct SealedOutcome {
+    /// The epoch the summary was captured at.
+    epoch: Epoch,
+    /// Validity at the sealed epoch.
+    valid: bool,
+    /// Deduced orders at the sealed epoch (`None` iff invalid).
+    orders: Option<DeducedOrders>,
+    /// True values at the sealed epoch (`None` iff invalid).
+    values: Option<TrueValues>,
+    /// The undrained competing-cell buffer at the sealed epoch.
+    competing: Vec<CompetingCell>,
 }
 
 /// Round-persistent state of the incremental resolution path: the extended
@@ -396,6 +520,16 @@ pub struct ResolutionSession {
     /// answer time — what decides whether a late correction is concurrent
     /// with (and may re-open) an accepted answer.
     answers: BTreeMap<AttrId, AcceptedAnswer>,
+    /// Monotone session version: advanced once per committed mutation
+    /// batch (an absorbed input round, a sealed revision batch that
+    /// applied at least one event).
+    epoch: Epoch,
+    /// Engine bookkeeping of the open revision batch, if any.
+    batch: Option<BatchState>,
+    /// Sealed-epoch snapshot mid-flight reads answer from; `Some` only
+    /// between [`ResolutionSession::begin_batch`] and
+    /// [`ResolutionSession::seal_batch`].
+    sealed: Option<SealedOutcome>,
 }
 
 /// One accepted user answer, with the causal knowledge it was given under.
@@ -464,6 +598,9 @@ impl ResolutionSession {
             competing: Vec::new(),
             frontier: CausalFrontier::new(),
             answers: BTreeMap::new(),
+            epoch: Epoch::ZERO,
+            batch: None,
+            sealed: None,
         }
     }
 
@@ -514,7 +651,16 @@ impl ResolutionSession {
     /// causally-concurrent branch tips, or whose accepted answer a
     /// concurrent correction re-opened. Surfaced per round through
     /// [`crate::framework::RoundReport::competing`].
+    ///
+    /// While a staged batch is mid-flight this is a **non-destructive
+    /// snapshot read**: it returns the sealed epoch's buffer without
+    /// draining the live one (cells the open batch already recorded are
+    /// drained after the seal, so nothing is lost or double-consumed on
+    /// the quiescent path).
     pub fn take_competing(&mut self) -> Vec<CompetingCell> {
+        if self.batch.is_some() {
+            return self.sealed_snapshot().competing.clone();
+        }
         std::mem::take(&mut self.competing)
     }
 
@@ -564,6 +710,14 @@ impl ResolutionSession {
             let idx = from + i;
             match enc.clause_group(idx) {
                 Some((group, guard)) => {
+                    // A group can be retracted *after* emission but before
+                    // this sync (event j of a batch retracting a group
+                    // event i freshly emitted). Its clauses must never
+                    // enter the propagator live — the solver side is
+                    // neutralised by the group's ¬g unit in the same tail.
+                    if !enc.is_group_active(group) {
+                        continue;
+                    }
                     let stripped: Vec<cr_sat::Lit> =
                         clause.iter().copied().filter(|l| l.var() != guard).collect();
                     up.add_clause_grouped(&stripped, group);
@@ -609,6 +763,10 @@ impl ResolutionSession {
     /// tuple/orders and the encoding by the delta clauses. Returns the size
     /// of the induced order extension `|Ot|` added.
     pub fn apply_input(&mut self, input: &UserInput) -> usize {
+        assert!(
+            self.batch.is_none(),
+            "apply_input mid-batch: seal the open revision batch first"
+        );
         let (extended, to, added) = self.current.apply_user_input(input);
         // Record each accepted answer with the causal knowledge it was
         // given under (the frontier's delivered vector): a later correction
@@ -650,6 +808,7 @@ impl ResolutionSession {
                 let competing = std::mem::take(&mut self.competing);
                 let frontier = std::mem::take(&mut self.frontier);
                 let answers = std::mem::take(&mut self.answers);
+                let epoch = self.epoch;
                 *self = ResolutionSession::new(&self.config, &extended);
                 self.rebuilds = rebuilds;
                 self.injected_carry = injected_carry;
@@ -660,9 +819,13 @@ impl ResolutionSession {
                 self.competing = competing;
                 self.frontier = frontier;
                 self.answers = answers;
+                self.epoch = epoch;
             }
         }
         self.current = extended;
+        // An absorbed input round is a committed mutation batch of its
+        // own: it seals an epoch.
+        self.epoch = self.epoch.next();
         added
     }
 
@@ -767,24 +930,35 @@ impl ResolutionSession {
         Ok(())
     }
 
-    /// Absorbs one upstream correction **without rebuilding**: the event's
-    /// stale clause groups are retracted (guard units through the ordinary
-    /// clause tail), the unit propagator replays exactly the retracted
-    /// derivation cone (rolling its lazy cursor back by the invalidated
-    /// prefix), and the disturbed constraints re-emit through the compiled
-    /// program. Requires a session opened with
-    /// [`ResolutionSession::new_revisable`].
-    ///
-    /// Returns a typed [`RevisionError`] (leaving the session untouched)
-    /// when the event fails validation; see
-    /// [`ResolutionSession::absorb_revision`] for the policy-driven wrapper.
-    pub fn apply_revision(&mut self, rev: &Revision) -> Result<(), RevisionError> {
-        self.validate_revision(rev)?;
-        // Settle pending propagation first so the retraction can replay
-        // its provenance cone instead of resetting the fixpoint.
+    /// Opens the engine-side batch bookkeeping: settles the propagator
+    /// (so the seal's union replay can use provenance cones instead of a
+    /// full reset) and starts collecting retraction cones. Every engine
+    /// sync is deferred to [`ResolutionSession::close_batch`].
+    fn open_batch(&mut self) {
+        assert!(self.batch.is_none(), "revision batch already open");
         self.settle_propagator();
-        let clauses_before = self.enc.cnf().num_clauses();
-        let invalidated_before = self.up.replay_stats().1;
+        self.batch = Some(BatchState {
+            union: BTreeSet::new(),
+            max_member: 0,
+            pushed: 0,
+            applied: 0,
+            clauses_before: self.enc.cnf().num_clauses(),
+            invalidated_before: self.up.replay_stats().1,
+        });
+    }
+
+    /// Validates and stages one event into the open batch. The
+    /// specification and the encoding mutate immediately and in event
+    /// order — later events validate against the updated state, exactly
+    /// like the sequential path — while the event's retraction cone only
+    /// joins the deferred union. An `Err` leaves the session untouched by
+    /// the offending event.
+    fn push_revision(&mut self, rev: &Revision) -> Result<(), RevisionError> {
+        self.batch
+            .as_mut()
+            .expect("push_revision requires an open batch")
+            .pushed += 1;
+        self.validate_revision(rev)?;
         let groups = match rev {
             Revision::RetractCfd { cfd } => {
                 // `current` keeps Γ intact: the encoding flags the entry
@@ -822,19 +996,218 @@ impl ResolutionSession {
                 }
             }
         };
-        // Provenance-scoped replay: undo exactly the retracted cone, then
-        // pick the re-emitted groups up through the ordinary tail sync.
-        self.up.retract_groups(&groups);
+        let batch = self.batch.as_mut().expect("open batch outlives the push");
+        batch.applied += 1;
+        batch.max_member = batch.max_member.max(groups.len());
+        batch.union.extend(groups);
+        Ok(())
+    }
+
+    /// Seals the open batch with the single deferred engine pass (see the
+    /// module docs for the union-cone equivalence argument): one
+    /// provenance replay over the deduplicated union cone, one
+    /// revived-value redelivery, one solver + propagator tail sync, one
+    /// guard-assumption refresh — regardless of how many events were
+    /// pushed. A batch that applied nothing is a no-op and does not
+    /// advance the epoch.
+    fn close_batch(&mut self) -> BatchReport {
+        let batch = self.batch.take().expect("close_batch requires an open batch");
+        if batch.applied == 0 {
+            return BatchReport {
+                epoch: self.epoch,
+                events: batch.pushed,
+                ..BatchReport::default()
+            };
+        }
+        let union: Vec<GroupId> = batch.union.iter().copied().collect();
+        // Provenance-scoped replay: undo exactly the union of the
+        // retracted cones, then pick the re-emitted groups up through the
+        // ordinary tail sync.
+        self.up.retract_groups(&union);
         self.redeliver_revived();
         self.sync_solver();
         self.synced_up = Self::sync_propagator(&mut self.up, &self.enc, self.synced_up);
         self.solver.set_persistent_assumptions(self.enc.active_guards());
-        self.revisions.events += 1;
-        self.revisions.retracted_groups += groups.len();
-        self.revisions.invalidated += self.up.replay_stats().1 - invalidated_before;
+        let invalidated = self.up.replay_stats().1 - batch.invalidated_before;
+        self.revisions.events += batch.applied;
+        self.revisions.retracted_groups += union.len();
+        self.revisions.invalidated += invalidated;
         self.revisions.reemitted_clauses +=
-            self.enc.cnf().num_clauses() - clauses_before;
-        Ok(())
+            self.enc.cnf().num_clauses() - batch.clauses_before;
+        self.revisions.batches += 1;
+        if batch.applied > 1 {
+            self.revisions.events_coalesced += batch.applied;
+            self.revisions.cone_union += union.len();
+            self.revisions.replays_saved += batch.applied - 1;
+        }
+        self.epoch = self.epoch.next();
+        BatchReport {
+            epoch: self.epoch,
+            events: batch.pushed,
+            applied: batch.applied,
+            union_cone: union.len(),
+            max_member_cone: batch.max_member,
+            invalidated,
+        }
+    }
+
+    /// Absorbs one upstream correction **without rebuilding**: the event's
+    /// stale clause groups are retracted (guard units through the ordinary
+    /// clause tail), the unit propagator replays exactly the retracted
+    /// derivation cone (rolling its lazy cursor back by the invalidated
+    /// prefix), and the disturbed constraints re-emit through the compiled
+    /// program. Requires a session opened with
+    /// [`ResolutionSession::new_revisable`]. Internally a batch of one —
+    /// per-event and batched ingestion share a single code path.
+    ///
+    /// Returns a typed [`RevisionError`] (leaving the session untouched)
+    /// when the event fails validation; see
+    /// [`ResolutionSession::absorb_revision`] for the policy-driven wrapper.
+    pub fn apply_revision(&mut self, rev: &Revision) -> Result<(), RevisionError> {
+        self.open_batch();
+        let result = self.push_revision(rev);
+        self.close_batch();
+        result
+    }
+
+    /// Absorbs a whole poll batch in one engine pass: events validate and
+    /// fold into the specification strictly in event order (identical
+    /// decisions to N sequential [`ResolutionSession::apply_revision`]
+    /// calls), but the engine pays a single union-cone
+    /// settle/replay/re-emission at the seal. Invalid events degrade per
+    /// the session [`RevisionPolicy`]; under [`RevisionPolicy::Reject`]
+    /// the already-pushed prefix is sealed (matching the sequential
+    /// prefix-applied semantics) and the first error is returned.
+    pub fn apply_revision_batch(
+        &mut self,
+        revs: &[Revision],
+    ) -> Result<BatchReport, RevisionError> {
+        self.absorb_revision_batch(revs).map(|(report, _)| report)
+    }
+
+    /// [`ResolutionSession::apply_revision_batch`] with per-event outcome
+    /// flags (`true` = applied, `false` = degraded per policy) — what a
+    /// replay harness needs to mirror exactly the applied subset.
+    pub fn absorb_revision_batch(
+        &mut self,
+        revs: &[Revision],
+    ) -> Result<(BatchReport, Vec<bool>), RevisionError> {
+        self.open_batch();
+        let mut applied = Vec::with_capacity(revs.len());
+        for rev in revs {
+            match self.push_revision(rev) {
+                Ok(()) => applied.push(true),
+                Err(err) => match self.policy {
+                    RevisionPolicy::Reject => {
+                        self.close_batch();
+                        return Err(err);
+                    }
+                    RevisionPolicy::Quarantine => {
+                        self.quarantine_push(rev.clone(), err);
+                        applied.push(false);
+                    }
+                    RevisionPolicy::BestEffort => {
+                        self.revisions.quarantined += 1;
+                        applied.push(false);
+                    }
+                },
+            }
+        }
+        Ok((self.close_batch(), applied))
+    }
+
+    /// Opens a **staged** batch with snapshot reads: captures a
+    /// copy-on-write summary of the settled outcome at the current epoch
+    /// — validity, deduced orders, true values, undrained competing cells
+    /// — then opens the batch. Until [`ResolutionSession::seal_batch`],
+    /// reads ([`ResolutionSession::is_valid`],
+    /// [`ResolutionSession::deduce`], [`ResolutionSession::true_values`],
+    /// [`ResolutionSession::take_competing`]) answer from the captured
+    /// summary, so a reader never observes the half-applied batch. Push
+    /// events with [`ResolutionSession::batch_push`].
+    pub fn begin_batch(&mut self) {
+        assert!(self.batch.is_none(), "revision batch already open");
+        self.sealed = Some(self.seal_outcome());
+        self.open_batch();
+    }
+
+    /// Pushes one event into the staged batch opened by
+    /// [`ResolutionSession::begin_batch`], degrading invalid events per
+    /// the session policy: `Ok(true)` applied, `Ok(false)` degraded,
+    /// `Err` only under [`RevisionPolicy::Reject`].
+    pub fn batch_push(&mut self, rev: &Revision) -> Result<bool, RevisionError> {
+        assert!(self.batch.is_some(), "batch_push requires begin_batch");
+        match self.push_revision(rev) {
+            Ok(()) => Ok(true),
+            Err(err) => match self.policy {
+                RevisionPolicy::Reject => Err(err),
+                RevisionPolicy::Quarantine => {
+                    self.quarantine_push(rev.clone(), err);
+                    Ok(false)
+                }
+                RevisionPolicy::BestEffort => {
+                    self.revisions.quarantined += 1;
+                    Ok(false)
+                }
+            },
+        }
+    }
+
+    /// Seals the staged batch: performs the single union-cone engine
+    /// pass, advances the epoch (if anything applied) and drops the read
+    /// snapshot — subsequent reads see the new epoch live.
+    pub fn seal_batch(&mut self) -> BatchReport {
+        assert!(self.batch.is_some(), "seal_batch requires begin_batch");
+        let report = self.close_batch();
+        self.sealed = None;
+        report
+    }
+
+    /// Computes the settled-outcome summary at the current (quiescent)
+    /// epoch: validity, deduced orders (unit propagation), true values
+    /// and a copy of the undrained competing-cell buffer.
+    fn seal_outcome(&mut self) -> SealedOutcome {
+        debug_assert!(self.batch.is_none(), "seal_outcome requires a quiescent engine");
+        let valid = self.is_valid();
+        let (orders, values) = if valid {
+            let od = self
+                .deduce(DeductionMethod::UnitPropagation)
+                .expect("deduction cannot conflict on a valid specification");
+            let tv = self.true_values(&od);
+            (Some(od), Some(tv))
+        } else {
+            (None, None)
+        };
+        SealedOutcome {
+            epoch: self.epoch,
+            valid,
+            orders,
+            values,
+            competing: self.competing.clone(),
+        }
+    }
+
+    /// The sealed snapshot mid-flight reads answer from. Only the staged
+    /// `begin_batch` path supports mid-flight reads; the atomic wrappers
+    /// hold `&mut self` for the whole batch, so their intermediate states
+    /// are unobservable and carry no snapshot.
+    fn sealed_snapshot(&self) -> &SealedOutcome {
+        self.sealed
+            .as_ref()
+            .expect("mid-flight reads are only supported for staged batches (begin_batch)")
+    }
+
+    /// The session's current epoch: the number of committed mutation
+    /// batches (input rounds + sealed revision batches that applied at
+    /// least one event) absorbed so far.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// The epoch mid-flight snapshot reads answer against while a staged
+    /// batch is open (`None` when quiescent or inside an atomic wrapper).
+    pub fn sealed_epoch(&self) -> Option<Epoch> {
+        self.sealed.as_ref().map(|s| s.epoch)
     }
 
     /// Policy-driven [`ResolutionSession::apply_revision`]: a valid event
@@ -872,6 +1245,11 @@ impl ResolutionSession {
     /// application order — exactly what a [`SpecMirror`] must replay to
     /// stay equivalent. `Err` is only possible under
     /// [`RevisionPolicy::Reject`].
+    ///
+    /// The whole poll is one revision batch: every delivered event
+    /// (including buffered predecessors the frontier just released)
+    /// stages into a single batch, and the engine pays one union-cone
+    /// settle/replay/re-emission pass at the seal (module docs).
     pub fn ingest_causal(
         &mut self,
         events: Vec<CausalRevision>,
@@ -880,6 +1258,7 @@ impl ResolutionSession {
         self.revisions.duplicates_dropped = self.frontier.duplicates_dropped();
         self.revisions.buffered = self.frontier.buffered_events();
         let mut effective = Vec::new();
+        self.open_batch();
         for ev in delivered {
             match &ev.rev {
                 Revision::ReplaceValue { tuple, attr, value } => {
@@ -888,7 +1267,14 @@ impl ResolutionSession {
                     // branch-tip state (its stamp already advanced the
                     // frontier, so the source stays deliverable).
                     if let Err(err) = self.validate_revision(&ev.rev) {
-                        self.degrade(ev.rev.clone(), err)?;
+                        // push_revision's attempt counter never saw this
+                        // event; account it so `BatchReport::events` still
+                        // covers degraded deliveries.
+                        self.batch.as_mut().expect("open batch").pushed += 1;
+                        if let Err(err) = self.degrade(ev.rev.clone(), err) {
+                            self.close_batch();
+                            return Err(err);
+                        }
                         continue;
                     }
                     // Re-open: the accepted answer did not causally see
@@ -904,7 +1290,7 @@ impl ResolutionSession {
                     if let Some((answer_tuple, answer_value)) = reopen {
                         let withdraw =
                             Revision::WithdrawAnswer { attr: *attr, tuple: answer_tuple };
-                        self.apply_revision(&withdraw)
+                        self.push_revision(&withdraw)
                             .expect("recorded answer tuple is always in range");
                         self.revisions.reopened += 1;
                         withdrawn_answer = Some(answer_value);
@@ -919,19 +1305,24 @@ impl ResolutionSession {
                             attr: *attr,
                             value: canonical,
                         };
-                        self.apply_revision(&rev)
+                        self.push_revision(&rev)
                             .expect("canonical write was validated above");
                         effective.push(rev);
                     }
                     self.record_competing(*tuple, *attr, withdrawn_answer);
                 }
-                _ => {
-                    if self.absorb_revision(&ev.rev)? {
-                        effective.push(ev.rev);
+                _ => match self.push_revision(&ev.rev) {
+                    Ok(()) => effective.push(ev.rev),
+                    Err(err) => {
+                        if let Err(err) = self.degrade(ev.rev.clone(), err) {
+                            self.close_batch();
+                            return Err(err);
+                        }
                     }
-                }
+                },
             }
         }
+        self.close_batch();
         Ok(effective)
     }
 
@@ -988,7 +1379,14 @@ impl ResolutionSession {
 
     /// Step (1) of Fig. 4 on the warm engine: is the current specification
     /// valid?
+    ///
+    /// While a staged batch is mid-flight this answers at the **sealed
+    /// epoch** (the snapshot captured by
+    /// [`ResolutionSession::begin_batch`]) — never the half-applied state.
     pub fn is_valid(&mut self) -> bool {
+        if self.batch.is_some() {
+            return self.sealed_snapshot().valid;
+        }
         self.sync_solver();
         let ResolutionSession { enc, solver, .. } = self;
         let sat = if enc.options().is_lazy() {
@@ -1004,7 +1402,15 @@ impl ResolutionSession {
     }
 
     /// Step (2) of Fig. 4: deduce implied value orders on the warm engine.
+    ///
+    /// While a staged batch is mid-flight this returns the **sealed
+    /// epoch's** deduced orders (`None` iff that epoch was invalid); the
+    /// requested `method` is irrelevant to a snapshot — nothing is
+    /// recomputed.
     pub fn deduce(&mut self, method: DeductionMethod) -> Option<DeducedOrders> {
+        if self.batch.is_some() {
+            return self.sealed_snapshot().orders.clone();
+        }
         match method {
             DeductionMethod::UnitPropagation => {
                 self.synced_up = Self::sync_propagator(&mut self.up, &self.enc, self.synced_up);
@@ -1033,13 +1439,28 @@ impl ResolutionSession {
     }
 
     /// True values extracted from deduced orders (live-masked tops).
+    ///
+    /// While a staged batch is mid-flight this returns the **sealed
+    /// epoch's** true values and ignores `od` (the sealed values pair
+    /// with the sealed orders); an invalid sealed epoch yields the
+    /// all-unresolved vector.
     pub fn true_values(&self, od: &DeducedOrders) -> TrueValues {
+        if self.batch.is_some() {
+            let sealed = self.sealed_snapshot();
+            return sealed.values.clone().unwrap_or_else(|| {
+                TrueValues::new(vec![None; self.current.schema().arity()])
+            });
+        }
         true_values_from_orders(&self.enc, od)
     }
 
     /// Step (4) of Fig. 4: a suggestion against the warm solver, recording
     /// probe/repair axiom injections into the shared CNF.
     pub fn suggest(&mut self, od: &DeducedOrders, known: &TrueValues) -> Suggestion {
+        assert!(
+            self.batch.is_none(),
+            "suggest requires a sealed epoch: close the open revision batch first"
+        );
         self.sync_solver();
         let (sug, solver_synced) = {
             let ResolutionSession { current, enc, solver, .. } = self;
@@ -1054,10 +1475,10 @@ impl ResolutionSession {
     /// specification it was opened on: the current entity rows and order
     /// pairs (user input and value corrections folded in), retired CFD
     /// indices, accepted answers with their causal dependency vectors, the
-    /// full delivery frontier, and the revision telemetry. Engine internals
-    /// (CNF, solver, propagator) are *derived* state and deliberately
-    /// excluded; so is the quarantine log (its telemetry count persists,
-    /// and replaying the tail re-quarantines tail events).
+    /// full delivery frontier, the undrained competing-cell buffer, the
+    /// quarantine log and its cap, the session epoch, and the revision
+    /// telemetry. Engine internals (CNF, solver, propagator) are *derived*
+    /// state and deliberately excluded.
     pub fn state(&self) -> SessionState {
         let orders = self
             .current
@@ -1089,6 +1510,10 @@ impl ResolutionSession {
                 .collect(),
             frontier: self.frontier.state(),
             telemetry: self.revisions,
+            competing: self.competing.clone(),
+            quarantine: self.quarantine.clone(),
+            quarantine_cap: self.quarantine_cap,
+            epoch: self.epoch,
         }
     }
 
@@ -1154,6 +1579,14 @@ impl ResolutionSession {
                 .insert(a.attr, AcceptedAnswer { tuple: a.tuple, value: a.value, deps: a.deps });
         }
         session.frontier = CausalFrontier::from_state(state.frontier);
+        // Buffers the snapshot captured verbatim: the undrained competing
+        // cells, the quarantine log and its bound, and the epoch — a
+        // rehydrated session must not silently lose what its twin still
+        // holds (the eviction/rehydration state-loss regression).
+        session.competing = state.competing;
+        session.quarantine = state.quarantine;
+        session.quarantine_cap = state.quarantine_cap;
+        session.epoch = state.epoch;
         // The snapshot's cumulative telemetry replaces the restore-time
         // bookkeeping (the CFD retractions above counted as fresh events).
         session.revisions = state.telemetry;
@@ -1198,6 +1631,15 @@ pub struct SessionState {
     pub frontier: FrontierState,
     /// Cumulative revision telemetry at snapshot time.
     pub telemetry: RevisionTelemetry,
+    /// Undrained competing-candidate cells (the
+    /// [`ResolutionSession::take_competing`] buffer).
+    pub competing: Vec<CompetingCell>,
+    /// Quarantined `(revision, error)` pairs, bounded by `quarantine_cap`.
+    pub quarantine: Vec<(Revision, RevisionError)>,
+    /// The quarantine-log bound at snapshot time.
+    pub quarantine_cap: usize,
+    /// The session epoch at snapshot time.
+    pub epoch: Epoch,
 }
 
 /// The *post-revision* specification, materialised: the mirror a checked
@@ -1286,8 +1728,16 @@ pub struct CheckedReplay {
 /// coincide with a fresh eager encoding of the [`SpecMirror`]. Returns an
 /// error describing the first divergence, if any.
 ///
-/// This is the harness behind `tests/` and the `ingest` smoke invariant of
-/// `bench_incremental`; the unchecked production path is
+/// The primary session absorbs each poll through the **batched** path
+/// ([`ResolutionSession::apply_revision_batch`]); an event-at-a-time twin
+/// absorbs the same events through [`ResolutionSession::apply_revision`],
+/// and both are checked against the scratch mirror *and* against each
+/// other on the full logical state ([`diff_logical_states`]) — the
+/// three-way batched ≡ sequential ≡ scratch differential.
+///
+/// This is the harness behind `tests/` and the `ingest`/`ingest-batch`
+/// smoke invariants of `bench_incremental`; the unchecked production path
+/// is
 /// [`Resolver::resolve_with_revisions`](crate::framework::Resolver::resolve_with_revisions).
 pub fn resolve_with_revisions_checked(
     config: &ResolutionConfig,
@@ -1296,6 +1746,7 @@ pub fn resolve_with_revisions_checked(
     source: &mut dyn RevisionSource,
 ) -> Result<CheckedReplay, String> {
     let mut session = ResolutionSession::new_revisable(config, spec);
+    let mut twin = ResolutionSession::new_revisable(config, spec);
     let mut mirror = SpecMirror::new(spec);
     let mut interactions = 0;
     let mut checks = 0;
@@ -1306,15 +1757,20 @@ pub fn resolve_with_revisions_checked(
     for round in 0..=config.max_rounds {
         let revs = source.poll(round, session.current());
         let had_revisions = !revs.is_empty();
-        for rev in &revs {
-            session
-                .apply_revision(rev)
-                .map_err(|e| format!("scripted revision rejected: {e} ({rev:?})"))?;
-            mirror.apply(rev);
-        }
         if had_revisions {
+            session
+                .apply_revision_batch(&revs)
+                .map_err(|e| format!("scripted revision rejected by batch: {e}"))?;
+            for rev in &revs {
+                twin.apply_revision(rev)
+                    .map_err(|e| format!("scripted revision rejected: {e} ({rev:?})"))?;
+                mirror.apply(rev);
+            }
             check_session_against_scratch(&mut session, &mirror)?;
-            checks += 1;
+            check_session_against_scratch(&mut twin, &mirror)?;
+            diff_logical_states(&session.state(), &twin.state())
+                .map_err(|e| format!("batched vs sequential ingestion diverged: {e}"))?;
+            checks += 2;
         }
 
         if !session.is_valid() {
@@ -1336,13 +1792,17 @@ pub fn resolve_with_revisions_checked(
         }
         interactions += 1;
         session.apply_input(&input);
+        twin.apply_input(&input);
         mirror.apply_input(&input);
     }
 
     // Final state check — covers the case where the last event batch
     // arrived on the closing round.
     check_session_against_scratch(&mut session, &mirror)?;
-    checks += 1;
+    check_session_against_scratch(&mut twin, &mirror)?;
+    diff_logical_states(&session.state(), &twin.state())
+        .map_err(|e| format!("batched vs sequential ingestion diverged at close: {e}"))?;
+    checks += 2;
 
     Ok(CheckedReplay {
         complete: last_values.complete(),
@@ -1353,6 +1813,68 @@ pub fn resolve_with_revisions_checked(
         replay_stats: session.replays(),
         checks,
     })
+}
+
+/// Compares the batching-independent fields of two [`SessionState`]s:
+/// entity rows, order pairs, retired CFDs, accepted answers, the causal
+/// frontier, the competing-cell buffer, the quarantine log and its cap,
+/// plus the delivery-level telemetry that must not depend on how events
+/// were partitioned into batches (applied events, duplicates, buffering,
+/// quarantining, re-opens, evictions). Engine-cost counters (invalidated
+/// cones, re-emitted clauses) and the batch-shape counters (batches,
+/// coalescing, epoch) legitimately differ between batched and sequential
+/// ingestion of the same stream and are excluded.
+pub fn diff_logical_states(a: &SessionState, b: &SessionState) -> Result<(), String> {
+    if a.tuples != b.tuples {
+        return Err(format!("entity rows diverged: {:?} vs {:?}", a.tuples, b.tuples));
+    }
+    if a.orders != b.orders {
+        return Err(format!("order pairs diverged: {:?} vs {:?}", a.orders, b.orders));
+    }
+    if a.retired_cfds != b.retired_cfds {
+        return Err(format!(
+            "retired CFDs diverged: {:?} vs {:?}",
+            a.retired_cfds, b.retired_cfds
+        ));
+    }
+    if a.answers != b.answers {
+        return Err(format!("answers diverged: {:?} vs {:?}", a.answers, b.answers));
+    }
+    if a.frontier != b.frontier {
+        return Err(format!("frontier diverged: {:?} vs {:?}", a.frontier, b.frontier));
+    }
+    if a.competing != b.competing {
+        return Err(format!(
+            "competing cells diverged: {:?} vs {:?}",
+            a.competing, b.competing
+        ));
+    }
+    if a.quarantine != b.quarantine {
+        return Err(format!(
+            "quarantine logs diverged: {:?} vs {:?}",
+            a.quarantine, b.quarantine
+        ));
+    }
+    if a.quarantine_cap != b.quarantine_cap {
+        return Err(format!(
+            "quarantine caps diverged: {} vs {}",
+            a.quarantine_cap, b.quarantine_cap
+        ));
+    }
+    let ta = &a.telemetry;
+    let tb = &b.telemetry;
+    let pick = |t: &RevisionTelemetry| {
+        (t.events, t.duplicates_dropped, t.buffered, t.quarantined, t.reopened,
+         t.quarantine_evicted)
+    };
+    if pick(ta) != pick(tb) {
+        return Err(format!(
+            "delivery telemetry diverged: {:?} vs {:?}",
+            pick(ta),
+            pick(tb)
+        ));
+    }
+    Ok(())
 }
 
 /// One engine-vs-scratch equivalence check: encode the mirror's

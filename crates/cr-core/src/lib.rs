@@ -59,9 +59,10 @@ pub use causal::{
     CausalRevision, CausalRevisionSource, FrontierState, ScriptedCausalRevisions,
 };
 pub use ingest::{
-    check_session_against_scratch, resolve_with_revisions_checked, AnswerState, CheckedReplay,
-    CompetingCell, ResolutionSession, Revision, RevisionError, RevisionPolicy, RevisionSource,
-    RevisionTelemetry, ScriptedRevisions, SessionState, SpecMirror, DEFAULT_QUARANTINE_CAP,
+    check_session_against_scratch, diff_logical_states, resolve_with_revisions_checked,
+    AnswerState, BatchReport, CheckedReplay, CompetingCell, ResolutionSession, Revision,
+    RevisionError, RevisionPolicy, RevisionSource, RevisionTelemetry, ScriptedRevisions,
+    SessionState, SpecMirror, DEFAULT_QUARANTINE_CAP,
 };
 pub use implication::{explain_invalidity, implies, ConflictPart};
 pub use isvalid::{is_valid, is_valid_encoded, Validity};

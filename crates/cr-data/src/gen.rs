@@ -280,6 +280,11 @@ pub struct RevisionTimelineConfig {
     pub events: usize,
     /// Rounds `0..rounds` over which the events are spread.
     pub rounds: usize,
+    /// Batch-size knob: consecutive events are assigned to the *same*
+    /// round in runs of `1..=burst`, so each poll hands the session a
+    /// multi-event batch of roughly this size. `0`/`1` draw every event's
+    /// round independently (the legacy per-event shape).
+    pub burst: usize,
     /// Generate `RetractCfd` events (each CFD at most once).
     pub retract_cfds: bool,
     /// Generate `WithdrawOrder` events on the initial base orders.
@@ -300,6 +305,7 @@ impl Default for RevisionTimelineConfig {
             seed: 0,
             events: 4,
             rounds: 4,
+            burst: 1,
             retract_cfds: true,
             withdraw_orders: true,
             replace_values: true,
@@ -366,8 +372,18 @@ pub fn revision_timeline(
     let mut events: Vec<(usize, Revision)> = Vec::new();
     let mut fresh = 0usize;
     let rounds = cfg.rounds.max(1);
+    // Burst state: `run_left` events still owed to `run_round` before the
+    // next round draw — this is what makes polls multi-event batches.
+    let burst = cfg.burst.max(1);
+    let mut run_round = 0usize;
+    let mut run_left = 0usize;
     for _ in 0..cfg.events {
-        let round = r.gen_range(0..rounds);
+        if run_left == 0 {
+            run_round = r.gen_range(0..rounds);
+            run_left = if burst > 1 { 1 + r.gen_range(0..burst) } else { 1 };
+        }
+        run_left -= 1;
+        let round = run_round;
         // Pick an event kind with remaining candidates; replacement is
         // always available on non-empty entities.
         let kind = r.gen_range(0..3u32);
@@ -439,6 +455,11 @@ pub struct CausalTimelineConfig {
     /// (nondecreasing with generation order, so canonical delivery is
     /// causally clean — zero buffering, zero duplicates).
     pub rounds: usize,
+    /// Batch-size knob: round slots are drawn in runs of `1..=burst`
+    /// events sharing one round, so each poll delivers a multi-event
+    /// batch of roughly this size. `0`/`1` draw every slot independently
+    /// (the legacy per-event shape).
+    pub burst: usize,
     /// Per-event probability that the emitting source first observes
     /// another source's latest stamp (a causal dependency).
     pub sync_density: f64,
@@ -459,6 +480,7 @@ impl Default for CausalTimelineConfig {
             sources: 3,
             events: 6,
             rounds: 3,
+            burst: 1,
             sync_density: 0.35,
             retract_cfds: true,
             withdraw_orders: true,
@@ -496,8 +518,18 @@ pub fn causal_timeline(
 
     // Canonical rounds: draw then sort, so generation order (= causal
     // order) is nondecreasing in rounds and delivers without buffering.
+    // Bursts draw one round for a run of up to `burst` events, so polls
+    // carry multi-event batches (sorting keeps runs contiguous).
     let rounds = cfg.rounds.max(1);
-    let mut slots: Vec<usize> = (0..cfg.events).map(|_| r.gen_range(0..rounds)).collect();
+    let burst = cfg.burst.max(1);
+    let mut slots: Vec<usize> = Vec::with_capacity(cfg.events);
+    while slots.len() < cfg.events {
+        let round = r.gen_range(0..rounds);
+        let run = if burst > 1 { 1 + r.gen_range(0..burst) } else { 1 };
+        for _ in 0..run.min(cfg.events - slots.len()) {
+            slots.push(round);
+        }
+    }
     slots.sort_unstable();
 
     let mut events: Vec<(usize, CausalRevision)> = Vec::new();

@@ -9,26 +9,33 @@
 //! the version policy.
 
 use cr_core::causal::{CausalRevision, FrontierState};
-use cr_core::ingest::{AnswerState, Revision, RevisionTelemetry, SessionState};
+use cr_core::ingest::{
+    AnswerState, CompetingCell, Revision, RevisionError, RevisionTelemetry, SessionState,
+};
 use cr_core::spec::UserInput;
 use cr_types::codec::{
     decode_hlc, decode_source, decode_stamp, decode_value, decode_vclock, encode_hlc,
     encode_source, encode_stamp, encode_value, encode_vclock, CodecError, Dec, Enc,
     FrameScanner,
 };
-use cr_types::{AttrId, TupleId};
+use cr_types::{AttrId, Epoch, TupleId};
 
 /// Current record format version. Bumped on any incompatible encoding
 /// change; decoders reject unknown versions with a typed error.
-pub const FORMAT_VERSION: u8 = 1;
+///
+/// *v2*: batch-boundary markers ([`LogRecord::BatchMark`]), coalescing
+/// telemetry counters, and the competing / quarantine / epoch fields of
+/// [`SessionState`].
+pub const FORMAT_VERSION: u8 = 2;
 
 const TAG_INPUT: u8 = 0;
 const TAG_CAUSAL: u8 = 1;
 const TAG_REVISION: u8 = 2;
 const TAG_SNAPSHOT: u8 = 3;
+const TAG_BATCH: u8 = 4;
 
-/// One durable log record: an input the session absorbed, or a snapshot of
-/// its logical state.
+/// One durable log record: an input the session absorbed, a batch-commit
+/// marker, or a snapshot of its logical state.
 #[derive(Clone, Debug, PartialEq)]
 pub enum LogRecord {
     /// One round of user answers.
@@ -37,6 +44,18 @@ pub enum LogRecord {
     Causal(CausalRevision),
     /// One plain (unstamped) revision.
     Revision(Revision),
+    /// Commits the run of `Causal`/`Revision` records appended since the
+    /// previous non-event record as **one atomic revision batch**. The
+    /// marker is appended *after* its events are applied, so a crash
+    /// mid-batch leaves an unterminated run that recovery drops and
+    /// physically truncates — rehydration always lands exactly on a batch
+    /// boundary. Fields are diagnostic, not decoding inputs.
+    BatchMark {
+        /// The session epoch after the batch sealed.
+        epoch: u64,
+        /// Event records the marker commits.
+        events: u64,
+    },
     /// A periodic snapshot; rehydration replays only the records after the
     /// last one. Boxed: a snapshot dwarfs the event variants.
     Snapshot(Box<SnapshotRecord>),
@@ -232,6 +251,10 @@ fn encode_telemetry(e: &mut Enc, t: &RevisionTelemetry) {
     e.put_varint(t.quarantined as u64);
     e.put_varint(t.reopened as u64);
     e.put_varint(t.quarantine_evicted as u64);
+    e.put_varint(t.batches as u64);
+    e.put_varint(t.events_coalesced as u64);
+    e.put_varint(t.cone_union as u64);
+    e.put_varint(t.replays_saved as u64);
 }
 
 fn decode_telemetry(d: &mut Dec<'_>) -> Result<RevisionTelemetry, CodecError> {
@@ -245,7 +268,98 @@ fn decode_telemetry(d: &mut Dec<'_>) -> Result<RevisionTelemetry, CodecError> {
         quarantined: get_usize(d)?,
         reopened: get_usize(d)?,
         quarantine_evicted: get_usize(d)?,
+        batches: get_usize(d)?,
+        events_coalesced: get_usize(d)?,
+        cone_union: get_usize(d)?,
+        replays_saved: get_usize(d)?,
     })
+}
+
+const ERR_UNKNOWN_CFD: u8 = 0;
+const ERR_STALE_CFD: u8 = 1;
+const ERR_UNKNOWN_ATTR: u8 = 2;
+const ERR_UNKNOWN_TUPLE: u8 = 3;
+const ERR_UNKNOWN_ORDER: u8 = 4;
+
+/// Encodes a [`RevisionError`] body (tag byte + variant fields).
+pub fn encode_revision_error(e: &mut Enc, err: &RevisionError) {
+    match err {
+        RevisionError::UnknownCfd { cfd, gamma_len } => {
+            e.put_u8(ERR_UNKNOWN_CFD);
+            e.put_varint(*cfd as u64);
+            e.put_varint(*gamma_len as u64);
+        }
+        RevisionError::StaleCfd { cfd } => {
+            e.put_u8(ERR_STALE_CFD);
+            e.put_varint(*cfd as u64);
+        }
+        RevisionError::UnknownAttr { attr, arity } => {
+            e.put_u8(ERR_UNKNOWN_ATTR);
+            put_attr(e, *attr);
+            e.put_varint(*arity as u64);
+        }
+        RevisionError::UnknownTuple { tuple, len } => {
+            e.put_u8(ERR_UNKNOWN_TUPLE);
+            put_tuple(e, *tuple);
+            e.put_varint(*len as u64);
+        }
+        RevisionError::UnknownOrder { attr, lo, hi } => {
+            e.put_u8(ERR_UNKNOWN_ORDER);
+            put_attr(e, *attr);
+            put_tuple(e, *lo);
+            put_tuple(e, *hi);
+        }
+    }
+}
+
+/// Decodes a [`RevisionError`] body.
+pub fn decode_revision_error(d: &mut Dec<'_>) -> Result<RevisionError, CodecError> {
+    match d.u8()? {
+        ERR_UNKNOWN_CFD => {
+            Ok(RevisionError::UnknownCfd { cfd: get_usize(d)?, gamma_len: get_usize(d)? })
+        }
+        ERR_STALE_CFD => Ok(RevisionError::StaleCfd { cfd: get_usize(d)? }),
+        ERR_UNKNOWN_ATTR => {
+            Ok(RevisionError::UnknownAttr { attr: get_attr(d)?, arity: get_usize(d)? })
+        }
+        ERR_UNKNOWN_TUPLE => {
+            Ok(RevisionError::UnknownTuple { tuple: get_tuple(d)?, len: get_usize(d)? })
+        }
+        ERR_UNKNOWN_ORDER => Ok(RevisionError::UnknownOrder {
+            attr: get_attr(d)?,
+            lo: get_tuple(d)?,
+            hi: get_tuple(d)?,
+        }),
+        tag => Err(CodecError::BadTag { what: "RevisionError", tag }),
+    }
+}
+
+fn encode_competing(e: &mut Enc, c: &CompetingCell) {
+    put_tuple(e, c.tuple);
+    put_attr(e, c.attr);
+    e.put_u8(u8::from(c.reopened));
+    e.put_varint(c.candidates.len() as u64);
+    for (source, value) in &c.candidates {
+        encode_source(e, *source);
+        encode_value(e, value);
+    }
+}
+
+fn decode_competing(d: &mut Dec<'_>) -> Result<CompetingCell, CodecError> {
+    let tuple = get_tuple(d)?;
+    let attr = get_attr(d)?;
+    let reopened = match d.u8()? {
+        0 => false,
+        1 => true,
+        tag => return Err(CodecError::BadTag { what: "bool", tag }),
+    };
+    let mut candidates = Vec::new();
+    for _ in 0..get_usize(d)? {
+        let source = decode_source(d)?;
+        let value = decode_value(d)?;
+        candidates.push((source, value));
+    }
+    Ok(CompetingCell { tuple, attr, reopened, candidates })
 }
 
 /// Encodes a [`SessionState`] body.
@@ -276,6 +390,17 @@ pub fn encode_session_state(e: &mut Enc, s: &SessionState) {
     }
     encode_frontier(e, &s.frontier);
     encode_telemetry(e, &s.telemetry);
+    e.put_varint(s.competing.len() as u64);
+    for cell in &s.competing {
+        encode_competing(e, cell);
+    }
+    e.put_varint(s.quarantine.len() as u64);
+    for (rev, err) in &s.quarantine {
+        encode_revision(e, rev);
+        encode_revision_error(e, err);
+    }
+    e.put_varint(s.quarantine_cap as u64);
+    e.put_varint(s.epoch.0);
 }
 
 /// Decodes a [`SessionState`] body.
@@ -306,6 +431,16 @@ pub fn decode_session_state(d: &mut Dec<'_>) -> Result<SessionState, CodecError>
     }
     s.frontier = decode_frontier(d)?;
     s.telemetry = decode_telemetry(d)?;
+    for _ in 0..get_usize(d)? {
+        s.competing.push(decode_competing(d)?);
+    }
+    for _ in 0..get_usize(d)? {
+        let rev = decode_revision(d)?;
+        let err = decode_revision_error(d)?;
+        s.quarantine.push((rev, err));
+    }
+    s.quarantine_cap = get_usize(d)?;
+    s.epoch = Epoch(d.varint()?);
     Ok(s)
 }
 
@@ -328,6 +463,11 @@ impl LogRecord {
                 e.put_u8(TAG_REVISION);
                 encode_revision(&mut e, rev);
             }
+            LogRecord::BatchMark { epoch, events } => {
+                e.put_u8(TAG_BATCH);
+                e.put_varint(*epoch);
+                e.put_varint(*events);
+            }
             LogRecord::Snapshot(snap) => {
                 e.put_u8(TAG_SNAPSHOT);
                 e.put_varint(snap.events_covered);
@@ -349,6 +489,11 @@ impl LogRecord {
             TAG_INPUT => LogRecord::Input(decode_input(&mut d)?),
             TAG_CAUSAL => LogRecord::Causal(decode_causal(&mut d)?),
             TAG_REVISION => LogRecord::Revision(decode_revision(&mut d)?),
+            TAG_BATCH => {
+                let epoch = d.varint()?;
+                let events = d.varint()?;
+                LogRecord::BatchMark { epoch, events }
+            }
             TAG_SNAPSHOT => {
                 let events_covered = d.varint()?;
                 let state = decode_session_state(&mut d)?;
@@ -360,9 +505,10 @@ impl LogRecord {
         Ok(rec)
     }
 
-    /// True iff the record is an event (input/revision), not a snapshot.
+    /// True iff the record is an event (input/revision) — not a snapshot
+    /// and not a batch marker.
     pub fn is_event(&self) -> bool {
-        !matches!(self, LogRecord::Snapshot(_))
+        !matches!(self, LogRecord::Snapshot(_) | LogRecord::BatchMark { .. })
     }
 }
 
@@ -372,6 +518,15 @@ impl LogRecord {
 /// the truncation point recovery restores the log to — and `error` is the
 /// corruption that stopped the scan (`None` on a clean log).
 pub fn decode_log(bytes: &[u8]) -> (Vec<LogRecord>, usize, Option<CodecError>) {
+    let (records, valid_len, error) = decode_log_offsets(bytes);
+    (records.into_iter().map(|(rec, _)| rec).collect(), valid_len, error)
+}
+
+/// Like [`decode_log`], but each record rides with the byte offset just
+/// past its frame — the log length to truncate to in order to keep exactly
+/// that prefix. Recovery uses the offsets to cut an unterminated trailing
+/// batch run back to its batch boundary.
+pub fn decode_log_offsets(bytes: &[u8]) -> (Vec<(LogRecord, usize)>, usize, Option<CodecError>) {
     let mut scanner = FrameScanner::new(bytes);
     let mut records = Vec::new();
     let mut valid_len = 0;
@@ -379,13 +534,126 @@ pub fn decode_log(bytes: &[u8]) -> (Vec<LogRecord>, usize, Option<CodecError>) {
         match scanner.next() {
             Ok(Some(payload)) => match LogRecord::decode(payload) {
                 Ok(rec) => {
-                    records.push(rec);
                     valid_len = scanner.valid_len();
+                    records.push((rec, valid_len));
                 }
                 Err(e) => return (records, valid_len, Some(e)),
             },
             Ok(None) => return (records, valid_len, None),
             Err(e) => return (records, valid_len, Some(e)),
+        }
+    }
+}
+
+/// One step of a batch-boundary-respecting replay of recovered records.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReplayStep {
+    /// One round of user answers.
+    Input(UserInput),
+    /// A marker-committed run of causal events, replayed as one
+    /// [`ingest_causal`](cr_core::ingest::ResolutionSession::ingest_causal)
+    /// batch.
+    CausalBatch(Vec<CausalRevision>),
+    /// A marker-committed run of plain revisions, replayed as one
+    /// [`absorb_revision_batch`](cr_core::ingest::ResolutionSession::absorb_revision_batch)
+    /// batch.
+    RevisionBatch(Vec<Revision>),
+    /// A snapshot record (derived state; replay skips it, rehydration may
+    /// restore from it).
+    Snapshot(Box<SnapshotRecord>),
+}
+
+/// A batch-boundary-respecting replay of recovered records: which steps to
+/// feed the engine, how many leading records they cover, and how many
+/// trailing events were dropped as an uncommitted (marker-less) batch.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReplayPlan {
+    /// The steps to replay, in log order.
+    pub steps: Vec<ReplayStep>,
+    /// Records (events, markers and snapshots) fully represented by
+    /// `steps` — always a prefix of the input. Recovery truncates the log
+    /// to the byte offset of record `used_records - 1`.
+    pub used_records: usize,
+    /// Trailing event records dropped because no [`LogRecord::BatchMark`]
+    /// committed them — a crash landed mid-batch.
+    pub dropped_events: usize,
+}
+
+/// Groups recovered `records` into whole-batch replay steps. A
+/// [`LogRecord::BatchMark`] commits the run of `Causal`/`Revision` records
+/// since the previous non-event record as one batch step; an unterminated
+/// run at the end of the log is an uncommitted batch and is **dropped**
+/// (reported in [`ReplayPlan::dropped_events`]). Defensively, a run that
+/// changes event type mid-way (a hand-built or damaged log; the store
+/// writer never interleaves) is split per type, and a run implicitly
+/// terminated by an `Input`/`Snapshot` record is committed as written.
+///
+/// Both [`rehydrate`](crate::SessionStore) and
+/// [`reference_of`](crate::reference_of) replay through this one planner,
+/// so the recovery differential compares like against like.
+pub fn plan_replay(records: &[LogRecord]) -> ReplayPlan {
+    // Runs flushed by a type split stay *staged* until a committing record
+    // (marker, input or snapshot) arrives: everything after the last
+    // committing record is one uncommitted suffix, dropped as a unit, so a
+    // second recovery of the truncated log reaches the same state.
+    fn flush(staged: &mut Vec<ReplayStep>, causal: &mut Vec<CausalRevision>, revs: &mut Vec<Revision>) {
+        if !causal.is_empty() {
+            staged.push(ReplayStep::CausalBatch(std::mem::take(causal)));
+        }
+        if !revs.is_empty() {
+            staged.push(ReplayStep::RevisionBatch(std::mem::take(revs)));
+        }
+    }
+    let mut plan = ReplayPlan::default();
+    let mut staged: Vec<ReplayStep> = Vec::new();
+    let mut causal: Vec<CausalRevision> = Vec::new();
+    let mut revs: Vec<Revision> = Vec::new();
+    for (i, rec) in records.iter().enumerate() {
+        match rec {
+            LogRecord::Causal(ev) => {
+                if !revs.is_empty() {
+                    flush(&mut staged, &mut causal, &mut revs);
+                }
+                causal.push(ev.clone());
+            }
+            LogRecord::Revision(rev) => {
+                if !causal.is_empty() {
+                    flush(&mut staged, &mut causal, &mut revs);
+                }
+                revs.push(rev.clone());
+            }
+            LogRecord::BatchMark { .. } => {
+                flush(&mut staged, &mut causal, &mut revs);
+                plan.steps.append(&mut staged);
+                plan.used_records = i + 1;
+            }
+            LogRecord::Input(input) => {
+                flush(&mut staged, &mut causal, &mut revs);
+                plan.steps.append(&mut staged);
+                plan.steps.push(ReplayStep::Input(input.clone()));
+                plan.used_records = i + 1;
+            }
+            LogRecord::Snapshot(snap) => {
+                flush(&mut staged, &mut causal, &mut revs);
+                plan.steps.append(&mut staged);
+                plan.steps.push(ReplayStep::Snapshot(snap.clone()));
+                plan.used_records = i + 1;
+            }
+        }
+    }
+    flush(&mut staged, &mut causal, &mut revs);
+    plan.dropped_events = staged.iter().map(ReplayStep::event_count).sum();
+    plan
+}
+
+impl ReplayStep {
+    /// Event records the step covers (snapshots cover none).
+    pub fn event_count(&self) -> usize {
+        match self {
+            ReplayStep::Input(_) => 1,
+            ReplayStep::CausalBatch(batch) => batch.len(),
+            ReplayStep::RevisionBatch(batch) => batch.len(),
+            ReplayStep::Snapshot(_) => 0,
         }
     }
 }

@@ -9,9 +9,10 @@
 //! semantically via [`check_session_against_scratch`] (validity, deduced
 //! orders, true values against the mirror's materialised specification),
 //! then structurally on the logical [`cr_core::ingest::SessionState`] (entity rows, order
-//! pairs, retired CFDs, accepted answers, causal frontier). Telemetry cost
-//! counters are deliberately excluded: snapshot-plus-tail replay legally
-//! does less engine work than a full replay.
+//! pairs, retired CFDs, accepted answers, causal frontier, competing
+//! cells, quarantine log and epoch). Telemetry cost counters are
+//! deliberately excluded: snapshot-plus-tail replay legally does less
+//! engine work than a full replay.
 //!
 //! The `cr-store` recovery tests and the `crash_soak` CI binary drive this
 //! differential at every event boundary under every [`crate::fault::Fault`]
@@ -23,7 +24,7 @@ use cr_core::ingest::{
 use cr_core::spec::Specification;
 use cr_core::ResolutionConfig;
 
-use crate::event::LogRecord;
+use crate::event::{plan_replay, LogRecord, ReplayStep};
 
 /// A fresh session plus effect mirror built by replaying surviving records
 /// from scratch — the "ground truth" side of the recovery differential.
@@ -36,8 +37,11 @@ pub struct ReplayedReference {
 }
 
 /// Replays `records` (as recovered from a damaged log) into a fresh
-/// session over `base`, mirroring every effective revision. Snapshot
-/// records are skipped: they are derived state, not inputs.
+/// session over `base`, mirroring every effective revision. Records are
+/// grouped into whole batches by [`plan_replay`] — the same planner
+/// rehydration uses — so an uncommitted trailing batch run is dropped on
+/// both sides of the differential. Snapshot records are skipped: they are
+/// derived state, not inputs.
 ///
 /// `policy` must not be [`RevisionPolicy::Reject`] — replay of a durable
 /// log is total by construction.
@@ -54,29 +58,31 @@ pub fn reference_of(
     let mut session = ResolutionSession::new_revisable(config, base);
     session.set_revision_policy(policy);
     let mut mirror = SpecMirror::new(base);
-    for rec in records {
-        match rec {
-            LogRecord::Input(input) => {
-                session.apply_input(input);
-                mirror.apply_input(input);
+    for step in plan_replay(records).steps {
+        match step {
+            ReplayStep::Input(input) => {
+                session.apply_input(&input);
+                mirror.apply_input(&input);
             }
-            LogRecord::Causal(ev) => {
+            ReplayStep::CausalBatch(batch) => {
                 let effective = session
-                    .ingest_causal(vec![ev.clone()])
+                    .ingest_causal(batch)
                     .expect("non-Reject policy never propagates errors");
                 for rev in &effective {
                     mirror.apply(rev);
                 }
             }
-            LogRecord::Revision(rev) => {
-                let applied = session
-                    .absorb_revision(rev)
+            ReplayStep::RevisionBatch(batch) => {
+                let (_, applied) = session
+                    .absorb_revision_batch(&batch)
                     .expect("non-Reject policy never propagates errors");
-                if applied {
-                    mirror.apply(rev);
+                for (rev, applied) in batch.iter().zip(applied) {
+                    if applied {
+                        mirror.apply(rev);
+                    }
                 }
             }
-            LogRecord::Snapshot(_) => {}
+            ReplayStep::Snapshot(_) => {}
         }
     }
     ReplayedReference { session, mirror }
@@ -89,7 +95,8 @@ pub fn reference_of(
 /// Equivalence is checked two ways: both sessions against the reference
 /// mirror's materialised specification (validity / deduced orders / true
 /// values), then field-by-field on the logical state — entity rows, order
-/// pairs, retired CFDs, accepted answers and the causal frontier.
+/// pairs, retired CFDs, accepted answers, the causal frontier, competing
+/// cells, the quarantine log and the epoch.
 /// Telemetry is *not* compared (cost counters depend on engine history).
 pub fn verify_recovery(
     rehydrated: &mut ResolutionSession,
@@ -130,6 +137,33 @@ pub fn verify_recovery(
         return Err(format!(
             "causal frontier diverged: rehydrated {:?} vs scratch {:?}",
             got.frontier, want.frontier
+        ));
+    }
+    // Eviction must not lose the user-facing side channels either. These
+    // comparisons assume the replay never drained `take_competing` — true
+    // for log replay, which only feeds ingestion paths.
+    if got.competing != want.competing {
+        return Err(format!(
+            "competing cells diverged: rehydrated {:?} vs scratch {:?}",
+            got.competing, want.competing
+        ));
+    }
+    if got.quarantine != want.quarantine {
+        return Err(format!(
+            "quarantine log diverged: rehydrated {:?} vs scratch {:?}",
+            got.quarantine, want.quarantine
+        ));
+    }
+    if got.quarantine_cap != want.quarantine_cap {
+        return Err(format!(
+            "quarantine cap diverged: rehydrated {} vs scratch {}",
+            got.quarantine_cap, want.quarantine_cap
+        ));
+    }
+    if got.epoch != want.epoch {
+        return Err(format!(
+            "epoch diverged: rehydrated {} vs scratch {}",
+            got.epoch, want.epoch
         ));
     }
     Ok(())

@@ -16,6 +16,12 @@
 //! session's logical state ([`SessionState`](cr_core::SessionState)) so
 //! rehydration replays only the tail after the last snapshot.
 //!
+//! Revision ingestion is **batch-atomic**: a poll's events are appended
+//! and synced, applied as one coalesced engine batch, then committed by a
+//! [`LogRecord::BatchMark`]. Recovery groups records into whole batches
+//! ([`plan_replay`]) and drops an uncommitted trailing run — rehydration
+//! always restores the session to exactly a batch boundary.
+//!
 //! # The recovery invariant
 //!
 //! > **A restored session is equivalent to a from-scratch resolve of the
@@ -41,7 +47,7 @@
 //! # Snapshot format version policy
 //!
 //! Every record payload begins with a format version byte
-//! ([`event::FORMAT_VERSION`], currently 1). Decoders accept **exactly**
+//! ([`event::FORMAT_VERSION`], currently 2). Decoders accept **exactly**
 //! the versions they know and fail with a typed
 //! [`CodecError::UnsupportedVersion`](cr_types::CodecError) otherwise —
 //! recovery then treats the record like any other corruption: the log is
@@ -62,7 +68,10 @@ pub mod harness;
 pub mod store;
 
 pub use backend::{FileBackend, MemoryBackend, SessionId, StorageBackend};
-pub use event::{decode_log, LogRecord, SnapshotRecord, FORMAT_VERSION};
+pub use event::{
+    decode_log, decode_log_offsets, plan_replay, LogRecord, ReplayPlan, ReplayStep,
+    SnapshotRecord, FORMAT_VERSION,
+};
 pub use fault::{CrashReport, Fault, FaultyBackend};
 pub use harness::{reference_of, verify_recovery, ReplayedReference};
 pub use store::{RecoveryTelemetry, SessionStore, StoreConfig, StoreError};

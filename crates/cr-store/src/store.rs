@@ -16,13 +16,13 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use cr_core::causal::CausalRevision;
-use cr_core::ingest::{ResolutionSession, Revision, RevisionPolicy};
+use cr_core::ingest::{BatchReport, ResolutionSession, Revision, RevisionPolicy};
 use cr_core::spec::{Specification, UserInput};
 use cr_core::ResolutionConfig;
 use cr_types::codec::{write_frame, CodecError};
 
 use crate::backend::{SessionId, StorageBackend};
-use crate::event::{decode_log, LogRecord, SnapshotRecord};
+use crate::event::{decode_log_offsets, plan_replay, LogRecord, ReplayStep, SnapshotRecord};
 
 /// Errors surfaced by the store and its backends.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -112,6 +112,11 @@ pub struct RecoveryTelemetry {
     pub truncated_bytes: u64,
     /// Truncations whose cause was specifically a CRC-32 mismatch.
     pub checksum_failures: u64,
+    /// Uncommitted trailing batch runs (events without their
+    /// [`LogRecord::BatchMark`]) dropped and physically truncated — a
+    /// crash landed mid-batch; recovery restored the previous batch
+    /// boundary. Bytes cut land in `truncated_bytes`.
+    pub partial_batch_truncations: u64,
 }
 
 struct Entry {
@@ -248,47 +253,87 @@ impl<B: StorageBackend> SessionStore<B> {
         Ok(added)
     }
 
-    /// Ingests causally-stamped corrections durably: every event is framed
-    /// and appended, the log is synced once, then the batch is applied.
-    /// Returns the effective plain revisions, as
-    /// [`ResolutionSession::ingest_causal`] does.
+    /// Ingests causally-stamped corrections durably, as **one atomic
+    /// batch**: every event is framed and appended, the log is synced
+    /// once, the whole poll is applied through
+    /// [`ResolutionSession::ingest_causal`] (one coalesced retraction and
+    /// replay), and finally a [`LogRecord::BatchMark`] commits the batch.
+    /// A crash before the marker lands makes recovery drop the entire
+    /// batch — rehydration always restores exactly a batch boundary.
+    /// Returns the effective plain revisions.
     pub fn ingest_causal(
         &mut self,
         id: SessionId,
         events: Vec<CausalRevision>,
     ) -> Result<Vec<Revision>, StoreError> {
         self.touch(id)?;
+        if events.is_empty() {
+            return Ok(Vec::new());
+        }
         let count = events.len();
         for ev in &events {
             self.append_record(id, &LogRecord::Causal(ev.clone()))?;
         }
         self.backend.sync(id)?;
         let entry = self.entries.get_mut(&id.0).expect("touched");
-        let effective = entry
-            .live
-            .as_mut()
-            .expect("touched")
-            .ingest_causal(events)
-            .expect("store policy is never Reject");
+        let live = entry.live.as_mut().expect("touched");
+        let effective =
+            live.ingest_causal(events).expect("store policy is never Reject");
+        let epoch = live.epoch().0;
+        self.commit_batch(id, epoch, count)?;
         self.after_event(id, count)?;
         Ok(effective)
     }
 
-    /// Absorbs one plain (unstamped) revision durably. Returns whether it
-    /// was applied (`false` = quarantined), as
+    /// Absorbs one plain (unstamped) revision durably, as a batch of one.
+    /// Returns whether it was applied (`false` = quarantined), as
     /// [`ResolutionSession::absorb_revision`] does.
     pub fn absorb_revision(&mut self, id: SessionId, rev: &Revision) -> Result<bool, StoreError> {
+        let (_, applied) = self.absorb_revision_batch(id, std::slice::from_ref(rev))?;
+        Ok(applied.first().copied().unwrap_or(false))
+    }
+
+    /// Absorbs a batch of plain revisions durably and atomically: appended
+    /// and synced, applied through
+    /// [`ResolutionSession::absorb_revision_batch`] (one coalesced
+    /// retraction and replay), then committed with a
+    /// [`LogRecord::BatchMark`]. Returns the engine's batch report plus
+    /// the per-event applied flags.
+    pub fn absorb_revision_batch(
+        &mut self,
+        id: SessionId,
+        revs: &[Revision],
+    ) -> Result<(BatchReport, Vec<bool>), StoreError> {
         self.touch(id)?;
-        self.log_event(id, &LogRecord::Revision(rev.clone()))?;
+        if revs.is_empty() {
+            return Ok((BatchReport::default(), Vec::new()));
+        }
+        for rev in revs {
+            self.append_record(id, &LogRecord::Revision(rev.clone()))?;
+        }
+        self.backend.sync(id)?;
         let entry = self.entries.get_mut(&id.0).expect("touched");
-        let applied = entry
-            .live
-            .as_mut()
-            .expect("touched")
-            .absorb_revision(rev)
-            .expect("store policy is never Reject");
-        self.after_event(id, 1)?;
-        Ok(applied)
+        let live = entry.live.as_mut().expect("touched");
+        let (report, applied) =
+            live.absorb_revision_batch(revs).expect("store policy is never Reject");
+        self.commit_batch(id, report.epoch.0, revs.len())?;
+        self.after_event(id, revs.len())?;
+        Ok((report, applied))
+    }
+
+    /// Appends + syncs the batch-commit marker. If the marker fails to
+    /// land, the batch applied in memory but is uncommitted on disk: the
+    /// live engine is dropped so the next touch rehydrates from the log,
+    /// which recovery truncates back to the previous batch boundary.
+    fn commit_batch(&mut self, id: SessionId, epoch: u64, events: usize) -> Result<(), StoreError> {
+        let mark = LogRecord::BatchMark { epoch, events: events as u64 };
+        let committed =
+            self.append_record(id, &mark).and_then(|()| self.backend.sync(id));
+        if let Err(e) = committed {
+            self.entries.get_mut(&id.0).expect("touched").live = None;
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// Appends a snapshot of `id`'s current state and resets the snapshot
@@ -349,12 +394,13 @@ impl<B: StorageBackend> SessionStore<B> {
     }
 
     /// Rebuilds `id`'s engine from its durable log: scan frames, truncate
-    /// any corrupt tail, restore the last intact snapshot (or start from
-    /// the base specification) and replay the tail through the ordinary
-    /// ingestion paths.
+    /// any corrupt tail, drop (and truncate) an uncommitted trailing batch
+    /// run, restore the last usable snapshot (or start from the base
+    /// specification) and replay the committed tail **whole batch by whole
+    /// batch** through the ordinary ingestion paths.
     fn rehydrate(&mut self, id: SessionId) -> Result<(), StoreError> {
         let bytes = self.backend.read_log(id)?;
-        let (records, valid_len, error) = decode_log(&bytes);
+        let (offsets, valid_len, error) = decode_log_offsets(&bytes);
         if let Some(err) = error {
             self.recovery.corrupt_truncations += 1;
             self.recovery.truncated_bytes += (bytes.len() - valid_len) as u64;
@@ -362,6 +408,24 @@ impl<B: StorageBackend> SessionStore<B> {
                 self.recovery.checksum_failures += 1;
             }
             self.backend.truncate(id, valid_len as u64)?;
+            self.backend.sync(id)?;
+        }
+
+        let records: Vec<LogRecord> = offsets.iter().map(|(rec, _)| rec.clone()).collect();
+        let plan = plan_replay(&records);
+        if plan.used_records < records.len() {
+            // Events after the last commit point are an uncommitted batch
+            // (the crash hit before its marker landed). Drop them and cut
+            // the log back to the batch boundary, so every later recovery
+            // of this log reaches the same state.
+            let boundary = if plan.used_records == 0 {
+                0
+            } else {
+                offsets[plan.used_records - 1].1
+            };
+            self.recovery.partial_batch_truncations += 1;
+            self.recovery.truncated_bytes += (valid_len - boundary) as u64;
+            self.backend.truncate(id, boundary as u64)?;
             self.backend.sync(id)?;
         }
 
@@ -373,8 +437,8 @@ impl<B: StorageBackend> SessionStore<B> {
         // are an optimization, never the source of truth.
         let mut start = 0;
         let mut session = None;
-        for (i, rec) in records.iter().enumerate().rev() {
-            if let LogRecord::Snapshot(snap) = rec {
+        for (i, step) in plan.steps.iter().enumerate().rev() {
+            if let ReplayStep::Snapshot(snap) = step {
                 match ResolutionSession::restore(&self.config.resolution, &base, snap.state.clone())
                 {
                     Ok(s) => {
@@ -394,8 +458,8 @@ impl<B: StorageBackend> SessionStore<B> {
         let mut replayed = 0u64;
         let mut since_snapshot = 0usize;
         let mut total = 0u64;
-        for (i, rec) in records.iter().enumerate() {
-            if let LogRecord::Snapshot(_) = rec {
+        for (i, step) in plan.steps.iter().enumerate() {
+            if let ReplayStep::Snapshot(_) = step {
                 if i < start {
                     continue;
                 }
@@ -403,27 +467,28 @@ impl<B: StorageBackend> SessionStore<B> {
                 since_snapshot = 0;
                 continue;
             }
-            total += 1;
+            let count = step.event_count();
+            total += count as u64;
             if i < start {
                 continue;
             }
-            since_snapshot += 1;
-            replayed += 1;
-            match rec {
-                LogRecord::Input(input) => {
+            since_snapshot += count;
+            replayed += count as u64;
+            match step {
+                ReplayStep::Input(input) => {
                     session.apply_input(input);
                 }
-                LogRecord::Causal(ev) => {
+                ReplayStep::CausalBatch(batch) => {
                     session
-                        .ingest_causal(vec![ev.clone()])
+                        .ingest_causal(batch.clone())
                         .expect("store policy is never Reject");
                 }
-                LogRecord::Revision(rev) => {
+                ReplayStep::RevisionBatch(batch) => {
                     session
-                        .absorb_revision(rev)
+                        .absorb_revision_batch(batch)
                         .expect("store policy is never Reject");
                 }
-                LogRecord::Snapshot(_) => unreachable!("handled above"),
+                ReplayStep::Snapshot(_) => unreachable!("handled above"),
             }
         }
 

@@ -1,19 +1,23 @@
 //! Roundtrip and decode-safety properties of the durable log codec.
 //!
 //! Every [`LogRecord`] shape — all four [`Revision`] variants (plain and
-//! causally stamped, with full [`CausalStamp`]s), user inputs, and snapshot
-//! records over arbitrary [`SessionState`]s — must roundtrip bit-exactly
+//! causally stamped, with full [`CausalStamp`]s), user inputs, batch-commit
+//! markers, and snapshot records over arbitrary [`SessionState`]s
+//! (competing cells, quarantine entries, and epoch included) — must
+//! roundtrip bit-exactly
 //! through `encode`/`decode`. Decode must be total: truncation at **every**
 //! byte yields a typed [`CodecError`] (never a panic), and any bit flip in
 //! a framed record is caught at the frame layer.
 
 use cr_core::causal::{CausalRevision, FrontierState};
-use cr_core::ingest::{AnswerState, Revision, RevisionTelemetry, SessionState};
+use cr_core::ingest::{
+    AnswerState, CompetingCell, Revision, RevisionError, RevisionTelemetry, SessionState,
+};
 use cr_core::spec::UserInput;
 use cr_store::event::SnapshotRecord;
 use cr_store::{LogRecord, FORMAT_VERSION};
 use cr_types::codec::{write_frame, CodecError, FrameScanner};
-use cr_types::{AttrId, CausalStamp, Hlc, SourceId, TupleId, Value, VectorClock};
+use cr_types::{AttrId, CausalStamp, Epoch, Hlc, SourceId, TupleId, Value, VectorClock};
 use proptest::prelude::*;
 
 fn value() -> BoxedStrategy<Value> {
@@ -113,6 +117,37 @@ fn frontier() -> BoxedStrategy<FrontierState> {
         .boxed()
 }
 
+/// Every `RevisionError` variant — quarantine entries persist the error
+/// alongside the rejected revision.
+fn revision_error() -> BoxedStrategy<RevisionError> {
+    prop_oneof![
+        (0usize..1000, 0usize..1000)
+            .prop_map(|(cfd, gamma_len)| RevisionError::UnknownCfd { cfd, gamma_len }),
+        (0usize..1000).prop_map(|cfd| RevisionError::StaleCfd { cfd }),
+        (attr(), 0usize..64).prop_map(|(attr, arity)| RevisionError::UnknownAttr { attr, arity }),
+        (tuple_id(), 0usize..64).prop_map(|(tuple, len)| RevisionError::UnknownTuple { tuple, len }),
+        (attr(), tuple_id(), tuple_id())
+            .prop_map(|(attr, lo, hi)| RevisionError::UnknownOrder { attr, lo, hi }),
+    ]
+    .boxed()
+}
+
+fn competing() -> BoxedStrategy<CompetingCell> {
+    (
+        tuple_id(),
+        attr(),
+        (0u8..2).prop_map(|b| b == 1),
+        prop::collection::vec((source(), value()), 0..3),
+    )
+        .prop_map(|(tuple, attr, reopened, candidates)| CompetingCell {
+            tuple,
+            attr,
+            reopened,
+            candidates,
+        })
+        .boxed()
+}
+
 fn session_state() -> BoxedStrategy<SessionState> {
     (
         prop::collection::vec(prop::collection::vec(value(), 0..4), 0..3),
@@ -124,26 +159,44 @@ fn session_state() -> BoxedStrategy<SessionState> {
             0..3,
         ),
         frontier(),
-        prop::collection::vec(0usize..10_000, 9),
+        (
+            prop::collection::vec(0usize..10_000, 13),
+            prop::collection::vec(competing(), 0..3),
+            prop::collection::vec((revision(), revision_error()), 0..3),
+            0usize..64,
+            0u64..10_000,
+        ),
     )
-        .prop_map(|(tuples, orders, retired_cfds, answers, frontier, t)| SessionState {
-            tuples,
-            orders,
-            retired_cfds,
-            answers,
-            frontier,
-            telemetry: RevisionTelemetry {
-                events: t[0],
-                retracted_groups: t[1],
-                invalidated: t[2],
-                reemitted_clauses: t[3],
-                duplicates_dropped: t[4],
-                buffered: t[5],
-                quarantined: t[6],
-                reopened: t[7],
-                quarantine_evicted: t[8],
+        .prop_map(
+            |(tuples, orders, retired_cfds, answers, frontier, (t, competing, quarantine, cap, e))| {
+                SessionState {
+                    tuples,
+                    orders,
+                    retired_cfds,
+                    answers,
+                    frontier,
+                    telemetry: RevisionTelemetry {
+                        events: t[0],
+                        retracted_groups: t[1],
+                        invalidated: t[2],
+                        reemitted_clauses: t[3],
+                        duplicates_dropped: t[4],
+                        buffered: t[5],
+                        quarantined: t[6],
+                        reopened: t[7],
+                        quarantine_evicted: t[8],
+                        batches: t[9],
+                        events_coalesced: t[10],
+                        cone_union: t[11],
+                        replays_saved: t[12],
+                    },
+                    competing,
+                    quarantine,
+                    quarantine_cap: cap,
+                    epoch: Epoch(e),
+                }
             },
-        })
+        )
         .boxed()
 }
 
@@ -157,6 +210,8 @@ fn log_record() -> BoxedStrategy<LogRecord> {
         ((0u64..1000), session_state()).prop_map(|(events_covered, state)| {
             LogRecord::Snapshot(Box::new(SnapshotRecord { events_covered, state }))
         }),
+        ((0u64..10_000), (0u64..1000))
+            .prop_map(|(epoch, events)| LogRecord::BatchMark { epoch, events }),
     ]
     .boxed()
 }

@@ -16,9 +16,9 @@ use cr_core::spec::{Specification, UserInput};
 use cr_core::ResolutionConfig;
 use cr_data::gen::{causal_timeline, scenario_from_raw, CausalTimelineConfig, Scenario};
 use cr_store::{
-    decode_log, reference_of, verify_recovery, Fault, FaultyBackend, FileBackend, LogRecord,
-    MemoryBackend, SessionId, SessionStore, StorageBackend, StoreConfig, StoreError,
-    FORMAT_VERSION,
+    decode_log, decode_log_offsets, plan_replay, reference_of, verify_recovery, Fault,
+    FaultyBackend, FileBackend, LogRecord, MemoryBackend, SessionId, SessionStore,
+    StorageBackend, StoreConfig, StoreError, FORMAT_VERSION,
 };
 use cr_types::codec::write_frame;
 use cr_types::AttrId;
@@ -93,8 +93,17 @@ fn crash_and_verify(
     let mut crashed = checkpoint.clone();
     crashed.crash(ID, fault).unwrap();
     let bytes = crashed.read_log(ID).unwrap();
-    let (records, valid_len, scan_error) = decode_log(&bytes);
-    let lost = bytes.len() - valid_len;
+    let (offsets, valid_len, scan_error) = decode_log_offsets(&bytes);
+    let records: Vec<LogRecord> = offsets.iter().map(|(rec, _)| rec.clone()).collect();
+    let lost = (bytes.len() - valid_len) as u64;
+    // Frame-intact events stranded without their batch marker are an
+    // uncommitted run: recovery must cut the log back to the last
+    // committed boundary and count the partial batch.
+    let plan = plan_replay(&records);
+    let boundary_len =
+        if plan.used_records == 0 { 0 } else { offsets[plan.used_records - 1].1 };
+    let partial_bytes = (valid_len - boundary_len) as u64;
+    let dropped_run = plan.used_records < records.len();
 
     let config = ResolutionConfig::default();
     let mut reference = reference_of(&config, RevisionPolicy::Quarantine, spec, &records);
@@ -109,16 +118,25 @@ fn crash_and_verify(
     assert_eq!(t.rehydrations, 1, "{ctx}: exactly one rehydration");
     if let Some(err) = scan_error {
         assert_eq!(t.corrupt_truncations, 1, "{ctx}: {err} must be counted");
-        assert_eq!(t.truncated_bytes, lost as u64, "{ctx}: honest byte loss accounting");
-        assert_eq!(
-            store.log_len(ID).unwrap(),
-            valid_len as u64,
-            "{ctx}: the log must be truncated to the last valid frame"
-        );
     } else {
-        assert_eq!(t.corrupt_truncations, 0, "{ctx}: clean log, no truncation");
+        assert_eq!(t.corrupt_truncations, 0, "{ctx}: clean log, no corrupt truncation");
         assert_eq!(t.checksum_failures, 0, "{ctx}: clean log, no checksum failures");
     }
+    assert_eq!(
+        t.truncated_bytes,
+        lost + partial_bytes,
+        "{ctx}: honest byte loss accounting (corrupt tail + partial batch)"
+    );
+    assert_eq!(
+        t.partial_batch_truncations,
+        u64::from(dropped_run),
+        "{ctx}: partial-batch truncation counted iff an uncommitted run was dropped"
+    );
+    assert_eq!(
+        store.log_len(ID).unwrap(),
+        boundary_len as u64,
+        "{ctx}: the log must be truncated to the last committed batch boundary"
+    );
     if matches!(fault, Fault::LostSync) {
         assert!(
             scan_error.is_none(),
@@ -166,16 +184,19 @@ fn every_boundary_every_fault_mode_recovers_to_surviving_prefix() {
     }
 }
 
-/// Exhaustive torn-write sweep: the final append cut at **every** byte
-/// offset must recover — either to the full log (cut at the boundary) or
-/// to the prefix without the final event.
+/// Exhaustive torn-write sweep: the final append — the batch-commit
+/// marker of the last causal event — cut at **every** byte offset must
+/// recover either to the full log (cut at the frame boundary) or to the
+/// prefix without the final batch: a torn marker strands the batch's
+/// event frames, and recovery must cut them too.
 #[test]
 fn torn_write_at_every_byte_of_the_final_append_recovers() {
     let seed = 5u64;
     let Scenario { spec, truth } = scenario_from_raw(seed, 4, 3, 50, false);
     let steps = steps_for(&spec, &truth, seed, 4);
 
-    // No snapshots: the final append is exactly one event frame.
+    // No snapshots: the final step appends exactly one event frame plus
+    // its batch marker.
     let mut store = fresh_store(0);
     store.open(ID, &spec);
     store.session(ID).unwrap();
@@ -187,14 +208,26 @@ fn torn_write_at_every_byte_of_the_final_append_recovers() {
         apply_step(&mut store, step);
     }
     let full = store.log_len(ID).unwrap();
-    let last_frame = full - before_last;
-    assert!(last_frame > 0);
+    assert!(full > before_last);
     let checkpoint = store.backend().clone();
 
-    for at in 0..=last_frame {
-        let ctx = format!("torn write at byte {at} of {last_frame}");
+    // The marker is the last record (and the last append, so TornWrite
+    // tears it); its frame starts where the penultimate record ends.
+    let (offsets, valid_len, scan_error) =
+        decode_log_offsets(&checkpoint.read_log(ID).unwrap());
+    assert!(scan_error.is_none());
+    assert_eq!(valid_len as u64, full);
+    assert!(matches!(offsets.last().unwrap().0, LogRecord::BatchMark { .. }));
+    let marker_start = offsets[offsets.len() - 2].1 as u64;
+    let marker_len = full - marker_start;
+    assert!(marker_len > 0);
+
+    for at in 0..=marker_len {
+        let ctx = format!("torn write at byte {at} of {marker_len}");
         let store = crash_and_verify(&checkpoint, &spec, 0, Fault::TornWrite { at }, &ctx);
-        let expect = if at == last_frame { full } else { before_last };
+        // A complete marker commits the batch; any shorter cut loses the
+        // marker and with it the whole final batch.
+        let expect = if at == marker_len { full } else { before_last };
         assert_eq!(store.log_len(ID).unwrap(), expect, "{ctx}");
     }
 }

@@ -46,6 +46,31 @@ impl std::fmt::Display for SourceId {
     }
 }
 
+/// A monotone session version number. The resolution session seals one
+/// epoch per committed mutation batch (a round of user input, a revision
+/// batch); readers that must never observe a half-applied batch are
+/// answered against the last *sealed* epoch while a batch is mid-flight
+/// (MVCC-style snapshot reads — see the ingest module of `cr-core`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// The epoch of a freshly opened session (nothing sealed yet).
+    pub const ZERO: Epoch = Epoch(0);
+
+    /// The epoch after sealing one more batch.
+    #[must_use]
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for Epoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
 /// A hybrid logical clock timestamp: `(physical, logical)` with
 /// lexicographic total order. [`SourceClock`] guarantees the HLC property —
 /// if event `b` causally observed event `a` then `a.hlc < b.hlc` — so

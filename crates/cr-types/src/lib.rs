@@ -19,7 +19,7 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
-pub use causal::{CausalStamp, Hlc, SourceClock, SourceId, VectorClock};
+pub use causal::{CausalStamp, Epoch, Hlc, SourceClock, SourceId, VectorClock};
 pub use codec::{CodecError, Dec, Enc, FrameScanner};
 pub use entity::{EntityInstance, TupleId, NO_GLOBAL_VALUE};
 pub use error::TypesError;

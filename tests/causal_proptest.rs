@@ -36,6 +36,9 @@ fn timeline_cfg(seed: u64, events: usize, sources: usize) -> CausalTimelineConfi
         sources,
         events,
         rounds: 3,
+        // Seeded burst polls: rounds carry multi-event batches, so the
+        // batched-ingestion path sees real coalescing under chaos.
+        burst: 1 + (seed % 3) as usize,
         ..Default::default()
     }
 }
@@ -101,6 +104,7 @@ proptest! {
         events in 2usize..8,
         sources in 1usize..4,
         chaos_seed in 0u64..1_000,
+        max_batch in 0usize..4,
     ) {
         let Scenario { spec, truth } = scenario_from_raw(seed, tuples, domain, density, false);
         let timeline = causal_timeline(&spec, &timeline_cfg(seed, events, sources));
@@ -108,6 +112,7 @@ proptest! {
         let causal = CausalReplayConfig {
             policy: RevisionPolicy::Reject,
             interact_while_streaming: false,
+            max_batch,
         };
 
         let mut oracle = GroundTruthOracle::with_cap(truth.clone(), 1);
@@ -139,6 +144,7 @@ proptest! {
         events in 1usize..6,
         corrupt in 1usize..4,
         chaos_seed in 0u64..1_000,
+        max_batch in 0usize..4,
     ) {
         let Scenario { spec, truth } = scenario_from_raw(seed, tuples, domain, density, false);
         let timeline = causal_timeline(&spec, &timeline_cfg(seed, events, 2));
@@ -146,6 +152,7 @@ proptest! {
         let causal = CausalReplayConfig {
             policy: RevisionPolicy::Quarantine,
             interact_while_streaming: false,
+            max_batch,
         };
 
         let mut oracle = GroundTruthOracle::with_cap(truth.clone(), 1);

@@ -6,7 +6,10 @@
 //! specification, with sane cone telemetry throughout.
 
 use conflict_resolution::core::framework::{GroundTruthOracle, ResolutionConfig, Resolver};
-use conflict_resolution::core::ingest::resolve_with_revisions_checked;
+use conflict_resolution::core::ingest::{
+    check_session_against_scratch, diff_logical_states, resolve_with_revisions_checked,
+    ResolutionSession, RevisionSource, SpecMirror,
+};
 use conflict_resolution::data::gen::{
     revision_timeline, scenario_from_raw, RevisionTimelineConfig, Scenario,
 };
@@ -95,5 +98,89 @@ proptest! {
         let round_cones: usize = outcome.rounds.iter().map(|r| r.revision_invalidated).sum();
         prop_assert_eq!(round_events, outcome.revisions.events);
         prop_assert_eq!(round_cones, outcome.revisions.invalidated);
+    }
+
+    /// Batched ≡ sequential ≡ scratch: every generated timeline, polled
+    /// round by round under a sampled burst size, must leave a session
+    /// that ingests each poll as **one batch** logically identical to a
+    /// twin that absorbs the same events **one at a time** — and both
+    /// equivalent to a from-scratch encode of the [`SpecMirror`]'s
+    /// materialised spec after every round. Also pins the coalescing
+    /// telemetry: a batch of one coalesces nothing, the union cone always
+    /// dominates its largest member, and the batched epoch advances once
+    /// per applied batch (not once per event).
+    #[test]
+    fn batched_ingestion_equals_sequential_and_scratch(
+        seed in 0u64..10_000,
+        tuples in 2usize..14,
+        domain in 2usize..10,
+        density in 0u32..100,
+        events in 1usize..7,
+        burst in 1usize..4,
+    ) {
+        let Scenario { spec, .. } = scenario_from_raw(seed, tuples, domain, density, false);
+        let rounds = 4usize;
+        let mut source = revision_timeline(&spec, &RevisionTimelineConfig {
+            seed: seed.wrapping_mul(61).wrapping_add(29),
+            events,
+            rounds,
+            burst,
+            ..Default::default()
+        });
+        let config = ResolutionConfig::default();
+        let mut batched = ResolutionSession::new_revisable(&config, &spec);
+        let mut sequential = ResolutionSession::new_revisable(&config, &spec);
+        let mut mirror = SpecMirror::new(&spec);
+
+        let mut applied_batches = 0usize;
+        let mut expected_saved = 0usize;
+        for round in 0..rounds {
+            let poll = source.poll(round, batched.current());
+            let (report, applied) = batched
+                .absorb_revision_batch(&poll)
+                .map_err(|e| TestCaseError::fail(format!("batched ingestion rejected: {e:?}")))?;
+            prop_assert_eq!(report.events, poll.len(), "every pushed event is accounted");
+            if report.applied > 0 {
+                applied_batches += 1;
+                expected_saved += report.applied - 1;
+                prop_assert!(
+                    report.union_cone >= report.max_member_cone,
+                    "the union cone dominates its largest member ({} < {})",
+                    report.union_cone,
+                    report.max_member_cone
+                );
+            } else {
+                prop_assert_eq!(report.invalidated, 0, "an empty batch disturbs nothing");
+            }
+
+            // The sequential twin absorbs the identical poll one event at
+            // a time; the mirror replays exactly the applied subset.
+            for (rev, ok) in poll.iter().zip(&applied) {
+                let twin_ok = sequential
+                    .absorb_revision(rev)
+                    .map_err(|e| TestCaseError::fail(format!("sequential twin rejected: {e:?}")))?;
+                prop_assert_eq!(twin_ok, *ok, "batched and sequential validation agree");
+                if *ok {
+                    mirror.apply(rev);
+                }
+            }
+
+            diff_logical_states(&batched.state(), &sequential.state())
+                .map_err(|e| TestCaseError::fail(format!("round {round}: batched ≠ sequential: {e}")))?;
+            check_session_against_scratch(&mut batched, &mirror)
+                .map_err(|e| TestCaseError::fail(format!("round {round}: batched ≠ scratch: {e}")))?;
+        }
+
+        // Coalescing telemetry: the per-event twin never coalesces; the
+        // batched run saves exactly one replay per coalesced event beyond
+        // each batch's first; epochs advance per batch vs per event.
+        let b = batched.revision_telemetry();
+        let s = sequential.revision_telemetry();
+        prop_assert_eq!(s.events_coalesced, 0, "a batch of one coalesces nothing");
+        prop_assert_eq!(s.replays_saved, 0);
+        prop_assert_eq!(b.events, s.events, "same applied event set");
+        prop_assert_eq!(b.replays_saved, expected_saved);
+        prop_assert_eq!(batched.epoch().0 as usize, applied_batches, "one epoch per applied batch");
+        prop_assert_eq!(sequential.epoch().0 as usize, s.events, "one epoch per applied event");
     }
 }
