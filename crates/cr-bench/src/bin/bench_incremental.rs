@@ -66,14 +66,26 @@
 //! if recovery replays zero events or a clean log reports any checksum
 //! failure or truncation.
 //!
+//! The `serve` workload drives the **serving layer** (`cr-server`) with
+//! the simulated client fleet (`cr_data::fleet`): one run over a clean
+//! wire and one over the fully hostile wire (drop + duplicate + delay +
+//! disconnect) with clients folded onto few tenants against a tight
+//! admission budget, so shedding and retries genuinely occur. Each run is
+//! self-verifying (exactly-once mutations, canonical-replay equivalence);
+//! the report records throughput (acknowledged ops per tick and per
+//! second) and p50/p95/p99 submit-to-acknowledge latency in ticks for
+//! both wires. The smoke gates fail the run if the clean wire needed any
+//! retry, or if the faulty-wire run produced **zero** load-shedding or
+//! zero client retries — a dead fault path must not pass.
+//!
 //! Flags: `--entities N` (per generated dataset, default 10), `--seed S`,
 //! `--rounds R` (max user rounds, default 10), `--reps K` (timing
 //! repetitions, default 3), `--frac F` (constraint fraction, default 0.6),
 //! `--threads T` (parallel fan-out width, default = available cores; the
 //! smoke mode runs a serial-vs-parallel agreement pass at this width),
-//! `--out PATH` (default `BENCH_8.json`), `--smoke` (tiny CI mode: check
-//! agreement, compile-once, zero-rebuild, live-cone, parallel-path and
-//! durability invariants, skip the timing sweep).
+//! `--out PATH` (default `BENCH_9.json`), `--smoke` (tiny CI mode: check
+//! agreement, compile-once, zero-rebuild, live-cone, parallel-path,
+//! durability and serving invariants, skip the timing sweep).
 
 use std::time::Instant;
 
@@ -92,10 +104,12 @@ use cr_core::{compile_count, CompiledProgram, EncodeOptions, EncodedSpec, Specif
 use cr_constraints::parser::{parse_cfd_file, parse_currency_file};
 use cr_core::spec::UserInput;
 use cr_data::chaos::{chaos, ChaosConfig};
+use cr_data::fleet::{run_fleet, ChannelFaults, FleetConfig, FleetReport};
 use cr_data::gen::{
     causal_timeline, scenario_from_raw, CausalTimelineConfig, Scenario, ScenarioConfig,
 };
 use cr_data::{nba, person, vjday};
+use cr_server::admission::AdmissionConfig;
 use cr_store::{
     decode_log, reference_of, verify_recovery, MemoryBackend, SessionId, SessionStore,
     StorageBackend, StoreConfig,
@@ -882,6 +896,66 @@ fn check_rehydrate(seed: u64, events: usize, reps: usize) -> RehydrateStats {
     stats
 }
 
+/// The `p`-th percentile of an ascending latency sample (nearest-rank).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// One serving-layer fleet run plus its wall time.
+struct ServeRun {
+    report: FleetReport,
+    secs: f64,
+}
+
+/// Drives the serving layer with the simulated client fleet twice — over a
+/// clean wire, then over the fully hostile wire with clients folded onto
+/// two tenants against a tight admission budget (so load-shedding
+/// genuinely occurs). Both runs self-verify the exactly-once and
+/// canonical-replay differentials (`run_fleet` aborts the bench on any
+/// violation). Run at setup: the fleet's scenario compiles its own
+/// program, which must not count against the compile-once invariant of
+/// the measured phase.
+fn check_serve(seed: u64, smoke: bool) -> (ServeRun, ServeRun) {
+    let run = |label: &str, cfg: &FleetConfig| {
+        let t = Instant::now();
+        let report = run_fleet(cfg).unwrap_or_else(|e| {
+            eprintln!("  serve: {label} fleet violated the serving contract: {e}");
+            std::process::exit(1);
+        });
+        ServeRun { report, secs: t.elapsed().as_secs_f64() }
+    };
+    let clean_cfg = FleetConfig {
+        seed,
+        clients: if smoke { 4 } else { 6 },
+        causal_events: if smoke { 10 } else { 24 },
+        inputs_per_client: if smoke { 3 } else { 5 },
+        reads_per_client: if smoke { 4 } else { 8 },
+        ..FleetConfig::default()
+    };
+    let clean = run("clean-wire", &clean_cfg);
+    let faulty_cfg = FleetConfig {
+        clients: if smoke { 6 } else { 8 },
+        tenants: 2,
+        faults: ChannelFaults::faulty(),
+        max_attempts: 40,
+        max_ticks: 30_000,
+        admission: AdmissionConfig {
+            refill_per_tick: 1,
+            burst: 3,
+            queue_cap: 3,
+            max_in_flight: 4,
+            ..AdmissionConfig::default()
+        },
+        ..clean_cfg
+    };
+    let faulty = run("faulty-wire", &faulty_cfg);
+    (clean, faulty)
+}
+
 fn main() {
     let entities = arg_entities(10);
     let seed = arg_seed(7);
@@ -896,7 +970,7 @@ fn main() {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
         .max(1);
     let smoke = arg_flag("smoke");
-    let out = arg_value("out").unwrap_or_else(|| "BENCH_8.json".to_string());
+    let out = arg_value("out").unwrap_or_else(|| "BENCH_9.json".to_string());
 
     // Entity sizes follow the seed's Fig. 8(a) bins: NBA up to 135 tuples,
     // Person at 1/10 paper scale up to 200.
@@ -1003,6 +1077,10 @@ fn main() {
     // `check_rehydrate`).
     let rehydrate =
         check_rehydrate(seed, if smoke { 8 } else { 40 }, if smoke { 1 } else { reps });
+
+    // Serving-layer fleet workload: self-verified AND timed at setup (the
+    // fleet's scenario compiles its own program — see `check_serve`).
+    let (serve_clean, serve_faulty) = check_serve(seed, smoke);
 
     // Career specs were stamped by `Dataset::spec`, wide scenarios by
     // `cr_data::gen` — every workload's program now exists. From here on,
@@ -1214,6 +1292,44 @@ fn main() {
         );
     }
 
+    // Serving layer: throughput and latency percentiles per wire, plus the
+    // admission/retry telemetry the gates below inspect. The differentials
+    // (exactly-once, canonical replay) already ran inside `check_serve`.
+    for (wire, run) in [("clean", &serve_clean), ("faulty", &serve_faulty)] {
+        let r = &run.report;
+        let mut lat = r.latencies.clone();
+        lat.sort_unstable();
+        let (p50, p95, p99) =
+            (percentile(&lat, 50.0), percentile(&lat, 95.0), percentile(&lat, 99.0));
+        report.context(format!("serve/{wire}/ops"), r.ops);
+        report.context(format!("serve/{wire}/ticks"), r.ticks);
+        report.context(format!("serve/{wire}/retries"), r.retries);
+        report.context(format!("serve/{wire}/shed"), r.serve.shed_rate + r.serve.shed_queue);
+        report.context(format!("serve/{wire}/idem_replays"), r.serve.idem_hits);
+        report.context(format!("serve/{wire}/disconnects"), r.disconnects);
+        report.context(format!("serve/{wire}/latency_ticks_p50"), p50);
+        report.context(format!("serve/{wire}/latency_ticks_p95"), p95);
+        report.context(format!("serve/{wire}/latency_ticks_p99"), p99);
+        if !smoke {
+            report.measure(format!("serve/{wire}/wall"), run.secs);
+            report.context(
+                format!("serve/{wire}/ops_per_sec"),
+                format!("{:.0}", r.ops as f64 / run.secs.max(1e-9)),
+            );
+        }
+        println!(
+            "{:>8}: {wire} wire {} ops / {} ticks ({:.3} ops/tick), latency p50/p95/p99 \
+             {p50}/{p95}/{p99} ticks, {} retries, {} shed, {} idempotent replays",
+            "serve",
+            r.ops,
+            r.ticks,
+            r.ops as f64 / r.ticks.max(1) as f64,
+            r.retries,
+            r.serve.shed_rate + r.serve.shed_queue,
+            r.serve.idem_hits,
+        );
+    }
+
     report.context("rebuilds_total", total_rebuilds);
     if !smoke {
         let speedup = total_scratch / total_lazy;
@@ -1306,6 +1422,25 @@ fn main() {
             "FAIL: ingest-chaos quarantined {} events on clean streams (expected 0)",
             chaos_stats.quarantined
         );
+        std::process::exit(1);
+    }
+    // Serving gates: the clean-wire fleet must converge without a single
+    // retry, and the hostile-wire fleet must actually exercise admission
+    // control and the retry loop — zero shed or zero retries means the
+    // fault injection (or its telemetry) is dead.
+    if serve_clean.report.retries != 0 {
+        eprintln!(
+            "FAIL: clean-wire serve workload retried {} times (expected 0)",
+            serve_clean.report.retries
+        );
+        std::process::exit(1);
+    }
+    if serve_faulty.report.serve.shed_rate + serve_faulty.report.serve.shed_queue == 0 {
+        eprintln!("FAIL: faulty serve workload shed nothing (admission control dead?)");
+        std::process::exit(1);
+    }
+    if serve_faulty.report.retries == 0 {
+        eprintln!("FAIL: faulty serve workload needed no retries (fault injection dead?)");
         std::process::exit(1);
     }
     // Durability gates: recovery must actually replay the log, and a clean

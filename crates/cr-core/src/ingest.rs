@@ -161,6 +161,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use cr_types::{AttrId, EntityInstance, Epoch, SourceId, Tuple, TupleId, Value, VectorClock};
 
 use crate::causal::{CausalFrontier, CausalRevision, FrontierState};
+use crate::deadline::{DeadlineExceeded, PhaseDeadline};
 use crate::orders::PartialOrders;
 
 use crate::deduce::{
@@ -399,6 +400,32 @@ pub struct RevisionTelemetry {
     /// Settle + provenance-replay passes saved by coalescing: Σ over
     /// multi-event batches of (applied events − 1).
     pub replays_saved: usize,
+}
+
+impl std::fmt::Display for RevisionTelemetry {
+    /// One human-readable row per session, for soak and harness failure
+    /// output — e.g.
+    /// `revisions: 12 events in 5 batches (3 coalesced, 2 replays saved), cone 7/9 union, 4 clauses reemitted, dropped 1 dup, 0 buffered, 2 quarantined (1 evicted), 1 reopened`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "revisions: {} events in {} batches ({} coalesced, {} replays saved), \
+             cone {}/{} union, {} clauses reemitted, dropped {} dup, {} buffered, \
+             {} quarantined ({} evicted), {} reopened",
+            self.events,
+            self.batches,
+            self.events_coalesced,
+            self.replays_saved,
+            self.invalidated,
+            self.cone_union,
+            self.reemitted_clauses,
+            self.duplicates_dropped,
+            self.buffered,
+            self.quarantined,
+            self.quarantine_evicted,
+            self.reopened,
+        )
+    }
 }
 
 /// Competing concurrent candidates observed on one cell while ingesting
@@ -1468,6 +1495,56 @@ impl ResolutionSession {
         };
         self.synced_solver = solver_synced;
         sug
+    }
+
+    /// Deadline-aware [`ResolutionSession::is_valid`]: admits one phase
+    /// against `budget` before solving, charging it after. A spent budget
+    /// fails *before* touching the solver, so an expired request costs the
+    /// engine nothing.
+    pub fn is_valid_within(
+        &mut self,
+        budget: &mut PhaseDeadline,
+    ) -> Result<bool, DeadlineExceeded> {
+        budget.enter_phase()?;
+        Ok(self.is_valid())
+    }
+
+    /// Deadline-aware [`ResolutionSession::deduce`]: one budget phase.
+    pub fn deduce_within(
+        &mut self,
+        method: DeductionMethod,
+        budget: &mut PhaseDeadline,
+    ) -> Result<Option<DeducedOrders>, DeadlineExceeded> {
+        budget.enter_phase()?;
+        Ok(self.deduce(method))
+    }
+
+    /// Deadline-aware [`ResolutionSession::true_values`]: one budget
+    /// phase. A full `TrueValues` request chains
+    /// [`ResolutionSession::is_valid_within`] →
+    /// [`ResolutionSession::deduce_within`] → this, so it spends three
+    /// phases and can expire between any two of them — mid-request, at a
+    /// deterministic tick.
+    pub fn true_values_within(
+        &self,
+        od: &DeducedOrders,
+        budget: &mut PhaseDeadline,
+    ) -> Result<TrueValues, DeadlineExceeded> {
+        budget.enter_phase()?;
+        Ok(self.true_values(od))
+    }
+
+    /// Deadline-aware [`ResolutionSession::suggest`]: one budget phase
+    /// (a full `Suggest` request spends four — validity, deduction,
+    /// extraction, then the repair/probe pass here).
+    pub fn suggest_within(
+        &mut self,
+        od: &DeducedOrders,
+        known: &TrueValues,
+        budget: &mut PhaseDeadline,
+    ) -> Result<Suggestion, DeadlineExceeded> {
+        budget.enter_phase()?;
+        Ok(self.suggest(od, known))
     }
 
     /// Snapshots the session's *logical* state as plain data — everything

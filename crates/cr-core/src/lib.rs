@@ -31,6 +31,7 @@
 pub mod bruteforce;
 pub mod causal;
 pub mod compat;
+pub mod deadline;
 pub mod deduce;
 pub mod encode;
 pub mod framework;
@@ -53,6 +54,7 @@ pub use encode::{
     compile_count, AxiomMode, CompiledProgram, EncodeOptions, EncodedSpec, ExtendOutcome,
     RecordingAxiomSource, TransientAxiomSource,
 };
+pub use deadline::{DeadlineExceeded, PhaseDeadline};
 pub use framework::{ResolutionConfig, ResolutionOutcome, Resolver, RoundReport};
 pub use causal::{
     resolve_causal_checked, CausalCheckedReplay, CausalFrontier, CausalReplayConfig,

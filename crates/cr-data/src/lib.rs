@@ -19,6 +19,7 @@
 
 pub mod career;
 pub mod chaos;
+pub mod fleet;
 pub mod gen;
 pub mod gen_util;
 pub mod nba;

@@ -74,4 +74,4 @@ pub use event::{
 };
 pub use fault::{CrashReport, Fault, FaultyBackend};
 pub use harness::{reference_of, verify_recovery, ReplayedReference};
-pub use store::{RecoveryTelemetry, SessionStore, StoreConfig, StoreError};
+pub use store::{AdmissionProbe, RecoveryTelemetry, SessionStore, StoreConfig, StoreError};

@@ -81,6 +81,10 @@ pub struct StoreConfig {
     /// Maximum sessions kept live in memory; beyond it the least recently
     /// used live session is evicted. `0` means unbounded.
     pub max_live: usize,
+    /// Maximum recorded replies kept per session in the idempotency
+    /// ledger ([`SessionStore::record_reply`]); beyond it the oldest
+    /// recorded reply is forgotten. `0` disables the ledger entirely.
+    pub idempotency_cap: usize,
 }
 
 impl Default for StoreConfig {
@@ -90,6 +94,7 @@ impl Default for StoreConfig {
             policy: RevisionPolicy::Quarantine,
             snapshot_every: 32,
             max_live: 0,
+            idempotency_cap: 128,
         }
     }
 }
@@ -119,6 +124,43 @@ pub struct RecoveryTelemetry {
     pub partial_batch_truncations: u64,
 }
 
+impl fmt::Display for RecoveryTelemetry {
+    /// One human-readable row per store, for soak and harness failure
+    /// output — e.g.
+    /// `recovery: 3 rehydrations (2 via snapshot, 47 events replayed), 5 evictions, 1 corrupt truncations (12 bytes, 1 checksum), 0 partial batches`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "recovery: {} rehydrations ({} via snapshot, {} events replayed), \
+             {} evictions, {} corrupt truncations ({} bytes, {} checksum), \
+             {} partial batches",
+            self.rehydrations,
+            self.snapshots_used,
+            self.events_replayed,
+            self.evictions,
+            self.corrupt_truncations,
+            self.truncated_bytes,
+            self.checksum_failures,
+            self.partial_batch_truncations,
+        )
+    }
+}
+
+/// What admission control may learn about a session **without** touching
+/// it: probing never bumps the LRU clock, never rehydrates, and never
+/// evicts — an admission decision that ends in load-shedding must leave
+/// the store exactly as it found it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionProbe {
+    /// Whether the session currently holds live engine state. A cold
+    /// session will pay a rehydration on first touch, so admission can
+    /// charge it a higher token cost.
+    pub live: bool,
+    /// Byte length of the session's durable log — a proxy for how
+    /// expensive that rehydration would be.
+    pub log_bytes: u64,
+}
+
 struct Entry {
     base: Specification,
     live: Option<ResolutionSession>,
@@ -128,6 +170,14 @@ struct Entry {
     events_total: u64,
     /// LRU stamp from the store clock.
     last_used: u64,
+    /// Idempotency ledger: recorded replies of acknowledged mutations,
+    /// keyed by the client's idempotency key. Deliberately *not* part of
+    /// the live engine state: it survives eviction, so a retry arriving
+    /// after the session went cold still deduplicates. Bounded by
+    /// [`StoreConfig::idempotency_cap`] in insertion order.
+    idem: BTreeMap<u64, Vec<u8>>,
+    /// Insertion order of `idem` keys, oldest first, for cap eviction.
+    idem_order: Vec<u64>,
 }
 
 /// A durable multi-session host over a [`StorageBackend`].
@@ -199,6 +249,8 @@ impl<B: StorageBackend> SessionStore<B> {
                 events_since_snapshot: 0,
                 events_total: 0,
                 last_used: clock,
+                idem: BTreeMap::new(),
+                idem_order: Vec::new(),
             });
     }
 
@@ -227,6 +279,65 @@ impl<B: StorageBackend> SessionStore<B> {
             self.recovery.evictions += 1;
         }
         Ok(was_live)
+    }
+
+    /// Side-effect-free admission probe: is the session live, and how big
+    /// is its log? Unlike every other accessor this does **not** stamp the
+    /// LRU clock — shedding a request must not reorder eviction victims.
+    pub fn admission_probe(&self, id: SessionId) -> Result<AdmissionProbe, StoreError> {
+        if !self.entries.contains_key(&id.0) {
+            return Err(StoreError::UnknownSession(id));
+        }
+        Ok(AdmissionProbe {
+            live: self.is_live(id),
+            log_bytes: self.backend.log_len(id)?,
+        })
+    }
+
+    /// Looks up the recorded reply for a mutation idempotency key. `Some`
+    /// means the mutation was already acknowledged once: the server must
+    /// replay this reply instead of re-applying. Survives eviction (the
+    /// ledger is store-level, not engine state), so a retry landing after
+    /// the session went cold still deduplicates — and underneath it, the
+    /// causal frontier's `(source, hlc)` dedup catches stamped events that
+    /// outlive even this process.
+    pub fn idempotent_reply(&self, id: SessionId, key: u64) -> Option<&[u8]> {
+        self.entries.get(&id.0)?.idem.get(&key).map(Vec::as_slice)
+    }
+
+    /// Records the encoded reply of an acknowledged mutation under its
+    /// idempotency key. Bounded by [`StoreConfig::idempotency_cap`]:
+    /// beyond the cap the oldest recorded reply is forgotten (a retry
+    /// older than the whole window re-applies, and is then caught by the
+    /// causal frontier for stamped events). Re-recording an existing key
+    /// keeps the first reply — the first acknowledgement wins.
+    pub fn record_reply(
+        &mut self,
+        id: SessionId,
+        key: u64,
+        reply: Vec<u8>,
+    ) -> Result<(), StoreError> {
+        if self.config.idempotency_cap == 0 {
+            return Ok(());
+        }
+        let cap = self.config.idempotency_cap;
+        let entry =
+            self.entries.get_mut(&id.0).ok_or(StoreError::UnknownSession(id))?;
+        if entry.idem.contains_key(&key) {
+            return Ok(());
+        }
+        entry.idem.insert(key, reply);
+        entry.idem_order.push(key);
+        while entry.idem.len() > cap {
+            let oldest = entry.idem_order.remove(0);
+            entry.idem.remove(&oldest);
+        }
+        Ok(())
+    }
+
+    /// Number of replies currently held in `id`'s idempotency ledger.
+    pub fn ledger_len(&self, id: SessionId) -> usize {
+        self.entries.get(&id.0).map_or(0, |e| e.idem.len())
     }
 
     /// The live session for `id`, rehydrating from the log if cold.

@@ -18,9 +18,11 @@ pub mod interner;
 pub mod schema;
 pub mod tuple;
 pub mod value;
+pub mod wire;
 
 pub use causal::{CausalStamp, Epoch, Hlc, SourceClock, SourceId, VectorClock};
 pub use codec::{CodecError, Dec, Enc, FrameScanner};
+pub use wire::{Envelope, IdemKey, RequestId, TenantId};
 pub use entity::{EntityInstance, TupleId, NO_GLOBAL_VALUE};
 pub use error::TypesError;
 pub use interner::{
