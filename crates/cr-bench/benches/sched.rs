@@ -1,0 +1,69 @@
+//! Criterion bench for the work-stealing scheduler (`cr_core::sched`):
+//! batch resolution of a seeded power-law dataset across worker widths,
+//! plus the streaming path through the bounded ingestion queue. On the
+//! single-core CI container the widths measure scheduling *overhead*
+//! (identical work, different task plumbing), not speedup — the perf
+//! gate tracks that overhead for regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cr_core::framework::{GroundTruthOracle, ResolutionConfig, Resolver};
+use cr_core::sched::{resolve_batch, resolve_stream, SchedulerConfig};
+use cr_data::gen::{PowerLawConfig, PowerLawDataset};
+
+fn bench_sched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched");
+    group.sample_size(10);
+
+    let ds = PowerLawDataset::new(&PowerLawConfig {
+        seed: 42,
+        entities: 120,
+        max_tuples: 64,
+        giants: 1,
+        ..Default::default()
+    });
+    let specs = ds.specs();
+    let resolver = Resolver::new(ResolutionConfig::default());
+
+    for workers in [1usize, 2, 4] {
+        let config = SchedulerConfig::with_workers(workers);
+        group.bench_with_input(
+            BenchmarkId::new("batch", workers),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    black_box(resolve_batch(
+                        &resolver,
+                        black_box(&specs),
+                        &|i| GroundTruthOracle::with_cap(ds.truth(i).clone(), 1),
+                        config,
+                    ))
+                })
+            },
+        );
+    }
+
+    let config = SchedulerConfig::with_workers(2);
+    group.bench_function("stream/2", |b| {
+        b.iter(|| {
+            let drained = std::sync::atomic::AtomicUsize::new(0);
+            let telemetry = resolve_stream(
+                &resolver,
+                ds.stream(),
+                &|i| GroundTruthOracle::with_cap(ds.truth(i).clone(), 1),
+                &config,
+                &|_, outcome| {
+                    black_box(&outcome);
+                    drained.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                },
+            );
+            assert_eq!(drained.into_inner(), ds.len());
+            black_box(telemetry)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

@@ -78,14 +78,35 @@
 //! retry, or if the faulty-wire run produced **zero** load-shedding or
 //! zero client retries — a dead fault path must not pass.
 //!
+//! The `sched` workload drives the **work-stealing scheduler**
+//! (`cr_core::sched`) with a seeded power-law entity population: a
+//! serial reference pass, then `resolve_batch` under the adversarial
+//! `Placement::Skewed` (every task starts on shard 0, so workers 1..N
+//! live entirely off steals) and a `resolve_stream` run through the
+//! bounded ingestion queue — each proven outcome-identical to serial.
+//! The smoke gates fail the run on zero steals, zero batch tasks, zero
+//! split entities (the pinned giant must split), or any backpressure
+//! stall on the clean stream (whose queue capacity exceeds the entity
+//! count, so a stall there is a false positive). The same workload
+//! accounts the **Ω-free memory diet**: a sample of entities is encoded
+//! with and without retained Ω and the report records bytes per entity
+//! for both (the Ω-free encoding must be strictly smaller, with an
+//! identical CNF). Outside smoke, a `--sched-entities`-sized power-law
+//! dataset (default 10⁵) is resolved end-to-end twice — serially and
+//! through `resolve_stream` at the `--threads` width under the default
+//! bounded queue — with an order-insensitive outcome digest proving
+//! serial ≡ parallel at scale.
+//!
 //! Flags: `--entities N` (per generated dataset, default 10), `--seed S`,
 //! `--rounds R` (max user rounds, default 10), `--reps K` (timing
 //! repetitions, default 3), `--frac F` (constraint fraction, default 0.6),
 //! `--threads T` (parallel fan-out width, default = available cores; the
 //! smoke mode runs a serial-vs-parallel agreement pass at this width),
-//! `--out PATH` (default `BENCH_9.json`), `--smoke` (tiny CI mode: check
-//! agreement, compile-once, zero-rebuild, live-cone, parallel-path,
-//! durability and serving invariants, skip the timing sweep).
+//! `--sched-entities N` (scale of the non-smoke scheduler run, default
+//! 100000), `--out PATH` (default `BENCH_10.json`), `--smoke` (tiny CI
+//! mode: check agreement, compile-once, zero-rebuild, live-cone,
+//! parallel-path, scheduler, durability and serving invariants, skip the
+//! timing sweep).
 
 use std::time::Instant;
 
@@ -95,18 +116,20 @@ use cr_bench::{arg_entities, arg_flag, arg_seed, arg_value, json::BenchReport, q
 use cr_core::causal::{
     resolve_causal_checked, CausalReplayConfig, CausalRevision, ScriptedCausalRevisions,
 };
-use cr_core::framework::{GroundTruthOracle, ResolutionConfig, Resolver};
+use cr_core::framework::{GroundTruthOracle, ResolutionConfig, ResolutionOutcome, Resolver};
 use cr_core::ingest::{
     check_session_against_scratch, diff_logical_states, resolve_with_revisions_checked,
     ResolutionSession, Revision, RevisionPolicy, ScriptedRevisions, SpecMirror,
 };
+use cr_core::sched::{resolve_batch, resolve_stream, Placement, SchedTelemetry, SchedulerConfig};
 use cr_core::{compile_count, CompiledProgram, EncodeOptions, EncodedSpec, Specification};
 use cr_constraints::parser::{parse_cfd_file, parse_currency_file};
 use cr_core::spec::UserInput;
 use cr_data::chaos::{chaos, ChaosConfig};
 use cr_data::fleet::{run_fleet, ChannelFaults, FleetConfig, FleetReport};
 use cr_data::gen::{
-    causal_timeline, scenario_from_raw, CausalTimelineConfig, Scenario, ScenarioConfig,
+    causal_timeline, scenario_from_raw, CausalTimelineConfig, PowerLawConfig, PowerLawDataset,
+    Scenario, ScenarioConfig,
 };
 use cr_data::{nba, person, vjday};
 use cr_server::admission::AdmissionConfig;
@@ -896,6 +919,204 @@ fn check_rehydrate(seed: u64, events: usize, reps: usize) -> RehydrateStats {
     stats
 }
 
+/// Work-stealing scheduler telemetry plus the Ω-free memory-diet
+/// accounting (explicit zeros: the smoke gates below distinguish a dead
+/// steal/batch/split counter from a clean run).
+struct SchedStats {
+    liveness_entities: usize,
+    /// Telemetry of the skewed-placement `resolve_batch` liveness run.
+    batch: SchedTelemetry,
+    /// Telemetry of the clean (never-saturated) `resolve_stream` run.
+    stream: SchedTelemetry,
+    /// Telemetry of the non-smoke at-scale stream run, when one ran.
+    scale: Option<SchedTelemetry>,
+    scale_entities: usize,
+    scale_serial_secs: f64,
+    scale_stream_secs: f64,
+    /// Entities behind the bytes-per-entity sample.
+    sample: usize,
+    /// Summed `approx_bytes` of the sample, Ω-free (engine default).
+    lean_bytes: usize,
+    /// Summed `approx_bytes` of the sample with Ω retained.
+    fat_bytes: usize,
+    /// The retained instance constraints alone (`omega_bytes`).
+    fat_omega_bytes: usize,
+}
+
+/// Order-insensitive digest of one entity's outcome — summed with
+/// wrapping addition so out-of-order stream sinks can be compared
+/// against an in-order serial pass.
+fn outcome_digest(i: usize, o: &ResolutionOutcome) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    i.hash(&mut h);
+    o.valid.hash(&mut h);
+    o.complete.hash(&mut h);
+    o.interactions.hash(&mut h);
+    format!("{:?}", o.resolved).hash(&mut h);
+    h.finish()
+}
+
+/// Drives the work-stealing scheduler over seeded power-law populations
+/// and proves every parallel path outcome-identical to a serial pass.
+/// Aborts the bench on any divergence; the liveness gates on the returned
+/// telemetry run in `main`. Run at setup: each dataset compiles its one
+/// shared program at construction.
+fn check_sched(seed: u64, smoke: bool, threads: usize, scale_entities: usize) -> SchedStats {
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    let workers = threads.clamp(2, 8);
+    let resolver = Resolver::new(ResolutionConfig::default());
+
+    // Liveness population: heavy-tailed with one giant pinned to
+    // `max_tuples`, large enough that skewed placement forces real steals
+    // even when the workers share a single core.
+    let liveness = PowerLawDataset::new(&PowerLawConfig {
+        seed: seed ^ 0x5EED,
+        entities: 160,
+        max_tuples: 48,
+        giants: 1,
+        ..Default::default()
+    });
+    let specs = liveness.specs();
+    let serial: Vec<ResolutionOutcome> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| resolver.resolve(s, &mut GroundTruthOracle::with_cap(liveness.truth(i), 1)))
+        .collect();
+
+    // Adversarial placement: every task starts on shard 0, so workers
+    // 1..N live entirely off steals — nonzero `steals` proves the steal
+    // path is alive, not just reachable. The giant (48 tuples) clears
+    // `split_tuple_threshold`, so its Ω instantiation must split.
+    let skewed = SchedulerConfig {
+        placement: Placement::Skewed,
+        large_tuple_threshold: 24,
+        split_tuple_threshold: 40,
+        ..SchedulerConfig::with_workers(workers)
+    };
+    let (outcomes, batch) = resolve_batch(
+        &resolver,
+        &specs,
+        &|i| GroundTruthOracle::with_cap(liveness.truth(i), 1),
+        &skewed,
+    );
+    for (i, (s, p)) in serial.iter().zip(&outcomes).enumerate() {
+        assert_eq!(s.valid, p.valid, "sched: validity diverged on entity {i}");
+        assert_eq!(s.resolved, p.resolved, "sched: skewed batch diverged from serial on entity {i}");
+        assert_eq!(s.interactions, p.interactions, "sched: interactions diverged on entity {i}");
+    }
+
+    // Clean stream: queue capacity above the entity count, so the
+    // producer can never block — a backpressure stall recorded here is a
+    // false positive (gated in `main`). Outcomes arrive out of order;
+    // the wrapping digest proves the set ≡ serial.
+    let clean =
+        SchedulerConfig { queue_cap: specs.len() + 1, ..SchedulerConfig::with_workers(workers) };
+    let serial_digest = serial
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, o)| acc.wrapping_add(outcome_digest(i, o)));
+    let digest = AtomicU64::new(0);
+    let drained = AtomicUsize::new(0);
+    let stream = resolve_stream(
+        &resolver,
+        liveness.stream(),
+        &|i| GroundTruthOracle::with_cap(liveness.truth(i), 1),
+        &clean,
+        &|i, o| {
+            digest.fetch_add(outcome_digest(i, &o), Ordering::Relaxed);
+            drained.fetch_add(1, Ordering::Relaxed);
+        },
+    );
+    assert_eq!(drained.into_inner(), specs.len(), "sched: stream dropped entities");
+    assert_eq!(
+        digest.into_inner(),
+        serial_digest,
+        "sched: stream outcomes diverged from serial"
+    );
+
+    // Ω-free memory diet: the engine encoding must carry no retained
+    // instance constraints and be strictly smaller than the retained-Ω
+    // twin, with a byte-identical CNF (suggestion rules are scanned from
+    // the clause arena instead — `cr-core/tests/omega_free_rules.rs`).
+    let sample = specs.len().min(12);
+    let (mut lean_bytes, mut fat_bytes, mut fat_omega_bytes) = (0usize, 0usize, 0usize);
+    for spec in specs.iter().take(sample) {
+        let lean = EncodedSpec::encode_with(spec, EncodeOptions::lazy());
+        let fat = EncodedSpec::encode_with(spec, EncodeOptions::lazy().with_retained_omega());
+        assert_eq!(lean.omega_bytes(), 0, "engine encoding must drop Ω");
+        assert_eq!(
+            lean.cnf().num_clauses(),
+            fat.cnf().num_clauses(),
+            "Ω retention must not change the CNF"
+        );
+        lean_bytes += lean.approx_bytes();
+        fat_bytes += fat.approx_bytes();
+        fat_omega_bytes += fat.omega_bytes();
+    }
+    assert!(lean_bytes < fat_bytes, "Ω-free encodings must be smaller than retained-Ω ones");
+
+    // At-scale run (non-smoke): a `--sched-entities` power-law population
+    // resolved serially and through the default bounded queue, compared
+    // by digest. The default `queue_cap` keeps the in-flight window (and
+    // so producer memory) bounded regardless of the population size.
+    let mut scale = None;
+    let (mut scale_serial_secs, mut scale_stream_secs) = (0.0, 0.0);
+    if !smoke && scale_entities > 0 {
+        let ds = PowerLawDataset::new(&PowerLawConfig {
+            seed: seed ^ 0xCA1E,
+            entities: scale_entities,
+            max_tuples: 64,
+            giants: 2,
+            ..Default::default()
+        });
+        let t = Instant::now();
+        let mut serial_digest = 0u64;
+        for i in 0..ds.len() {
+            let o = resolver
+                .resolve(&ds.spec(i), &mut GroundTruthOracle::with_cap(ds.truth(i), 1));
+            serial_digest = serial_digest.wrapping_add(outcome_digest(i, &o));
+        }
+        scale_serial_secs = t.elapsed().as_secs_f64();
+        let digest = AtomicU64::new(0);
+        let drained = AtomicUsize::new(0);
+        let config = SchedulerConfig::with_workers(workers);
+        let t = Instant::now();
+        let telemetry = resolve_stream(
+            &resolver,
+            ds.stream(),
+            &|i| GroundTruthOracle::with_cap(ds.truth(i), 1),
+            &config,
+            &|i, o| {
+                digest.fetch_add(outcome_digest(i, &o), Ordering::Relaxed);
+                drained.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        scale_stream_secs = t.elapsed().as_secs_f64();
+        assert_eq!(drained.into_inner(), ds.len(), "sched: at-scale stream dropped entities");
+        assert_eq!(
+            digest.into_inner(),
+            serial_digest,
+            "sched: at-scale stream outcomes diverged from serial"
+        );
+        scale = Some(telemetry);
+    }
+
+    SchedStats {
+        liveness_entities: specs.len(),
+        batch,
+        stream,
+        scale,
+        scale_entities: if smoke { 0 } else { scale_entities },
+        scale_serial_secs,
+        scale_stream_secs,
+        sample,
+        lean_bytes,
+        fat_bytes,
+        fat_omega_bytes,
+    }
+}
+
 /// The `p`-th percentile of an ascending latency sample (nearest-rank).
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
@@ -969,8 +1190,11 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
         .max(1);
+    let sched_entities: usize = arg_value("sched-entities")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
     let smoke = arg_flag("smoke");
-    let out = arg_value("out").unwrap_or_else(|| "BENCH_9.json".to_string());
+    let out = arg_value("out").unwrap_or_else(|| "BENCH_10.json".to_string());
 
     // Entity sizes follow the seed's Fig. 8(a) bins: NBA up to 135 tuples,
     // Person at 1/10 paper scale up to 200.
@@ -1081,6 +1305,11 @@ fn main() {
     // Serving-layer fleet workload: self-verified AND timed at setup (the
     // fleet's scenario compiles its own program — see `check_serve`).
     let (serve_clean, serve_faulty) = check_serve(seed, smoke);
+
+    // Work-stealing scheduler + Ω-free memory diet: agreement proven AND
+    // timed at setup (each power-law dataset compiles its one shared
+    // program at construction — see `check_sched`).
+    let sched_stats = check_sched(seed, smoke, threads, sched_entities);
 
     // Career specs were stamped by `Dataset::spec`, wide scenarios by
     // `cr_data::gen` — every workload's program now exists. From here on,
@@ -1330,6 +1559,76 @@ fn main() {
         );
     }
 
+    // Work-stealing scheduler: serial ≡ parallel was asserted inside
+    // `check_sched` (it aborts on divergence); report the telemetry and
+    // the Ω-free memory diet, then gate on liveness below.
+    let sb = &sched_stats.batch;
+    report.context("sched/entities", sched_stats.liveness_entities);
+    report.context("sched/workers", sb.workers);
+    report.context("sched/tasks", sb.tasks);
+    report.context("sched/steals", sb.steals);
+    report.context("sched/batch_tasks", sb.batch_tasks);
+    report.context("sched/batched_entities", sb.batched_entities);
+    report.context("sched/max_batch", sb.max_batch);
+    report.context("sched/split_entities", sb.split_entities);
+    report.context("sched/split_subtasks", sb.split_subtasks);
+    report.context("sched/scratch_reuses", sb.scratch_reuses);
+    report.context("sched/stream/queue_high_water", sched_stats.stream.queue_high_water);
+    report.context("sched/stream/backpressure_stalls", sched_stats.stream.backpressure_stalls);
+    println!(
+        "{:>8}: {} entities / {} workers: {} tasks ({} steals), {} batches fusing {} entities (max {}), {} split into {} subtasks, {} scratch reuses (skewed batch ≡ serial verified)",
+        "sched",
+        sched_stats.liveness_entities,
+        sb.workers,
+        sb.tasks,
+        sb.steals,
+        sb.batch_tasks,
+        sb.batched_entities,
+        sb.max_batch,
+        sb.split_entities,
+        sb.split_subtasks,
+        sb.scratch_reuses,
+    );
+    println!(
+        "{:>8}: clean stream high-water {} / cap {}, {} backpressure stalls (stream ≡ serial verified)",
+        "sched",
+        sched_stats.stream.queue_high_water,
+        sched_stats.liveness_entities + 1,
+        sched_stats.stream.backpressure_stalls,
+    );
+    let per_entity = |bytes: usize| bytes / sched_stats.sample.max(1);
+    report.context("sched/bytes_per_entity/omega_free", per_entity(sched_stats.lean_bytes));
+    report.context("sched/bytes_per_entity/retained_omega", per_entity(sched_stats.fat_bytes));
+    report.context("sched/bytes_per_entity/omega_only", per_entity(sched_stats.fat_omega_bytes));
+    println!(
+        "{:>8}: memory diet over {} sampled entities: {} B/entity Ω-free vs {} B/entity retained ({} B/entity of Ω dropped, CNF identical)",
+        "sched",
+        sched_stats.sample,
+        per_entity(sched_stats.lean_bytes),
+        per_entity(sched_stats.fat_bytes),
+        per_entity(sched_stats.fat_omega_bytes),
+    );
+    if let Some(st) = &sched_stats.scale {
+        report.context("sched/scale/entities", sched_stats.scale_entities);
+        report.context("sched/scale/tasks", st.tasks);
+        report.context("sched/scale/steals", st.steals);
+        report.context("sched/scale/queue_high_water", st.queue_high_water);
+        report.context("sched/scale/backpressure_stalls", st.backpressure_stalls);
+        report.measure("end_to_end/sched/serial", sched_stats.scale_serial_secs);
+        report.measure("end_to_end/sched/stream", sched_stats.scale_stream_secs);
+        println!(
+            "{:>8}: {} entities at scale: serial {:.2}s, streamed {:.2}s ({} tasks, {} steals, queue high-water {}, {} stalls; digest ≡ serial)",
+            "sched",
+            sched_stats.scale_entities,
+            sched_stats.scale_serial_secs,
+            sched_stats.scale_stream_secs,
+            st.tasks,
+            st.steals,
+            st.queue_high_water,
+            st.backpressure_stalls,
+        );
+    }
+
     report.context("rebuilds_total", total_rebuilds);
     if !smoke {
         let speedup = total_scratch / total_lazy;
@@ -1441,6 +1740,29 @@ fn main() {
     }
     if serve_faulty.report.retries == 0 {
         eprintln!("FAIL: faulty serve workload needed no retries (fault injection dead?)");
+        std::process::exit(1);
+    }
+    // Scheduler gates: under skewed placement the non-owner workers live
+    // entirely off steals, small entities must fuse into batch tasks, the
+    // pinned giant must split, and the clean stream (queue capacity above
+    // the entity count) must never record a backpressure stall.
+    if sched_stats.batch.steals == 0 {
+        eprintln!("FAIL: sched recorded no steals under skewed placement (steal path dead)");
+        std::process::exit(1);
+    }
+    if sched_stats.batch.batch_tasks == 0 {
+        eprintln!("FAIL: sched fused no small-entity batches (batching path dead)");
+        std::process::exit(1);
+    }
+    if sched_stats.batch.split_entities == 0 {
+        eprintln!("FAIL: sched split no giant entities (Ω-split path dead)");
+        std::process::exit(1);
+    }
+    if sched_stats.stream.backpressure_stalls != 0 {
+        eprintln!(
+            "FAIL: clean stream recorded {} backpressure stalls (expected 0 — the queue was never full)",
+            sched_stats.stream.backpressure_stalls
+        );
         std::process::exit(1);
     }
     // Durability gates: recovery must actually replay the log, and a clean

@@ -1,0 +1,100 @@
+//! Perf-regression gate CLI (see `cr_bench::perf` for the comparison
+//! semantics and the baseline-refresh recipe).
+//!
+//! ```text
+//! perf_gate check [--baseline perf/baseline.jsonl] [--current target/criterion.jsonl]
+//!                 [--tolerance 5.0] [--inject-regression]
+//! perf_gate bless [--baseline perf/baseline.jsonl] [--current target/criterion.jsonl]
+//! ```
+//!
+//! `check` exits nonzero on any out-of-tolerance regression or missing
+//! benchmark. `--inject-regression` multiplies every current median by
+//! 100× before comparing — CI runs it with inverted expectations to
+//! prove the gate actually trips. `bless` rewrites the baseline from the
+//! current run (deduplicated, sorted by id).
+
+use cr_bench::perf::{compare, parse_jsonl, to_jsonl, GateConfig, Verdict};
+use cr_bench::{arg_flag, arg_value};
+use std::process::ExitCode;
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let baseline_path =
+        arg_value("baseline").unwrap_or_else(|| "perf/baseline.jsonl".to_string());
+    let current_path =
+        arg_value("current").unwrap_or_else(|| "target/criterion.jsonl".to_string());
+
+    let run = || -> Result<ExitCode, String> {
+        match mode.as_str() {
+            "bless" => {
+                let mut records = parse_jsonl(&read(&current_path)?)?;
+                if records.is_empty() {
+                    return Err(format!("{current_path} holds no benchmark records"));
+                }
+                records.sort_by(|a, b| a.id.cmp(&b.id));
+                if let Some(dir) = std::path::Path::new(&baseline_path).parent() {
+                    std::fs::create_dir_all(dir)
+                        .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+                }
+                std::fs::write(&baseline_path, to_jsonl(&records))
+                    .map_err(|e| format!("cannot write {baseline_path}: {e}"))?;
+                println!("blessed {} benchmarks into {baseline_path}", records.len());
+                Ok(ExitCode::SUCCESS)
+            }
+            "check" => {
+                let baseline = parse_jsonl(&read(&baseline_path)?)?;
+                if baseline.is_empty() {
+                    return Err(format!("{baseline_path} holds no benchmark records"));
+                }
+                let mut current = parse_jsonl(&read(&current_path)?)?;
+                if arg_flag("inject-regression") {
+                    println!("injecting a synthetic 100x regression into every benchmark");
+                    for r in &mut current {
+                        r.median_ns = r.median_ns.saturating_mul(100);
+                        r.mean_ns = r.mean_ns.saturating_mul(100);
+                    }
+                }
+                let mut cfg = GateConfig::default();
+                if let Some(t) = arg_value("tolerance").and_then(|v| v.parse().ok()) {
+                    cfg.tolerance = t;
+                }
+                let (rows, pass) = compare(&baseline, &current, &cfg);
+                println!(
+                    "perf gate: {} baseline benchmarks, tolerance {:.1}x, floor {:.3}ms",
+                    baseline.len(),
+                    cfg.tolerance,
+                    cfg.floor_ns as f64 / 1e6
+                );
+                for row in &rows {
+                    println!("  {row}");
+                }
+                if pass {
+                    println!("perf gate: PASS");
+                    Ok(ExitCode::SUCCESS)
+                } else {
+                    let bad = rows
+                        .iter()
+                        .filter(|r| matches!(r.verdict, Verdict::Regressed | Verdict::Missing))
+                        .count();
+                    println!("perf gate: FAIL ({bad} regressed/missing)");
+                    Ok(ExitCode::FAILURE)
+                }
+            }
+            other => Err(format!(
+                "usage: perf_gate <check|bless> [--baseline P] [--current P] \
+                 [--tolerance X] [--inject-regression] (got {other:?})"
+            )),
+        }
+    };
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -13,6 +13,8 @@ use cr_core::{
 };
 use cr_data::Dataset;
 
+pub mod perf;
+
 /// Simple CLI flag access: `--name value`.
 pub fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();

@@ -1,0 +1,284 @@
+//! Perf-regression gate: comparing a criterion JSONL run against a
+//! committed baseline.
+//!
+//! The criterion shim appends one record per finished benchmark to the
+//! file named by `CRITERION_JSON` (see `shims/criterion`). This module
+//! parses those records (hand-rolled — no serde in the container) and
+//! compares a fresh run against `perf/baseline.jsonl`, failing when a
+//! benchmark's median regresses beyond the tolerance. The CI container
+//! is a noisy single shared core, so the default tolerance is wide (a
+//! real regression from an algorithmic change is typically 10×+; run-to-
+//! run noise stays well inside 5×) and sub-floor medians are ignored
+//! entirely — microsecond benches are pure jitter there.
+//!
+//! Refreshing the baseline after an intentional perf change:
+//!
+//! ```text
+//! rm -f target/criterion.jsonl
+//! CRITERION_JSON=target/criterion.jsonl CRITERION_SAMPLES=10 \
+//!     cargo bench --release -p cr-bench
+//! cargo run --release -p cr-bench --bin perf_gate -- bless \
+//!     --current target/criterion.jsonl
+//! ```
+
+use std::fmt;
+
+/// One benchmark measurement (a parsed JSONL record).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// `group/bench` identifier.
+    pub id: String,
+    /// Median wall-clock nanoseconds.
+    pub median_ns: u64,
+    /// Mean wall-clock nanoseconds.
+    pub mean_ns: u64,
+    /// Samples behind the statistics.
+    pub samples: u64,
+}
+
+/// Extracts a JSON string field from a single-line record.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts a JSON integer field from a single-line record.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Parses criterion-shim JSONL. Repeated ids (re-runs appended to the
+/// same file) keep the **last** record. Malformed lines are errors — a
+/// truncated baseline should fail loudly, not silently shrink coverage.
+pub fn parse_jsonl(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut records: Vec<BenchRecord> = Vec::new();
+    for (n, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let rec = (|| {
+            Some(BenchRecord {
+                id: field_str(line, "id")?,
+                median_ns: field_u64(line, "median_ns")?,
+                mean_ns: field_u64(line, "mean_ns")?,
+                samples: field_u64(line, "samples")?,
+            })
+        })()
+        .ok_or_else(|| format!("line {}: malformed record: {line}", n + 1))?;
+        if let Some(existing) = records.iter_mut().find(|r| r.id == rec.id) {
+            *existing = rec;
+        } else {
+            records.push(rec);
+        }
+    }
+    Ok(records)
+}
+
+/// Renders records back to JSONL (used by `bless`).
+pub fn to_jsonl(records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&format!(
+            "{{\"id\":\"{}\",\"median_ns\":{},\"mean_ns\":{},\"samples\":{}}}\n",
+            r.id, r.median_ns, r.mean_ns, r.samples
+        ));
+    }
+    out
+}
+
+/// Gate thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct GateConfig {
+    /// A benchmark fails when `current > baseline * tolerance` (and both
+    /// exceed the floor). Wide by default — see the module docs.
+    pub tolerance: f64,
+    /// Medians below this are ignored entirely (noise floor, ns).
+    pub floor_ns: u64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig { tolerance: 5.0, floor_ns: 200_000 }
+    }
+}
+
+/// Per-benchmark verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance (or under the noise floor).
+    Ok,
+    /// Median regressed beyond the tolerance.
+    Regressed,
+    /// In the baseline but absent from the current run.
+    Missing,
+    /// New benchmark with no baseline entry (needs a bless).
+    New,
+}
+
+/// One row of the comparison report.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Benchmark id.
+    pub id: String,
+    /// Baseline median (ns), when present.
+    pub baseline_ns: Option<u64>,
+    /// Current median (ns), when present.
+    pub current_ns: Option<u64>,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let show = |ns: Option<u64>| match ns {
+            Some(ns) => format!("{:.3}ms", ns as f64 / 1e6),
+            None => "-".to_string(),
+        };
+        let ratio = match (self.baseline_ns, self.current_ns) {
+            (Some(b), Some(c)) if b > 0 => format!("{:.2}x", c as f64 / b as f64),
+            _ => "-".to_string(),
+        };
+        write!(
+            f,
+            "{:<40} base {:>10}  now {:>10}  {:>7}  {:?}",
+            self.id,
+            show(self.baseline_ns),
+            show(self.current_ns),
+            ratio,
+            self.verdict
+        )
+    }
+}
+
+/// Compares a current run against the baseline. The gate **fails** on
+/// any `Regressed` or `Missing` verdict; `New` benchmarks pass (they
+/// only gate once blessed into the baseline).
+pub fn compare(
+    baseline: &[BenchRecord],
+    current: &[BenchRecord],
+    cfg: &GateConfig,
+) -> (Vec<Comparison>, bool) {
+    let mut rows = Vec::new();
+    let mut pass = true;
+    for b in baseline {
+        let row = match current.iter().find(|c| c.id == b.id) {
+            None => {
+                pass = false;
+                Comparison {
+                    id: b.id.clone(),
+                    baseline_ns: Some(b.median_ns),
+                    current_ns: None,
+                    verdict: Verdict::Missing,
+                }
+            }
+            Some(c) => {
+                let below_floor = b.median_ns < cfg.floor_ns && c.median_ns < cfg.floor_ns;
+                let regressed =
+                    !below_floor && (c.median_ns as f64) > (b.median_ns as f64) * cfg.tolerance;
+                if regressed {
+                    pass = false;
+                }
+                Comparison {
+                    id: b.id.clone(),
+                    baseline_ns: Some(b.median_ns),
+                    current_ns: Some(c.median_ns),
+                    verdict: if regressed { Verdict::Regressed } else { Verdict::Ok },
+                }
+            }
+        };
+        rows.push(row);
+    }
+    for c in current {
+        if !baseline.iter().any(|b| b.id == c.id) {
+            rows.push(Comparison {
+                id: c.id.clone(),
+                baseline_ns: None,
+                current_ns: Some(c.median_ns),
+                verdict: Verdict::New,
+            });
+        }
+    }
+    (rows, pass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: &str, median: u64) -> BenchRecord {
+        BenchRecord { id: id.into(), median_ns: median, mean_ns: median, samples: 10 }
+    }
+
+    #[test]
+    fn parse_roundtrips_and_keeps_last_duplicate() {
+        let text = "\
+{\"id\":\"resolve/nba/27\",\"median_ns\":1200000,\"mean_ns\":1300000,\"samples\":15}
+{\"id\":\"sched/batch/2\",\"median_ns\":900000,\"mean_ns\":910000,\"samples\":10}
+{\"id\":\"resolve/nba/27\",\"median_ns\":1100000,\"mean_ns\":1250000,\"samples\":15}
+";
+        let records = parse_jsonl(text).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].median_ns, 1_100_000, "last duplicate wins");
+        let reparsed = parse_jsonl(&to_jsonl(&records)).unwrap();
+        assert_eq!(reparsed, records);
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(parse_jsonl("{\"id\":\"x\"}").is_err());
+        assert!(parse_jsonl("not json at all").is_err());
+        assert!(parse_jsonl("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let base = vec![rec("a/1", 1_000_000), rec("b/2", 5_000_000)];
+        let (rows, pass) = compare(&base, &base, &GateConfig::default());
+        assert!(pass);
+        assert!(rows.iter().all(|r| r.verdict == Verdict::Ok));
+    }
+
+    #[test]
+    fn out_of_tolerance_regressions_fail() {
+        let base = vec![rec("a/1", 1_000_000)];
+        let current = vec![rec("a/1", 6_000_001)];
+        let (rows, pass) = compare(&base, &current, &GateConfig::default());
+        assert!(!pass);
+        assert_eq!(rows[0].verdict, Verdict::Regressed);
+        // Within 5x passes.
+        let current = vec![rec("a/1", 4_900_000)];
+        let (_, pass) = compare(&base, &current, &GateConfig::default());
+        assert!(pass);
+    }
+
+    #[test]
+    fn noise_floor_mutes_micro_benches() {
+        let base = vec![rec("tiny/1", 10_000)];
+        let current = vec![rec("tiny/1", 150_000)]; // 15x but sub-floor
+        let (rows, pass) = compare(&base, &current, &GateConfig::default());
+        assert!(pass);
+        assert_eq!(rows[0].verdict, Verdict::Ok);
+        // Crossing the floor re-arms the gate.
+        let current = vec![rec("tiny/1", 900_000)];
+        let (_, pass) = compare(&base, &current, &GateConfig::default());
+        assert!(!pass);
+    }
+
+    #[test]
+    fn missing_fails_and_new_passes() {
+        let base = vec![rec("gone/1", 1_000_000)];
+        let current = vec![rec("fresh/1", 1_000_000)];
+        let (rows, pass) = compare(&base, &current, &GateConfig::default());
+        assert!(!pass, "a vanished benchmark is a coverage regression");
+        assert!(rows.iter().any(|r| r.verdict == Verdict::Missing));
+        assert!(rows.iter().any(|r| r.verdict == Verdict::New));
+        let (_, pass) = compare(&[], &current, &GateConfig::default());
+        assert!(pass, "new benchmarks alone never fail the gate");
+    }
+}

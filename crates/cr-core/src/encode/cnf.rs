@@ -77,6 +77,24 @@ pub type GroupId = u32;
 /// Group tag of permanent clauses.
 const NO_GROUP: GroupId = cr_sat::NO_GROUP;
 
+/// Classification of one CNF clause, parallel to the clause list. One byte
+/// per clause is what lets the suggestion path drop the retained Ω(Se)
+/// instance list (`EncodeOptions::retain_omega` off, the default): rule
+/// derivation re-reads its Currency/BaseOrder implications straight from
+/// the flat literal arena via [`EncodedSpec::for_each_order_rule`] instead
+/// of keeping a second materialised copy of every instance constraint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum ClauseKind {
+    /// Axioms, CFD instances, guard units, deltas — everything rule
+    /// derivation ignores.
+    General = 0,
+    /// A Σ-currency or base-order implication with an order-atom
+    /// conclusion: exactly the Ω instances the paper's `TrueDer` rule
+    /// derivation (Section VI) consumes.
+    OrderRule = 1,
+}
+
 /// Dense `attr × lo × hi → Var` index. Order-variable lookup sits on the
 /// hot path of clause generation, deduction and suggestion; a flat
 /// row-major table per attribute answers it with two bounds checks and one
@@ -152,8 +170,11 @@ impl OmegaSink for EncoderSink<'_> {
         // storage 2–3× and pushes every encode into fresh large mappings.
         // Cap the hint and let amortised growth cover dense constraints.
         let capped = additional.min(4096);
-        self.enc.omega.reserve(capped);
+        if self.enc.options.retain_omega {
+            self.enc.omega.reserve(capped);
+        }
         self.enc.clause_groups.reserve(capped);
+        self.enc.clause_kinds.reserve(capped);
         self.enc.cnf.reserve_clauses(capped);
     }
     fn emit(&mut self, c: InstanceConstraint) {
@@ -204,6 +225,9 @@ pub struct EncodedSpec {
     /// Group tag per CNF clause (`NO_GROUP` = permanent), parallel to
     /// `cnf.clauses()`.
     clause_groups: Vec<GroupId>,
+    /// [`ClauseKind`] per CNF clause, parallel to `clause_groups` — the
+    /// one-byte tag behind the Ω-free rule scan.
+    clause_kinds: Vec<ClauseKind>,
     groups: Vec<GroupState>,
     /// Per CFD index: its currently active group, if emitted.
     cfd_groups: Vec<Option<GroupId>>,
@@ -245,6 +269,30 @@ impl EncodedSpec {
 
     /// Encodes `spec` with explicit [`EncodeOptions`].
     pub fn encode_with(spec: &Specification, options: EncodeOptions) -> Self {
+        Self::encode_impl(spec, options, None)
+    }
+
+    /// Encodes `spec` with the Σ/Γ instance constraints supplied by the
+    /// caller instead of instantiated inline. `chunks` must be the
+    /// instantiations of adjacent ranges covering the combined constraint
+    /// index space `[0, |Σ| + |Γ|)` in order (see
+    /// `super::omega::SplitPlan`); the result is then byte-identical to
+    /// [`EncodedSpec::encode_with`]. This is the merge half of the
+    /// scheduler's split tasks: subtasks instantiate ranges in parallel,
+    /// the finisher replays them here through the ordinary sink path.
+    pub(crate) fn encode_with_omega_chunks(
+        spec: &Specification,
+        options: EncodeOptions,
+        chunks: Vec<Vec<InstanceConstraint>>,
+    ) -> Self {
+        Self::encode_impl(spec, options, Some(chunks))
+    }
+
+    fn encode_impl(
+        spec: &Specification,
+        options: EncodeOptions,
+        chunks: Option<Vec<Vec<InstanceConstraint>>>,
+    ) -> Self {
         let program = spec.compiled_program().clone();
         let (space, g2l) = build_spaces(spec);
         let widths: Vec<usize> = (0..space.arity())
@@ -260,6 +308,7 @@ impl EncodedSpec {
             var_atom: Vec::new(),
             cnf: Cnf::new(),
             clause_groups: Vec::new(),
+            clause_kinds: Vec::new(),
             groups: Vec::new(),
             cfd_groups: vec![None; spec.gamma().len()],
             cfd_retired: vec![false; spec.gamma().len()],
@@ -316,7 +365,20 @@ impl EncodedSpec {
             if !options.revisable {
                 emit_base_orders(spec, &g2l, &mut sink);
             }
-            emit_sigma_gamma(spec, &program, &space, &g2l, &mut sink);
+            match chunks {
+                None => emit_sigma_gamma(spec, &program, &space, &g2l, &mut sink),
+                // Split subtasks already instantiated the Σ/Γ ranges;
+                // replaying them in range order through the same sink
+                // reproduces the inline emission stream exactly.
+                Some(chunks) => {
+                    for chunk in chunks {
+                        sink.hint(chunk.len().min(4096));
+                        for c in chunk {
+                            sink.emit(c);
+                        }
+                    }
+                }
+            }
         }
         if options.revisable {
             // Base currency orders, one retractable group per tuple-level
@@ -888,11 +950,16 @@ impl EncodedSpec {
     }
 
     /// [`EncodedSpec::add_omega_constraint`] into a clause group: the
-    /// group's guard literal `¬g` is appended to the clause.
+    /// group's guard literal `¬g` is appended to the clause. The instance
+    /// itself is only recorded under [`EncodeOptions::retain_omega`] — on
+    /// the default memory diet the clause (tagged with its [`ClauseKind`])
+    /// is the sole representation.
     fn add_omega_constraint_in(&mut self, c: InstanceConstraint, group: GroupId) {
         self.emit_omega_clause(&c, group);
-        self.omega.push(c);
-        self.omega_groups.push(group);
+        if self.options.retain_omega {
+            self.omega.push(c);
+            self.omega_groups.push(group);
+        }
     }
 
     /// Removes the Ω instances of one retracted clause group.
@@ -1004,9 +1071,13 @@ impl EncodedSpec {
             let lit = self.var(*a).negative();
             self.cnf.push_clause_lit(lit);
         }
+        let mut kind = ClauseKind::General;
         if let Conclusion::Atom(atom) = c.conclusion {
             let concl = self.var(atom).positive();
             self.cnf.push_clause_lit(concl);
+            if matches!(c.origin, super::Origin::Currency(_) | super::Origin::BaseOrder) {
+                kind = ClauseKind::OrderRule;
+            }
         }
         if group != NO_GROUP {
             let guard = self.groups[group as usize].guard;
@@ -1014,6 +1085,7 @@ impl EncodedSpec {
         }
         self.cnf.finish_clause();
         self.clause_groups.push(group);
+        self.clause_kinds.push(kind);
     }
 
     /// Appends one clause to the CNF, tagging it with its group (the
@@ -1031,6 +1103,7 @@ impl EncodedSpec {
                 .add_clause_prealloc(lits.into_iter().chain(std::iter::once(guard.negative())));
         }
         self.clause_groups.push(group);
+        self.clause_kinds.push(ClauseKind::General);
     }
 
     /// Allocates a fresh, active clause group with its guard variable.
@@ -1078,11 +1151,87 @@ impl EncodedSpec {
         self.options
     }
 
-    /// The instance constraints Ω(Se). Instances of retracted CFD groups
-    /// are removed on re-emission, so this always reflects the live
-    /// constraint set.
+    /// The instance constraints Ω(Se) — **empty unless the encoding was
+    /// built with [`EncodeOptions::retain_omega`]**. On the default memory
+    /// diet the clauses of the CNF are the only representation of Ω;
+    /// rule derivation walks them through
+    /// [`EncodedSpec::for_each_order_rule`]. When retained, instances of
+    /// retracted CFD groups are removed on re-emission, so the slice
+    /// always reflects the live constraint set.
     pub fn omega(&self) -> &[InstanceConstraint] {
         &self.omega
+    }
+
+    /// Walks every **live** order-rule clause — the Σ-currency and
+    /// base-order implications with an order-atom conclusion, i.e. exactly
+    /// the Ω(Se) subset the paper's rule derivation (`TrueDer`,
+    /// Section VI) consumes — reconstructing each rule's premise atoms and
+    /// conclusion atom from the flat literal arena via the var → atom
+    /// table. Guard literals are skipped (they map to no atom); clauses of
+    /// retracted groups are skipped, so the visit order is the same
+    /// subsequence of emission order a retained Ω slice would yield.
+    ///
+    /// The premise slice is a scratch buffer reused across clauses; copy
+    /// out whatever must outlive the callback.
+    pub fn for_each_order_rule<F: FnMut(&[OrderAtom], OrderAtom)>(&self, mut f: F) {
+        let mut premise: Vec<OrderAtom> = Vec::new();
+        for idx in 0..self.clause_kinds.len() {
+            if self.clause_kinds[idx] != ClauseKind::OrderRule {
+                continue;
+            }
+            let group = self.clause_groups[idx];
+            if group != NO_GROUP && !self.groups[group as usize].active {
+                continue;
+            }
+            premise.clear();
+            let mut conclusion = None;
+            for &lit in self.cnf.clause(idx) {
+                // Guard literals have no atom behind their variable.
+                let Some(atom) = self.order_atom(lit.var()) else {
+                    continue;
+                };
+                if lit.is_positive() {
+                    conclusion = Some(atom);
+                } else {
+                    premise.push(atom);
+                }
+            }
+            let concl = conclusion.expect("OrderRule clauses have an atom conclusion");
+            f(&premise, concl);
+        }
+    }
+
+    /// Approximate heap footprint of the encoding in bytes: the CNF arena,
+    /// the per-clause group/kind tags, the dense variable table, the atom
+    /// tables and — when retained — the materialised Ω(Se) instance list
+    /// (see [`EncodedSpec::omega_bytes`]). Feeds the bytes-per-entity
+    /// accounting of `bench_incremental`.
+    pub fn approx_bytes(&self) -> usize {
+        let vars: usize = self
+            .vars
+            .per_attr
+            .iter()
+            .map(|t| t.capacity() * std::mem::size_of::<u32>())
+            .sum();
+        self.cnf.approx_bytes()
+            + self.clause_groups.capacity() * std::mem::size_of::<GroupId>()
+            + self.clause_kinds.capacity() * std::mem::size_of::<ClauseKind>()
+            + vars
+            + self.atoms.capacity() * std::mem::size_of::<OrderAtom>()
+            + self.atom_vars.capacity() * std::mem::size_of::<Var>()
+            + self.var_atom.capacity() * std::mem::size_of::<u32>()
+            + self.omega_bytes()
+    }
+
+    /// Approximate heap bytes of the retained Ω(Se) instance list (0 on
+    /// the default Ω-free diet): the instance vector, its group tags, and
+    /// each instance's boxed premise. This is exactly the memory the
+    /// Ω-free rule scan saves per entity.
+    pub fn omega_bytes(&self) -> usize {
+        let premises: usize = self.omega.iter().map(|c| c.premise.heap_bytes()).sum();
+        self.omega.capacity() * std::mem::size_of::<InstanceConstraint>()
+            + self.omega_groups.capacity() * std::mem::size_of::<GroupId>()
+            + premises
     }
 
     /// The per-attribute value spaces (active domain + null).
@@ -1868,8 +2017,10 @@ mod tests {
         .unwrap();
         let gamma = parse_cfds(&s, "AC = 213 -> city = \"LA\"").unwrap();
         let spec = Specification::without_orders(e, vec![], gamma);
-        let mut enc =
-            EncodedSpec::encode_with(&spec, EncodeOptions::default().with_guarded_cfds());
+        let mut enc = EncodedSpec::encode_with(
+            &spec,
+            EncodeOptions::default().with_guarded_cfds().with_retained_omega(),
+        );
         let ac = spec.schema().attr_id("AC").unwrap();
         let city = spec.schema().attr_id("city").unwrap();
         let old_cfd_instances = enc
@@ -1931,8 +2082,10 @@ mod tests {
         .unwrap();
         let gamma = parse_cfds(&s, "AC = 999 -> city = \"LA\"").unwrap();
         let spec = Specification::without_orders(e, vec![], gamma);
-        let mut enc =
-            EncodedSpec::encode_with(&spec, EncodeOptions::default().with_guarded_cfds());
+        let mut enc = EncodedSpec::encode_with(
+            &spec,
+            EncodeOptions::default().with_guarded_cfds().with_retained_omega(),
+        );
         assert!(enc.omega().iter().all(|c| c.origin != super::super::Origin::Cfd(0)));
         assert!(enc.active_guards().is_empty());
 
@@ -2009,8 +2162,10 @@ mod tests {
     #[test]
     fn retract_cfd_neutralises_the_group_and_blocks_reemission() {
         let spec = revisable_cfd_spec();
-        let mut enc =
-            EncodedSpec::encode_with(&spec, EncodeOptions::default().with_revisable());
+        let mut enc = EncodedSpec::encode_with(
+            &spec,
+            EncodeOptions::default().with_revisable().with_retained_omega(),
+        );
         let city = AttrId(1);
         let ny = enc.value_id(city, &Value::str("NY")).unwrap();
         let la = enc.value_id(city, &Value::str("LA")).unwrap();
@@ -2041,8 +2196,10 @@ mod tests {
     #[test]
     fn withdraw_order_removes_exactly_one_pair() {
         let spec = revisable_cfd_spec();
-        let mut enc =
-            EncodedSpec::encode_with(&spec, EncodeOptions::default().with_revisable());
+        let mut enc = EncodedSpec::encode_with(
+            &spec,
+            EncodeOptions::default().with_revisable().with_retained_omega(),
+        );
         let ac = AttrId(0);
         let one = enc.value_id(ac, &Value::int(1)).unwrap();
         let two = enc.value_id(ac, &Value::int(2)).unwrap();

@@ -118,9 +118,10 @@ mod omega;
 mod program;
 
 pub use cnf::{
-    EncodedSpec, ExtendOutcome, GroupId, RecordingAxiomSource, TransientAxiomSource,
+    ClauseKind, EncodedSpec, ExtendOutcome, GroupId, RecordingAxiomSource, TransientAxiomSource,
 };
 pub use omega::{Conclusion, InstanceConstraint, OrderAtom, Origin, Premise};
+pub(crate) use omega::SplitPlan;
 pub use program::{compile_count, CompiledProgram};
 
 /// The instance constraints Ω(Se) via the **reference** (pre-compilation)
@@ -206,6 +207,18 @@ pub struct EncodeOptions {
     /// allocated). Default `false`: one-shot encodings and the ordinary
     /// interactive engine skip the extra guard variables.
     pub revisable: bool,
+    /// Retain the instance constraints Ω(Se) as structured data
+    /// ([`EncodedSpec::omega`]) alongside their clauses. Default `false`:
+    /// after clause conversion the engine derives everything it needs —
+    /// including the suggestion step's true-value derivation rules — back
+    /// from the clause arena via [`EncodedSpec::order_atom`] (the Ω-free
+    /// memory diet; per-entity Ω retention was the largest allocation
+    /// between the engine and million-entity residency). Turn it on for
+    /// differential tests and ad-hoc inspection of the instantiation
+    /// (`true_der` vs its retained-Ω reference is proven
+    /// suggestion-for-suggestion identical in
+    /// `cr-core/tests/omega_free_rules.rs`).
+    pub retain_omega: bool,
 }
 
 impl Default for EncodeOptions {
@@ -215,6 +228,7 @@ impl Default for EncodeOptions {
             totality: true,
             guarded_cfds: false,
             revisable: false,
+            retain_omega: false,
         }
     }
 }
@@ -248,6 +262,12 @@ impl EncodeOptions {
     /// CFDs — see [`EncodeOptions::revisable`]).
     pub fn with_revisable(self) -> Self {
         EncodeOptions { revisable: true, guarded_cfds: true, ..self }
+    }
+
+    /// These options with Ω(Se) retained as structured data (differential
+    /// tests and inspection — see [`EncodeOptions::retain_omega`]).
+    pub fn with_retained_omega(self) -> Self {
+        EncodeOptions { retain_omega: true, ..self }
     }
 
     /// True iff axioms are lazily instantiated.

@@ -135,6 +135,16 @@ impl Premise {
         }
     }
 
+    /// Heap bytes behind the premise — 0 for inline premises, the spill
+    /// vector's capacity otherwise. Feeds the retained-Ω byte accounting
+    /// of `EncodedSpec::omega_bytes`.
+    pub fn heap_bytes(&self) -> usize {
+        match &self.0 {
+            PremiseRepr::Inline { .. } => 0,
+            PremiseRepr::Spill(spill) => spill.capacity() * std::mem::size_of::<OrderAtom>(),
+        }
+    }
+
     /// Sorts by `(attr, lo, hi)` and deduplicates — the canonical premise
     /// form (`build_instance` contract).
     pub fn canonicalize(&mut self) {
@@ -592,6 +602,26 @@ pub(crate) fn emit_sigma_gamma(
     g2l: &GlobalToLocal,
     sink: &mut impl OmegaSink,
 ) {
+    let total = program.sigma.len() + program.gamma.len();
+    emit_sigma_gamma_range(spec, program, space, g2l, 0..total, sink);
+}
+
+/// [`emit_sigma_gamma`] restricted to a contiguous slice of the combined
+/// constraint index space `[0, |Σ| + |Γ|)`: indices below `|Σ|` are
+/// currency constraints, the rest are CFDs (offset by `|Σ|`). Constraints
+/// are mutually independent, so covering `[0, total)` with adjacent ranges
+/// in order reproduces the full emission stream byte-for-byte — this is
+/// what lets the scheduler split one oversized entity's instantiation
+/// across stealable subtasks (see `crate::sched`) without perturbing the
+/// encoding.
+pub(crate) fn emit_sigma_gamma_range(
+    spec: &Specification,
+    program: &CompiledProgram,
+    space: &AttrValueSpace,
+    g2l: &GlobalToLocal,
+    range: std::ops::Range<usize>,
+    sink: &mut impl OmegaSink,
+) {
     let entity = spec.entity();
     if let (Some(pt), Some(et)) = (program.table_token(), entity.table_token()) {
         debug_assert_eq!(
@@ -615,7 +645,9 @@ pub(crate) fn emit_sigma_gamma(
     // instances have few distinct projections (many near-duplicate tuples).
     let mut t1_ok: Vec<bool> = Vec::new();
     let mut t2_ok: Vec<bool> = Vec::new();
-    for (ci, cc) in program.sigma.iter().enumerate() {
+    let sigma_range = range.start.min(program.sigma.len())..range.end.min(program.sigma.len());
+    for (ci, cc) in program.sigma[sigma_range.clone()].iter().enumerate() {
+        let ci = ci + sigma_range.start;
         let reps = group_projections(entity, &cc.referenced_attrs);
         sink.hint(reps.len() * reps.len().saturating_sub(1));
 
@@ -747,10 +779,53 @@ pub(crate) fn emit_sigma_gamma(
     }
 
     // 5. Constant CFDs, patterns resolved through dense global ids.
-    for (gi, cfd) in program.gamma.iter().enumerate() {
+    let gamma_range = range.start.saturating_sub(program.sigma.len())
+        ..range.end.saturating_sub(program.sigma.len());
+    for (gi, cfd) in program.gamma[gamma_range.clone()].iter().enumerate() {
+        let gi = gi + gamma_range.start;
         for c in compiled_cfd_instances(space, g2l, entity, gi, cfd, use_gids) {
             sink.emit(c);
         }
+    }
+}
+
+/// Pre-built context for splitting one entity's Σ/Γ instantiation across
+/// subtasks: the value spaces and translation table (deterministic
+/// functions of the specification, so every subtask and the final chunked
+/// encode agree on value ids) plus the combined constraint count.
+pub(crate) struct SplitPlan {
+    space: AttrValueSpace,
+    g2l: GlobalToLocal,
+    total: usize,
+}
+
+impl SplitPlan {
+    pub(crate) fn new(spec: &Specification) -> Self {
+        let program = spec.compiled_program();
+        let (space, g2l) = build_spaces(spec);
+        let total = program.sigma.len() + program.gamma.len();
+        SplitPlan { space, g2l, total }
+    }
+
+    /// Number of combined Σ/Γ constraint indices (the splittable space).
+    pub(crate) fn total_constraints(&self) -> usize {
+        self.total
+    }
+
+    /// Instantiates the constraints of one index range into a buffer — the
+    /// body of a stealable split subtask. Covering `[0, total)` with
+    /// adjacent ranges in order and feeding the chunks to
+    /// `EncodedSpec::encode_with_omega_chunks` reproduces the serial
+    /// encoding exactly.
+    pub(crate) fn instantiate_range(
+        &self,
+        spec: &Specification,
+        range: std::ops::Range<usize>,
+    ) -> Vec<InstanceConstraint> {
+        let program = spec.compiled_program().clone();
+        let mut out: Vec<InstanceConstraint> = Vec::new();
+        emit_sigma_gamma_range(spec, &program, &self.space, &self.g2l, range, &mut out);
+        out
     }
 }
 

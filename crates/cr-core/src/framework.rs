@@ -90,14 +90,22 @@
 //!
 //! Independent entities share no *mutable* state;
 //! [`Resolver::resolve_all_parallel`] fans a batch of resolutions across
-//! OS threads with a shared work queue. What they do share is the
-//! dataset's immutable `Arc<CompiledProgram>` (stamped by the dataset
-//! generators): Σ/Γ are compiled once per dataset and every entity on
-//! every thread only projects through the shared program — see the
-//! "Compiled constraint programs" section of the encode module docs.
+//! the sharded work-stealing scheduler of [`crate::sched`]: each worker
+//! owns a deque of deterministically pre-built tasks (small entities
+//! batched together, oversized entities' Ω instantiation split into
+//! stealable subtasks) and steals from its siblings when its own deque
+//! runs dry, so a handful of giant entities cannot strand the other
+//! cores. What entities do share is the dataset's immutable
+//! `Arc<CompiledProgram>` (stamped by the dataset generators): Σ/Γ are
+//! compiled once per dataset and every entity on every thread only
+//! projects through the shared program — see the "Compiled constraint
+//! programs" section of the encode module docs. Workers additionally pool
+//! per-entity solver scratch ([`ResolutionSession`] teardown feeds the
+//! next resolution's solver construction), and streaming ingestion can be
+//! coupled to resolution through the scheduler's bounded queue
+//! ([`crate::sched::resolve_stream`]) so unresolved entities never pile
+//! up unboundedly ahead of the workers.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use cr_types::{Schema, Tuple};
@@ -373,6 +381,46 @@ impl Resolver {
         }
     }
 
+    /// [`Resolver::resolve`] for the scheduler's shard workers: an
+    /// optional pre-built encoding (split tasks encode oversized entities
+    /// off the worker's critical path) and a pooled solver scratch cycled
+    /// across the worker's resolutions. Outcome-identical to
+    /// [`Resolver::resolve`] — the scratch-built solver starts in the same
+    /// state as a fresh one, and a pre-built encoding is byte-identical to
+    /// the inline encode (see `EncodedSpec::encode_with_omega_chunks`).
+    /// The from-scratch loop (`incremental: false`) rebuilds per round, so
+    /// it takes neither and falls through unchanged.
+    pub(crate) fn resolve_pooled(
+        &self,
+        spec: &Specification,
+        oracle: &mut dyn UserOracle,
+        enc: Option<EncodedSpec>,
+        scratch: &mut Option<cr_sat::SolverScratch>,
+    ) -> ResolutionOutcome {
+        if !self.config.incremental {
+            return self.resolve_scratch(spec, oracle);
+        }
+        let enc = enc.unwrap_or_else(|| {
+            EncodedSpec::encode_with(spec, ResolutionSession::engine_options(&self.config))
+        });
+        let session = ResolutionSession::from_encoded(&self.config, spec, enc, scratch.take());
+        let (outcome, session) = self.drive_session(spec, oracle, None, session);
+        *scratch = Some(session.into_solver_scratch());
+        outcome
+    }
+
+    /// The [`EncodeOptions`] [`Resolver::resolve`] encodes with on the
+    /// incremental path — what split tasks must use for their pre-built
+    /// encodings to match.
+    pub(crate) fn engine_encode_options(&self) -> EncodeOptions {
+        ResolutionSession::engine_options(&self.config)
+    }
+
+    /// This resolver's configuration.
+    pub fn config(&self) -> &ResolutionConfig {
+        &self.config
+    }
+
     /// [`Resolver::resolve`] with a **push stream of upstream corrections**:
     /// before each interaction round the `source` is polled and every
     /// pending [`crate::ingest::Revision`] — a retracted CFD, a withdrawn
@@ -405,19 +453,34 @@ impl Resolver {
         &self,
         spec: &Specification,
         oracle: &mut dyn UserOracle,
-        mut source: Option<&mut dyn RevisionSource>,
+        source: Option<&mut dyn RevisionSource>,
     ) -> ResolutionOutcome {
+        let session = if source.is_some() {
+            ResolutionSession::new_revisable(&self.config, spec)
+        } else {
+            ResolutionSession::new(&self.config, spec)
+        };
+        self.drive_session(spec, oracle, source, session).0
+    }
+
+    /// The Fig. 4 loop body over a pre-built session, returning the spent
+    /// session alongside the outcome so callers can recycle its solver
+    /// allocations ([`ResolutionSession::into_solver_scratch`]) — the
+    /// scheduler's shard workers resolve thousands of entities each and
+    /// pool their scratch across resolutions.
+    pub(crate) fn drive_session(
+        &self,
+        spec: &Specification,
+        oracle: &mut dyn UserOracle,
+        mut source: Option<&mut dyn RevisionSource>,
+        mut session: ResolutionSession,
+    ) -> (ResolutionOutcome, ResolutionSession) {
         let mut rounds = Vec::new();
         let mut interactions = 0;
         let mut user_values = 0;
         let mut ot_size = 0;
         let arity = spec.schema().arity();
         let mut last_values = TrueValues::new(vec![None; arity]);
-        let mut session = if source.is_some() {
-            ResolutionSession::new_revisable(&self.config, spec)
-        } else {
-            ResolutionSession::new(&self.config, spec)
-        };
 
         let outcome = |session: &ResolutionSession,
                        resolved: TrueValues,
@@ -498,10 +561,11 @@ impl Resolver {
                 let mut report = RoundReport::settled(round, validity, Duration::ZERO, 0);
                 stamp_revisions(&mut report);
                 rounds.push(report);
-                return outcome(
+                let o = outcome(
                     &session, last_values, false, false, interactions, user_values, ot_size,
                     rounds,
                 );
+                return (o, session);
             }
 
             // (2) True value deducing.
@@ -519,9 +583,10 @@ impl Resolver {
                     RoundReport::settled(round, validity, deduce, values.known_count());
                 stamp_revisions(&mut report);
                 rounds.push(report);
-                return outcome(
+                let o = outcome(
                     &session, values, true, true, interactions, user_values, ot_size, rounds,
                 );
+                return (o, session);
             }
             if round == self.config.max_rounds {
                 let mut report =
@@ -573,7 +638,7 @@ impl Resolver {
             }
         }
 
-        outcome(
+        let o = outcome(
             &session,
             last_values.clone(),
             true,
@@ -582,7 +647,8 @@ impl Resolver {
             user_values,
             ot_size,
             rounds,
-        )
+        );
+        (o, session)
     }
 
     /// The Fig. 4 loop exactly as the paper describes it: every round
@@ -748,17 +814,20 @@ impl Resolver {
 }
 
 impl Resolver {
-    /// Resolves a batch of independent entities in parallel, fanning them
-    /// across `threads` OS threads with a shared work queue (entity costs
-    /// vary wildly, so static chunking would leave cores idle).
-    /// `make_oracle` builds the per-entity user oracle from the entity's
-    /// index. Results are returned in input order.
+    /// Resolves a batch of independent entities in parallel on the sharded
+    /// work-stealing scheduler ([`crate::sched`]): per-worker deques with
+    /// deterministic task construction — small entities batched into one
+    /// task, oversized entities' instantiation split across stealable
+    /// subtasks — and stealing between workers when a deque runs dry
+    /// (entity costs vary wildly, so static chunking would leave cores
+    /// idle). `make_oracle` builds the per-entity user oracle from the
+    /// entity's index. Results are returned in input order, and are
+    /// identical at every width: tasks only vary *where* work runs, never
+    /// what is encoded or solved.
     ///
-    /// Entity resolutions share no state, which makes this embarrassingly
-    /// parallel; it is the entry point `cr-bench` and the fig8 binaries use
-    /// for dataset-wide sweeps. (Implemented with `std::thread::scope` — a
-    /// work-stealing runtime like rayon is unavailable offline and overkill
-    /// for a flat fan-out.)
+    /// This is the entry point `cr-bench` and the fig8 binaries use for
+    /// dataset-wide sweeps. For telemetry (steals, batches, splits) or
+    /// backpressured streaming ingestion, drive [`crate::sched`] directly.
     pub fn resolve_all_parallel_with_threads<O, F>(
         &self,
         specs: &[Specification],
@@ -769,37 +838,8 @@ impl Resolver {
         O: UserOracle,
         F: Fn(usize) -> O + Sync,
     {
-        if specs.is_empty() {
-            return Vec::new();
-        }
-        let threads = threads.clamp(1, specs.len());
-        if threads == 1 {
-            return specs
-                .iter()
-                .enumerate()
-                .map(|(i, spec)| self.resolve(spec, &mut make_oracle(i)))
-                .collect();
-        }
-        let next = AtomicUsize::new(0);
-        let slots: Vec<OnceLock<ResolutionOutcome>> =
-            specs.iter().map(|_| OnceLock::new()).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= specs.len() {
-                        break;
-                    }
-                    let mut oracle = make_oracle(i);
-                    let outcome = self.resolve(&specs[i], &mut oracle);
-                    slots[i].set(outcome).expect("each index claimed once");
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every entity resolved"))
-            .collect()
+        let config = crate::sched::SchedulerConfig::with_workers(threads);
+        crate::sched::resolve_batch(self, specs, &make_oracle, &config).0
     }
 
     /// [`Resolver::resolve_all_parallel_with_threads`] with one thread per

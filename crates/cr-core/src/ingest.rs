@@ -578,15 +578,21 @@ impl ResolutionSession {
     /// (guard-group CFDs unless the legacy rebuild fallback is forced; no
     /// revision support — no per-order guard variables are allocated).
     pub fn new(config: &ResolutionConfig, spec: &Specification) -> Self {
-        // Guarded CFD groups are what make every user answer a pure
-        // extension; the debug flag restores the unguarded legacy encoding
-        // whose out-of-domain answers rebuild.
-        let options = if config.rebuild_fallback {
+        Self::with_options(config, spec, Self::engine_options(config))
+    }
+
+    /// The [`EncodeOptions`] the ordinary interactive engine encodes with:
+    /// guarded CFD groups are what make every user answer a pure
+    /// extension; the debug flag restores the unguarded legacy encoding
+    /// whose out-of-domain answers rebuild. The scheduler's split tasks
+    /// pre-encode with exactly these options so the session they feed is
+    /// byte-identical to one the engine would have built itself.
+    pub(crate) fn engine_options(config: &ResolutionConfig) -> EncodeOptions {
+        if config.rebuild_fallback {
             config.encode
         } else {
             config.encode.with_guarded_cfds()
-        };
-        Self::with_options(config, spec, options)
+        }
     }
 
     /// Opens a **revisable** session: every revision-sensitive clause is
@@ -603,7 +609,26 @@ impl ResolutionSession {
         options: EncodeOptions,
     ) -> Self {
         let enc = EncodedSpec::encode_with(spec, options);
-        let mut solver = cr_sat::Solver::from_cnf(enc.cnf());
+        Self::from_encoded(config, spec, enc, None)
+    }
+
+    /// Opens a session over a pre-built encoding — the scheduler's entry
+    /// point: split tasks encode `spec` off-thread (with
+    /// [`ResolutionSession::engine_options`]) and shard workers recycle
+    /// per-entity solver allocations through `scratch`. A scratch-built
+    /// solver is state-identical to a fresh one
+    /// (`cr_sat::Solver::from_cnf_with_scratch`), so sessions opened here
+    /// resolve exactly like [`ResolutionSession::new`] ones.
+    pub(crate) fn from_encoded(
+        config: &ResolutionConfig,
+        spec: &Specification,
+        enc: EncodedSpec,
+        scratch: Option<cr_sat::SolverScratch>,
+    ) -> Self {
+        let mut solver = match scratch {
+            Some(s) => cr_sat::Solver::from_cnf_with_scratch(enc.cnf(), s),
+            None => cr_sat::Solver::from_cnf(enc.cnf()),
+        };
         solver.set_persistent_assumptions(enc.active_guards());
         let synced_solver = enc.cnf().num_clauses();
         let mut up = cr_sat::UnitPropagator::new(&cr_sat::Cnf::new());
@@ -629,6 +654,14 @@ impl ResolutionSession {
             batch: None,
             sealed: None,
         }
+    }
+
+    /// Tears the session down into reusable solver scratch (cleared
+    /// allocations: clause arena, watch lists, literal buffers). Shard
+    /// workers call this between entities so per-entity solver allocation
+    /// cost is paid once per worker, not once per entity.
+    pub(crate) fn into_solver_scratch(self) -> cr_sat::SolverScratch {
+        self.solver.into_scratch()
     }
 
     /// Sets the degradation policy for revisions that fail validation

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use cr_types::{AttrId, Value, ValueId};
 
 use crate::deduce::DeducedOrders;
-use crate::encode::{Conclusion, EncodedSpec, Origin};
+use crate::encode::{Conclusion, EncodedSpec, OrderAtom, Origin};
 use crate::spec::Specification;
 use crate::truevalue::TrueValues;
 
@@ -69,6 +69,34 @@ pub fn true_der(
     enc: &EncodedSpec,
     od: &DeducedOrders,
     known: &TrueValues,
+) -> Vec<DerivationRule> {
+    true_der_impl(spec, enc, od, known, enc.options().retain_omega)
+}
+
+/// [`true_der`] forced onto the retained-Ω path. Requires an encoding
+/// built with `EncodeOptions::retain_omega`; kept as the differential
+/// baseline for the Ω-free clause scan (see
+/// `cr-core/tests/omega_free_rules.rs`), not for production use.
+#[doc(hidden)]
+pub fn true_der_retained(
+    spec: &Specification,
+    enc: &EncodedSpec,
+    od: &DeducedOrders,
+    known: &TrueValues,
+) -> Vec<DerivationRule> {
+    debug_assert!(
+        enc.options().retain_omega,
+        "true_der_retained needs EncodeOptions::retain_omega"
+    );
+    true_der_impl(spec, enc, od, known, true)
+}
+
+fn true_der_impl(
+    spec: &Specification,
+    enc: &EncodedSpec,
+    od: &DeducedOrders,
+    known: &TrueValues,
+    use_retained: bool,
 ) -> Vec<DerivationRule> {
     let mut rules = Vec::new();
     let arity = spec.schema().arity();
@@ -140,55 +168,69 @@ pub fn true_der(
     }
 
     // (2) Rules from instance constraints representing currency constraints
-    // and currency orders: partition Ω(Se) by conclusion (B, b), then cover
-    // U(B,b).
+    // and currency orders: partition the order-rule implications of Ω(Se)
+    // by conclusion (B, b), then cover U(B,b). On the default memory diet
+    // the implications are re-read straight from the CNF's clause arena
+    // ([`EncodedSpec::for_each_order_rule`]) — Ω is not materialised; the
+    // retained path survives as the differential baseline. Both visit the
+    // same subsequence of the emission stream, and the premise pools are
+    // canonicalised below, so the two paths derive identical rules.
     //
     // Index: (battr, b) → list of (premise) for constraints concluding
     // bi ≺v b, keyed further by bi.
     type Premise = Vec<(AttrId, ValueId)>; // asserted tops, from ω atoms
     let mut by_conclusion: HashMap<(AttrId, ValueId), HashMap<ValueId, Vec<Premise>>> =
         HashMap::new();
-    for c in enc.omega() {
-        if !matches!(c.origin, Origin::Currency(_) | Origin::BaseOrder) {
-            continue;
-        }
-        let Conclusion::Atom(atom) = c.conclusion else {
-            continue;
-        };
+    {
         // Premise atoms a1 ≺ a2 become "a2 is the top of its attribute";
         // atoms already implied by Od need no assumption at all.
-        let mut premise: Premise = Vec::new();
-        let mut usable = true;
-        for p in c.premise.iter() {
-            if od.contains(p.attr, p.lo, p.hi) {
-                continue;
-            }
-            // Conflicting instantiation within one constraint: the same
-            // attribute asserted at two different tops.
-            if let Some((_, prev)) = premise.iter().find(|(a, _)| *a == p.attr) {
-                if *prev != p.hi {
-                    usable = false;
-                    break;
+        let mut ingest = |premise_atoms: &[OrderAtom], atom: OrderAtom| {
+            let mut premise: Premise = Vec::new();
+            let mut usable = true;
+            for p in premise_atoms {
+                if od.contains(p.attr, p.lo, p.hi) {
+                    continue;
                 }
-                continue;
-            }
-            // Incompatible with a validated value.
-            if let Some(k) = known_ids[p.attr.index()] {
-                if k != p.hi {
-                    usable = false;
-                    break;
+                // Conflicting instantiation within one constraint: the same
+                // attribute asserted at two different tops.
+                if let Some((_, prev)) = premise.iter().find(|(a, _)| *a == p.attr) {
+                    if *prev != p.hi {
+                        usable = false;
+                        break;
+                    }
+                    continue;
                 }
-                continue;
+                // Incompatible with a validated value.
+                if let Some(k) = known_ids[p.attr.index()] {
+                    if k != p.hi {
+                        usable = false;
+                        break;
+                    }
+                    continue;
+                }
+                premise.push((p.attr, p.hi));
             }
-            premise.push((p.attr, p.hi));
-        }
-        if usable {
-            by_conclusion
-                .entry((atom.attr, atom.hi))
-                .or_default()
-                .entry(atom.lo)
-                .or_default()
-                .push(premise);
+            if usable {
+                by_conclusion
+                    .entry((atom.attr, atom.hi))
+                    .or_default()
+                    .entry(atom.lo)
+                    .or_default()
+                    .push(premise);
+            }
+        };
+        if use_retained {
+            for c in enc.omega() {
+                if !matches!(c.origin, Origin::Currency(_) | Origin::BaseOrder) {
+                    continue;
+                }
+                let Conclusion::Atom(atom) = c.conclusion else {
+                    continue;
+                };
+                ingest(&c.premise, atom);
+            }
+        } else {
+            enc.for_each_order_rule(|premise_atoms, atom| ingest(premise_atoms, atom));
         }
     }
 

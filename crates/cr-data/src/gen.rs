@@ -582,6 +582,282 @@ pub fn causal_timeline(
     events
 }
 
+/// Knobs of a seeded **power-law dataset**: many independent entities
+/// whose sizes follow a heavy-tailed (Pareto) distribution — the shape
+/// the work-stealing scheduler (`cr_core::sched`) is built for. Most
+/// entities are a few tuples (batched), a few are hundreds (split).
+///
+/// Unlike [`ScenarioConfig`] (one adversarial entity per call, private
+/// value table, private Σ/Γ), a power-law dataset shares one value pool,
+/// one Σ/Γ set and one [`cr_core::CompiledProgram`] across every entity,
+/// like a real dataset would: entities differ only in their instance and
+/// base orders. Every attribute steps through the *same* global rank
+/// timeline, so the shared CFDs (`aᵢ = v_k → aⱼ = v_k`) are consistent
+/// with each entity's hidden history and generated specifications are
+/// valid.
+#[derive(Clone, Debug)]
+pub struct PowerLawConfig {
+    /// RNG seed; equal configs generate identical datasets.
+    pub seed: u64,
+    /// Entity count.
+    pub entities: usize,
+    /// Total attributes (≥ 2): attribute 0 is numeric ("seq").
+    pub attrs: usize,
+    /// Smallest entity (the Pareto scale parameter).
+    pub min_tuples: usize,
+    /// Size cap — the tail is clamped here.
+    pub max_tuples: usize,
+    /// Pareto shape α (> 0): smaller ⇒ heavier tail. Sizes are
+    /// `min_tuples · u^(−1/α)` clamped to `max_tuples`.
+    pub alpha: f64,
+    /// Ranks in the global per-attribute value pool (the timeline length
+    /// every attribute steps through).
+    pub domain: usize,
+    /// Currency constraints shared by all entities.
+    pub sigma: usize,
+    /// Constant CFDs shared by all entities.
+    pub gamma: usize,
+    /// Base-order edges per entity ≈ `order_density · tuples · attrs`
+    /// (sampled linearly, consistent with the timeline).
+    pub order_density: f64,
+    /// The first `giants` entities are pinned to `max_tuples` — a
+    /// deterministic way for tests to guarantee split-worthy entities.
+    pub giants: usize,
+}
+
+impl Default for PowerLawConfig {
+    fn default() -> Self {
+        PowerLawConfig {
+            seed: 0,
+            entities: 1_000,
+            attrs: 4,
+            min_tuples: 2,
+            max_tuples: 384,
+            alpha: 1.1,
+            domain: 8,
+            sigma: 5,
+            gamma: 2,
+            order_density: 0.5,
+            giants: 0,
+        }
+    }
+}
+
+/// A seeded power-law dataset. Construction draws only the per-entity
+/// *sizes* and the shared structure (schema, value pool, Σ/Γ, compiled
+/// program); entities themselves are built on demand — [`Self::spec`]
+/// for random access, [`Self::stream`] for a memory-bounded pass — so a
+/// 10⁵-entity dataset can be resolved without ever materialising it.
+pub struct PowerLawDataset {
+    seed: u64,
+    attrs: usize,
+    states: usize,
+    order_density: f64,
+    sizes: Vec<usize>,
+    schema: std::sync::Arc<Schema>,
+    sigma: Vec<cr_constraints::currency::CurrencyConstraint>,
+    gamma: Vec<cr_constraints::cfd::ConstantCfd>,
+    table: cr_types::ValueTable,
+    program: std::sync::Arc<cr_core::CompiledProgram>,
+}
+
+impl PowerLawDataset {
+    /// Builds the shared structure and draws the size distribution
+    /// (deterministic in `cfg`).
+    pub fn new(cfg: &PowerLawConfig) -> Self {
+        let attrs = cfg.attrs.max(2);
+        let states = cfg.domain.max(2);
+        let min_t = cfg.min_tuples.max(1);
+        let max_t = cfg.max_tuples.max(min_t);
+        let alpha = if cfg.alpha > 0.0 { cfg.alpha } else { 1.0 };
+
+        let names: Vec<String> = std::iter::once("seq".to_string())
+            .chain((1..attrs).map(|i| format!("a{i}")))
+            .collect();
+        let schema = Schema::new("powerlaw", names.iter().map(String::as_str)).unwrap();
+
+        // Shared value pool: the full rank timeline of every attribute.
+        let mut table = cr_types::ValueTable::new();
+        for rank in 0..states {
+            table.intern(&Value::int(rank as i64));
+            for a in 1..attrs {
+                table.intern(&Value::str(format!("a{a}_v{rank}")));
+            }
+        }
+
+        // Pareto sizes (heavy tail, clamped), with optional pinned giants.
+        let mut r = rng(cfg.seed ^ 0x9E37_79B9_7F4A_7C15u64);
+        let sizes: Vec<usize> = (0..cfg.entities)
+            .map(|i| {
+                if i < cfg.giants {
+                    return max_t;
+                }
+                let u: f64 = r.gen::<f64>().max(1e-9);
+                let n = (min_t as f64) * u.powf(-1.0 / alpha);
+                (n as usize).clamp(min_t, max_t)
+            })
+            .collect();
+
+        // Shared Σ: the ϕ4-style numeric rule, then alternating pattern
+        // and propagation constraints over the string attributes.
+        let mut r = rng(cfg.seed ^ 0x5151_5151_0000_0001u64);
+        let mut sigma = Vec::with_capacity(cfg.sigma.max(1));
+        sigma.push(
+            parse_currency_constraint(&schema, "t1[seq] < t2[seq] -> t1 <[seq] t2").unwrap(),
+        );
+        while sigma.len() < cfg.sigma.max(1) {
+            let text = if r.gen_bool(0.5) && attrs > 1 {
+                let a = r.gen_range(1..attrs);
+                let lo = r.gen_range(0..states - 1);
+                let hi = r.gen_range(lo + 1..states);
+                format!(
+                    "t1[{n}] = \"a{a}_v{lo}\" && t2[{n}] = \"a{a}_v{hi}\" -> t1 <[{n}] t2",
+                    n = names[a]
+                )
+            } else {
+                let a = r.gen_range(0..attrs);
+                let b = (a + 1 + r.gen_range(0..attrs - 1)) % attrs;
+                format!("t1 <[{}] t2 -> t1 <[{}] t2", names[a], names[b])
+            };
+            sigma.push(parse_currency_constraint(&schema, &text).unwrap());
+        }
+
+        // Shared Γ: same-rank snapshots. All attributes advance through
+        // ranks in lockstep, so `aᵢ = v_k → aⱼ = v_k` holds on every
+        // entity's timeline.
+        let mut gamma = Vec::with_capacity(cfg.gamma);
+        for _ in 0..cfg.gamma {
+            if attrs < 3 {
+                break;
+            }
+            let a = r.gen_range(1..attrs);
+            let b = 1 + ((a - 1 + 1 + r.gen_range(0..attrs - 2)) % (attrs - 1));
+            let k = r.gen_range(0..states);
+            let text = format!("{} = \"a{a}_v{k}\" -> {} = \"a{b}_v{k}\"", names[a], names[b]);
+            gamma.extend(parse_cfds(&schema, &text).unwrap());
+        }
+
+        let program = std::sync::Arc::new(cr_core::CompiledProgram::compile(
+            &sigma,
+            &gamma,
+            Some(&table),
+        ));
+        PowerLawDataset {
+            seed: cfg.seed,
+            attrs,
+            states,
+            order_density: cfg.order_density.clamp(0.0, 1.0),
+            sizes,
+            schema,
+            sigma,
+            gamma,
+            table,
+            program,
+        }
+    }
+
+    /// Entity count.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether the dataset has no entities.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// The drawn per-entity sizes (tuples).
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Timeline rank of time `t` in an `n`-tuple entity (shared by all
+    /// attributes — ranks advance in lockstep).
+    fn rank_at(&self, t: usize, n: usize) -> usize {
+        if n <= 1 {
+            self.states - 1
+        } else {
+            (self.states - 1).min(self.states * t / n)
+        }
+    }
+
+    fn value_of(&self, attr: usize, rank: usize) -> Value {
+        if attr == 0 {
+            Value::int(rank as i64)
+        } else {
+            Value::str(format!("a{attr}_v{rank}"))
+        }
+    }
+
+    /// Builds entity `i` on demand (deterministic in `(seed, i)`): its
+    /// shuffled history rows, timeline-consistent sampled base orders,
+    /// shared Σ/Γ clones and the shared compiled program.
+    pub fn spec(&self, i: usize) -> Specification {
+        let n = self.sizes[i];
+        let mut r = rng(self.seed ^ (i as u64).wrapping_mul(0xD134_2543_DE82_EF95).wrapping_add(1));
+        let mut stamps: Vec<usize> = (0..n).collect();
+        stamps.shuffle(&mut r);
+        let rows: Vec<Tuple> = stamps
+            .iter()
+            .map(|&t| {
+                Tuple::from_values(
+                    (0..self.attrs)
+                        .map(|a| self.value_of(a, self.rank_at(t, n)))
+                        .collect(),
+                )
+            })
+            .collect();
+        let entity = EntityInstance::with_table(self.schema.clone(), rows, &self.table).unwrap();
+
+        // Linear order sampling (quadratic sweeps would dwarf resolution
+        // itself on the tail entities): `density · n · attrs` random
+        // (attr, row-pair) draws, each edged consistently with the
+        // timeline when the ranks differ.
+        let mut orders = PartialOrders::empty(self.attrs);
+        let draws = (self.order_density * n as f64 * self.attrs as f64) as usize;
+        for _ in 0..draws {
+            if n < 2 {
+                break;
+            }
+            let a = AttrId(r.gen_range(0..self.attrs) as u16);
+            let i1 = r.gen_range(0..n);
+            let mut i2 = r.gen_range(0..n);
+            if i1 == i2 {
+                i2 = (i2 + 1) % n;
+            }
+            let (r1, r2) = (self.rank_at(stamps[i1], n), self.rank_at(stamps[i2], n));
+            if r1 < r2 {
+                orders.add(a, TupleId(i1 as u32), TupleId(i2 as u32));
+            } else if r2 < r1 {
+                orders.add(a, TupleId(i2 as u32), TupleId(i1 as u32));
+            }
+        }
+
+        let spec = Specification::new(entity, orders, self.sigma.clone(), self.gamma.clone());
+        spec.set_compiled_program(self.program.clone());
+        spec
+    }
+
+    /// Ground truth of entity `i`: the top rank its timeline visits, per
+    /// attribute. O(attrs) — usable without building the entity.
+    pub fn truth(&self, i: usize) -> Tuple {
+        let n = self.sizes[i];
+        let top = self.rank_at(n.saturating_sub(1), n);
+        Tuple::from_values((0..self.attrs).map(|a| self.value_of(a, top)).collect())
+    }
+
+    /// All specifications, materialised (small datasets / batch tests).
+    pub fn specs(&self) -> Vec<Specification> {
+        (0..self.len()).map(|i| self.spec(i)).collect()
+    }
+
+    /// A lazy pass over all entities in index order — the producer side
+    /// of `cr_core::sched::resolve_stream`.
+    pub fn stream(&self) -> impl Iterator<Item = Specification> + '_ {
+        (0..self.len()).map(move |i| self.spec(i))
+    }
+}
+
 /// Convenience: a scenario drawn from raw proptest-style integers, mapping
 /// them onto the interesting ranges (used by the differential proptests).
 pub fn scenario_from_raw(
@@ -703,6 +979,63 @@ mod tests {
         cfds.sort_unstable();
         cfds.dedup();
         assert_eq!(cfds.len(), before, "each CFD retracted at most once");
+    }
+
+    #[test]
+    fn power_law_datasets_are_deterministic_heavy_tailed_and_shared() {
+        let cfg = PowerLawConfig {
+            seed: 3,
+            entities: 400,
+            max_tuples: 200,
+            giants: 1,
+            ..Default::default()
+        };
+        let a = PowerLawDataset::new(&cfg);
+        let b = PowerLawDataset::new(&cfg);
+        assert_eq!(a.sizes(), b.sizes(), "equal configs draw equal sizes");
+        assert_eq!(a.sizes()[0], 200, "pinned giant");
+        let small = a.sizes().iter().filter(|&&n| n <= 4).count();
+        let large = a.sizes().iter().filter(|&&n| n >= 64).count();
+        assert!(small > 200, "most entities are small ({small}/400)");
+        assert!(large >= 1, "the tail reaches large entities");
+
+        // On-demand builds are deterministic and share structure.
+        let s1 = a.spec(7);
+        let s2 = b.spec(7);
+        assert_eq!(s1.entity().len(), s2.entity().len());
+        for ((_, t1), (_, t2)) in s1.entity().iter().zip(s2.entity().iter()) {
+            assert_eq!(t1.values(), t2.values());
+        }
+        assert_eq!(a.truth(7).values(), b.truth(7).values());
+        assert!(
+            std::sync::Arc::ptr_eq(s1.compiled_program(), a.spec(8).compiled_program()),
+            "all entities share one compiled program"
+        );
+
+        // Timeline-consistent generation: entities are valid.
+        let mut valid = 0;
+        for i in 0..40 {
+            if is_valid(&a.spec(i)).valid {
+                valid += 1;
+            }
+        }
+        assert_eq!(valid, 40, "lockstep timelines keep Σ/Γ consistent");
+    }
+
+    #[test]
+    fn power_law_stream_matches_random_access() {
+        let ds = PowerLawDataset::new(&PowerLawConfig {
+            seed: 9,
+            entities: 25,
+            ..Default::default()
+        });
+        for (i, spec) in ds.stream().enumerate() {
+            let direct = ds.spec(i);
+            assert_eq!(spec.entity().len(), direct.entity().len());
+            for ((_, t1), (_, t2)) in spec.entity().iter().zip(direct.entity().iter()) {
+                assert_eq!(t1.values(), t2.values());
+            }
+        }
     }
 
     #[test]

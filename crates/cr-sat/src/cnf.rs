@@ -65,6 +65,14 @@ impl Cnf {
         self.lits.len()
     }
 
+    /// Approximate heap footprint of the formula in bytes (the literal
+    /// arena plus the clause-bounds index, counted at capacity). Feeds the
+    /// bytes-per-entity accounting of `bench_incremental`.
+    pub fn approx_bytes(&self) -> usize {
+        self.lits.capacity() * std::mem::size_of::<Lit>()
+            + self.bounds.capacity() * std::mem::size_of::<u32>()
+    }
+
     /// Adds a clause (a disjunction of literals). An empty clause makes the
     /// formula trivially unsatisfiable.
     pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {

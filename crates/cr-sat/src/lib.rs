@@ -53,6 +53,6 @@ pub mod unit_propagation;
 pub use cnf::Cnf;
 pub use lazy::LazyAxiomSource;
 pub use lit::{Lit, Var};
-pub use solver::{SolveResult, Solver};
+pub use solver::{SolveResult, Solver, SolverScratch};
 pub use stats::SolverStats;
 pub use unit_propagation::{UnitPropagator, UpOutcome, NO_GROUP};

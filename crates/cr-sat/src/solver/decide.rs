@@ -60,6 +60,12 @@ impl VarOrder {
         self.pos.get(v.index()).is_some_and(|&p| p >= 0)
     }
 
+    /// Empties the heap, retaining its allocations (solver scratch reuse).
+    pub(crate) fn clear(&mut self) {
+        self.heap.clear();
+        self.pos.clear();
+    }
+
     /// Inserts `v` if absent.
     pub(crate) fn insert(&mut self, v: Var, activity: &[f64]) {
         self.ensure(v);

@@ -87,7 +87,44 @@ pub struct Solver {
 
     pub(crate) model: Vec<LBool>,
     pub(crate) stats: SolverStats,
+
+    /// Recycled clause-literal buffers harvested by [`Solver::into_scratch`]
+    /// and consumed by [`Solver::add_clause`] — the per-clause `Vec<Lit>`
+    /// allocations of the arena are the bulk of a solver's heap churn when
+    /// many short-lived solvers run back to back (shard-local entity
+    /// resolutions), so the pool keeps them alive across instances.
+    pub(crate) spare_lits: Vec<Vec<Lit>>,
 }
+
+/// Recycled allocation capacity of a torn-down [`Solver`]: every buffer is
+/// logically empty but keeps its heap reservation, so the next
+/// [`Solver::from_cnf_with_scratch`] loads a formula of similar size with
+/// near-zero allocator traffic. Obtained from [`Solver::into_scratch`];
+/// behaviourally inert — a solver built from scratch capacity is
+/// state-identical to one built by [`Solver::from_cnf`] (capacities never
+/// influence search), which is what keeps pooled and unpooled resolutions
+/// outcome-equal.
+pub struct SolverScratch {
+    solver: Solver,
+}
+
+impl Default for SolverScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SolverScratch {
+    /// Empty scratch (no recycled capacity); useful as a pool seed.
+    pub fn new() -> Self {
+        SolverScratch { solver: Solver::new() }
+    }
+}
+
+/// Recycled clause-literal buffers retained at most this many; beyond it
+/// the remainder is dropped (bounds pool memory between entities of wildly
+/// different sizes).
+const SPARE_LITS_CAP: usize = 1 << 14;
 
 impl Default for Solver {
     fn default() -> Self {
@@ -121,6 +158,7 @@ impl Solver {
             persistent: Vec::new(),
             model: Vec::new(),
             stats: SolverStats::default(),
+            spare_lits: Vec::new(),
         }
     }
 
@@ -129,6 +167,62 @@ impl Solver {
         let mut s = Solver::new();
         s.extend_from_cnf(cnf, 0);
         s
+    }
+
+    /// [`Solver::from_cnf`] reusing the recycled buffers of a previous
+    /// solver (see [`SolverScratch`]). State-identical to `from_cnf`.
+    pub fn from_cnf_with_scratch(cnf: &Cnf, scratch: SolverScratch) -> Self {
+        let mut s = scratch.solver;
+        s.extend_from_cnf(cnf, 0);
+        s
+    }
+
+    /// Tears the solver down to recyclable allocation capacity: all state
+    /// is reset exactly as [`Solver::new`] leaves it, but every buffer —
+    /// including the per-clause literal `Vec`s of the arena — keeps its
+    /// heap reservation for the next [`Solver::from_cnf_with_scratch`].
+    pub fn into_scratch(mut self) -> SolverScratch {
+        // Harvest clause literal buffers (original and learnt alike).
+        let mut spare = std::mem::take(&mut self.spare_lits);
+        for c in self.clauses.drain(..) {
+            if spare.len() >= SPARE_LITS_CAP {
+                break;
+            }
+            let mut lits = c.lits;
+            lits.clear();
+            spare.push(lits);
+        }
+        self.clauses.clear();
+        self.spare_lits = spare;
+        self.learnt_refs.clear();
+        // Keep the outer watcher vec (its slots hold inner capacity);
+        // `new_var` re-extends it only past the recycled length.
+        for w in &mut self.watches {
+            w.clear();
+        }
+        self.assigns.clear();
+        self.polarity.clear();
+        self.reason.clear();
+        self.level.clear();
+        self.trail.clear();
+        self.trail_lim.clear();
+        self.qhead = 0;
+        self.activity.clear();
+        self.var_inc = 1.0;
+        self.order.clear();
+        self.cla_inc = 1.0;
+        self.max_learnts = 0.0;
+        self.seen.clear();
+        self.ok = true;
+        self.persistent.clear();
+        self.model.clear();
+        self.stats = SolverStats::default();
+        SolverScratch { solver: self }
+    }
+
+    /// A recycled literal buffer if one is pooled, else a fresh `Vec`.
+    fn take_spare_lits(&mut self) -> Vec<Lit> {
+        self.spare_lits.pop().unwrap_or_default()
     }
 
     /// Appends the clauses of `cnf` starting at clause index `from`,
@@ -185,8 +279,12 @@ impl Solver {
         self.reason.push(None);
         self.level.push(0);
         self.activity.push(0.0);
-        self.watches.push(Vec::new());
-        self.watches.push(Vec::new());
+        // Recycled solvers keep their (cleared) watcher slots; only grow
+        // past the recycled length.
+        let want = self.assigns.len() * 2;
+        if self.watches.len() < want {
+            self.watches.resize_with(want, Vec::new);
+        }
         self.seen.push(false);
         self.order.insert(v, &self.activity);
         v
@@ -234,7 +332,8 @@ impl Solver {
         if !self.ok {
             return false;
         }
-        let mut clause: Vec<Lit> = lits.into_iter().collect();
+        let mut clause: Vec<Lit> = self.take_spare_lits();
+        clause.extend(lits);
         for l in &clause {
             while self.num_vars() <= l.var().0 {
                 self.new_var();
@@ -248,10 +347,14 @@ impl Solver {
         for i in 0..clause.len() {
             let l = clause[i];
             if i + 1 < clause.len() && clause[i + 1] == l.negate() {
+                self.return_spare_lits(clause);
                 return true; // tautology: p before ¬p after sorting
             }
             match self.value_lit(l) {
-                LBool::True => return true,
+                LBool::True => {
+                    self.return_spare_lits(clause);
+                    return true;
+                }
                 LBool::False => {}
                 LBool::Undef => {
                     clause[write] = l;
@@ -262,11 +365,14 @@ impl Solver {
         clause.truncate(write);
         match clause.len() {
             0 => {
+                self.return_spare_lits(clause);
                 self.ok = false;
                 false
             }
             1 => {
-                self.unchecked_enqueue(clause[0], None);
+                let unit = clause[0];
+                self.return_spare_lits(clause);
+                self.unchecked_enqueue(unit, None);
                 // Propagate eagerly so later add_clause calls see the
                 // consequences.
                 if self.propagate().is_some() {
@@ -280,6 +386,14 @@ impl Solver {
                 self.attach_new_clause(clause, false);
                 true
             }
+        }
+    }
+
+    /// Returns a literal buffer to the recycling pool (bounded).
+    fn return_spare_lits(&mut self, mut v: Vec<Lit>) {
+        if self.spare_lits.len() < SPARE_LITS_CAP && v.capacity() > 0 {
+            v.clear();
+            self.spare_lits.push(v);
         }
     }
 

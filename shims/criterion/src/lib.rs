@@ -1,8 +1,18 @@
 //! Minimal offline stand-in for the `criterion` crate (see
 //! `shims/README.md`): wall-clock timing with median-of-samples reporting,
 //! no statistics engine, no plotting.
+//!
+//! Two environment variables hook the shim into the perf-regression gate
+//! (`cr-bench/src/bin/perf_gate.rs`):
+//!
+//! * `CRITERION_JSON` — a file path; every finished benchmark appends one
+//!   JSONL record `{"id":"group/bench","median_ns":…,"mean_ns":…,
+//!   "samples":…}` to it.
+//! * `CRITERION_SAMPLES` — overrides every benchmark's sample count
+//!   (the gate uses it to raise samples for stabler medians).
 
 use std::fmt::Display;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -15,7 +25,12 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        let sample_size = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n: &usize| n > 0)
+            .unwrap_or(10);
+        Criterion { sample_size }
     }
 }
 
@@ -47,9 +62,12 @@ pub struct BenchmarkGroup {
 }
 
 impl BenchmarkGroup {
-    /// Sets the number of timed samples.
+    /// Sets the number of timed samples (`CRITERION_SAMPLES` wins when
+    /// set, so the perf gate can pin the count globally).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n;
+        if std::env::var_os("CRITERION_SAMPLES").is_none() {
+            self.sample_size = n;
+        }
         self
     }
 
@@ -108,6 +126,22 @@ fn run_one(group: &str, id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Ben
         mean,
         samples.len()
     );
+    if let Some(path) = std::env::var_os("CRITERION_JSON") {
+        let record = format!(
+            "{{\"id\":\"{group}/{id}\",\"median_ns\":{},\"mean_ns\":{},\"samples\":{}}}\n",
+            median.as_nanos(),
+            mean.as_nanos(),
+            samples.len()
+        );
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(record.as_bytes()));
+        if let Err(e) = appended {
+            eprintln!("criterion shim: cannot append to {path:?}: {e}");
+        }
+    }
 }
 
 /// Declares a benchmark group function running each listed benchmark.
